@@ -1,0 +1,259 @@
+//! Commands applied to the replicated state machine and their conflict
+//! relation.
+//!
+//! The replicated service evaluated in the paper is a key–value store (KVS).
+//! A [`Command`] accesses one or more keys, each with a [`KvOp`]. Two commands
+//! *conflict* when they access a common key and at least one of them writes it
+//! — this is the commutativity-based conflict relation from §2 of the paper
+//! (reads of the same key commute; read/write and write/write on the same key
+//! do not). The microbenchmark of §5.2 uses single-key write commands, for
+//! which "conflict ⇔ same key".
+
+use crate::id::Rifl;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A key of the replicated key–value store.
+pub type Key = u64;
+
+/// A value stored in the replicated key–value store.
+///
+/// Values carry an explicit payload size so that the simulator can model the
+/// serialization cost of the 100 B / 3 KB payloads used in the paper without
+/// materializing the bytes.
+pub type Value = u64;
+
+/// A single-key operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read the current value of the key.
+    Get,
+    /// Overwrite the key with a value.
+    Put(Value),
+    /// Remove the key.
+    Delete,
+}
+
+impl KvOp {
+    /// Whether the operation leaves the state unchanged (a *read* in the
+    /// paper's terminology, §B.1).
+    pub fn is_read(&self) -> bool {
+        matches!(self, KvOp::Get)
+    }
+}
+
+/// A command submitted to the replicated state machine.
+///
+/// A command carries the issuing client's [`Rifl`], a set of keyed operations
+/// and a synthetic payload size (bytes). The special [`Command::noop`] command
+/// conflicts with every other command and is used by recovery when a
+/// command's payload cannot be retrieved (paper §3.2.6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Command {
+    /// Request identifier of the client call that produced this command.
+    pub rifl: Rifl,
+    /// Operations, keyed by the key they access. Empty for `noOp`.
+    ops: BTreeMap<Key, KvOp>,
+    /// Synthetic payload size in bytes (the paper uses 100 B and 3 KB).
+    pub payload_size: usize,
+    /// Marks the recovery `noOp` command, which conflicts with everything and
+    /// is never applied to the state machine.
+    noop: bool,
+}
+
+impl Command {
+    /// Creates a command from a list of keyed operations.
+    pub fn new(rifl: Rifl, ops: impl IntoIterator<Item = (Key, KvOp)>, payload_size: usize) -> Self {
+        Self {
+            rifl,
+            ops: ops.into_iter().collect(),
+            payload_size,
+            noop: false,
+        }
+    }
+
+    /// Creates a single-key `Get` command.
+    pub fn get(rifl: Rifl, key: Key) -> Self {
+        Self::new(rifl, [(key, KvOp::Get)], 8)
+    }
+
+    /// Creates a single-key `Put` command with the given payload size.
+    pub fn put(rifl: Rifl, key: Key, value: Value, payload_size: usize) -> Self {
+        Self::new(rifl, [(key, KvOp::Put(value))], payload_size)
+    }
+
+    /// Creates the special `noOp` command used by recovery (§3.2.6). It
+    /// conflicts with all commands and is skipped at execution time.
+    pub fn noop() -> Self {
+        Self {
+            rifl: Rifl::new(0, 0),
+            ops: BTreeMap::new(),
+            payload_size: 0,
+            noop: true,
+        }
+    }
+
+    /// Whether this is the recovery `noOp` command.
+    pub fn is_noop(&self) -> bool {
+        self.noop
+    }
+
+    /// Whether every operation in the command is a read.
+    ///
+    /// Read-only commands are eligible for the NFR optimization (§4) when the
+    /// conflict relation is transitive.
+    pub fn is_read_only(&self) -> bool {
+        !self.noop && !self.ops.is_empty() && self.ops.values().all(KvOp::is_read)
+    }
+
+    /// Whether the command writes at least one key.
+    pub fn is_write(&self) -> bool {
+        self.ops.values().any(|op| !op.is_read())
+    }
+
+    /// Iterates over the keys accessed by the command.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.ops.keys()
+    }
+
+    /// Iterates over the keyed operations of the command.
+    pub fn ops(&self) -> impl Iterator<Item = (&Key, &KvOp)> {
+        self.ops.iter()
+    }
+
+    /// Number of keys accessed.
+    pub fn key_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether two commands conflict, i.e. do **not** commute (paper §2).
+    ///
+    /// * `noOp` conflicts with every command (including another `noOp`).
+    /// * Otherwise, commands conflict iff they access a common key and at
+    ///   least one of the two accesses is a write.
+    pub fn conflicts_with(&self, other: &Command) -> bool {
+        if self.noop || other.noop {
+            return true;
+        }
+        // Iterate over the smaller op map for efficiency.
+        let (small, large) = if self.ops.len() <= other.ops.len() {
+            (&self.ops, &other.ops)
+        } else {
+            (&other.ops, &self.ops)
+        };
+        small.iter().any(|(key, op)| match large.get(key) {
+            Some(other_op) => !(op.is_read() && other_op.is_read()),
+            None => false,
+        })
+    }
+
+    /// Conflict relation ignoring reads entirely, used when the NFR
+    /// optimization is enabled: reads are excluded from dependency
+    /// computation (§4, "Non-fault-tolerant reads").
+    pub fn conflicts_with_write(&self, other: &Command) -> bool {
+        if self.noop || other.noop {
+            return true;
+        }
+        if other.is_read_only() {
+            return false;
+        }
+        self.conflicts_with(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rifl(n: u64) -> Rifl {
+        Rifl::new(n, 1)
+    }
+
+    #[test]
+    fn same_key_writes_conflict() {
+        let a = Command::put(rifl(1), 0, 1, 100);
+        let b = Command::put(rifl(2), 0, 2, 100);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn different_key_writes_commute() {
+        let a = Command::put(rifl(1), 0, 1, 100);
+        let b = Command::put(rifl(2), 1, 2, 100);
+        assert!(!a.conflicts_with(&b));
+        assert!(!b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn reads_of_same_key_commute() {
+        let a = Command::get(rifl(1), 0);
+        let b = Command::get(rifl(2), 0);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn read_write_same_key_conflict() {
+        let a = Command::get(rifl(1), 0);
+        let b = Command::put(rifl(2), 0, 7, 100);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn noop_conflicts_with_everything() {
+        let noop = Command::noop();
+        let read = Command::get(rifl(1), 42);
+        let write = Command::put(rifl(2), 43, 1, 100);
+        assert!(noop.conflicts_with(&read));
+        assert!(noop.conflicts_with(&write));
+        assert!(read.conflicts_with(&noop));
+        assert!(noop.conflicts_with(&Command::noop()));
+        assert!(noop.is_noop());
+        assert!(!noop.is_read_only());
+    }
+
+    #[test]
+    fn multi_key_conflict_detection() {
+        let a = Command::new(rifl(1), [(1, KvOp::Put(1)), (2, KvOp::Get)], 100);
+        let b = Command::new(rifl(2), [(2, KvOp::Put(5)), (3, KvOp::Get)], 100);
+        let c = Command::new(rifl(3), [(4, KvOp::Get), (5, KvOp::Put(0))], 100);
+        // a and b share key 2 (read in a, write in b) -> conflict.
+        assert!(a.conflicts_with(&b));
+        // a and c share no key -> commute.
+        assert!(!a.conflicts_with(&c));
+        // b and c share no key -> commute.
+        assert!(!b.conflicts_with(&c));
+    }
+
+    #[test]
+    fn read_only_classification() {
+        let r = Command::get(rifl(1), 3);
+        let w = Command::put(rifl(2), 3, 9, 10);
+        let rw = Command::new(rifl(3), [(1, KvOp::Get), (2, KvOp::Put(1))], 10);
+        assert!(r.is_read_only());
+        assert!(!r.is_write());
+        assert!(!w.is_read_only());
+        assert!(w.is_write());
+        assert!(!rw.is_read_only());
+        assert!(rw.is_write());
+    }
+
+    #[test]
+    fn nfr_conflict_relation_ignores_reads() {
+        let w = Command::put(rifl(1), 0, 1, 100);
+        let r = Command::get(rifl(2), 0);
+        // Under NFR, a read is never a dependency of anything.
+        assert!(!w.conflicts_with_write(&r));
+        // But a write is still a dependency of a read touching the same key.
+        assert!(r.conflicts_with_write(&w));
+    }
+
+    #[test]
+    fn delete_is_a_write() {
+        let d = Command::new(rifl(1), [(0, KvOp::Delete)], 8);
+        let r = Command::get(rifl(2), 0);
+        assert!(d.is_write());
+        assert!(d.conflicts_with(&r));
+    }
+}

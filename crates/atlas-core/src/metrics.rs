@@ -1,0 +1,250 @@
+//! Metrics primitives: latency histograms and per-protocol counters.
+//!
+//! The evaluation section of the paper reports average latencies, latency
+//! percentiles, fast-path ratios, throughput over time windows and
+//! commit-to-execute delays. [`Histogram`] and [`ProtocolMetrics`] collect the
+//! raw material for all of those.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple exact histogram of `u64` samples (latencies in microseconds,
+/// batch sizes, …).
+///
+/// Samples are kept in full, which is fine for the simulator's scale (at most
+/// a few million samples per run) and gives exact percentiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.samples.iter().map(|&s| s as u128).sum()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Exact percentile (0.0–1.0, nearest-rank), or 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1], got {p}");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Standard deviation of the samples, or 0 if fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Immutable view of the raw samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// Counters and histograms accumulated by a protocol replica.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProtocolMetrics {
+    /// Commands committed via the fast path at this replica (as coordinator).
+    pub fast_paths: u64,
+    /// Commands committed via the slow path at this replica (as coordinator).
+    pub slow_paths: u64,
+    /// Commands committed locally (any coordinator).
+    pub commits: u64,
+    /// Commands executed locally.
+    pub executions: u64,
+    /// Recoveries this replica initiated (took over as coordinator).
+    pub recoveries: u64,
+    /// `noOp` commands this replica committed during recovery.
+    pub noops: u64,
+    /// Delay between local commit and local execution, per command (µs).
+    pub commit_to_execute: Histogram,
+    /// Size of execution batches (number of commands per batch).
+    pub batch_sizes: Histogram,
+    /// Number of dependencies per committed command.
+    pub dependency_counts: Histogram,
+}
+
+impl ProtocolMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of coordinator commits that took the fast path, in `[0, 1]`.
+    /// Returns `None` if this replica coordinated no commands.
+    pub fn fast_path_ratio(&self) -> Option<f64> {
+        let total = self.fast_paths + self.slow_paths;
+        (total > 0).then(|| self.fast_paths as f64 / total as f64)
+    }
+
+    /// Merges another replica's metrics into this one (used to aggregate
+    /// cluster-wide statistics).
+    pub fn merge(&mut self, other: &ProtocolMetrics) {
+        self.fast_paths += other.fast_paths;
+        self.slow_paths += other.slow_paths;
+        self.commits += other.commits;
+        self.executions += other.executions;
+        self.recoveries += other.recoveries;
+        self.noops += other.noops;
+        self.commit_to_execute.merge(&other.commit_to_execute);
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.dependency_counts.merge(&other.dependency_counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for s in [10u64, 20, 30, 40, 50] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 30.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 50);
+        assert_eq!(h.percentile(0.5), 30);
+        assert_eq!(h.percentile(1.0), 50);
+        assert_eq!(h.percentile(0.0), 10);
+        assert!((h.stddev() - 14.142).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::new();
+        for s in 1..=100u64 {
+            h.record(s);
+        }
+        assert_eq!(h.percentile(0.95), 95);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(0.01), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn fast_path_ratio() {
+        let mut m = ProtocolMetrics::new();
+        assert_eq!(m.fast_path_ratio(), None);
+        m.fast_paths = 3;
+        m.slow_paths = 1;
+        assert_eq!(m.fast_path_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn metrics_merge_accumulates() {
+        let mut a = ProtocolMetrics::new();
+        a.fast_paths = 1;
+        a.commits = 2;
+        a.commit_to_execute.record(5);
+        let mut b = ProtocolMetrics::new();
+        b.fast_paths = 2;
+        b.slow_paths = 4;
+        b.commits = 6;
+        b.commit_to_execute.record(7);
+        a.merge(&b);
+        assert_eq!(a.fast_paths, 3);
+        assert_eq!(a.slow_paths, 4);
+        assert_eq!(a.commits, 8);
+        assert_eq!(a.commit_to_execute.count(), 2);
+    }
+}

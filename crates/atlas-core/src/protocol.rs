@@ -1,0 +1,231 @@
+//! The [`Protocol`] trait implemented by every replication protocol in this
+//! workspace, and the [`Action`] output language a protocol uses to talk to
+//! its runtime (the discrete-event simulator, or any networked runtime).
+//!
+//! Protocols are written as *pure state machines*: every input (a client
+//! submission, an incoming message, a periodic tick, a failure suspicion)
+//! returns a list of [`Action`]s — messages to send and commands that became
+//! executable. This makes protocols trivially testable and lets the planet
+//! simulator drive Atlas, EPaxos, Flexible Paxos and Mencius through the very
+//! same code path.
+
+use crate::command::Command;
+use crate::config::Config;
+use crate::id::{Dot, ProcessId};
+use crate::metrics::ProtocolMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Simulated (or wall-clock) time, in microseconds.
+pub type Time = u64;
+
+/// One millisecond expressed in [`Time`] units.
+pub const MILLIS: Time = 1_000;
+
+/// What a protocol asks its runtime to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M> {
+    /// Send `msg` to every process in `targets`.
+    ///
+    /// Targets may include the sending process itself; the runtime must then
+    /// deliver the message locally with zero delay (the paper assumes
+    /// self-addressed messages are delivered immediately).
+    Send {
+        /// Destination processes.
+        targets: Vec<ProcessId>,
+        /// The protocol message.
+        msg: M,
+    },
+    /// The local replica executed `cmd` (applied it to the local state
+    /// machine). The runtime uses this to answer the client that submitted
+    /// the command, if that client is attached to this process.
+    Execute {
+        /// Identifier under which the command was ordered.
+        dot: Dot,
+        /// The executed command.
+        cmd: Command,
+    },
+    /// The command with identifier `dot` was committed locally (its final
+    /// dependencies / log slot are known). Used only for bookkeeping; clients
+    /// are answered at execution time.
+    Commit {
+        /// Identifier of the committed command.
+        dot: Dot,
+    },
+}
+
+impl<M> Action<M> {
+    /// Convenience constructor for a send to a set of targets.
+    pub fn send(targets: impl IntoIterator<Item = ProcessId>, msg: M) -> Self {
+        Action::Send {
+            targets: targets.into_iter().collect(),
+            msg,
+        }
+    }
+
+    /// Convenience constructor for a broadcast to all `n` processes
+    /// (identifiers `1..=n`).
+    pub fn broadcast(n: usize, msg: M) -> Self {
+        Action::Send {
+            targets: (1..=n as ProcessId).collect(),
+            msg,
+        }
+    }
+}
+
+/// Static placement information handed to a protocol at construction time.
+///
+/// The planet simulator computes, for every process, the list of all
+/// processes sorted by network proximity; leaderless protocols use it to pick
+/// the *closest* fast quorum, while leader-based protocols learn the
+/// leader's identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// All process identifiers in the deployment (`1..=n`).
+    pub processes: Vec<ProcessId>,
+    /// Processes sorted by distance from the owning process. The owning
+    /// process itself is always first (distance zero).
+    pub by_distance: Vec<ProcessId>,
+    /// Leader process for leader-based protocols (ignored by leaderless
+    /// ones). The paper selects the leader as the site minimizing the
+    /// standard deviation of client-perceived latency.
+    pub leader: Option<ProcessId>,
+}
+
+impl Topology {
+    /// Builds a topology where distance follows identifier order — handy in
+    /// unit tests where the network is not modeled.
+    pub fn identity(id: ProcessId, n: usize) -> Self {
+        let processes: Vec<ProcessId> = (1..=n as ProcessId).collect();
+        let mut by_distance = vec![id];
+        by_distance.extend(processes.iter().copied().filter(|p| *p != id));
+        Self {
+            processes,
+            by_distance,
+            leader: Some(1),
+        }
+    }
+
+    /// The closest `size` processes (including the owning process itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the number of processes.
+    pub fn closest_quorum(&self, size: usize) -> Vec<ProcessId> {
+        assert!(
+            size <= self.by_distance.len(),
+            "quorum of size {size} requested but only {} processes exist",
+            self.by_distance.len()
+        );
+        self.by_distance[..size].to_vec()
+    }
+
+    /// The closest `size` processes drawn only from `alive`, including the
+    /// owning process itself. Returns `None` if fewer than `size` processes
+    /// are alive.
+    pub fn closest_alive_quorum(&self, size: usize, alive: &[ProcessId]) -> Option<Vec<ProcessId>> {
+        let quorum: Vec<ProcessId> = self
+            .by_distance
+            .iter()
+            .copied()
+            .filter(|p| alive.contains(p))
+            .take(size)
+            .collect();
+        (quorum.len() == size).then_some(quorum)
+    }
+}
+
+/// A replication protocol, written as a deterministic state machine.
+///
+/// All methods take the current [`Time`] so protocols can record latency
+/// metrics and schedule timeout-based behaviour without reading a clock.
+pub trait Protocol: Sized {
+    /// The wire message type of the protocol.
+    type Message: Clone + std::fmt::Debug;
+
+    /// Human-readable protocol name (used in experiment reports).
+    fn name() -> &'static str;
+
+    /// Creates a replica with identifier `id`.
+    fn new(id: ProcessId, config: Config, topology: Topology) -> Self;
+
+    /// This replica's identifier.
+    fn id(&self) -> ProcessId;
+
+    /// Submits a command on behalf of a local client; the replica becomes the
+    /// command's (initial) coordinator.
+    fn submit(&mut self, cmd: Command, time: Time) -> Vec<Action<Self::Message>>;
+
+    /// Handles a protocol message from `from`.
+    fn handle(&mut self, from: ProcessId, msg: Self::Message, time: Time) -> Vec<Action<Self::Message>>;
+
+    /// Approximate wire size of a message in bytes. Runtimes use it to model
+    /// serialization/bandwidth costs (e.g. a leader broadcasting 3 KB
+    /// payloads to every replica). The default is a small fixed overhead.
+    fn message_size(_msg: &Self::Message) -> usize {
+        128
+    }
+
+    /// Periodic tick (the simulator calls this at a fixed cadence). Default:
+    /// no-op.
+    fn tick(&mut self, _time: Time) -> Vec<Action<Self::Message>> {
+        Vec::new()
+    }
+
+    /// Notifies the replica that `suspected` is believed to have failed.
+    /// Leaderless protocols recover the suspected process's in-flight
+    /// commands; leader-based protocols elect a new leader. Default: no-op.
+    fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Self::Message>> {
+        Vec::new()
+    }
+
+    /// Protocol metrics accumulated so far.
+    fn metrics(&self) -> &ProtocolMetrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_topology_puts_self_first() {
+        let t = Topology::identity(3, 5);
+        assert_eq!(t.by_distance[0], 3);
+        assert_eq!(t.by_distance.len(), 5);
+        assert_eq!(t.processes, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn closest_quorum_takes_prefix() {
+        let t = Topology::identity(2, 5);
+        assert_eq!(t.closest_quorum(3), vec![2, 1, 3]);
+        assert_eq!(t.closest_quorum(1), vec![2]);
+        assert_eq!(t.closest_quorum(5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum of size")]
+    fn closest_quorum_rejects_oversized_requests() {
+        let t = Topology::identity(1, 3);
+        let _ = t.closest_quorum(4);
+    }
+
+    #[test]
+    fn closest_alive_quorum_skips_dead_processes() {
+        let t = Topology::identity(1, 5);
+        let alive = vec![1, 3, 5];
+        assert_eq!(t.closest_alive_quorum(3, &alive), Some(vec![1, 3, 5]));
+        assert_eq!(t.closest_alive_quorum(4, &alive), None);
+    }
+
+    #[test]
+    fn broadcast_targets_all_processes() {
+        let action: Action<&str> = Action::broadcast(4, "m");
+        match action {
+            Action::Send { targets, msg } => {
+                assert_eq!(targets, vec![1, 2, 3, 4]);
+                assert_eq!(msg, "m");
+            }
+            _ => panic!("expected send"),
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Dependency-graph command executor (Algorithm 3 of the paper).
+//!
+//! Committed commands carry a set of dependencies (identifiers of conflicting
+//! commands). A command may only execute after its dependencies have executed
+//! or in the same *batch* as them; inside a batch, commands follow the fixed
+//! total order on [`Dot`]s. Batches correspond to strongly connected
+//! components of the dependency graph restricted to not-yet-executed
+//! commands, executed in (reverse) topological order — i.e. dependencies
+//! first. Because processes agree on each command's final dependencies
+//! (Invariant 1), every process forms the same batches (Invariant 4) and
+//! therefore executes conflicting commands in the same order.
+//!
+//! The executor is incremental: each committed command triggers a bounded
+//! closure search instead of a full-graph recomputation, and commands blocked
+//! on a not-yet-committed dependency are indexed so they are retried exactly
+//! when that dependency commits.
+
+use atlas_core::{Command, Dot};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of adding a committed command to the executor: the list of
+/// commands that became executable, in execution order.
+pub type ExecutionBatch = Vec<(Dot, Command)>;
+
+/// State of a vertex in the dependency graph.
+#[derive(Debug, Clone)]
+struct Vertex {
+    cmd: Command,
+    deps: Vec<Dot>,
+}
+
+/// Incremental dependency-graph executor.
+///
+/// ```
+/// use atlas_core::{Command, Dot, Rifl};
+/// use atlas_protocol::graph::DependencyGraph;
+///
+/// let mut graph = DependencyGraph::new();
+/// let a = Dot::new(1, 1);
+/// let b = Dot::new(2, 1);
+/// // b depends on a, a has no dependencies (Figure 1 of the paper).
+/// let executed = graph.commit(b, Command::put(Rifl::new(1, 1), 0, 1, 8), vec![a]);
+/// assert!(executed.is_empty()); // blocked: a not committed yet
+/// let executed = graph.commit(a, Command::put(Rifl::new(2, 1), 0, 2, 8), vec![]);
+/// let order: Vec<_> = executed.iter().map(|(dot, _)| *dot).collect();
+/// assert_eq!(order, vec![a, b]); // a executes before b everywhere
+/// ```
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    /// Committed but not yet executed vertices.
+    pending: HashMap<Dot, Vertex>,
+    /// Dots already executed.
+    executed: HashSet<Dot>,
+    /// For each not-yet-committed dot, the committed dots blocked on it.
+    waiting_on: HashMap<Dot, HashSet<Dot>>,
+    /// Total number of executed commands.
+    executed_count: u64,
+    /// Sizes of the batches executed so far.
+    batch_sizes: Vec<usize>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `dot` has already been executed.
+    pub fn is_executed(&self, dot: &Dot) -> bool {
+        self.executed.contains(dot)
+    }
+
+    /// Whether `dot` is committed (possibly already executed).
+    pub fn is_committed(&self, dot: &Dot) -> bool {
+        self.executed.contains(dot) || self.pending.contains_key(dot)
+    }
+
+    /// Number of committed-but-not-executed commands.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total number of executed commands.
+    pub fn executed_count(&self) -> u64 {
+        self.executed_count
+    }
+
+    /// Sizes of all executed batches so far.
+    pub fn batch_sizes(&self) -> &[usize] {
+        &self.batch_sizes
+    }
+
+    /// The dots that some committed command is waiting for (i.e. dependencies
+    /// that have not been committed here yet). Used to trigger recovery of
+    /// missing commands after a coordinator failure.
+    pub fn missing_dependencies(&self) -> Vec<Dot> {
+        self.waiting_on
+            .iter()
+            .filter(|(dot, waiters)| !waiters.is_empty() && !self.is_committed(dot))
+            .map(|(dot, _)| *dot)
+            .collect()
+    }
+
+    /// Registers the committed command `dot` with dependencies `deps` and
+    /// returns every command that became executable, in execution order.
+    ///
+    /// `noOp` commands participate in the graph (they unblock their
+    /// dependants) but are filtered out of the returned batch since they must
+    /// not be applied to the state machine.
+    pub fn commit(&mut self, dot: Dot, cmd: Command, deps: Vec<Dot>) -> ExecutionBatch {
+        if self.is_committed(&dot) {
+            // Duplicate MCommit deliveries are possible (e.g. after recovery);
+            // they must be idempotent.
+            return Vec::new();
+        }
+        self.pending.insert(dot, Vertex { cmd, deps });
+
+        let mut executed = Vec::new();
+        // Try the newly committed dot itself, then everything that was
+        // blocked waiting for it.
+        let mut candidates = vec![dot];
+        if let Some(waiters) = self.waiting_on.remove(&dot) {
+            candidates.extend(waiters);
+        }
+        for candidate in candidates {
+            if self.pending.contains_key(&candidate) {
+                self.try_execute(candidate, &mut executed);
+            }
+        }
+        executed
+    }
+
+    /// Attempts to execute the closure of `root`; appends executed commands
+    /// (in order) to `out`.
+    fn try_execute(&mut self, root: Dot, out: &mut ExecutionBatch) {
+        // 1. Compute the closure of `root` over non-executed dependencies.
+        let mut closure: Vec<Dot> = Vec::new();
+        let mut seen: HashSet<Dot> = HashSet::new();
+        let mut stack = vec![root];
+        seen.insert(root);
+        while let Some(dot) = stack.pop() {
+            match self.pending.get(&dot) {
+                Some(vertex) => {
+                    closure.push(dot);
+                    for dep in &vertex.deps {
+                        if !self.executed.contains(dep) && seen.insert(*dep) {
+                            stack.push(*dep);
+                        }
+                    }
+                }
+                None => {
+                    // A dependency in the closure is not committed: the whole
+                    // closure must wait for it.
+                    self.waiting_on.entry(dot).or_default().insert(root);
+                    return;
+                }
+            }
+        }
+
+        // 2. All closure members are committed: find strongly connected
+        //    components and execute them dependencies-first.
+        let sccs = tarjan_sccs(&closure, |dot| {
+            self.pending
+                .get(dot)
+                .map(|v| {
+                    v.deps
+                        .iter()
+                        .copied()
+                        .filter(|d| seen.contains(d) && !self.executed.contains(d))
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+
+        // Tarjan emits SCCs in reverse topological order of the condensation,
+        // i.e. an SCC is emitted only after everything it depends on. That is
+        // exactly execution order.
+        for mut scc in sccs {
+            // Inside a batch, commands follow the fixed total order `<` on
+            // identifiers (Algorithm 3, line 55).
+            scc.sort_unstable();
+            self.batch_sizes.push(scc.len());
+            for dot in scc {
+                let vertex = self
+                    .pending
+                    .remove(&dot)
+                    .expect("closure member must be pending");
+                self.executed.insert(dot);
+                self.executed_count += 1;
+                self.waiting_on.remove(&dot);
+                if !vertex.cmd.is_noop() {
+                    out.push((dot, vertex.cmd));
+                }
+            }
+        }
+    }
+}
+
+/// Iterative Tarjan strongly-connected-components over the vertices in
+/// `vertices`, with successors given by `successors`. Returns the SCCs in
+/// reverse topological order (dependencies before dependants).
+fn tarjan_sccs(vertices: &[Dot], mut successors: impl FnMut(&Dot) -> Vec<Dot>) -> Vec<Vec<Dot>> {
+    #[derive(Default, Clone, Copy)]
+    struct NodeState {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+
+    let mut state: HashMap<Dot, NodeState> = HashMap::with_capacity(vertices.len());
+    let mut next_index = 0usize;
+    let mut stack: Vec<Dot> = Vec::new();
+    let mut sccs: Vec<Vec<Dot>> = Vec::new();
+
+    // Explicit DFS stack: (node, successor list, next successor position).
+    enum Frame {
+        Enter(Dot),
+        Continue(Dot, Vec<Dot>, usize),
+    }
+
+    for &start in vertices {
+        if state.get(&start).map(|s| s.visited).unwrap_or(false) {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(start)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    let entry = state.entry(v).or_default();
+                    if entry.visited {
+                        continue;
+                    }
+                    entry.visited = true;
+                    entry.index = next_index;
+                    entry.lowlink = next_index;
+                    entry.on_stack = true;
+                    next_index += 1;
+                    stack.push(v);
+                    let succs = successors(&v);
+                    call_stack.push(Frame::Continue(v, succs, 0));
+                }
+                Frame::Continue(v, succs, mut pos) => {
+                    // Update lowlink with the child we just returned from.
+                    if pos > 0 {
+                        let child = succs[pos - 1];
+                        let child_low = state.get(&child).map(|s| s.lowlink).unwrap_or(usize::MAX);
+                        let entry = state.get_mut(&v).expect("visited");
+                        if child_low < entry.lowlink {
+                            entry.lowlink = child_low;
+                        }
+                    }
+                    let mut descended = false;
+                    while pos < succs.len() {
+                        let w = succs[pos];
+                        pos += 1;
+                        let w_state = state.entry(w).or_default();
+                        if !w_state.visited {
+                            call_stack.push(Frame::Continue(v, succs.clone(), pos));
+                            call_stack.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if w_state.on_stack {
+                            let w_index = w_state.index;
+                            let entry = state.get_mut(&v).expect("visited");
+                            if w_index < entry.lowlink {
+                                entry.lowlink = w_index;
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors processed: maybe emit an SCC.
+                    let v_state = *state.get(&v).expect("visited");
+                    if v_state.lowlink == v_state.index {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            state.get_mut(&w).expect("on stack").on_stack = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::Rifl;
+
+    fn cmd(n: u64) -> Command {
+        Command::put(Rifl::new(n, 1), 0, n, 8)
+    }
+
+    fn dots(batch: &ExecutionBatch) -> Vec<Dot> {
+        batch.iter().map(|(dot, _)| *dot).collect()
+    }
+
+    #[test]
+    fn independent_command_executes_immediately() {
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        let out = g.commit(a, cmd(1), vec![]);
+        assert_eq!(dots(&out), vec![a]);
+        assert!(g.is_executed(&a));
+        assert_eq!(g.executed_count(), 1);
+    }
+
+    #[test]
+    fn figure1_commit_order_a_then_b() {
+        // Final dependencies of Figure 1: dep[a] = {}, dep[b] = {a}.
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        let b = Dot::new(5, 1);
+        // Processes 1 and 2 commit a first, then b: two singleton batches.
+        assert_eq!(dots(&g.commit(a, cmd(1), vec![])), vec![a]);
+        assert_eq!(dots(&g.commit(b, cmd(2), vec![a])), vec![b]);
+        assert_eq!(g.batch_sizes(), &[1, 1]);
+    }
+
+    #[test]
+    fn figure1_commit_order_b_then_a() {
+        // Processes 3, 4 and 5 commit b first: b must wait for a.
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        let b = Dot::new(5, 1);
+        assert!(g.commit(b, cmd(2), vec![a]).is_empty());
+        assert!(!g.is_executed(&b));
+        // When a commits, both execute — a first, in two singleton batches.
+        let out = g.commit(a, cmd(1), vec![]);
+        assert_eq!(dots(&out), vec![a, b]);
+        assert_eq!(g.batch_sizes(), &[1, 1]);
+    }
+
+    #[test]
+    fn mutual_dependencies_form_one_batch_ordered_by_dot() {
+        // dep[a] = {b} and dep[b] = {a}: one batch, ordered by identifier.
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(2, 1);
+        let b = Dot::new(1, 1);
+        assert!(g.commit(a, cmd(1), vec![b]).is_empty());
+        let out = g.commit(b, cmd(2), vec![a]);
+        // b = ⟨1,1⟩ < a = ⟨2,1⟩, so b executes first within the batch.
+        assert_eq!(dots(&out), vec![b, a]);
+        assert_eq!(g.batch_sizes(), &[2]);
+    }
+
+    #[test]
+    fn execution_order_agrees_across_commit_orders() {
+        // Same final dependencies, all 6 commit orders: the execution order
+        // of the three mutually dependent commands must be identical.
+        let a = Dot::new(1, 1);
+        let b = Dot::new(2, 1);
+        let c = Dot::new(3, 1);
+        let deps = |d: Dot| -> Vec<Dot> {
+            // A cycle a -> b -> c -> a.
+            if d == a {
+                vec![b]
+            } else if d == b {
+                vec![c]
+            } else {
+                vec![a]
+            }
+        };
+        let mut reference: Option<Vec<Dot>> = None;
+        let permutations = [
+            [a, b, c],
+            [a, c, b],
+            [b, a, c],
+            [b, c, a],
+            [c, a, b],
+            [c, b, a],
+        ];
+        for perm in permutations {
+            let mut g = DependencyGraph::new();
+            let mut order = Vec::new();
+            for d in perm {
+                let out = g.commit(d, cmd(d.source as u64), deps(d));
+                order.extend(dots(&out));
+            }
+            assert_eq!(order.len(), 3, "all commands must execute");
+            match &reference {
+                None => reference = Some(order),
+                Some(r) => assert_eq!(&order, r),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_commit_is_idempotent() {
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        assert_eq!(g.commit(a, cmd(1), vec![]).len(), 1);
+        assert!(g.commit(a, cmd(1), vec![]).is_empty());
+        assert_eq!(g.executed_count(), 1);
+    }
+
+    #[test]
+    fn noop_unblocks_but_is_not_executed() {
+        let mut g = DependencyGraph::new();
+        let missing = Dot::new(3, 1);
+        let b = Dot::new(1, 1);
+        assert!(g.commit(b, cmd(1), vec![missing]).is_empty());
+        // Recovery replaces the missing command with a noOp.
+        let out = g.commit(missing, Command::noop(), vec![]);
+        // Only b is returned for application to the state machine.
+        assert_eq!(dots(&out), vec![b]);
+        assert!(g.is_executed(&missing));
+        assert_eq!(g.executed_count(), 2);
+    }
+
+    #[test]
+    fn long_chain_executes_in_dependency_order() {
+        let mut g = DependencyGraph::new();
+        let n = 100u64;
+        let dot = |i: u64| Dot::new(1, i);
+        // Commit the chain backwards: i depends on i-1.
+        for i in (2..=n).rev() {
+            assert!(g.commit(dot(i), cmd(i), vec![dot(i - 1)]).is_empty());
+        }
+        let out = g.commit(dot(1), cmd(1), vec![]);
+        let expected: Vec<Dot> = (1..=n).map(dot).collect();
+        assert_eq!(dots(&out), expected);
+    }
+
+    #[test]
+    fn missing_dependencies_are_reported() {
+        let mut g = DependencyGraph::new();
+        let missing = Dot::new(9, 7);
+        let b = Dot::new(1, 1);
+        g.commit(b, cmd(1), vec![missing]);
+        assert_eq!(g.missing_dependencies(), vec![missing]);
+        g.commit(missing, cmd(2), vec![]);
+        assert!(g.missing_dependencies().is_empty());
+    }
+
+    #[test]
+    fn diamond_dependencies_execute_each_command_once() {
+        // d depends on b and c, which both depend on a.
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        let b = Dot::new(2, 1);
+        let c = Dot::new(3, 1);
+        let d = Dot::new(4, 1);
+        assert!(g.commit(d, cmd(4), vec![b, c]).is_empty());
+        assert!(g.commit(b, cmd(2), vec![a]).is_empty());
+        assert!(g.commit(c, cmd(3), vec![a]).is_empty());
+        let out = g.commit(a, cmd(1), vec![]);
+        let order = dots(&out);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], a);
+        assert_eq!(order[3], d);
+        assert_eq!(g.executed_count(), 4);
+    }
+
+    #[test]
+    fn unrelated_commands_do_not_wait_for_each_other() {
+        let mut g = DependencyGraph::new();
+        let blocked = Dot::new(1, 1);
+        let free = Dot::new(2, 1);
+        let missing = Dot::new(3, 1);
+        assert!(g.commit(blocked, cmd(1), vec![missing]).is_empty());
+        // An unrelated command must still execute immediately.
+        assert_eq!(dots(&g.commit(free, cmd(2), vec![])), vec![free]);
+        assert_eq!(g.pending_count(), 1);
+    }
+
+    #[test]
+    fn dependency_on_executed_command_is_satisfied() {
+        let mut g = DependencyGraph::new();
+        let a = Dot::new(1, 1);
+        let b = Dot::new(1, 2);
+        g.commit(a, cmd(1), vec![]);
+        // b depends on the already-executed a.
+        assert_eq!(dots(&g.commit(b, cmd(2), vec![a])), vec![b]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-key conflict index used to compute command dependencies.
+//!
+//! The paper defines `conflicts(c)` as every known command that does not
+//! commute with `c` (§3.2.2). As in the authors' implementation (and in
+//! EPaxos), it is sufficient — and far cheaper — to report, per key, only the
+//! *most recent* conflicting commands: older conflicting commands are already
+//! (transitive) dependencies of those, so the execution order between any two
+//! conflicting commands is still constrained. Concretely, for every key we
+//! track the last write and the reads that followed it:
+//!
+//! * a **write** to key `k` depends on the last write to `k` and on every
+//!   read of `k` since that write;
+//! * a **read** of key `k` depends only on the last write to `k` (reads
+//!   commute with each other).
+//!
+//! With the NFR optimization (§4), reads are not recorded at all, so they can
+//! never become dependencies of later commands.
+
+use atlas_core::{Command, Dot, Key};
+use std::collections::{HashMap, HashSet};
+
+/// Per-key record: the last write and the reads issued after it.
+#[derive(Debug, Clone, Default)]
+struct KeyEntry {
+    last_write: Option<Dot>,
+    reads_after_write: Vec<Dot>,
+}
+
+/// Conflict index mapping keys to the identifiers of the latest conflicting
+/// commands.
+#[derive(Debug, Clone, Default)]
+pub struct KeyDeps {
+    entries: HashMap<Key, KeyEntry>,
+    /// Identifiers already added, to keep [`KeyDeps::add`] idempotent.
+    known: HashSet<Dot>,
+    /// When `true`, read-only commands are not recorded (NFR optimization).
+    nfr: bool,
+}
+
+impl KeyDeps {
+    /// Creates an empty index. `nfr` enables the non-fault-tolerant-reads
+    /// optimization.
+    pub fn new(nfr: bool) -> Self {
+        Self {
+            nfr,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `dot` has already been added to the index.
+    pub fn contains(&self, dot: &Dot) -> bool {
+        self.known.contains(dot)
+    }
+
+    /// Returns the dependencies of `cmd` — the latest conflicting command per
+    /// accessed key — *without* recording `cmd` itself.
+    ///
+    /// A `noOp` command conflicts with everything, so its dependencies are
+    /// the union of all per-key entries.
+    pub fn conflicts(&self, cmd: &Command) -> HashSet<Dot> {
+        let mut deps = HashSet::new();
+        if cmd.is_noop() {
+            for entry in self.entries.values() {
+                deps.extend(entry.last_write);
+                deps.extend(entry.reads_after_write.iter().copied());
+            }
+            return deps;
+        }
+        for (key, op) in cmd.ops() {
+            if let Some(entry) = self.entries.get(key) {
+                if let Some(write) = entry.last_write {
+                    deps.insert(write);
+                }
+                if !op.is_read() {
+                    // A write also conflicts with preceding reads of the key.
+                    deps.extend(entry.reads_after_write.iter().copied());
+                }
+            }
+        }
+        deps
+    }
+
+    /// Records `cmd` (with identifier `dot`) in the index so that later
+    /// commands report it as a dependency. Idempotent.
+    pub fn add(&mut self, dot: Dot, cmd: &Command) {
+        if cmd.is_noop() {
+            // noOps are never dependencies of later commands: they are only
+            // produced by recovery and never applied to the state machine.
+            return;
+        }
+        if self.nfr && cmd.is_read_only() {
+            // Under NFR reads are excluded from later dependency sets.
+            return;
+        }
+        if !self.known.insert(dot) {
+            return;
+        }
+        for (key, op) in cmd.ops() {
+            let entry = self.entries.entry(*key).or_default();
+            if op.is_read() {
+                entry.reads_after_write.push(dot);
+            } else {
+                entry.last_write = Some(dot);
+                entry.reads_after_write.clear();
+            }
+        }
+    }
+
+    /// Convenience: computes the dependencies of `cmd` and then records it.
+    pub fn conflicts_and_add(&mut self, dot: Dot, cmd: &Command) -> HashSet<Dot> {
+        let deps = self.conflicts(cmd);
+        self.add(dot, cmd);
+        deps
+    }
+
+    /// Number of distinct keys tracked.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::{KvOp, Rifl};
+
+    fn rifl(n: u64) -> Rifl {
+        Rifl::new(n, 1)
+    }
+
+    #[test]
+    fn writes_to_same_key_chain() {
+        let mut index = KeyDeps::new(false);
+        let w1 = Dot::new(1, 1);
+        let w2 = Dot::new(2, 1);
+        let c1 = Command::put(rifl(1), 0, 1, 8);
+        let c2 = Command::put(rifl(2), 0, 2, 8);
+        assert!(index.conflicts_and_add(w1, &c1).is_empty());
+        let deps = index.conflicts_and_add(w2, &c2);
+        assert_eq!(deps, HashSet::from([w1]));
+        // A third write depends only on the latest one.
+        let w3 = Dot::new(3, 1);
+        let deps = index.conflicts(&Command::put(rifl(3), 0, 3, 8));
+        assert_eq!(deps, HashSet::from([w2]));
+        index.add(w3, &Command::put(rifl(3), 0, 3, 8));
+        assert_eq!(index.key_count(), 1);
+    }
+
+    #[test]
+    fn writes_to_different_keys_are_independent() {
+        let mut index = KeyDeps::new(false);
+        index.add(Dot::new(1, 1), &Command::put(rifl(1), 0, 1, 8));
+        let deps = index.conflicts(&Command::put(rifl(2), 1, 1, 8));
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn read_depends_on_last_write_only() {
+        let mut index = KeyDeps::new(false);
+        let w = Dot::new(1, 1);
+        let r1 = Dot::new(2, 1);
+        index.add(w, &Command::put(rifl(1), 0, 1, 8));
+        index.add(r1, &Command::get(rifl(2), 0));
+        // Another read depends on the write but not on the first read.
+        let deps = index.conflicts(&Command::get(rifl(3), 0));
+        assert_eq!(deps, HashSet::from([w]));
+    }
+
+    #[test]
+    fn write_depends_on_preceding_reads() {
+        let mut index = KeyDeps::new(false);
+        let w = Dot::new(1, 1);
+        let r1 = Dot::new(2, 1);
+        let r2 = Dot::new(3, 1);
+        index.add(w, &Command::put(rifl(1), 0, 1, 8));
+        index.add(r1, &Command::get(rifl(2), 0));
+        index.add(r2, &Command::get(rifl(3), 0));
+        let deps = index.conflicts(&Command::put(rifl(4), 0, 9, 8));
+        assert_eq!(deps, HashSet::from([w, r1, r2]));
+    }
+
+    #[test]
+    fn later_write_clears_read_set() {
+        let mut index = KeyDeps::new(false);
+        index.add(Dot::new(1, 1), &Command::put(rifl(1), 0, 1, 8));
+        index.add(Dot::new(2, 1), &Command::get(rifl(2), 0));
+        index.add(Dot::new(3, 1), &Command::put(rifl(3), 0, 2, 8));
+        let deps = index.conflicts(&Command::put(rifl(4), 0, 3, 8));
+        assert_eq!(deps, HashSet::from([Dot::new(3, 1)]));
+    }
+
+    #[test]
+    fn nfr_excludes_reads_from_dependencies() {
+        let mut index = KeyDeps::new(true);
+        let w = Dot::new(1, 1);
+        let r = Dot::new(2, 1);
+        index.add(w, &Command::put(rifl(1), 0, 1, 8));
+        index.add(r, &Command::get(rifl(2), 0));
+        // The read was not recorded: a later write depends only on the write.
+        let deps = index.conflicts(&Command::put(rifl(3), 0, 2, 8));
+        assert_eq!(deps, HashSet::from([w]));
+        assert!(!index.contains(&r));
+    }
+
+    #[test]
+    fn noop_depends_on_everything_tracked() {
+        let mut index = KeyDeps::new(false);
+        let w1 = Dot::new(1, 1);
+        let r1 = Dot::new(2, 1);
+        let w2 = Dot::new(3, 1);
+        index.add(w1, &Command::put(rifl(1), 0, 1, 8));
+        index.add(r1, &Command::get(rifl(2), 0));
+        index.add(w2, &Command::put(rifl(3), 5, 1, 8));
+        let deps = index.conflicts(&Command::noop());
+        assert_eq!(deps, HashSet::from([w1, r1, w2]));
+    }
+
+    #[test]
+    fn noop_is_never_recorded() {
+        let mut index = KeyDeps::new(false);
+        index.add(Dot::new(1, 1), &Command::noop());
+        assert!(!index.contains(&Dot::new(1, 1)));
+        assert_eq!(index.key_count(), 0);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut index = KeyDeps::new(false);
+        let w = Dot::new(1, 1);
+        let cmd = Command::put(rifl(1), 0, 1, 8);
+        index.add(w, &cmd);
+        index.add(w, &cmd);
+        let deps = index.conflicts(&Command::put(rifl(2), 0, 2, 8));
+        assert_eq!(deps, HashSet::from([w]));
+    }
+
+    #[test]
+    fn multi_key_command_collects_deps_across_keys() {
+        let mut index = KeyDeps::new(false);
+        let w0 = Dot::new(1, 1);
+        let w1 = Dot::new(2, 1);
+        index.add(w0, &Command::put(rifl(1), 0, 1, 8));
+        index.add(w1, &Command::put(rifl(2), 1, 1, 8));
+        let multi = Command::new(rifl(3), [(0, KvOp::Put(3)), (1, KvOp::Get)], 8);
+        let deps = index.conflicts(&multi);
+        assert_eq!(deps, HashSet::from([w0, w1]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the protocol hot paths: submitting and
+//! committing commands through Atlas and EPaxos replicas driven in memory
+//! (no simulated WAN), isolating the per-command CPU cost of the commit
+//! protocols.
+
+use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, Rifl, Topology};
+use atlas_protocol::Atlas;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epaxos::EPaxos;
+use std::collections::HashMap;
+
+/// Drives a full cluster in memory, delivering all messages immediately.
+struct Cluster<P: Protocol> {
+    replicas: Vec<P>,
+    executed: u64,
+}
+
+impl<P: Protocol> Cluster<P> {
+    fn new(n: usize, f: usize) -> Self {
+        let config = Config::new(n, f);
+        let replicas = (1..=n as ProcessId)
+            .map(|id| P::new(id, config, Topology::identity(id, n)))
+            .collect();
+        Self {
+            replicas,
+            executed: 0,
+        }
+    }
+
+    fn run(&mut self, source: ProcessId, actions: Vec<Action<P::Message>>) {
+        let mut queue: Vec<(ProcessId, ProcessId, P::Message)> = Vec::new();
+        self.enqueue(source, actions, &mut queue);
+        while !queue.is_empty() {
+            let (from, to, msg) = queue.remove(0);
+            let out = self.replicas[(to - 1) as usize].handle(from, msg, 0);
+            self.enqueue(to, out, &mut queue);
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        source: ProcessId,
+        actions: Vec<Action<P::Message>>,
+        queue: &mut Vec<(ProcessId, ProcessId, P::Message)>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { targets, msg } => {
+                    let mut targets = targets;
+                    targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                    for to in targets {
+                        queue.push((source, to, msg.clone()));
+                    }
+                }
+                Action::Execute { .. } => self.executed += 1,
+                Action::Commit { .. } => {}
+            }
+        }
+    }
+
+    fn submit(&mut self, at: ProcessId, cmd: Command) {
+        let actions = self.replicas[(at - 1) as usize].submit(cmd, 0);
+        self.run(at, actions);
+    }
+}
+
+fn commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_1000_commands");
+    for &(n, f) in &[(5usize, 1usize), (5, 2), (13, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("atlas", format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut cluster = Cluster::<Atlas>::new(n, f);
+                    for i in 0..1_000u64 {
+                        let at = (i % n as u64 + 1) as ProcessId;
+                        cluster.submit(at, Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100));
+                    }
+                    cluster.executed
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("epaxos", format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut cluster = Cluster::<EPaxos>::new(n, f);
+                    for i in 0..1_000u64 {
+                        let at = (i % n as u64 + 1) as ProcessId;
+                        cluster.submit(at, Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100));
+                    }
+                    cluster.executed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn conflict_computation(c: &mut Criterion) {
+    use atlas_protocol::KeyDeps;
+    c.bench_function("key_deps_conflicts_and_add_10k", |b| {
+        b.iter(|| {
+            let mut deps = KeyDeps::new(false);
+            let mut total = 0usize;
+            for i in 0..10_000u64 {
+                let cmd = Command::put(Rifl::new(1, i + 1), i % 64, i, 100);
+                total += deps.conflicts_and_add(Dot::new(1, i + 1), &cmd).len();
+            }
+            total
+        })
+    });
+}
+
+fn quorum_threshold_union(c: &mut Criterion) {
+    // The fast-path condition evaluated over synthetic quorum replies.
+    c.bench_function("fast_path_condition_fq8", |b| {
+        let acks: HashMap<ProcessId, std::collections::HashSet<Dot>> = (1..=8u32)
+            .map(|p| {
+                (
+                    p,
+                    (0..32u64).map(|i| Dot::new((i % 8 + 1) as ProcessId, i)).collect(),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut counts: HashMap<Dot, usize> = HashMap::new();
+            for deps in acks.values() {
+                for dot in deps {
+                    *counts.entry(*dot).or_insert(0) += 1;
+                }
+            }
+            counts.values().filter(|c| **c >= 2).count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = commit_throughput, conflict_computation, quorum_threshold_union
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the workload generators and the key-value
+//! store state machine.
+
+use atlas_core::{Command, Rifl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use kvstore::workload::YcsbMix;
+use kvstore::{KVStore, Workload, YcsbWorkload, Zipfian};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn zipfian_sampling(c: &mut Criterion) {
+    c.bench_function("zipfian_100k_samples_1m_keys", |b| {
+        let zipf = Zipfian::scrambled(1_000_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..100_000 {
+                sum = sum.wrapping_add(zipf.next_key(&mut rng));
+            }
+            sum
+        })
+    });
+}
+
+fn ycsb_command_generation(c: &mut Criterion) {
+    c.bench_function("ycsb_generate_100k_commands", |b| {
+        let mut workload = YcsbWorkload::new(1_000_000, YcsbMix::Balanced, 100);
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut writes = 0usize;
+            for seq in 0..100_000u64 {
+                if workload.next_command(1, seq, &mut rng).is_write() {
+                    writes += 1;
+                }
+            }
+            writes
+        })
+    });
+}
+
+fn kvstore_execution(c: &mut Criterion) {
+    c.bench_function("kvstore_execute_100k_puts", |b| {
+        b.iter(|| {
+            let mut store = KVStore::new();
+            for i in 0..100_000u64 {
+                store.execute(&Command::put(Rifl::new(1, i + 1), i % 1_024, i, 8));
+            }
+            store.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = zipfian_sampling, ycsb_command_generation, kvstore_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5: latency when scaling out from 3 to 13 sites with 1000 clients
+//! spread over 13 locations and a 2% conflict rate.
+
+use bench::{header, row, RunScale};
+use planet_sim::experiments::scale_out;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let params = match scale {
+        RunScale::Quick => scale_out::Params::quick(),
+        RunScale::Default => scale_out::Params {
+            total_clients: 260,
+            duration: 15_000_000,
+            ..scale_out::Params::paper()
+        },
+        RunScale::Paper => scale_out::Params::paper(),
+    };
+
+    println!("# Figure 5 — latency when scaling out (fixed client population)");
+    println!("# clients spread over 13 locations, 2% conflicts, 100 B commands");
+    println!();
+    println!("{}", header(&["sites", "protocol", "latency (ms)", "optimal (ms)", "overhead %"]));
+    for p in scale_out::run_experiment(&params) {
+        println!(
+            "{}",
+            row(&[
+                p.sites.to_string(),
+                p.protocol,
+                format!("{:.0}", p.latency_ms),
+                format!("{:.0}", p.optimal_ms),
+                format!("{:.0}", p.overhead_pct),
+            ])
+        );
+    }
+    println!();
+    println!("# Paper: Atlas f=1 is within 13% of optimal at 13 sites (172 ms vs 151 ms),");
+    println!("# FPaxos is ~2x slower than Atlas with the same f, Mencius is above 400 ms,");
+    println!("# EPaxos stays flat around 300 ms. Going 3 -> 13 sites cuts Atlas latency 39-42%.");
+}

@@ -1,0 +1,541 @@
+//! # epaxos
+//!
+//! Baseline: a commit-protocol implementation of **Egalitarian Paxos**
+//! (EPaxos, SOSP 2013) as characterized in the Atlas paper (§3.3), sharing
+//! the Atlas dependency-graph execution layer so that the comparison between
+//! the two protocols isolates the commit protocol itself — exactly like the
+//! shared codebase used in the paper's evaluation.
+//!
+//! Differences from Atlas that this crate reproduces:
+//!
+//! * **Large fast quorums** whose size depends only on `n` (roughly `3n/4`):
+//!   `f_max + ⌈(f_max + 1)/2⌉` with `f_max = ⌊(n−1)/2⌋` tolerated failures.
+//! * **Strict fast-path condition**: the fast path is taken only when every
+//!   fast-quorum member reports exactly the same dependency set, so
+//!   concurrent conflicting commands usually force the slow path.
+//! * The slow path runs a Paxos accept round over a **majority** (not `f+1`).
+//!
+//! EPaxos' instance-recovery procedure is notoriously intricate (and the
+//! paper notes it contains a bug, §3.3); since none of the paper's
+//! experiments exercise EPaxos recovery, [`EPaxos::suspect`] is a no-op here.
+//! This substitution is recorded in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atlas_core::protocol::Time;
+use atlas_core::{
+    Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
+};
+use atlas_protocol::{DependencyGraph, KeyDeps};
+use std::collections::{HashMap, HashSet};
+
+/// Ballot numbers for the accept phase.
+pub type Ballot = u64;
+
+/// Wire messages of the EPaxos commit protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → fast quorum: start the pre-accept phase.
+    MPreAccept {
+        /// Command identifier (EPaxos instance).
+        dot: Dot,
+        /// Command payload.
+        cmd: Command,
+        /// Dependencies known to the coordinator.
+        deps: HashSet<Dot>,
+        /// Fast quorum chosen by the coordinator.
+        quorum: Vec<ProcessId>,
+    },
+    /// Fast-quorum member → coordinator: locally extended dependencies.
+    MPreAcceptAck {
+        /// Command identifier.
+        dot: Dot,
+        /// Dependencies computed by the sender.
+        deps: HashSet<Dot>,
+    },
+    /// Paxos accept for the slow path.
+    MAccept {
+        /// Command identifier.
+        dot: Dot,
+        /// Command payload.
+        cmd: Command,
+        /// Proposed dependencies (union of the pre-accept replies).
+        deps: HashSet<Dot>,
+        /// Proposal ballot.
+        ballot: Ballot,
+    },
+    /// Accept acknowledgement.
+    MAcceptAck {
+        /// Command identifier.
+        dot: Dot,
+        /// Ballot being acknowledged.
+        ballot: Ballot,
+    },
+    /// Commit notification with the final dependencies.
+    MCommit {
+        /// Command identifier.
+        dot: Dot,
+        /// Command payload.
+        cmd: Command,
+        /// Final dependencies.
+        deps: HashSet<Dot>,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes, used by the simulator's CPU model.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER: usize = 32;
+        const PER_DEP: usize = 12;
+        match self {
+            Message::MPreAccept { cmd, deps, .. }
+            | Message::MAccept { cmd, deps, .. }
+            | Message::MCommit { cmd, deps, .. } => HEADER + cmd.payload_size + PER_DEP * deps.len(),
+            Message::MPreAcceptAck { deps, .. } => HEADER + PER_DEP * deps.len(),
+            Message::MAcceptAck { .. } => HEADER,
+        }
+    }
+}
+
+/// Progress of an instance at this replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start,
+    PreAccept,
+    Accept,
+    Commit,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Info {
+    phase: Option<Phase>,
+    cmd: Option<Command>,
+    deps: HashSet<Dot>,
+    ballot: Ballot,
+    quorum: Vec<ProcessId>,
+    preaccept_acks: HashMap<ProcessId, HashSet<Dot>>,
+    accept_acks: HashSet<ProcessId>,
+    decided: bool,
+}
+
+impl Info {
+    fn phase(&self) -> Phase {
+        self.phase.unwrap_or(Phase::Start)
+    }
+}
+
+/// An EPaxos replica.
+#[derive(Debug)]
+pub struct EPaxos {
+    id: ProcessId,
+    config: Config,
+    topology: Topology,
+    dot_gen: DotGen,
+    key_deps: KeyDeps,
+    info: HashMap<Dot, Info>,
+    graph: DependencyGraph,
+    metrics: ProtocolMetrics,
+    commit_times: HashMap<Dot, Time>,
+}
+
+impl EPaxos {
+    fn info_mut(&mut self, dot: Dot) -> &mut Info {
+        self.info.entry(dot).or_default()
+    }
+
+    /// EPaxos fast quorum: the closest `f_max + ⌈(f_max+1)/2⌉` processes.
+    fn fast_quorum(&self) -> Vec<ProcessId> {
+        self.topology
+            .closest_quorum(self.config.epaxos_fast_quorum_size())
+    }
+
+    /// Slow-path (accept) quorum: a plain majority.
+    fn slow_quorum(&self) -> Vec<ProcessId> {
+        self.topology.closest_quorum(self.config.majority())
+    }
+
+    fn handle_preaccept(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        cmd: Command,
+        deps: HashSet<Dot>,
+        quorum: Vec<ProcessId>,
+    ) -> Vec<Action<Message>> {
+        if self.info_mut(dot).phase() != Phase::Start {
+            return Vec::new();
+        }
+        let mut local = self.key_deps.conflicts(&cmd);
+        local.extend(deps);
+        local.remove(&dot);
+        self.key_deps.add(dot, &cmd);
+        let info = self.info_mut(dot);
+        info.phase = Some(Phase::PreAccept);
+        info.cmd = Some(cmd);
+        info.deps = local.clone();
+        info.quorum = quorum;
+        vec![Action::send([from], Message::MPreAcceptAck { dot, deps: local })]
+    }
+
+    fn handle_preaccept_ack(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        deps: HashSet<Dot>,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        let n = self.config.n;
+        let slow_quorum = self.slow_quorum();
+        let info = self.info_mut(dot);
+        if info.phase() != Phase::PreAccept || info.decided {
+            return Vec::new();
+        }
+        if !info.quorum.contains(&from) {
+            return Vec::new();
+        }
+        info.preaccept_acks.insert(from, deps);
+        if info.preaccept_acks.len() < info.quorum.len() {
+            return Vec::new();
+        }
+        info.decided = true;
+
+        // Fast path only when every fast-quorum reply matches exactly.
+        let mut replies = info.preaccept_acks.values();
+        let first = replies.next().cloned().unwrap_or_default();
+        let matching = replies.all(|deps| *deps == first);
+        let cmd = info.cmd.clone().expect("pre-accepted command is known");
+        let mut union = HashSet::new();
+        for deps in info.preaccept_acks.values() {
+            union.extend(deps.iter().copied());
+        }
+
+        if matching {
+            self.metrics.fast_paths += 1;
+            let mut actions = vec![Action::broadcast(
+                n,
+                Message::MCommit {
+                    dot,
+                    cmd,
+                    deps: first,
+                },
+            )];
+            actions.extend(self.drain_executions(Vec::new(), time));
+            actions
+        } else {
+            // Slow path: accept the union of the replies at a majority.
+            self.metrics.slow_paths += 1;
+            let ballot = self.id as Ballot;
+            vec![Action::send(
+                slow_quorum,
+                Message::MAccept {
+                    dot,
+                    cmd,
+                    deps: union,
+                    ballot,
+                },
+            )]
+        }
+    }
+
+    fn handle_accept(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        cmd: Command,
+        deps: HashSet<Dot>,
+        ballot: Ballot,
+    ) -> Vec<Action<Message>> {
+        let info = self.info_mut(dot);
+        if info.phase() == Phase::Commit {
+            let cmd = info.cmd.clone().expect("committed command is known");
+            let deps = info.deps.clone();
+            return vec![Action::send([from], Message::MCommit { dot, cmd, deps })];
+        }
+        if info.ballot > ballot {
+            return Vec::new();
+        }
+        info.phase = Some(Phase::Accept);
+        info.cmd = Some(cmd);
+        info.deps = deps;
+        info.ballot = ballot;
+        vec![Action::send([from], Message::MAcceptAck { dot, ballot })]
+    }
+
+    fn handle_accept_ack(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ballot: Ballot,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        let n = self.config.n;
+        let majority = self.config.majority();
+        let info = self.info_mut(dot);
+        if info.ballot != ballot || info.phase() == Phase::Commit {
+            return Vec::new();
+        }
+        info.accept_acks.insert(from);
+        if info.accept_acks.len() < majority {
+            return Vec::new();
+        }
+        let cmd = info.cmd.clone().expect("accepted command is known");
+        let deps = info.deps.clone();
+        let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
+        actions.extend(self.drain_executions(Vec::new(), time));
+        actions
+    }
+
+    fn handle_commit(
+        &mut self,
+        dot: Dot,
+        cmd: Command,
+        deps: HashSet<Dot>,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        {
+            let info = self.info_mut(dot);
+            if info.phase() == Phase::Commit {
+                return Vec::new();
+            }
+            info.phase = Some(Phase::Commit);
+            info.cmd = Some(cmd.clone());
+            info.deps = deps.clone();
+        }
+        self.key_deps.add(dot, &cmd);
+        self.metrics.commits += 1;
+        self.metrics.dependency_counts.record(deps.len() as u64);
+        self.commit_times.insert(dot, time);
+        let executed = self.graph.commit(dot, cmd, deps.into_iter().collect());
+        self.drain_executions(executed, time)
+    }
+
+    fn drain_executions(
+        &mut self,
+        executed: Vec<(Dot, Command)>,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        let mut actions = Vec::with_capacity(executed.len());
+        for (dot, cmd) in executed {
+            self.metrics.executions += 1;
+            if let Some(commit_time) = self.commit_times.remove(&dot) {
+                self.metrics
+                    .commit_to_execute
+                    .record(time.saturating_sub(commit_time));
+            }
+            actions.push(Action::Execute { dot, cmd });
+        }
+        actions
+    }
+}
+
+impl Protocol for EPaxos {
+    type Message = Message;
+
+    fn name() -> &'static str {
+        "epaxos"
+    }
+
+    fn new(id: ProcessId, config: Config, topology: Topology) -> Self {
+        Self {
+            id,
+            config,
+            topology,
+            dot_gen: DotGen::new(id),
+            key_deps: KeyDeps::new(config.nfr),
+            info: HashMap::new(),
+            graph: DependencyGraph::new(),
+            metrics: ProtocolMetrics::new(),
+            commit_times: HashMap::new(),
+        }
+    }
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
+        let dot = self.dot_gen.next_dot();
+        let deps = self.key_deps.conflicts(&cmd);
+        let quorum = if self.config.nfr && cmd.is_read_only() {
+            self.topology.closest_quorum(self.config.majority())
+        } else {
+            self.fast_quorum()
+        };
+        vec![Action::send(
+            quorum.clone(),
+            Message::MPreAccept {
+                dot,
+                cmd,
+                deps,
+                quorum,
+            },
+        )]
+    }
+
+    fn message_size(msg: &Message) -> usize {
+        msg.size_bytes()
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: Message, time: Time) -> Vec<Action<Message>> {
+        match msg {
+            Message::MPreAccept {
+                dot,
+                cmd,
+                deps,
+                quorum,
+            } => self.handle_preaccept(from, dot, cmd, deps, quorum),
+            Message::MPreAcceptAck { dot, deps } => {
+                self.handle_preaccept_ack(from, dot, deps, time)
+            }
+            Message::MAccept {
+                dot,
+                cmd,
+                deps,
+                ballot,
+            } => self.handle_accept(from, dot, cmd, deps, ballot),
+            Message::MAcceptAck { dot, ballot } => self.handle_accept_ack(from, dot, ballot, time),
+            Message::MCommit { dot, cmd, deps } => self.handle_commit(dot, cmd, deps, time),
+        }
+    }
+
+    fn metrics(&self) -> &ProtocolMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::Rifl;
+
+    struct Cluster {
+        replicas: Vec<EPaxos>,
+        executed: HashMap<ProcessId, Vec<Dot>>,
+    }
+
+    impl Cluster {
+        fn new(n: usize, f: usize) -> Self {
+            let config = Config::new(n, f);
+            let replicas = (1..=n as ProcessId)
+                .map(|id| EPaxos::new(id, config, Topology::identity(id, n)))
+                .collect();
+            Self {
+                replicas,
+                executed: HashMap::new(),
+            }
+        }
+
+        fn replica(&mut self, id: ProcessId) -> &mut EPaxos {
+            &mut self.replicas[(id - 1) as usize]
+        }
+
+        fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
+            let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+            self.enqueue(source, actions, &mut queue);
+            while !queue.is_empty() {
+                let (from, to, msg) = queue.remove(0);
+                let out = self.replica(to).handle(from, msg, 0);
+                self.enqueue(to, out, &mut queue);
+            }
+        }
+
+        fn enqueue(
+            &mut self,
+            source: ProcessId,
+            actions: Vec<Action<Message>>,
+            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
+        ) {
+            for action in actions {
+                match action {
+                    Action::Send { targets, msg } => {
+                        let mut targets = targets;
+                        targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                        for to in targets {
+                            queue.push((source, to, msg.clone()));
+                        }
+                    }
+                    Action::Execute { dot, .. } => {
+                        self.executed.entry(source).or_default().push(dot);
+                    }
+                    Action::Commit { .. } => {}
+                }
+            }
+        }
+
+        fn submit(&mut self, at: ProcessId, cmd: Command) {
+            let actions = self.replica(at).submit(cmd, 0);
+            self.run(at, actions);
+        }
+    }
+
+    fn put(client: u64, seq: u64, key: u64) -> Command {
+        Command::put(Rifl::new(client, seq), key, client, 100)
+    }
+
+    #[test]
+    fn fast_quorum_is_larger_than_atlas() {
+        let config = Config::new(5, 2);
+        assert_eq!(config.epaxos_fast_quorum_size(), 4);
+        let config = Config::new(13, 2);
+        assert_eq!(config.epaxos_fast_quorum_size(), 10);
+        assert_eq!(config.atlas_fast_quorum_size(), 8);
+    }
+
+    #[test]
+    fn non_conflicting_commands_take_fast_path() {
+        let mut cluster = Cluster::new(5, 2);
+        cluster.submit(1, put(1, 1, 1));
+        cluster.submit(2, put(2, 1, 2));
+        let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
+        let slow: u64 = cluster.replicas.iter().map(|r| r.metrics().slow_paths).sum();
+        assert_eq!(fast, 2);
+        assert_eq!(slow, 0);
+    }
+
+    #[test]
+    fn sequential_conflicting_commands_take_fast_path() {
+        // Matching replies: every quorum member reports the same dependency.
+        let mut cluster = Cluster::new(5, 2);
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(2, put(2, 1, 0));
+        let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
+        assert_eq!(fast, 2);
+    }
+
+    #[test]
+    fn all_commands_execute_everywhere_in_same_order() {
+        let mut cluster = Cluster::new(7, 3);
+        for seq in 1..=5u64 {
+            for coordinator in 1..=7u32 {
+                cluster.submit(coordinator, put(coordinator as u64, seq, 0));
+            }
+        }
+        let reference = cluster.executed.get(&1).cloned().unwrap();
+        assert_eq!(reference.len(), 35);
+        for id in 2..=7 {
+            assert_eq!(cluster.executed.get(&id).unwrap(), &reference);
+        }
+    }
+
+    #[test]
+    fn executions_match_submissions_per_process() {
+        let mut cluster = Cluster::new(5, 2);
+        for i in 0..20u64 {
+            let coordinator = (i % 5 + 1) as ProcessId;
+            cluster.submit(coordinator, put(coordinator as u64, i + 1, i % 4));
+        }
+        for id in 1..=5 {
+            assert_eq!(cluster.executed.get(&id).unwrap().len(), 20);
+        }
+    }
+
+    #[test]
+    fn commit_metrics_are_recorded() {
+        let mut cluster = Cluster::new(5, 2);
+        cluster.submit(1, put(1, 1, 0));
+        let m = cluster.replicas[0].metrics();
+        assert_eq!(m.commits, 1);
+        assert_eq!(m.executions, 1);
+    }
+}

@@ -1,0 +1,699 @@
+//! # fpaxos
+//!
+//! Baseline: leader-based Multi-Paxos with **Flexible Paxos** quorums
+//! (Howard et al., OPODIS 2016), as used in the Atlas paper's evaluation.
+//!
+//! * All commands are funnelled through a distinguished *leader*: a replica
+//!   that receives a client command forwards it to the leader, which assigns
+//!   it a slot in a totally ordered log.
+//! * The leader replicates a slot with a phase-2 quorum of only `f + 1`
+//!   replicas (itself included), in exchange for phase-1 (leader election)
+//!   quorums of `n − f`.
+//! * Commands execute in log order at every replica; the replica that
+//!   proxied a command answers its client after executing it, which gives
+//!   the four message delays on the critical path discussed in §5.4 of the
+//!   paper (client → proxy → leader → quorum → leader → proxy).
+//! * When the leader is suspected to have failed, the surviving replica with
+//!   the smallest identifier elects itself by running phase 1 over `n − f`
+//!   replicas, adopting the highest accepted value per slot and filling gaps
+//!   with no-ops.
+//!
+//! Plain Paxos (majority quorums both ways) is obtained by instantiating the
+//! protocol with `f = ⌊(n−1)/2⌋`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atlas_core::protocol::Time;
+use atlas_core::{
+    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Log slot index (1-based).
+pub type Slot = u64;
+
+/// Ballot number; encodes the leader identity (`ballot % n == leader - 1`).
+pub type Ballot = u64;
+
+/// Wire messages of the FPaxos protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Proxy → leader: please order this command.
+    MForward {
+        /// The client command.
+        cmd: Command,
+    },
+    /// Leader → phase-2 quorum: accept `cmd` at `slot`.
+    MAccept {
+        /// Log slot.
+        slot: Slot,
+        /// Leader ballot.
+        ballot: Ballot,
+        /// Command proposed for the slot (`noOp` to fill gaps on recovery).
+        cmd: Command,
+    },
+    /// Acceptor → leader: accepted.
+    MAccepted {
+        /// Log slot.
+        slot: Slot,
+        /// Ballot being acknowledged.
+        ballot: Ballot,
+    },
+    /// Leader → all: `slot` is decided.
+    MCommit {
+        /// Log slot.
+        slot: Slot,
+        /// Decided command.
+        cmd: Command,
+    },
+    /// Candidate → all: phase-1 prepare for a new ballot.
+    MPrepare {
+        /// Candidate ballot.
+        ballot: Ballot,
+    },
+    /// Acceptor → candidate: phase-1 promise with previously accepted
+    /// entries.
+    MPromise {
+        /// Ballot being promised.
+        ballot: Ballot,
+        /// Previously accepted entries: slot → (accepted ballot, command).
+        accepted: BTreeMap<Slot, (Ballot, Command)>,
+    },
+    /// New leader → all: a new ballot has been established; route commands to
+    /// its owner from now on.
+    MNewLeader {
+        /// The winning ballot.
+        ballot: Ballot,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes, used by the simulator's CPU model.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER: usize = 32;
+        match self {
+            Message::MForward { cmd } | Message::MCommit { cmd, .. } | Message::MAccept { cmd, .. } => {
+                HEADER + cmd.payload_size
+            }
+            Message::MAccepted { .. } | Message::MPrepare { .. } | Message::MNewLeader { .. } => HEADER,
+            Message::MPromise { accepted, .. } => {
+                HEADER + accepted.values().map(|(_, cmd)| cmd.payload_size + 16).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SlotState {
+    ballot: Ballot,
+    cmd: Command,
+    acks: HashSet<ProcessId>,
+    committed: bool,
+}
+
+/// A Flexible Paxos replica.
+#[derive(Debug)]
+pub struct FPaxos {
+    id: ProcessId,
+    config: Config,
+    topology: Topology,
+    /// Highest ballot this replica has promised or accepted.
+    ballot: Ballot,
+    /// Ballot this replica believes is currently leading.
+    leader_ballot: Ballot,
+    /// Accepted (and possibly committed) entries, by slot.
+    log: BTreeMap<Slot, SlotState>,
+    /// Decided commands, by slot.
+    decided: BTreeMap<Slot, Command>,
+    /// Next slot the leader will assign.
+    next_slot: Slot,
+    /// Next slot this replica will execute.
+    execute_next: Slot,
+    /// Processes this replica believes have failed.
+    suspected: HashSet<ProcessId>,
+    /// Commands waiting to be forwarded once a leader is known (buffered
+    /// during leader changes).
+    pending_forward: Vec<Command>,
+    /// Phase-1 promises received while campaigning, keyed by ballot.
+    promises: HashMap<Ballot, HashMap<ProcessId, BTreeMap<Slot, (Ballot, Command)>>>,
+    /// Commit times per slot (for commit→execute metrics).
+    commit_times: HashMap<Slot, Time>,
+    metrics: ProtocolMetrics,
+}
+
+impl FPaxos {
+    /// The leader encoded by a ballot.
+    fn ballot_leader(&self, ballot: Ballot) -> ProcessId {
+        (ballot % self.config.n as Ballot) as ProcessId + 1
+    }
+
+    /// The smallest ballot owned by `leader` that is strictly greater than
+    /// `at_least`.
+    fn next_ballot_for(&self, leader: ProcessId, at_least: Ballot) -> Ballot {
+        let n = self.config.n as Ballot;
+        let base = (leader - 1) as Ballot;
+        let mut round = at_least / n;
+        loop {
+            let candidate = round * n + base;
+            if candidate > at_least {
+                return candidate;
+            }
+            round += 1;
+        }
+    }
+
+    /// Current leader according to this replica.
+    pub fn current_leader(&self) -> ProcessId {
+        self.ballot_leader(self.leader_ballot)
+    }
+
+    /// Whether this replica believes itself to be the leader.
+    pub fn is_leader(&self) -> bool {
+        self.current_leader() == self.id
+    }
+
+    /// The phase-2 quorum: the `f + 1` closest replicas (leader included),
+    /// restricted to replicas not suspected of having failed.
+    fn phase2_quorum(&self) -> Vec<ProcessId> {
+        let alive: Vec<ProcessId> = self
+            .topology
+            .processes
+            .iter()
+            .copied()
+            .filter(|p| !self.suspected.contains(p))
+            .collect();
+        self.topology
+            .closest_alive_quorum(self.config.slow_quorum_size(), &alive)
+            .unwrap_or_else(|| self.topology.closest_quorum(self.config.slow_quorum_size()))
+    }
+
+    /// Leader side: assign the next slot to `cmd` and replicate it.
+    fn propose(&mut self, cmd: Command) -> Vec<Action<Message>> {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let ballot = self.leader_ballot;
+        self.log.insert(
+            slot,
+            SlotState {
+                ballot,
+                cmd: cmd.clone(),
+                acks: HashSet::new(),
+                committed: false,
+            },
+        );
+        vec![Action::send(
+            self.phase2_quorum(),
+            Message::MAccept { slot, ballot, cmd },
+        )]
+    }
+
+    fn handle_forward(&mut self, cmd: Command) -> Vec<Action<Message>> {
+        if self.is_leader() {
+            self.propose(cmd)
+        } else {
+            // Not the leader (e.g. a stale forward during a leader change):
+            // re-forward to the current leader.
+            vec![Action::send([self.current_leader()], Message::MForward { cmd })]
+        }
+    }
+
+    fn handle_accept(
+        &mut self,
+        from: ProcessId,
+        slot: Slot,
+        ballot: Ballot,
+        cmd: Command,
+    ) -> Vec<Action<Message>> {
+        if ballot < self.ballot {
+            return Vec::new();
+        }
+        let mut actions = self.learn_leader(ballot);
+        self.log.insert(
+            slot,
+            SlotState {
+                ballot,
+                cmd,
+                acks: HashSet::new(),
+                committed: false,
+            },
+        );
+        actions.push(Action::send([from], Message::MAccepted { slot, ballot }));
+        actions
+    }
+
+    /// Adopts `ballot` as the current leader ballot and re-routes any command
+    /// buffered while the previous leader was suspected.
+    fn learn_leader(&mut self, ballot: Ballot) -> Vec<Action<Message>> {
+        self.ballot = self.ballot.max(ballot);
+        if ballot < self.leader_ballot {
+            return Vec::new();
+        }
+        self.leader_ballot = ballot;
+        let pending = std::mem::take(&mut self.pending_forward);
+        let mut actions = Vec::new();
+        for cmd in pending {
+            if self.is_leader() {
+                actions.extend(self.propose(cmd));
+            } else {
+                self.metrics.fast_paths += 1;
+                actions.push(Action::send([self.current_leader()], Message::MForward { cmd }));
+            }
+        }
+        actions
+    }
+
+    fn handle_accepted(
+        &mut self,
+        from: ProcessId,
+        slot: Slot,
+        ballot: Ballot,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        let n = self.config.n;
+        let quorum_size = self.config.slow_quorum_size();
+        let Some(state) = self.log.get_mut(&slot) else {
+            return Vec::new();
+        };
+        if state.ballot != ballot || state.committed || ballot != self.leader_ballot {
+            return Vec::new();
+        }
+        state.acks.insert(from);
+        if state.acks.len() < quorum_size {
+            return Vec::new();
+        }
+        state.committed = true;
+        let cmd = state.cmd.clone();
+        let mut actions = vec![Action::broadcast(n, Message::MCommit { slot, cmd })];
+        actions.extend(self.try_execute(time));
+        actions
+    }
+
+    fn handle_commit(&mut self, slot: Slot, cmd: Command, time: Time) -> Vec<Action<Message>> {
+        if self.decided.contains_key(&slot) {
+            return Vec::new();
+        }
+        self.decided.insert(slot, cmd);
+        self.metrics.commits += 1;
+        self.commit_times.insert(slot, time);
+        self.try_execute(time)
+    }
+
+    /// Executes decided slots in order, stopping at the first gap.
+    fn try_execute(&mut self, time: Time) -> Vec<Action<Message>> {
+        let mut actions = Vec::new();
+        while let Some(cmd) = self.decided.get(&self.execute_next).cloned() {
+            let slot = self.execute_next;
+            self.execute_next += 1;
+            self.metrics.executions += 1;
+            if let Some(commit_time) = self.commit_times.remove(&slot) {
+                self.metrics
+                    .commit_to_execute
+                    .record(time.saturating_sub(commit_time));
+            }
+            if !cmd.is_noop() {
+                // Leader-based protocols have no per-command identifiers;
+                // reuse the slot as a synthetic one for reporting purposes.
+                let dot = Dot::new(self.current_leader(), slot);
+                actions.push(Action::Execute { dot, cmd });
+            }
+        }
+        actions
+    }
+
+    /// Starts a leader election for this replica (phase 1 over all replicas).
+    fn campaign(&mut self) -> Vec<Action<Message>> {
+        let ballot = self.next_ballot_for(self.id, self.ballot.max(self.leader_ballot));
+        self.ballot = ballot;
+        self.metrics.recoveries += 1;
+        vec![Action::broadcast(self.config.n, Message::MPrepare { ballot })]
+    }
+
+    fn handle_prepare(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<Message>> {
+        if ballot < self.ballot {
+            return Vec::new();
+        }
+        self.ballot = ballot;
+        let accepted: BTreeMap<Slot, (Ballot, Command)> = self
+            .log
+            .iter()
+            .map(|(slot, state)| (*slot, (state.ballot, state.cmd.clone())))
+            .collect();
+        vec![Action::send([from], Message::MPromise { ballot, accepted })]
+    }
+
+    fn handle_promise(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        accepted: BTreeMap<Slot, (Ballot, Command)>,
+        time: Time,
+    ) -> Vec<Action<Message>> {
+        if ballot != self.ballot || self.leader_ballot == ballot {
+            return Vec::new();
+        }
+        let needed = self.config.recovery_quorum_size();
+        let promises = self.promises.entry(ballot).or_default();
+        promises.insert(from, accepted);
+        if promises.len() < needed {
+            return Vec::new();
+        }
+        // Elected: adopt the highest accepted value per slot, fill gaps with
+        // noOps, and resume normal operation.
+        let promises = promises.clone();
+        self.leader_ballot = ballot;
+        let mut actions = vec![Action::broadcast(
+            self.config.n,
+            Message::MNewLeader { ballot },
+        )];
+        let mut chosen: BTreeMap<Slot, (Ballot, Command)> = BTreeMap::new();
+        for accepted in promises.values() {
+            for (slot, (abal, cmd)) in accepted {
+                match chosen.get(slot) {
+                    Some((existing, _)) if existing >= abal => {}
+                    _ => {
+                        chosen.insert(*slot, (*abal, cmd.clone()));
+                    }
+                }
+            }
+        }
+        let max_slot = chosen.keys().next_back().copied().unwrap_or(0);
+        self.next_slot = self.next_slot.max(max_slot + 1);
+        // Re-propose every known slot and fill unknown ones with noOps so the
+        // log has no gaps.
+        for slot in 1..=max_slot {
+            if self.decided.contains_key(&slot) {
+                continue;
+            }
+            let cmd = chosen
+                .get(&slot)
+                .map(|(_, cmd)| cmd.clone())
+                .unwrap_or_else(Command::noop);
+            self.log.insert(
+                slot,
+                SlotState {
+                    ballot,
+                    cmd: cmd.clone(),
+                    acks: HashSet::new(),
+                    committed: false,
+                },
+            );
+            actions.push(Action::send(
+                self.phase2_quorum(),
+                Message::MAccept { slot, ballot, cmd },
+            ));
+        }
+        // Drain commands buffered while there was no leader.
+        let pending = std::mem::take(&mut self.pending_forward);
+        for cmd in pending {
+            actions.extend(self.propose(cmd));
+        }
+        let _ = time;
+        actions
+    }
+}
+
+impl Protocol for FPaxos {
+    type Message = Message;
+
+    fn name() -> &'static str {
+        "fpaxos"
+    }
+
+    fn new(id: ProcessId, config: Config, topology: Topology) -> Self {
+        let leader = topology.leader.unwrap_or(1);
+        let n = config.n as Ballot;
+        // The initial leader's first ballot is the smallest ballot it owns.
+        let leader_ballot = (leader - 1) as Ballot % n;
+        Self {
+            id,
+            config,
+            topology,
+            ballot: leader_ballot,
+            leader_ballot,
+            log: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            next_slot: 1,
+            execute_next: 1,
+            suspected: HashSet::new(),
+            pending_forward: Vec::new(),
+            promises: HashMap::new(),
+            commit_times: HashMap::new(),
+            metrics: ProtocolMetrics::new(),
+        }
+    }
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
+        if self.is_leader() {
+            self.metrics.fast_paths += 1;
+            self.propose(cmd)
+        } else if self.suspected.contains(&self.current_leader()) {
+            // Leader change in progress: buffer until a new leader is known.
+            self.pending_forward.push(cmd);
+            Vec::new()
+        } else {
+            self.metrics.fast_paths += 1;
+            vec![Action::send([self.current_leader()], Message::MForward { cmd })]
+        }
+    }
+
+    fn message_size(msg: &Message) -> usize {
+        msg.size_bytes()
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: Message, time: Time) -> Vec<Action<Message>> {
+        match msg {
+            Message::MForward { cmd } => self.handle_forward(cmd),
+            Message::MAccept { slot, ballot, cmd } => self.handle_accept(from, slot, ballot, cmd),
+            Message::MAccepted { slot, ballot } => self.handle_accepted(from, slot, ballot, time),
+            Message::MCommit { slot, cmd } => self.handle_commit(slot, cmd, time),
+            Message::MPrepare { ballot } => self.handle_prepare(from, ballot),
+            Message::MPromise { ballot, accepted } => {
+                self.handle_promise(from, ballot, accepted, time)
+            }
+            Message::MNewLeader { ballot } => {
+                if ballot >= self.ballot {
+                    self.learn_leader(ballot)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn suspect(&mut self, suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
+        if suspected == self.id {
+            return Vec::new();
+        }
+        self.suspected.insert(suspected);
+        if suspected != self.current_leader() {
+            return Vec::new();
+        }
+        // The leader failed: the smallest-id surviving replica campaigns.
+        let successor = self
+            .topology
+            .processes
+            .iter()
+            .copied()
+            .filter(|p| !self.suspected.contains(p))
+            .min();
+        if successor == Some(self.id) {
+            self.campaign()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn metrics(&self) -> &ProtocolMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::Rifl;
+
+    struct Cluster {
+        replicas: Vec<FPaxos>,
+        executed: HashMap<ProcessId, Vec<Command>>,
+        crashed: HashSet<ProcessId>,
+    }
+
+    impl Cluster {
+        fn new(n: usize, f: usize, leader: ProcessId) -> Self {
+            let config = Config::new(n, f);
+            let replicas = (1..=n as ProcessId)
+                .map(|id| {
+                    let mut topology = Topology::identity(id, n);
+                    topology.leader = Some(leader);
+                    FPaxos::new(id, config, topology)
+                })
+                .collect();
+            Self {
+                replicas,
+                executed: HashMap::new(),
+                crashed: HashSet::new(),
+            }
+        }
+
+        fn replica(&mut self, id: ProcessId) -> &mut FPaxos {
+            &mut self.replicas[(id - 1) as usize]
+        }
+
+        fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
+            let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+            self.enqueue(source, actions, &mut queue);
+            while !queue.is_empty() {
+                let (from, to, msg) = queue.remove(0);
+                if self.crashed.contains(&from) || self.crashed.contains(&to) {
+                    continue;
+                }
+                let out = self.replica(to).handle(from, msg, 0);
+                self.enqueue(to, out, &mut queue);
+            }
+        }
+
+        fn enqueue(
+            &mut self,
+            source: ProcessId,
+            actions: Vec<Action<Message>>,
+            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
+        ) {
+            for action in actions {
+                match action {
+                    Action::Send { targets, msg } => {
+                        let mut targets = targets;
+                        targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                        for to in targets {
+                            queue.push((source, to, msg.clone()));
+                        }
+                    }
+                    Action::Execute { cmd, .. } => {
+                        self.executed.entry(source).or_default().push(cmd);
+                    }
+                    Action::Commit { .. } => {}
+                }
+            }
+        }
+
+        fn submit(&mut self, at: ProcessId, cmd: Command) {
+            let actions = self.replica(at).submit(cmd, 0);
+            self.run(at, actions);
+        }
+
+        fn crash(&mut self, id: ProcessId) {
+            self.crashed.insert(id);
+        }
+
+        fn suspect_everywhere(&mut self, suspected: ProcessId) {
+            for id in 1..=self.replicas.len() as ProcessId {
+                if self.crashed.contains(&id) {
+                    continue;
+                }
+                let actions = self.replica(id).suspect(suspected, 0);
+                self.run(id, actions);
+            }
+        }
+    }
+
+    fn put(client: u64, seq: u64, key: u64) -> Command {
+        Command::put(Rifl::new(client, seq), key, client, 100)
+    }
+
+    #[test]
+    fn leader_orders_commands_from_any_proxy() {
+        let mut cluster = Cluster::new(5, 1, 1);
+        cluster.submit(3, put(3, 1, 0));
+        cluster.submit(5, put(5, 1, 0));
+        cluster.submit(1, put(1, 1, 0));
+        for id in 1..=5u32 {
+            let executed = cluster.executed.get(&id).unwrap();
+            assert_eq!(executed.len(), 3, "process {id}");
+        }
+        // Same order everywhere.
+        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        for id in 2..=5u32 {
+            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            assert_eq!(order, reference);
+        }
+    }
+
+    #[test]
+    fn phase2_quorum_is_f_plus_one() {
+        let config = Config::new(5, 1);
+        assert_eq!(config.slow_quorum_size(), 2);
+        let config = Config::new(5, 2);
+        assert_eq!(config.slow_quorum_size(), 3);
+    }
+
+    #[test]
+    fn non_leader_forwards_to_leader() {
+        let mut cluster = Cluster::new(3, 1, 2);
+        let actions = cluster.replica(1).submit(put(1, 1, 0), 0);
+        match &actions[0] {
+            Action::Send { targets, msg } => {
+                assert_eq!(targets, &vec![2]);
+                assert!(matches!(msg, Message::MForward { .. }));
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leader_failover_elects_new_leader_and_continues() {
+        let mut cluster = Cluster::new(3, 1, 1);
+        cluster.submit(2, put(2, 1, 0));
+        // Crash the leader; the surviving replicas elect a new one.
+        cluster.crash(1);
+        cluster.suspect_everywhere(1);
+        assert!(cluster.replica(2).is_leader());
+        assert_eq!(cluster.replica(3).current_leader(), 2);
+        // New submissions still complete at the survivors.
+        cluster.submit(3, put(3, 1, 0));
+        cluster.submit(2, put(2, 2, 0));
+        assert_eq!(cluster.executed.get(&2).unwrap().len(), 3);
+        assert_eq!(cluster.executed.get(&3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn failover_preserves_previously_executed_commands() {
+        let mut cluster = Cluster::new(5, 2, 1);
+        for seq in 1..=5 {
+            cluster.submit(2, put(2, seq, 0));
+        }
+        cluster.crash(1);
+        cluster.suspect_everywhere(1);
+        cluster.submit(3, put(3, 1, 0));
+        // The five pre-crash commands plus the new one execute at survivors
+        // in the same order.
+        let reference: Vec<Rifl> = cluster.executed.get(&2).unwrap().iter().map(|c| c.rifl).collect();
+        assert_eq!(reference.len(), 6);
+        for id in 3..=5u32 {
+            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            assert_eq!(order, reference, "process {id}");
+        }
+    }
+
+    #[test]
+    fn commands_buffered_during_leader_change_are_not_lost() {
+        let mut cluster = Cluster::new(3, 1, 1);
+        cluster.crash(1);
+        // Replica 3 suspects the leader before a new one is elected and
+        // buffers its submission.
+        let actions = cluster.replica(3).suspect(1, 0);
+        cluster.run(3, actions);
+        let actions = cluster.replica(3).submit(put(3, 1, 0), 0);
+        assert!(actions.is_empty() || !cluster.executed.contains_key(&3));
+        cluster.run(3, actions);
+        // Once replica 2 campaigns and wins, new commands flow again.
+        cluster.suspect_everywhere(1);
+        cluster.submit(3, put(3, 2, 0));
+        let executed = cluster.executed.get(&3).unwrap();
+        assert!(!executed.is_empty());
+    }
+}

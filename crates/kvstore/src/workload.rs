@@ -1,0 +1,285 @@
+//! Workload generators driving the replicated key–value store.
+
+use crate::zipf::Zipfian;
+use atlas_core::{ClientId, Command, Key, Rifl};
+use rand::Rng;
+
+/// A source of commands for one closed-loop client.
+pub trait Workload {
+    /// Produces the next command for client `client`, with sequence number
+    /// `seq` (used to build the command's [`Rifl`]).
+    fn next_command(&mut self, client: ClientId, seq: u64, rng: &mut dyn rand::RngCore) -> Command;
+
+    /// Whether the produced commands are read-only sometimes (used by
+    /// experiments to report read/write ratios).
+    fn write_ratio(&self) -> f64;
+
+    /// Clones the workload into a fresh boxed instance (so a simulator can
+    /// stamp out one independent workload per client from a prototype
+    /// without re-paying expensive construction, e.g. the Zipfian zeta sum).
+    fn clone_box(&self) -> Box<dyn Workload>;
+}
+
+/// The §5.2 microbenchmark workload: single-key writes where a command picks
+/// the shared key 0 with probability `conflict_rate` and a key unique to the
+/// client otherwise. Commands carry `payload_size` bytes.
+#[derive(Debug, Clone)]
+pub struct ConflictWorkload {
+    /// Probability of choosing the shared (conflicting) key, in `[0, 1]`.
+    conflict_rate: f64,
+    /// Payload carried by every command, in bytes.
+    payload_size: usize,
+}
+
+impl ConflictWorkload {
+    /// Creates a workload with the given conflict rate (0.0–1.0) and payload
+    /// size in bytes.
+    pub fn new(conflict_rate: f64, payload_size: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&conflict_rate),
+            "conflict rate must be in [0,1], got {conflict_rate}"
+        );
+        Self {
+            conflict_rate,
+            payload_size,
+        }
+    }
+
+    /// The key unique to `client` (never key 0).
+    fn private_key(client: ClientId) -> Key {
+        // Shift by 1 so that client ids never collide with the shared key 0.
+        client + 1
+    }
+}
+
+impl Workload for ConflictWorkload {
+    fn next_command(&mut self, client: ClientId, seq: u64, rng: &mut dyn rand::RngCore) -> Command {
+        let conflicting = rng.gen::<f64>() < self.conflict_rate;
+        let key = if conflicting { 0 } else { Self::private_key(client) };
+        Command::put(Rifl::new(client, seq), key, seq, self.payload_size)
+    }
+
+    fn write_ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+}
+
+/// YCSB workload mixes used in §5.7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 20% reads / 80% writes ("update-heavy").
+    UpdateHeavy,
+    /// 50% reads / 50% writes ("balanced").
+    Balanced,
+    /// 80% reads / 20% writes ("read-heavy").
+    ReadHeavy,
+    /// 100% reads ("read-only").
+    ReadOnly,
+}
+
+impl YcsbMix {
+    /// The fraction of read operations in the mix.
+    pub fn read_fraction(&self) -> f64 {
+        match self {
+            YcsbMix::UpdateHeavy => 0.2,
+            YcsbMix::Balanced => 0.5,
+            YcsbMix::ReadHeavy => 0.8,
+            YcsbMix::ReadOnly => 1.0,
+        }
+    }
+
+    /// All four mixes, in the order Figure 9 reports them.
+    pub fn all() -> [YcsbMix; 4] {
+        [
+            YcsbMix::UpdateHeavy,
+            YcsbMix::Balanced,
+            YcsbMix::ReadHeavy,
+            YcsbMix::ReadOnly,
+        ]
+    }
+
+    /// The label used by the paper ("20%-80%" etc.).
+    pub fn label(&self) -> &'static str {
+        match self {
+            YcsbMix::UpdateHeavy => "20%-80%",
+            YcsbMix::Balanced => "50%-50%",
+            YcsbMix::ReadHeavy => "80%-20%",
+            YcsbMix::ReadOnly => "100%-0%",
+        }
+    }
+}
+
+/// A YCSB-style workload: single-key reads and writes over `records` keys
+/// selected with a scrambled Zipfian distribution (default YCSB skew).
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    zipf: Zipfian,
+    mix: YcsbMix,
+    payload_size: usize,
+}
+
+impl YcsbWorkload {
+    /// Number of records the paper's KVS holds.
+    pub const PAPER_RECORDS: u64 = 1_000_000;
+
+    /// Creates a YCSB workload over `records` keys with the given mix.
+    pub fn new(records: u64, mix: YcsbMix, payload_size: usize) -> Self {
+        Self {
+            zipf: Zipfian::scrambled(records),
+            mix,
+            payload_size,
+        }
+    }
+
+    /// Creates the workload with the paper's parameters (10⁶ records, 100 B
+    /// values).
+    pub fn paper(mix: YcsbMix) -> Self {
+        Self::new(Self::PAPER_RECORDS, mix, 100)
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> YcsbMix {
+        self.mix
+    }
+}
+
+impl Workload for YcsbWorkload {
+    fn next_command(&mut self, client: ClientId, seq: u64, rng: &mut dyn rand::RngCore) -> Command {
+        let key = self.zipf.next_key(&mut &mut *rng);
+        let rifl = Rifl::new(client, seq);
+        if rng.gen::<f64>() < self.mix.read_fraction() {
+            Command::get(rifl, key)
+        } else {
+            Command::put(rifl, key, seq, self.payload_size)
+        }
+    }
+
+    fn write_ratio(&self) -> f64 {
+        1.0 - self.mix.read_fraction()
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conflict_workload_respects_conflict_rate() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut workload = ConflictWorkload::new(0.1, 100);
+        let samples = 20_000;
+        let mut shared = 0usize;
+        for seq in 0..samples {
+            let cmd = workload.next_command(7, seq as u64, &mut rng);
+            if cmd.keys().any(|k| *k == 0) {
+                shared += 1;
+            }
+        }
+        let rate = shared as f64 / samples as f64;
+        assert!((rate - 0.1).abs() < 0.02, "observed conflict rate {rate}");
+    }
+
+    #[test]
+    fn conflict_workload_zero_and_full_rates() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut never = ConflictWorkload::new(0.0, 100);
+        let mut always = ConflictWorkload::new(1.0, 100);
+        for seq in 0..100 {
+            assert!(never.next_command(3, seq, &mut rng).keys().all(|k| *k != 0));
+            assert!(always.next_command(3, seq, &mut rng).keys().all(|k| *k == 0));
+        }
+    }
+
+    #[test]
+    fn conflict_workload_private_keys_differ_per_client() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut workload = ConflictWorkload::new(0.0, 100);
+        let a = workload.next_command(1, 1, &mut rng);
+        let b = workload.next_command(2, 1, &mut rng);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn conflict_commands_carry_payload_size() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut workload = ConflictWorkload::new(0.5, 3_000);
+        let cmd = workload.next_command(1, 1, &mut rng);
+        assert_eq!(cmd.payload_size, 3_000);
+        assert!(cmd.is_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict rate must be in")]
+    fn conflict_rate_out_of_range_is_rejected() {
+        let _ = ConflictWorkload::new(1.5, 100);
+    }
+
+    #[test]
+    fn ycsb_mix_read_fractions_match_labels() {
+        assert_eq!(YcsbMix::UpdateHeavy.read_fraction(), 0.2);
+        assert_eq!(YcsbMix::Balanced.read_fraction(), 0.5);
+        assert_eq!(YcsbMix::ReadHeavy.read_fraction(), 0.8);
+        assert_eq!(YcsbMix::ReadOnly.read_fraction(), 1.0);
+        assert_eq!(YcsbMix::all().len(), 4);
+        assert_eq!(YcsbMix::UpdateHeavy.label(), "20%-80%");
+    }
+
+    #[test]
+    fn ycsb_workload_respects_read_fraction() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut workload = YcsbWorkload::new(10_000, YcsbMix::ReadHeavy, 100);
+        let samples = 20_000;
+        let reads = (0..samples)
+            .filter(|seq| workload.next_command(1, *seq as u64, &mut rng).is_read_only())
+            .count();
+        let fraction = reads as f64 / samples as f64;
+        assert!((fraction - 0.8).abs() < 0.02, "observed read fraction {fraction}");
+        assert!((workload.write_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ycsb_read_only_mix_never_writes() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut workload = YcsbWorkload::new(1_000, YcsbMix::ReadOnly, 100);
+        for seq in 0..500 {
+            assert!(workload.next_command(2, seq, &mut rng).is_read_only());
+        }
+    }
+
+    #[test]
+    fn ycsb_keys_stay_within_record_count() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut workload = YcsbWorkload::new(1_000, YcsbMix::Balanced, 100);
+        for seq in 0..5_000 {
+            let cmd = workload.next_command(3, seq, &mut rng);
+            assert!(cmd.keys().all(|k| *k < 1_000));
+        }
+    }
+
+    #[test]
+    fn ycsb_access_pattern_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut workload = YcsbWorkload::new(100_000, YcsbMix::Balanced, 100);
+        let samples = 30_000usize;
+        let mut counts: std::collections::HashMap<Key, usize> = Default::default();
+        for seq in 0..samples {
+            let cmd = workload.next_command(4, seq as u64, &mut rng);
+            for key in cmd.keys() {
+                *counts.entry(*key).or_insert(0) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap();
+        // The hottest key receives far more than a uniform share.
+        assert!(max > samples / 1_000);
+    }
+}

@@ -1,0 +1,257 @@
+//! Analysis of a ping campaign: simultaneous link-failure counting (the
+//! Figure 3 series) and the minimum-cover computation of the failure bound
+//! `f` (§5.1).
+
+use crate::trace::{LinkOutage, PingCampaign, Second};
+use atlas_core::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A period during which at least one link failure is observed, together
+/// with the maximum number of simultaneous link failures during the period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// First second of the period.
+    pub start: Second,
+    /// Last second of the period (inclusive).
+    pub end: Second,
+    /// Maximum number of simultaneously failed links during the period.
+    pub max_simultaneous_links: usize,
+    /// The links involved, as (site, site) pairs.
+    pub links: Vec<(ProcessId, ProcessId)>,
+}
+
+/// The link failures a detector with `threshold_s` would report.
+pub fn link_failures(campaign: &PingCampaign, threshold_s: f64) -> Vec<LinkOutage> {
+    campaign.detected(threshold_s)
+}
+
+/// The maximum number of simultaneously failed links at any point for the
+/// given threshold — the peak of the corresponding Figure 3 series.
+pub fn max_simultaneous(campaign: &PingCampaign, threshold_s: f64) -> usize {
+    let outages = campaign.detected(threshold_s);
+    sweep_events(&outages)
+        .iter()
+        .map(|e| e.max_simultaneous_links)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Groups detected link failures into maximal overlapping periods.
+pub fn failure_events(campaign: &PingCampaign, threshold_s: f64) -> Vec<FailureEvent> {
+    sweep_events(&campaign.detected(threshold_s))
+}
+
+fn sweep_events(outages: &[LinkOutage]) -> Vec<FailureEvent> {
+    if outages.is_empty() {
+        return Vec::new();
+    }
+    // Sweep over start/end points, merging overlapping outages into events.
+    let mut sorted: Vec<&LinkOutage> = outages.iter().collect();
+    sorted.sort_by_key(|o| (o.start, o.end));
+    let mut events: Vec<FailureEvent> = Vec::new();
+    let mut current: Vec<&LinkOutage> = Vec::new();
+    let mut current_end: Second = 0;
+    for outage in sorted {
+        if current.is_empty() || outage.start <= current_end {
+            current_end = current_end.max(outage.end);
+            current.push(outage);
+        } else {
+            events.push(build_event(&current));
+            current = vec![outage];
+            current_end = outage.end;
+        }
+    }
+    events.push(build_event(&current));
+    events
+}
+
+fn build_event(outages: &[&LinkOutage]) -> FailureEvent {
+    let start = outages.iter().map(|o| o.start).min().expect("non-empty");
+    let end = outages.iter().map(|o| o.end).max().expect("non-empty");
+    // Maximum simultaneous links: sweep over the boundaries of the event.
+    let mut boundaries: BTreeSet<Second> = BTreeSet::new();
+    for o in outages {
+        boundaries.insert(o.start);
+        boundaries.insert(o.end);
+    }
+    let max_simultaneous_links = boundaries
+        .iter()
+        .map(|&t| outages.iter().filter(|o| o.start <= t && t <= o.end).count())
+        .max()
+        .unwrap_or(0);
+    let links = outages
+        .iter()
+        .map(|o| (o.a.min(o.b), o.a.max(o.b)))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    FailureEvent {
+        start,
+        end,
+        max_simultaneous_links,
+        links,
+    }
+}
+
+/// The paper's failure bound: the smallest number of sites `k` such that, at
+/// every point of the campaign, crashing `k` sites would cover (explain) all
+/// simultaneously failed links — a minimum vertex cover per instant,
+/// maximized over time.
+///
+/// The number of slow links at any instant is small (at most a dozen), so an
+/// exact exponential-in-the-cover-size search is affordable.
+pub fn min_cover_f(campaign: &PingCampaign, threshold_s: f64) -> usize {
+    let outages = campaign.detected(threshold_s);
+    if outages.is_empty() {
+        return 0;
+    }
+    // Evaluate the cover at every outage boundary.
+    let mut boundaries: BTreeSet<Second> = BTreeSet::new();
+    for o in &outages {
+        boundaries.insert(o.start);
+        boundaries.insert(o.end);
+    }
+    let mut worst = 0;
+    for &t in &boundaries {
+        let active: Vec<(ProcessId, ProcessId)> = outages
+            .iter()
+            .filter(|o| o.start <= t && t <= o.end)
+            .map(|o| (o.a, o.b))
+            .collect();
+        worst = worst.max(min_vertex_cover(&active));
+    }
+    worst
+}
+
+/// Exact minimum vertex cover of a small graph given as an edge list.
+fn min_vertex_cover(edges: &[(ProcessId, ProcessId)]) -> usize {
+    if edges.is_empty() {
+        return 0;
+    }
+    let vertices: Vec<ProcessId> = edges
+        .iter()
+        .flat_map(|(a, b)| [*a, *b])
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    // Try cover sizes from 1 upward; the instance sizes here are tiny
+    // (≤ ~14 vertices), so subset enumeration is fine.
+    for size in 1..=vertices.len() {
+        if cover_exists(edges, &vertices, size, 0, &mut Vec::new()) {
+            return size;
+        }
+    }
+    vertices.len()
+}
+
+fn cover_exists(
+    edges: &[(ProcessId, ProcessId)],
+    vertices: &[ProcessId],
+    size: usize,
+    from: usize,
+    chosen: &mut Vec<ProcessId>,
+) -> bool {
+    if chosen.len() == size {
+        return edges
+            .iter()
+            .all(|(a, b)| chosen.contains(a) || chosen.contains(b));
+    }
+    for i in from..vertices.len() {
+        chosen.push(vertices[i]);
+        if cover_exists(edges, vertices, size, i + 1, chosen) {
+            chosen.pop();
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CampaignParams;
+
+    fn campaign() -> PingCampaign {
+        PingCampaign::generate(&CampaignParams::paper_like())
+    }
+
+    #[test]
+    fn f_is_at_most_one_for_the_paper_shaped_campaign() {
+        // The paper's §5.1 conclusion: even with the most aggressive 3 s
+        // threshold, all simultaneous slow links are incident to one site,
+        // so f ≤ 1 holds for the whole campaign.
+        let campaign = campaign();
+        for threshold in [3.0, 5.0, 10.0] {
+            assert!(
+                min_cover_f(&campaign, threshold) <= 1,
+                "threshold {threshold}s requires more than one site to explain"
+            );
+        }
+    }
+
+    #[test]
+    fn ten_second_threshold_sees_almost_nothing() {
+        let campaign = campaign();
+        assert_eq!(max_simultaneous(&campaign, 10.0), 0);
+        assert_eq!(min_cover_f(&campaign, 10.0), 0);
+    }
+
+    #[test]
+    fn three_second_threshold_sees_the_two_events() {
+        let campaign = campaign();
+        // The QC event involves 5 links, the TW event 7 — the peak of the 3 s
+        // series must reach 7 simultaneous link failures (like the paper's
+        // Figure 3 peaks at 7 for TW).
+        assert_eq!(max_simultaneous(&campaign, 3.0), 7);
+        let events = failure_events(&campaign, 6.0);
+        // At a 6 s threshold only the QC (8 s) and TW (6 s) events survive.
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn min_vertex_cover_handles_stars_and_matchings() {
+        // A star: all edges share vertex 1 -> cover of size 1.
+        assert_eq!(min_vertex_cover(&[(1, 2), (1, 3), (1, 4)]), 1);
+        // A matching of two disjoint edges -> cover of size 2.
+        assert_eq!(min_vertex_cover(&[(1, 2), (3, 4)]), 2);
+        // A triangle -> cover of size 2.
+        assert_eq!(min_vertex_cover(&[(1, 2), (2, 3), (1, 3)]), 2);
+        // No edges -> 0.
+        assert_eq!(min_vertex_cover(&[]), 0);
+    }
+
+    #[test]
+    fn concurrent_outages_at_two_sites_need_f_two() {
+        // Sanity check of the analysis itself: if two multi-link events
+        // overlap in time and touch different sites, f must be 2.
+        let mut campaign = campaign();
+        campaign.outages.push(crate::trace::LinkOutage {
+            a: 11,
+            b: 12,
+            start: 2 * campaign.duration_s / 3,
+            end: 2 * campaign.duration_s / 3 + 300,
+            delay_s: 8.0,
+        });
+        campaign.outages.push(crate::trace::LinkOutage {
+            a: 11,
+            b: 13,
+            start: 2 * campaign.duration_s / 3,
+            end: 2 * campaign.duration_s / 3 + 300,
+            delay_s: 8.0,
+        });
+        assert_eq!(min_cover_f(&campaign, 3.0), 2);
+    }
+
+    #[test]
+    fn events_merge_overlapping_outages() {
+        let events = failure_events(&campaign(), 3.0);
+        assert!(!events.is_empty());
+        for event in &events {
+            assert!(event.start <= event.end);
+            assert!(event.max_simultaneous_links >= 1);
+            assert!(!event.links.is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # linkfail
+//!
+//! Reproduction of the paper's §5.1 study ("Bounds on Failures"): a 3-month
+//! ping campaign among 17 GCP sites, used to decide how many concurrent site
+//! failures (`f`) a planet-scale deployment must tolerate.
+//!
+//! The original study pings every pair of sites once per second and declares
+//! a *link failure* when a reply takes longer than a timeout threshold (3 s,
+//! 5 s or 10 s). Figure 3 plots the number of simultaneous link failures over
+//! time for each threshold; the paper then computes `f` as the smallest
+//! number of sites whose crash would explain all simultaneous slow links and
+//! finds `f ≤ 1` for the whole campaign.
+//!
+//! Since the original ping logs are not public, [`trace`] generates a
+//! synthetic campaign with the same structure the paper reports (two
+//! noticeable events — a few hours of slow links incident to one site in
+//! November and about two minutes incident to another in December — plus
+//! sporadic isolated glitches), and [`analysis`] implements the exact
+//! analysis pipeline: thresholding, counting simultaneous failures, and the
+//! minimum-vertex-cover computation of `f`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod trace;
+
+pub use analysis::{link_failures, max_simultaneous, min_cover_f, FailureEvent};
+pub use trace::{CampaignParams, LinkOutage, PingCampaign};

@@ -1,0 +1,383 @@
+//! # mencius
+//!
+//! Baseline: **Mencius** (OSDI 2008) — a multi-leader SMR protocol that
+//! pre-partitions the slots of a totally ordered log round-robin among the
+//! replicas: replica `i` owns slots `i, i+n, i+2n, …`.
+//!
+//! A replica orders a command by placing it in its next owned slot and
+//! broadcasting it. Other replicas acknowledge the proposal and *skip* their
+//! own owned slots that precede it (broadcasting the skip so everyone's log
+//! stays gap-free). A slot is decided once **all** replicas acknowledged it —
+//! which is why, as the paper's evaluation observes (§5.4), Mencius runs at
+//! the speed of its slowest (farthest) replica. Execution follows slot order.
+//!
+//! Failure handling in Mencius requires revoking the slots of a crashed
+//! replica; none of the reproduced experiments exercise it, so
+//! [`Mencius::suspect`] is a no-op (documented in `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atlas_core::protocol::Time;
+use atlas_core::{
+    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Log slot index (1-based). Slot `s` is owned by process `((s − 1) mod n) + 1`.
+pub type Slot = u64;
+
+/// Wire messages of the Mencius protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Slot owner → all: order `cmd` at `slot`.
+    MPropose {
+        /// The slot, owned by the sender.
+        slot: Slot,
+        /// The command.
+        cmd: Command,
+    },
+    /// Replica → proposer: acknowledged.
+    MProposeAck {
+        /// The acknowledged slot.
+        slot: Slot,
+    },
+    /// Replica → all: the sender will never use these owned slots.
+    MSkip {
+        /// The skipped slots.
+        slots: Vec<Slot>,
+    },
+    /// Proposer → all: `slot` is decided (all replicas acknowledged).
+    MCommit {
+        /// The decided slot.
+        slot: Slot,
+        /// The decided command.
+        cmd: Command,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes, used by the simulator's CPU model.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER: usize = 32;
+        match self {
+            Message::MPropose { cmd, .. } | Message::MCommit { cmd, .. } => HEADER + cmd.payload_size,
+            Message::MProposeAck { .. } => HEADER,
+            Message::MSkip { slots } => HEADER + 8 * slots.len(),
+        }
+    }
+}
+
+/// A Mencius replica.
+#[derive(Debug)]
+pub struct Mencius {
+    id: ProcessId,
+    config: Config,
+    /// Next owned slot this replica will assign to a command.
+    next_owned: Slot,
+    /// Proposals this replica is waiting to have acknowledged: slot →
+    /// (command, acks received).
+    proposals: HashMap<Slot, (Command, HashSet<ProcessId>)>,
+    /// Decided slots (committed commands and skips).
+    decided: BTreeMap<Slot, Option<Command>>,
+    /// Next slot to execute.
+    execute_next: Slot,
+    /// Commit times per slot, for commit→execute metrics.
+    commit_times: HashMap<Slot, Time>,
+    metrics: ProtocolMetrics,
+}
+
+impl Mencius {
+    /// The owner of `slot`.
+    fn owner(&self, slot: Slot) -> ProcessId {
+        (((slot - 1) % self.config.n as Slot) + 1) as ProcessId
+    }
+
+    /// First owned slot of this replica.
+    fn first_owned(&self) -> Slot {
+        self.id as Slot
+    }
+
+    /// Skips every owned slot smaller than `up_to` that has not been used,
+    /// returning the actions that announce the skips.
+    fn skip_owned_below(&mut self, up_to: Slot) -> Vec<Action<Message>> {
+        let n = self.config.n as Slot;
+        let mut skipped = Vec::new();
+        while self.next_owned < up_to {
+            skipped.push(self.next_owned);
+            self.next_owned += n;
+        }
+        if skipped.is_empty() {
+            Vec::new()
+        } else {
+            vec![Action::broadcast(self.config.n, Message::MSkip { slots: skipped })]
+        }
+    }
+
+    /// Executes decided slots in order, stopping at the first undecided slot.
+    fn try_execute(&mut self, time: Time) -> Vec<Action<Message>> {
+        let mut actions = Vec::new();
+        while let Some(entry) = self.decided.get(&self.execute_next).cloned() {
+            let slot = self.execute_next;
+            self.execute_next += 1;
+            if let Some(cmd) = entry {
+                self.metrics.executions += 1;
+                if let Some(commit_time) = self.commit_times.remove(&slot) {
+                    self.metrics
+                        .commit_to_execute
+                        .record(time.saturating_sub(commit_time));
+                }
+                if !cmd.is_noop() {
+                    let dot = Dot::new(self.owner(slot), slot);
+                    actions.push(Action::Execute { dot, cmd });
+                }
+            }
+        }
+        actions
+    }
+
+    fn handle_propose(&mut self, from: ProcessId, slot: Slot, cmd: Command) -> Vec<Action<Message>> {
+        debug_assert_eq!(self.owner(slot), from, "slot proposed by a non-owner");
+        // Seeing a proposal for `slot` means every smaller owned slot of ours
+        // that is still unused will never be needed before it: skip them so
+        // the log has no gaps.
+        let mut actions = self.skip_owned_below(slot);
+        actions.push(Action::send([from], Message::MProposeAck { slot }));
+        // Remember the payload so the commit does not need to carry it again
+        // (it still does, for simplicity).
+        let _ = cmd;
+        actions
+    }
+
+    fn handle_propose_ack(&mut self, from: ProcessId, slot: Slot, time: Time) -> Vec<Action<Message>> {
+        let n = self.config.n;
+        let Some((_, acks)) = self.proposals.get_mut(&slot) else {
+            return Vec::new();
+        };
+        acks.insert(from);
+        if acks.len() < n {
+            // Mencius needs an acknowledgement from every replica.
+            return Vec::new();
+        }
+        let (cmd, _) = self.proposals.remove(&slot).expect("proposal exists");
+        self.metrics.fast_paths += 1;
+        let mut actions = vec![Action::broadcast(n, Message::MCommit { slot, cmd })];
+        actions.extend(self.try_execute(time));
+        actions
+    }
+
+    fn handle_skip(&mut self, slots: Vec<Slot>, time: Time) -> Vec<Action<Message>> {
+        for slot in slots {
+            self.decided.entry(slot).or_insert(None);
+        }
+        self.try_execute(time)
+    }
+
+    fn handle_commit(&mut self, slot: Slot, cmd: Command, time: Time) -> Vec<Action<Message>> {
+        if matches!(self.decided.get(&slot), Some(Some(_))) {
+            return Vec::new();
+        }
+        self.decided.insert(slot, Some(cmd));
+        self.metrics.commits += 1;
+        self.commit_times.insert(slot, time);
+        self.try_execute(time)
+    }
+}
+
+impl Protocol for Mencius {
+    type Message = Message;
+
+    fn name() -> &'static str {
+        "mencius"
+    }
+
+    fn new(id: ProcessId, config: Config, _topology: Topology) -> Self {
+        let mut mencius = Self {
+            id,
+            config,
+            next_owned: 0,
+            proposals: HashMap::new(),
+            decided: BTreeMap::new(),
+            execute_next: 1,
+            commit_times: HashMap::new(),
+            metrics: ProtocolMetrics::new(),
+        };
+        mencius.next_owned = mencius.first_owned();
+        mencius
+    }
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
+        let slot = self.next_owned;
+        self.next_owned += self.config.n as Slot;
+        self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
+        vec![Action::broadcast(self.config.n, Message::MPropose { slot, cmd })]
+    }
+
+    fn message_size(msg: &Message) -> usize {
+        msg.size_bytes()
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: Message, time: Time) -> Vec<Action<Message>> {
+        match msg {
+            Message::MPropose { slot, cmd } => self.handle_propose(from, slot, cmd),
+            Message::MProposeAck { slot } => self.handle_propose_ack(from, slot, time),
+            Message::MSkip { slots } => self.handle_skip(slots, time),
+            Message::MCommit { slot, cmd } => self.handle_commit(slot, cmd, time),
+        }
+    }
+
+    fn metrics(&self) -> &ProtocolMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::Rifl;
+
+    struct Cluster {
+        replicas: Vec<Mencius>,
+        executed: HashMap<ProcessId, Vec<Command>>,
+    }
+
+    impl Cluster {
+        fn new(n: usize) -> Self {
+            let config = Config::new(n, 1);
+            let replicas = (1..=n as ProcessId)
+                .map(|id| Mencius::new(id, config, Topology::identity(id, n)))
+                .collect();
+            Self {
+                replicas,
+                executed: HashMap::new(),
+            }
+        }
+
+        fn replica(&mut self, id: ProcessId) -> &mut Mencius {
+            &mut self.replicas[(id - 1) as usize]
+        }
+
+        fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
+            let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+            self.enqueue(source, actions, &mut queue);
+            while !queue.is_empty() {
+                let (from, to, msg) = queue.remove(0);
+                let out = self.replica(to).handle(from, msg, 0);
+                self.enqueue(to, out, &mut queue);
+            }
+        }
+
+        fn enqueue(
+            &mut self,
+            source: ProcessId,
+            actions: Vec<Action<Message>>,
+            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
+        ) {
+            for action in actions {
+                match action {
+                    Action::Send { targets, msg } => {
+                        let mut targets = targets;
+                        targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                        for to in targets {
+                            queue.push((source, to, msg.clone()));
+                        }
+                    }
+                    Action::Execute { cmd, .. } => {
+                        self.executed.entry(source).or_default().push(cmd);
+                    }
+                    Action::Commit { .. } => {}
+                }
+            }
+        }
+
+        fn submit(&mut self, at: ProcessId, cmd: Command) {
+            let actions = self.replica(at).submit(cmd, 0);
+            self.run(at, actions);
+        }
+    }
+
+    fn put(client: u64, seq: u64, key: u64) -> Command {
+        Command::put(Rifl::new(client, seq), key, client, 100)
+    }
+
+    #[test]
+    fn slot_ownership_is_round_robin() {
+        let m = Mencius::new(2, Config::new(5, 1), Topology::identity(2, 5));
+        assert_eq!(m.first_owned(), 2);
+        assert_eq!(m.owner(1), 1);
+        assert_eq!(m.owner(2), 2);
+        assert_eq!(m.owner(5), 5);
+        assert_eq!(m.owner(6), 1);
+        assert_eq!(m.owner(7), 2);
+    }
+
+    #[test]
+    fn single_command_executes_everywhere() {
+        let mut cluster = Cluster::new(3);
+        cluster.submit(2, put(2, 1, 0));
+        for id in 1..=3u32 {
+            assert_eq!(cluster.executed.get(&id).map(Vec::len).unwrap_or(0), 1, "process {id}");
+        }
+    }
+
+    #[test]
+    fn skips_keep_logs_gap_free() {
+        // A command from replica 3 lands in slot 3; replicas 1 and 2 must
+        // skip their unused slots 1 and 2 so execution can proceed.
+        let mut cluster = Cluster::new(3);
+        cluster.submit(3, put(3, 1, 0));
+        for id in 1..=3u32 {
+            assert_eq!(cluster.executed.get(&id).map(Vec::len).unwrap_or(0), 1);
+        }
+        // Replica 1's own next command lands in a slot after 3.
+        cluster.submit(1, put(1, 1, 0));
+        for id in 1..=3u32 {
+            assert_eq!(cluster.executed.get(&id).map(Vec::len).unwrap_or(0), 2);
+        }
+    }
+
+    #[test]
+    fn commands_execute_in_same_order_everywhere() {
+        let mut cluster = Cluster::new(5);
+        for seq in 1..=4u64 {
+            for source in 1..=5u32 {
+                cluster.submit(source, put(source as u64, seq, 0));
+            }
+        }
+        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        assert_eq!(reference.len(), 20);
+        for id in 2..=5u32 {
+            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            assert_eq!(order, reference, "process {id}");
+        }
+    }
+
+    #[test]
+    fn interleaved_submissions_preserve_slot_order() {
+        let mut cluster = Cluster::new(3);
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(3, put(3, 1, 0));
+        cluster.submit(2, put(2, 1, 0));
+        cluster.submit(1, put(1, 2, 0));
+        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        assert_eq!(reference.len(), 4);
+        for id in 2..=3u32 {
+            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            assert_eq!(order, reference);
+        }
+    }
+
+    #[test]
+    fn metrics_count_commits_and_executions() {
+        let mut cluster = Cluster::new(3);
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(2, put(2, 1, 0));
+        let m = cluster.replicas[0].metrics();
+        assert_eq!(m.commits, 2);
+        assert_eq!(m.executions, 2);
+    }
+}

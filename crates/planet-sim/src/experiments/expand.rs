@@ -1,0 +1,162 @@
+//! Figure 6: latency penalty (with respect to the optimal leaderless
+//! latency) when the service expands from 3 to 13 sites with 128 clients
+//! *per site*, i.e. the load grows with the deployment (§5.4, "expanding the
+//! service").
+
+use crate::optimal::optimal_latency_colocated_ms;
+use crate::region::Region;
+use crate::runner::{run, ProtocolKind};
+use crate::sim::SimConfig;
+use crate::workload::WorkloadSpec;
+use atlas_core::protocol::Time;
+use atlas_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the expansion experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Deployment sizes to evaluate.
+    pub site_counts: Vec<usize>,
+    /// Clients per site (the paper uses 128).
+    pub clients_per_site: usize,
+    /// Conflict rate (the paper uses 1%).
+    pub conflict_rate: f64,
+    /// Command payload in bytes (the paper uses 3 KB).
+    pub payload: usize,
+    /// Simulated duration per point, µs.
+    pub duration: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Self {
+            site_counts: vec![3, 5, 7, 9, 11, 13],
+            clients_per_site: 128,
+            conflict_rate: 0.01,
+            payload: 3_000,
+            duration: 30_000_000,
+            seed: 6,
+        }
+    }
+
+    /// Scaled-down parameters.
+    pub fn quick() -> Self {
+        Self {
+            site_counts: vec![3, 7, 13],
+            clients_per_site: 16,
+            duration: 10_000_000,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One point of Figure 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Number of sites (and therefore clients = 128 × sites).
+    pub sites: usize,
+    /// Protocol label.
+    pub protocol: String,
+    /// Mean latency, ms.
+    pub latency_ms: f64,
+    /// Optimal latency for this deployment, ms.
+    pub optimal_ms: f64,
+    /// Latency penalty: `latency / optimal` (the figure's y axis).
+    pub penalty: f64,
+}
+
+/// Runs the experiment.
+pub fn run_experiment(params: &Params) -> Vec<Point> {
+    let protocols = [
+        (ProtocolKind::FPaxos, 1usize),
+        (ProtocolKind::FPaxos, 2),
+        (ProtocolKind::Mencius, 1),
+        (ProtocolKind::EPaxos, 1),
+        (ProtocolKind::Atlas, 1),
+        (ProtocolKind::Atlas, 2),
+    ];
+    let mut points = Vec::new();
+    for &n in &params.site_counts {
+        let sites = Region::deployment(n);
+        let optimal_ms = optimal_latency_colocated_ms(&sites);
+        for (kind, f) in protocols {
+            if f > (n - 1) / 2 {
+                continue;
+            }
+            let cfg = SimConfig::new(
+                Config::new(n, f),
+                sites.clone(),
+                params.clients_per_site,
+                WorkloadSpec::Conflict {
+                    rate: params.conflict_rate,
+                    payload: params.payload,
+                },
+            )
+            .with_duration(params.duration)
+            .with_seed(params.seed);
+            let report = run(kind, cfg);
+            let latency_ms = report.mean_latency_ms();
+            points.push(Point {
+                sites: n,
+                protocol: kind.label(f),
+                latency_ms,
+                optimal_ms,
+                penalty: latency_ms / optimal_ms,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            site_counts: vec![3, 7],
+            clients_per_site: 4,
+            conflict_rate: 0.01,
+            payload: 3_000,
+            duration: 6_000_000,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn atlas_penalty_stays_low_as_the_system_grows() {
+        let points = run_experiment(&tiny());
+        for p in points.iter().filter(|p| p.protocol == "Atlas f=1") {
+            assert!(p.penalty >= 0.9, "penalty below the optimum at {} sites", p.sites);
+            assert!(
+                p.penalty < 2.0,
+                "Atlas f=1 penalty {} too high at {} sites",
+                p.penalty,
+                p.sites
+            );
+        }
+    }
+
+    #[test]
+    fn leader_based_penalty_exceeds_atlas() {
+        let points = run_experiment(&tiny());
+        let get = |proto: &str, sites: usize| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.sites == sites)
+                .map(|p| p.penalty)
+                .unwrap()
+        };
+        // At this tiny load the FPaxos leader is not yet a bottleneck (the
+        // full Figure 6 run with 128 clients/site exercises that), so the
+        // quick check compares against the protocols whose penalty is
+        // structural: Mencius (speed of the slowest replica) and EPaxos
+        // (large fast quorums), plus FPaxos with the higher fault tolerance.
+        assert!(get("Mencius", 7) > get("Atlas f=1", 7));
+        assert!(get("EPaxos", 7) > get("Atlas f=1", 7));
+        assert!(get("FPaxos f=2", 7) > get("Atlas f=2", 7));
+    }
+}

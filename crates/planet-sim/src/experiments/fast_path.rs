@@ -1,0 +1,140 @@
+//! Figure 4: ratio of fast-path commits as a function of the conflict rate,
+//! for Atlas (f = 1, 2, 3) and EPaxos (f = 2, 3).
+//!
+//! The system has 3 sites when f = 1, 5 sites when f = 2 and 7 sites when
+//! f = 3, with a single client per site (§5.3).
+
+use crate::region::Region;
+use crate::runner::{run, ProtocolKind};
+use crate::sim::SimConfig;
+use crate::workload::WorkloadSpec;
+use atlas_core::protocol::Time;
+use atlas_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the fast-path-likelihood experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Conflict rates to sweep (fractions in `[0, 1]`).
+    pub conflict_rates: Vec<f64>,
+    /// Clients per site (the paper uses 1).
+    pub clients_per_site: usize,
+    /// Simulated duration per point, in µs.
+    pub duration: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's parameters (Figure 4).
+    pub fn paper() -> Self {
+        Self {
+            conflict_rates: vec![0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+            clients_per_site: 1,
+            duration: 60_000_000,
+            seed: 4,
+        }
+    }
+
+    /// A scaled-down variant for tests and quick runs.
+    pub fn quick() -> Self {
+        Self {
+            duration: 8_000_000,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One point of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Protocol label ("Atlas f=2", "EPaxos f=3", …).
+    pub protocol: String,
+    /// Allowed failures `f` for this configuration.
+    pub f: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Conflict rate as a percentage.
+    pub conflict_pct: f64,
+    /// Percentage of commands committed on the fast path.
+    pub fast_path_pct: f64,
+}
+
+/// Runs the experiment and returns one point per (protocol, conflict rate).
+pub fn run_experiment(params: &Params) -> Vec<Point> {
+    // (protocol, f, n) combinations shown in Figure 4.
+    let combos = [
+        (ProtocolKind::Atlas, 1usize, 3usize),
+        (ProtocolKind::Atlas, 2, 5),
+        (ProtocolKind::Atlas, 3, 7),
+        (ProtocolKind::EPaxos, 2, 5),
+        (ProtocolKind::EPaxos, 3, 7),
+    ];
+    let mut points = Vec::new();
+    for (kind, f, n) in combos {
+        for &rate in &params.conflict_rates {
+            let cfg = SimConfig::new(
+                Config::new(n, f),
+                Region::deployment(n),
+                params.clients_per_site,
+                WorkloadSpec::Conflict {
+                    rate,
+                    payload: 100,
+                },
+            )
+            .with_duration(params.duration)
+            .with_seed(params.seed);
+            let report = run(kind, cfg);
+            let fast_path_pct = report.fast_path_ratio().unwrap_or(0.0) * 100.0;
+            points.push(Point {
+                protocol: kind.label(f),
+                f,
+                sites: n,
+                conflict_pct: rate * 100.0,
+                fast_path_pct,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            conflict_rates: vec![0.0, 1.0],
+            clients_per_site: 1,
+            duration: 3_000_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn atlas_f1_always_on_fast_path() {
+        let points = run_experiment(&tiny());
+        for p in points.iter().filter(|p| p.protocol == "Atlas f=1") {
+            assert!(
+                (p.fast_path_pct - 100.0).abs() < 1e-9,
+                "Atlas f=1 must always take the fast path, got {}%",
+                p.fast_path_pct
+            );
+        }
+    }
+
+    #[test]
+    fn atlas_beats_epaxos_under_full_conflicts() {
+        let points = run_experiment(&tiny());
+        let get = |proto: &str, conflict: f64| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && (p.conflict_pct - conflict).abs() < 1e-9)
+                .map(|p| p.fast_path_pct)
+                .unwrap()
+        };
+        // With every command conflicting, EPaxos almost never matches replies
+        // while Atlas f=2 still takes the fast path for a sizable share.
+        assert!(get("Atlas f=2", 100.0) > get("EPaxos", 100.0));
+    }
+}

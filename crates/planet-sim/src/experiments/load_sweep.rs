@@ -1,0 +1,144 @@
+//! Figure 7: throughput vs latency at 5 sites when the number of clients per
+//! site grows from 8 to 512, under a moderate (10%) and a high (100%)
+//! conflict rate (§5.5).
+
+use crate::region::Region;
+use crate::runner::{run, ProtocolKind};
+use crate::sim::SimConfig;
+use crate::workload::WorkloadSpec;
+use atlas_core::protocol::Time;
+use atlas_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the load/conflict sweep.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Clients per site, for each load level.
+    pub clients_per_site: Vec<usize>,
+    /// Conflict rates to evaluate (the paper uses 10% and 100%).
+    pub conflict_rates: Vec<f64>,
+    /// Command payload in bytes (the paper uses 3 KB).
+    pub payload: usize,
+    /// Simulated duration per point, µs.
+    pub duration: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Self {
+            clients_per_site: vec![8, 16, 32, 64, 128, 256, 512],
+            conflict_rates: vec![0.1, 1.0],
+            payload: 3_000,
+            duration: 20_000_000,
+            seed: 7,
+        }
+    }
+
+    /// Scaled-down parameters.
+    pub fn quick() -> Self {
+        Self {
+            clients_per_site: vec![8, 32, 128],
+            duration: 8_000_000,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One point of Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Conflict rate, percent.
+    pub conflict_pct: f64,
+    /// Protocol label.
+    pub protocol: String,
+    /// Clients per site at this load level.
+    pub clients_per_site: usize,
+    /// Aggregate throughput, operations per second.
+    pub throughput_ops: f64,
+    /// Mean client-perceived latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Runs the sweep over loads and conflict rates for the Figure 7 protocols.
+pub fn run_experiment(params: &Params) -> Vec<Point> {
+    let protocols = [
+        (ProtocolKind::FPaxos, 1usize),
+        (ProtocolKind::EPaxos, 2),
+        (ProtocolKind::Atlas, 1),
+        (ProtocolKind::Atlas, 2),
+    ];
+    let n = 5;
+    let sites = Region::deployment(n);
+    let mut points = Vec::new();
+    for &rate in &params.conflict_rates {
+        for (kind, f) in protocols {
+            for &clients in &params.clients_per_site {
+                let cfg = SimConfig::new(
+                    Config::new(n, f),
+                    sites.clone(),
+                    clients,
+                    WorkloadSpec::Conflict {
+                        rate,
+                        payload: params.payload,
+                    },
+                )
+                .with_duration(params.duration)
+                .with_seed(params.seed);
+                let report = run(kind, cfg);
+                points.push(Point {
+                    conflict_pct: rate * 100.0,
+                    protocol: kind.label(f),
+                    clients_per_site: clients,
+                    throughput_ops: report.throughput_ops(),
+                    latency_ms: report.mean_latency_ms(),
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            clients_per_site: vec![4, 32],
+            conflict_rates: vec![0.1],
+            payload: 3_000,
+            duration: 5_000_000,
+            seed: 8,
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_the_number_of_clients() {
+        let points = run_experiment(&tiny());
+        let get = |proto: &str, clients: usize| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.clients_per_site == clients)
+                .map(|p| p.throughput_ops)
+                .unwrap()
+        };
+        assert!(get("Atlas f=1", 32) > get("Atlas f=1", 4));
+        assert!(get("FPaxos f=1", 32) > get("FPaxos f=1", 4));
+    }
+
+    #[test]
+    fn atlas_latency_beats_fpaxos_under_moderate_conflicts() {
+        let points = run_experiment(&tiny());
+        let get = |proto: &str, clients: usize| {
+            points
+                .iter()
+                .find(|p| p.protocol == proto && p.clients_per_site == clients)
+                .map(|p| p.latency_ms)
+                .unwrap()
+        };
+        assert!(get("Atlas f=1", 32) < get("FPaxos f=1", 32));
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment drivers: one module per figure of the paper's evaluation
+//! (§5.3–§5.7). Every module exposes a parameter struct with a `paper()`
+//! constructor (the paper's exact parameters) and a `quick()` constructor
+//! (scaled down to finish in seconds), plus a `run()` function returning the
+//! rows/series that the corresponding figure plots. The `bench` crate's
+//! binaries print these rows; integration tests assert their shape.
+
+pub mod availability;
+pub mod expand;
+pub mod fast_path;
+pub mod load_sweep;
+pub mod scale_out;
+pub mod ycsb;

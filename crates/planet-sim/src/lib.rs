@@ -1,0 +1,48 @@
+//! # planet-sim
+//!
+//! A deterministic discrete-event simulator of a planet-scale deployment:
+//! GCP regions with realistic inter-region latencies, sites running one of
+//! the replication protocols in this workspace, closed-loop clients, CPU
+//! queueing at the sites, and failure injection.
+//!
+//! The paper deploys Atlas on Google Cloud Platform over 3–13 regions; this
+//! crate substitutes that testbed so that every figure of the evaluation can
+//! be regenerated on a laptop (see `DESIGN.md` for the substitution
+//! rationale). The [`experiments`] module contains one driver per figure.
+//!
+//! # Example
+//!
+//! ```
+//! use atlas_core::Config;
+//! use atlas_protocol::Atlas;
+//! use planet_sim::region::Region;
+//! use planet_sim::sim::{SimConfig, Simulation};
+//! use planet_sim::workload::WorkloadSpec;
+//!
+//! // Three sites (Taiwan, Finland, South Carolina), one failure tolerated,
+//! // two clients per site issuing 2%-conflicting writes for one second.
+//! let cfg = SimConfig::new(
+//!     Config::new(3, 1),
+//!     Region::deployment(3),
+//!     2,
+//!     WorkloadSpec::Conflict { rate: 0.02, payload: 100 },
+//! )
+//! .with_duration(1_000_000);
+//! let report = Simulation::<Atlas>::new(cfg).run();
+//! assert!(report.throughput_ops() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod optimal;
+pub mod region;
+pub mod runner;
+pub mod sim;
+pub mod workload;
+
+pub use region::{LatencyMatrix, Region};
+pub use runner::{run, ProtocolKind};
+pub use sim::{SimConfig, SimReport, Simulation};
+pub use workload::WorkloadSpec;

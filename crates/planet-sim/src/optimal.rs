@@ -1,0 +1,79 @@
+//! The "optimal" latency bound for leaderless protocols used as the baseline
+//! in Figures 5 and 6 of the paper: the average, over all clients, of the
+//! round-trip to the closest site plus that site's round-trip to its closest
+//! majority quorum.
+
+use crate::region::{rtt_ms, LatencyMatrix, Region};
+
+/// Average optimal latency (ms) for clients placed at `client_locations`
+/// (region, count) accessing a deployment over `sites`.
+pub fn optimal_latency_ms(sites: &[Region], client_locations: &[(Region, usize)]) -> f64 {
+    assert!(!sites.is_empty(), "a deployment needs at least one site");
+    let matrix = LatencyMatrix::new(sites.to_vec());
+    let majority = sites.len() / 2 + 1;
+    let mut total = 0.0;
+    let mut clients = 0usize;
+    for (region, count) in client_locations {
+        if *count == 0 {
+            continue;
+        }
+        // Closest site to this client location.
+        let (site, client_rtt) = (0..sites.len())
+            .map(|s| (s, rtt_ms(*region, sites[s])))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("latencies are finite"))
+            .expect("at least one site");
+        let quorum_rtt = matrix.closest_quorum_rtt_us(site, majority) as f64 / 1_000.0;
+        total += (client_rtt + quorum_rtt) * *count as f64;
+        clients += count;
+    }
+    if clients == 0 {
+        0.0
+    } else {
+        total / clients as f64
+    }
+}
+
+/// Optimal latency when clients are co-located with every site (one weight
+/// per site), as in the Figure 6 scenario.
+pub fn optimal_latency_colocated_ms(sites: &[Region]) -> f64 {
+    let locations: Vec<(Region, usize)> = sites.iter().map(|r| (*r, 1)).collect();
+    optimal_latency_ms(sites, &locations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_latency_decreases_when_sites_get_closer_to_clients() {
+        // Clients spread over the 13 deployment regions; deployments of 3 vs
+        // 13 sites. More sites ⇒ closer coordinators ⇒ lower optimal latency
+        // (the paper's headline observation for Figure 5).
+        let clients: Vec<(Region, usize)> = Region::deployment(13)
+            .into_iter()
+            .map(|r| (r, 77))
+            .collect();
+        let three = optimal_latency_ms(&Region::deployment(3), &clients);
+        let seven = optimal_latency_ms(&Region::deployment(7), &clients);
+        let thirteen = optimal_latency_ms(&Region::deployment(13), &clients);
+        assert!(three > seven, "3 sites {three} vs 7 sites {seven}");
+        assert!(seven > thirteen, "7 sites {seven} vs 13 sites {thirteen}");
+        // Planet-scale latencies are in the hundreds of milliseconds.
+        assert!(three > 100.0 && three < 1_000.0);
+        assert!(thirteen > 50.0 && thirteen < 400.0);
+    }
+
+    #[test]
+    fn colocated_bound_matches_explicit_uniform_placement() {
+        let sites = Region::deployment(5);
+        let locations: Vec<(Region, usize)> = sites.iter().map(|r| (*r, 10)).collect();
+        let a = optimal_latency_colocated_ms(&sites);
+        let b = optimal_latency_ms(&sites, &locations);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_client_set_gives_zero() {
+        assert_eq!(optimal_latency_ms(&Region::deployment(3), &[]), 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The planet: Google Cloud Platform regions and the inter-region latency
+//! model.
+//!
+//! The paper deploys Atlas on 3–13 GCP regions (and runs its ping study on
+//! 17). Since this reproduction runs on a single machine, the WAN is
+//! simulated: each region is placed at its real geographic coordinates and
+//! the round-trip time between two regions is estimated as the great-circle
+//! distance travelled at ~2/3 of the speed of light (speed of light in
+//! fiber), inflated by a routing factor, plus a small fixed overhead. This
+//! reproduces the relative geometry that drives every latency result in the
+//! paper (which sites are close to which, where the closest majority lies),
+//! which is what the protocols' quorum choices depend on.
+
+use serde::{Deserialize, Serialize};
+
+/// A GCP region (site) available around 2018–2019, when the paper's
+/// experiments ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// asia-east1 — Changhua County, Taiwan (the paper's "TW").
+    Taiwan,
+    /// asia-northeast1 — Tokyo, Japan.
+    Tokyo,
+    /// asia-south1 — Mumbai, India.
+    Mumbai,
+    /// asia-southeast1 — Jurong West, Singapore.
+    Singapore,
+    /// australia-southeast1 — Sydney, Australia.
+    Sydney,
+    /// europe-north1 — Hamina, Finland (the paper's "FI").
+    Finland,
+    /// europe-west1 — St. Ghislain, Belgium.
+    Belgium,
+    /// europe-west2 — London, UK.
+    London,
+    /// europe-west3 — Frankfurt, Germany.
+    Frankfurt,
+    /// europe-west4 — Eemshaven, Netherlands.
+    Netherlands,
+    /// northamerica-northeast1 — Montréal, Québec (the paper's "QC").
+    Quebec,
+    /// southamerica-east1 — São Paulo, Brazil.
+    SaoPaulo,
+    /// us-central1 — Council Bluffs, Iowa.
+    Iowa,
+    /// us-east1 — Moncks Corner, South Carolina (the paper's "SC").
+    SouthCarolina,
+    /// us-east4 — Ashburn, Northern Virginia.
+    Virginia,
+    /// us-west1 — The Dalles, Oregon.
+    Oregon,
+    /// us-west2 — Los Angeles, California.
+    LosAngeles,
+}
+
+impl Region {
+    /// All 17 regions of the ping study (§5.1).
+    pub fn all17() -> Vec<Region> {
+        use Region::*;
+        vec![
+            Taiwan, Tokyo, Mumbai, Singapore, Sydney, Finland, Belgium, London, Frankfurt,
+            Netherlands, Quebec, SaoPaulo, Iowa, SouthCarolina, Virginia, Oregon, LosAngeles,
+        ]
+    }
+
+    /// The 13 regions of the largest deployment in §5.4 (4 in Asia, 1 in
+    /// Australia, 4 in Europe, 3 in North America, 1 in South America).
+    pub fn deployment13() -> Vec<Region> {
+        use Region::*;
+        vec![
+            Taiwan,
+            Tokyo,
+            Mumbai,
+            Singapore,
+            Sydney,
+            Finland,
+            Belgium,
+            London,
+            Frankfurt,
+            Quebec,
+            SouthCarolina,
+            Oregon,
+            SaoPaulo,
+        ]
+    }
+
+    /// Prefixes of [`Region::deployment13`] used when scaling out from 3 to
+    /// 13 sites, chosen (as in the paper) so that each growth step spreads
+    /// the service over more continents.
+    pub fn deployment(n: usize) -> Vec<Region> {
+        use Region::*;
+        // Order in which sites are added when the deployment grows; starts
+        // with a 3-site transcontinental deployment (the paper's Figure 8
+        // uses exactly TW / FI / SC).
+        let order = [
+            Taiwan,
+            Finland,
+            SouthCarolina,
+            Oregon,
+            Singapore,
+            Belgium,
+            Sydney,
+            SaoPaulo,
+            Tokyo,
+            London,
+            Quebec,
+            Mumbai,
+            Frankfurt,
+        ];
+        assert!(
+            (3..=order.len()).contains(&n),
+            "deployments have between 3 and {} sites, requested {n}",
+            order.len()
+        );
+        order[..n].to_vec()
+    }
+
+    /// The paper's three-site availability deployment (Figure 8).
+    pub fn availability3() -> Vec<Region> {
+        vec![Region::Taiwan, Region::Finland, Region::SouthCarolina]
+    }
+
+    /// Short name used in reports ("TW", "FI", …).
+    pub fn short_name(&self) -> &'static str {
+        use Region::*;
+        match self {
+            Taiwan => "TW",
+            Tokyo => "JP",
+            Mumbai => "IN",
+            Singapore => "SG",
+            Sydney => "AU",
+            Finland => "FI",
+            Belgium => "BE",
+            London => "UK",
+            Frankfurt => "DE",
+            Netherlands => "NL",
+            Quebec => "QC",
+            SaoPaulo => "BR",
+            Iowa => "IA",
+            SouthCarolina => "SC",
+            Virginia => "VA",
+            Oregon => "OR",
+            LosAngeles => "LA",
+        }
+    }
+
+    /// Approximate (latitude, longitude) of the region's data center.
+    pub fn coordinates(&self) -> (f64, f64) {
+        use Region::*;
+        match self {
+            Taiwan => (24.05, 120.52),
+            Tokyo => (35.69, 139.69),
+            Mumbai => (19.08, 72.88),
+            Singapore => (1.35, 103.82),
+            Sydney => (-33.87, 151.21),
+            Finland => (60.57, 27.19),
+            Belgium => (50.47, 3.87),
+            London => (51.51, -0.13),
+            Frankfurt => (50.11, 8.68),
+            Netherlands => (53.44, 6.83),
+            Quebec => (45.50, -73.57),
+            SaoPaulo => (-23.55, -46.63),
+            Iowa => (41.26, -95.86),
+            SouthCarolina => (33.20, -80.01),
+            Virginia => (39.04, -77.49),
+            Oregon => (45.60, -121.18),
+            LosAngeles => (34.05, -118.24),
+        }
+    }
+}
+
+/// Great-circle distance between two coordinates, in kilometres.
+fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    const EARTH_RADIUS_KM: f64 = 6_371.0;
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Estimated round-trip time between two regions, in milliseconds.
+///
+/// `RTT ≈ 2 · distance / (2/3 · c) · routing_inflation + overhead`, with a
+/// 1 ms floor for a region to itself (intra-region hop between machines).
+pub fn rtt_ms(a: Region, b: Region) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    const FIBER_KM_PER_MS: f64 = 200.0; // ~2/3 of c
+    const ROUTING_INFLATION: f64 = 1.6; // submarine-cable detours, hops
+    const OVERHEAD_MS: f64 = 4.0;
+    let distance = haversine_km(a.coordinates(), b.coordinates());
+    2.0 * distance / FIBER_KM_PER_MS * ROUTING_INFLATION + OVERHEAD_MS
+}
+
+/// A symmetric matrix of one-way latencies (µs) between the sites of a
+/// deployment, indexed by site position (0-based).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyMatrix {
+    regions: Vec<Region>,
+    /// `one_way_us[i][j]`: one-way latency from site i to site j, in µs.
+    one_way_us: Vec<Vec<u64>>,
+}
+
+impl LatencyMatrix {
+    /// Builds the matrix for an ordered list of regions (site `i+1` in the
+    /// protocol corresponds to `regions[i]`).
+    pub fn new(regions: Vec<Region>) -> Self {
+        let n = regions.len();
+        let mut one_way_us = vec![vec![0u64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let rtt = rtt_ms(regions[i], regions[j]);
+                one_way_us[i][j] = ((rtt / 2.0) * 1_000.0).round() as u64;
+            }
+        }
+        Self { regions, one_way_us }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions, in site order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// One-way latency between two sites (0-based indices), in µs.
+    pub fn one_way_us(&self, from: usize, to: usize) -> u64 {
+        self.one_way_us[from][to]
+    }
+
+    /// Round-trip latency between two sites (0-based indices), in µs.
+    pub fn rtt_us(&self, a: usize, b: usize) -> u64 {
+        self.one_way_us[a][b] + self.one_way_us[b][a]
+    }
+
+    /// Sites sorted by one-way distance from `from` (0-based), closest first;
+    /// `from` itself is always first.
+    pub fn sorted_by_distance(&self, from: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&to| (if to == from { 0 } else { self.one_way_us(from, to) }, to));
+        order
+    }
+
+    /// The latency (µs) for `from` to hear back from the farthest member of
+    /// its closest quorum of `quorum_size` sites (including itself) — i.e.
+    /// the time for one round trip to the closest quorum.
+    pub fn closest_quorum_rtt_us(&self, from: usize, quorum_size: usize) -> u64 {
+        assert!(quorum_size >= 1 && quorum_size <= self.len());
+        let order = self.sorted_by_distance(from);
+        order[..quorum_size]
+            .iter()
+            .map(|&to| self.rtt_us(from, to))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The site (0-based) minimizing the standard deviation of the RTTs from
+    /// every site to it — the paper's rule for placing the FPaxos leader
+    /// ("the fairest location in the system").
+    pub fn fairest_leader(&self) -> usize {
+        let mut best = 0;
+        let mut best_stddev = f64::MAX;
+        for candidate in 0..self.len() {
+            let rtts: Vec<f64> = (0..self.len())
+                .map(|site| self.rtt_us(site, candidate) as f64)
+                .collect();
+            let stddev = atlas_core::util::stddev(&rtts);
+            if stddev < best_stddev {
+                best_stddev = stddev;
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_regions_and_thirteen_site_deployment() {
+        assert_eq!(Region::all17().len(), 17);
+        assert_eq!(Region::deployment13().len(), 13);
+        assert_eq!(Region::availability3(), vec![Region::Taiwan, Region::Finland, Region::SouthCarolina]);
+    }
+
+    #[test]
+    fn deployment_prefixes_grow_and_keep_initial_sites() {
+        let three = Region::deployment(3);
+        let five = Region::deployment(5);
+        let thirteen = Region::deployment(13);
+        assert_eq!(three.len(), 3);
+        assert_eq!(five.len(), 5);
+        assert_eq!(thirteen.len(), 13);
+        assert_eq!(&five[..3], &three[..]);
+        assert_eq!(&thirteen[..5], &five[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 3 and")]
+    fn deployment_rejects_too_few_sites() {
+        let _ = Region::deployment(2);
+    }
+
+    #[test]
+    fn rtt_is_symmetric_and_positive() {
+        for a in Region::all17() {
+            for b in Region::all17() {
+                let ab = rtt_ms(a, b);
+                let ba = rtt_ms(b, a);
+                assert!((ab - ba).abs() < 1e-9);
+                assert!(ab >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_reflect_geography() {
+        // Intra-continent links are much faster than trans-Pacific ones.
+        assert!(rtt_ms(Region::Belgium, Region::London) < 20.0);
+        assert!(rtt_ms(Region::SouthCarolina, Region::Virginia) < 25.0);
+        assert!(rtt_ms(Region::Taiwan, Region::Finland) > 90.0);
+        assert!(rtt_ms(Region::Sydney, Region::London) > 150.0);
+        // Taiwan–Tokyo is closer than Taiwan–Finland.
+        assert!(rtt_ms(Region::Taiwan, Region::Tokyo) < rtt_ms(Region::Taiwan, Region::Finland));
+    }
+
+    #[test]
+    fn latency_matrix_roundtrip_consistency() {
+        let matrix = LatencyMatrix::new(Region::deployment(5));
+        assert_eq!(matrix.len(), 5);
+        for i in 0..5 {
+            assert_eq!(matrix.one_way_us(i, i), 500);
+            for j in 0..5 {
+                assert_eq!(matrix.rtt_us(i, j), matrix.rtt_us(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_by_distance_starts_with_self() {
+        let matrix = LatencyMatrix::new(Region::deployment(7));
+        for from in 0..7 {
+            let order = matrix.sorted_by_distance(from);
+            assert_eq!(order[0], from);
+            assert_eq!(order.len(), 7);
+            // Distances are non-decreasing after the first element.
+            for w in order[1..].windows(2) {
+                assert!(matrix.one_way_us(from, w[0]) <= matrix.one_way_us(from, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn closest_quorum_rtt_grows_with_quorum_size() {
+        let matrix = LatencyMatrix::new(Region::deployment(13));
+        for from in 0..13 {
+            let majority = matrix.closest_quorum_rtt_us(from, 7);
+            let larger = matrix.closest_quorum_rtt_us(from, 9);
+            let all = matrix.closest_quorum_rtt_us(from, 13);
+            assert!(majority <= larger);
+            assert!(larger <= all);
+        }
+    }
+
+    #[test]
+    fn fairest_leader_is_a_valid_site() {
+        let matrix = LatencyMatrix::new(Region::deployment(13));
+        let leader = matrix.fairest_leader();
+        assert!(leader < 13);
+        // The fairest leader for a world-spanning deployment should not be in
+        // Oceania (the most remote corner of this topology).
+        assert_ne!(matrix.regions()[leader], Region::Sydney);
+    }
+
+    #[test]
+    fn availability_deployment_distances_match_paper_ordering() {
+        // In the Figure 8 deployment, SC is closer to FI than to TW — this is
+        // why clients from TW fail over to SC and the new Paxos leader is SC.
+        let matrix = LatencyMatrix::new(Region::availability3());
+        let tw_fi = matrix.rtt_us(0, 1);
+        let tw_sc = matrix.rtt_us(0, 2);
+        let fi_sc = matrix.rtt_us(1, 2);
+        assert!(fi_sc < tw_fi);
+        assert!(fi_sc < tw_sc);
+    }
+}

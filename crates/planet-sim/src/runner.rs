@@ -1,0 +1,90 @@
+//! Uniform dispatch over the protocols compared in the paper's evaluation.
+
+use crate::sim::{SimConfig, SimReport, Simulation};
+use atlas_protocol::Atlas;
+use epaxos::EPaxos;
+use fpaxos::FPaxos;
+use mencius::Mencius;
+use serde::{Deserialize, Serialize};
+
+/// The protocols the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Atlas (the paper's contribution).
+    Atlas,
+    /// Egalitarian Paxos.
+    EPaxos,
+    /// Flexible Paxos (leader-based); plain Paxos when `f = ⌊(n−1)/2⌋`.
+    FPaxos,
+    /// Mencius.
+    Mencius,
+}
+
+impl ProtocolKind {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Atlas => "Atlas",
+            ProtocolKind::EPaxos => "EPaxos",
+            ProtocolKind::FPaxos => "FPaxos",
+            ProtocolKind::Mencius => "Mencius",
+        }
+    }
+
+    /// A label including the failure bound, e.g. "Atlas f=1".
+    pub fn label(&self, f: usize) -> String {
+        match self {
+            ProtocolKind::Atlas | ProtocolKind::FPaxos => format!("{} f={}", self.name(), f),
+            _ => self.name().to_string(),
+        }
+    }
+}
+
+/// Runs one simulation with the protocol selected by `kind`.
+pub fn run(kind: ProtocolKind, cfg: SimConfig) -> SimReport {
+    match kind {
+        ProtocolKind::Atlas => Simulation::<Atlas>::new(cfg).run(),
+        ProtocolKind::EPaxos => Simulation::<EPaxos>::new(cfg).run(),
+        ProtocolKind::FPaxos => Simulation::<FPaxos>::new(cfg).run(),
+        ProtocolKind::Mencius => Simulation::<Mencius>::new(cfg).run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::workload::WorkloadSpec;
+    use atlas_core::Config;
+
+    #[test]
+    fn labels_mention_f_only_for_parameterized_protocols() {
+        assert_eq!(ProtocolKind::Atlas.label(2), "Atlas f=2");
+        assert_eq!(ProtocolKind::FPaxos.label(1), "FPaxos f=1");
+        assert_eq!(ProtocolKind::EPaxos.label(2), "EPaxos");
+        assert_eq!(ProtocolKind::Mencius.label(1), "Mencius");
+    }
+
+    #[test]
+    fn dispatcher_runs_every_protocol() {
+        let cfg = SimConfig::new(
+            Config::new(3, 1),
+            Region::deployment(3),
+            1,
+            WorkloadSpec::Conflict {
+                rate: 0.0,
+                payload: 100,
+            },
+        )
+        .with_duration(2_000_000);
+        for kind in [
+            ProtocolKind::Atlas,
+            ProtocolKind::EPaxos,
+            ProtocolKind::FPaxos,
+            ProtocolKind::Mencius,
+        ] {
+            let report = run(kind, cfg.clone());
+            assert!(!report.completions.is_empty(), "{} made no progress", kind.name());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A miniature coordination service (locks + configuration registry) built
+//! directly on the Atlas replica state machines — the kind of component
+//! (Chubby/ZooKeeper-style kernels) the paper's introduction motivates.
+//!
+//! The example drives a 5-site cluster in memory, delivering protocol
+//! messages instantly, and shows that every site applies the same sequence
+//! of conflicting lock operations even though they are submitted at
+//! different sites concurrently.
+//!
+//! ```text
+//! cargo run --release --example coordination_service
+//! ```
+
+use atlas::core::{Action, Command, Config, Key, Protocol, Rifl, Topology};
+use atlas::kvstore::KVStore;
+use atlas::protocol::Atlas;
+use std::collections::HashMap;
+
+/// Keys of the coordination service: one lock key and a config registry key.
+const LOCK_KEY: Key = 1;
+const CONFIG_KEY: Key = 2;
+
+/// An in-memory cluster of Atlas replicas with instant message delivery.
+struct Cluster {
+    replicas: Vec<Atlas>,
+    stores: Vec<KVStore>,
+    applied: Vec<Vec<Rifl>>,
+}
+
+impl Cluster {
+    fn new(n: usize, f: usize) -> Self {
+        let config = Config::new(n, f);
+        let replicas = (1..=n as u32)
+            .map(|id| Atlas::new(id, config, Topology::identity(id, n)))
+            .collect();
+        Self {
+            replicas,
+            stores: vec![KVStore::new(); n],
+            applied: vec![Vec::new(); n],
+        }
+    }
+
+    fn submit(&mut self, at: u32, cmd: Command) {
+        let actions = self.replicas[(at - 1) as usize].submit(cmd, 0);
+        self.run(at, actions);
+    }
+
+    fn run(&mut self, source: u32, actions: Vec<Action<atlas::protocol::Message>>) {
+        let mut queue: Vec<(u32, u32, atlas::protocol::Message)> = Vec::new();
+        self.enqueue(source, actions, &mut queue);
+        while !queue.is_empty() {
+            let (from, to, msg) = queue.remove(0);
+            let out = self.replicas[(to - 1) as usize].handle(from, msg, 0);
+            self.enqueue(to, out, &mut queue);
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        source: u32,
+        actions: Vec<Action<atlas::protocol::Message>>,
+        queue: &mut Vec<(u32, u32, atlas::protocol::Message)>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { targets, msg } => {
+                    let mut targets = targets;
+                    targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                    for to in targets {
+                        queue.push((source, to, msg.clone()));
+                    }
+                }
+                Action::Execute { cmd, .. } => {
+                    let idx = (source - 1) as usize;
+                    self.stores[idx].execute(&cmd);
+                    self.applied[idx].push(cmd.rifl);
+                }
+                Action::Commit { .. } => {}
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut cluster = Cluster::new(5, 2);
+
+    // Five application servers, one per site, race to acquire the lock and
+    // then update the configuration registry.
+    let mut seq: HashMap<u64, u64> = HashMap::new();
+    let mut next = |client: u64| {
+        let s = seq.entry(client).or_insert(0);
+        *s += 1;
+        Rifl::new(client, *s)
+    };
+
+    for round in 0..3u64 {
+        for site in 1..=5u32 {
+            let client = site as u64;
+            // try_acquire(lock): a write to the lock key (conflicts with all
+            // other lock operations, so Atlas orders them consistently).
+            cluster.submit(site, Command::put(next(client), LOCK_KEY, client * 100 + round, 16));
+            // publish new configuration epoch.
+            cluster.submit(site, Command::put(next(client), CONFIG_KEY, round, 16));
+        }
+    }
+
+    println!("coordination service over 5 Atlas replicas (f = 2)");
+    println!();
+    let reference = &cluster.applied[0];
+    println!("operations applied per replica: {}", reference.len());
+    let all_agree = cluster.applied.iter().all(|order| order == reference);
+    println!("all replicas applied the SAME order of conflicting ops: {all_agree}");
+    let digests: Vec<u64> = cluster.stores.iter().map(|s| s.digest()).collect();
+    println!("replica state digests: {digests:?}");
+    println!("states identical: {}", digests.windows(2).all(|w| w[0] == w[1]));
+    let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
+    let slow: u64 = cluster.replicas.iter().map(|r| r.metrics().slow_paths).sum();
+    println!("fast-path commits: {fast}, slow-path commits: {slow}");
+}

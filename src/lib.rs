@@ -1,0 +1,45 @@
+//! # atlas
+//!
+//! A from-scratch Rust reproduction of *"State-Machine Replication for
+//! Planet-Scale Systems"* (EuroSys 2020): the **Atlas** leaderless SMR
+//! protocol, the baselines it is evaluated against (EPaxos, Flexible Paxos,
+//! Mencius), a replicated key–value store, a deterministic planet-scale WAN
+//! simulator, and the benchmark harness that regenerates every figure of the
+//! paper's evaluation.
+//!
+//! This crate is a thin facade that re-exports the workspace crates:
+//!
+//! * [`core`] (`atlas-core`) — identifiers, commands, configuration, the
+//!   [`Protocol`](core::Protocol) trait and metrics.
+//! * [`protocol`] (`atlas-protocol`) — the Atlas protocol and its
+//!   dependency-graph executor.
+//! * [`epaxos`], [`fpaxos`], [`mencius`] — the baseline protocols.
+//! * [`kvstore`] — the replicated key–value store and YCSB-style workloads.
+//! * [`sim`] (`planet-sim`) — the discrete-event planet simulator and the
+//!   per-figure experiment drivers.
+//! * [`linkfail`] — the §5.1 link-failure study.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every figure.
+//!
+//! ```
+//! use atlas::core::{Command, Config, Protocol, Rifl};
+//! use atlas::protocol::Atlas;
+//! use atlas::core::Topology;
+//!
+//! let mut replica = Atlas::new(1, Config::new(3, 1), Topology::identity(1, 3));
+//! let actions = replica.submit(Command::put(Rifl::new(1, 1), 0, 7, 100), 0);
+//! assert!(!actions.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atlas_core as core;
+pub use atlas_protocol as protocol;
+pub use epaxos;
+pub use fpaxos;
+pub use kvstore;
+pub use linkfail;
+pub use mencius;
+pub use planet_sim as sim;

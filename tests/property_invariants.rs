@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) of the core invariants, across randomly
+//! generated workloads:
+//!
+//! * conflicting commands are executed in the same order at every Atlas
+//!   replica, for arbitrary mixes of keys, sites and read/write operations;
+//! * the dependency-graph executor is deterministic with respect to the
+//!   commit order (Invariant 4 / batch equality);
+//! * the Zipfian sampler stays within bounds for arbitrary sizes and skews.
+
+use atlas::core::{Action, Command, Config, Protocol, Rifl, Topology};
+use atlas::kvstore::Zipfian;
+use atlas::protocol::{Atlas, DependencyGraph};
+use atlas::core::Dot;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// In-memory cluster driver (instant delivery) for property tests.
+fn run_atlas(n: usize, f: usize, ops: &[(u32, u64, bool)]) -> (Vec<Vec<Rifl>>, Vec<u64>) {
+    let config = Config::new(n, f);
+    let mut replicas: Vec<Atlas> = (1..=n as u32)
+        .map(|id| Atlas::new(id, config, Topology::identity(id, n)))
+        .collect();
+    let mut stores = vec![atlas::kvstore::KVStore::new(); n];
+    let mut executed: Vec<Vec<Rifl>> = vec![Vec::new(); n];
+
+    let deliver = |replicas: &mut Vec<Atlas>,
+                       stores: &mut Vec<atlas::kvstore::KVStore>,
+                       executed: &mut Vec<Vec<Rifl>>,
+                       source: u32,
+                       actions: Vec<Action<atlas::protocol::Message>>| {
+        let mut queue: Vec<(u32, u32, atlas::protocol::Message)> = Vec::new();
+        let enqueue = |source: u32,
+                           actions: Vec<Action<atlas::protocol::Message>>,
+                           queue: &mut Vec<(u32, u32, atlas::protocol::Message)>,
+                           stores: &mut Vec<atlas::kvstore::KVStore>,
+                           executed: &mut Vec<Vec<Rifl>>| {
+            for action in actions {
+                match action {
+                    Action::Send { targets, msg } => {
+                        let mut targets = targets;
+                        targets.sort_by_key(|t| if *t == source { 0 } else { 1 });
+                        for to in targets {
+                            queue.push((source, to, msg.clone()));
+                        }
+                    }
+                    Action::Execute { cmd, .. } => {
+                        let idx = (source - 1) as usize;
+                        stores[idx].execute(&cmd);
+                        executed[idx].push(cmd.rifl);
+                    }
+                    Action::Commit { .. } => {}
+                }
+            }
+        };
+        enqueue(source, actions, &mut queue, stores, executed);
+        while !queue.is_empty() {
+            let (from, to, msg) = queue.remove(0);
+            let out = replicas[(to - 1) as usize].handle(from, msg, 0);
+            enqueue(to, out, &mut queue, stores, executed);
+        }
+    };
+
+    for (i, (site, key, is_read)) in ops.iter().enumerate() {
+        let client = *site as u64;
+        let rifl = Rifl::new(client, i as u64 + 1);
+        let cmd = if *is_read {
+            Command::get(rifl, *key)
+        } else {
+            Command::put(rifl, *key, i as u64, 32)
+        };
+        let actions = replicas[(*site - 1) as usize].submit(cmd, 0);
+        deliver(&mut replicas, &mut stores, &mut executed, *site, actions);
+    }
+    let digests = stores.iter().map(|s| s.digest()).collect();
+    (executed, digests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ordering + convergence: for arbitrary workloads over a small key
+    /// space, every Atlas replica executes each command exactly once and all
+    /// replicas converge to the same state.
+    #[test]
+    fn atlas_replicas_converge_on_random_workloads(
+        ops in proptest::collection::vec((1u32..=5, 0u64..4, any::<bool>()), 1..60),
+        f in 1usize..=2,
+    ) {
+        let (executed, digests) = run_atlas(5, f, &ops);
+        for log in &executed {
+            prop_assert_eq!(log.len(), ops.len());
+            let unique: HashSet<_> = log.iter().collect();
+            prop_assert_eq!(unique.len(), log.len());
+        }
+        for d in &digests {
+            prop_assert_eq!(*d, digests[0]);
+        }
+    }
+
+    /// The executor produces the same execution order regardless of the
+    /// order in which the same committed commands (with the same
+    /// dependencies) arrive.
+    #[test]
+    fn executor_order_is_commit_order_independent(
+        seed in any::<u64>(),
+        size in 2usize..30,
+    ) {
+        // Build a random dependency graph over `size` commands where command
+        // i may depend on a subset of earlier commands (acyclic) plus one
+        // optional mutual dependency to create SCCs.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let dots: Vec<Dot> = (1..=size as u64).map(|i| Dot::new((i % 5 + 1) as u32, i)).collect();
+        let mut deps: Vec<Vec<Dot>> = Vec::new();
+        for i in 0..size {
+            let mut d = Vec::new();
+            for j in 0..i {
+                if rng.gen_bool(0.3) {
+                    d.push(dots[j]);
+                }
+            }
+            // Occasionally add a forward edge to create a cycle (SCC).
+            if i + 1 < size && rng.gen_bool(0.2) {
+                d.push(dots[i + 1]);
+            }
+            deps.push(d);
+        }
+        let commit_in = |order: Vec<usize>| {
+            let mut graph = DependencyGraph::new();
+            let mut executed = Vec::new();
+            for idx in order {
+                let batch = graph.commit(
+                    dots[idx],
+                    Command::put(Rifl::new(1, idx as u64 + 1), 0, 0, 8),
+                    deps[idx].clone(),
+                );
+                executed.extend(batch.into_iter().map(|(dot, _)| dot));
+            }
+            executed
+        };
+        let forward: Vec<usize> = (0..size).collect();
+        let backward: Vec<usize> = (0..size).rev().collect();
+        let a = commit_in(forward);
+        let b = commit_in(backward);
+        // Both orders execute the same set of commands...
+        prop_assert_eq!(a.len(), b.len());
+        // ...and any two commands related by a dependency edge (i.e. the
+        // conflicting pairs — independent commands commute and may execute
+        // in either order) appear in the same relative order everywhere.
+        let pos = |v: &[Dot], d: Dot| v.iter().position(|x| *x == d);
+        for (i, i_deps) in deps.iter().enumerate() {
+            for dep in i_deps {
+                let x = dots[i];
+                let y = *dep;
+                if x == y {
+                    continue;
+                }
+                let (ax, ay) = (pos(&a, x).unwrap(), pos(&a, y).unwrap());
+                let (bx, by) = (pos(&b, x).unwrap(), pos(&b, y).unwrap());
+                prop_assert_eq!(ax < ay, bx < by, "pair {:?} {:?} ordered differently", x, y);
+            }
+        }
+    }
+
+    /// Zipfian samples always stay within the key space, for any size/skew.
+    #[test]
+    fn zipfian_is_always_in_bounds(
+        items in 1u64..100_000,
+        theta in 0.01f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let zipf = Zipfian::with_theta(items, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(zipf.next_rank(&mut rng) < items);
+        }
+    }
+}
