@@ -63,7 +63,11 @@ pub struct Command {
 
 impl Command {
     /// Creates a command from a list of keyed operations.
-    pub fn new(rifl: Rifl, ops: impl IntoIterator<Item = (Key, KvOp)>, payload_size: usize) -> Self {
+    pub fn new(
+        rifl: Rifl,
+        ops: impl IntoIterator<Item = (Key, KvOp)>,
+        payload_size: usize,
+    ) -> Self {
         Self {
             rifl,
             ops: ops.into_iter().collect(),

@@ -66,7 +66,10 @@ impl Histogram {
 
     /// Exact percentile (0.0–1.0, nearest-rank), or 0 if empty.
     pub fn percentile(&mut self, p: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile must be in [0,1], got {p}"
+        );
         if self.samples.is_empty() {
             return 0;
         }

@@ -156,7 +156,12 @@ pub trait Protocol: Sized {
     fn submit(&mut self, cmd: Command, time: Time) -> Vec<Action<Self::Message>>;
 
     /// Handles a protocol message from `from`.
-    fn handle(&mut self, from: ProcessId, msg: Self::Message, time: Time) -> Vec<Action<Self::Message>>;
+    fn handle(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Message,
+        time: Time,
+    ) -> Vec<Action<Self::Message>>;
 
     /// Approximate wire size of a message in bytes. Runtimes use it to model
     /// serialization/bandwidth costs (e.g. a leader broadcasting 3 KB

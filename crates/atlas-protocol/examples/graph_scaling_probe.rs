@@ -1,0 +1,23 @@
+use atlas_core::{Command, Dot, Rifl};
+use atlas_protocol::DependencyGraph;
+use std::time::Instant;
+
+fn cmd(i: u64) -> Command {
+    Command::put(Rifl::new(i, 1), i % 8, i, 100)
+}
+
+fn main() {
+    for n in [100u64, 200, 400, 800, 1600] {
+        let start = Instant::now();
+        let mut graph = DependencyGraph::new();
+        for i in (2..=n).rev() {
+            graph.commit(Dot::new(1, i), cmd(i), vec![Dot::new(1, i - 1)]);
+        }
+        graph.commit(Dot::new(1, 1), cmd(1), vec![]);
+        println!(
+            "reverse chain n={n}: {:?} (executed {})",
+            start.elapsed(),
+            graph.executed_count()
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Wire messages of the Atlas protocol (Algorithms 1, 2 and 4 of the paper).
 
 use atlas_core::{Command, Dot, ProcessId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Ballot numbers used by the per-identifier consensus. Ballot `i ≤ n` is
@@ -9,7 +10,7 @@ use std::collections::HashSet;
 pub type Ballot = u64;
 
 /// Messages exchanged by Atlas replicas.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Coordinator → fast quorum: start the collect phase for `dot`
     /// (Algorithm 1, line 5).
@@ -112,7 +113,9 @@ impl Message {
         match self {
             Message::MCollect { cmd, past, .. } => HEADER + cmd.payload_size + PER_DEP * past.len(),
             Message::MCollectAck { deps, .. } => HEADER + PER_DEP * deps.len(),
-            Message::MConsensus { cmd, deps, .. } => HEADER + cmd.payload_size + PER_DEP * deps.len(),
+            Message::MConsensus { cmd, deps, .. } => {
+                HEADER + cmd.payload_size + PER_DEP * deps.len()
+            }
             Message::MConsensusAck { .. } => HEADER,
             Message::MCommit { cmd, deps, .. } => HEADER + cmd.payload_size + PER_DEP * deps.len(),
             Message::MRec { cmd, .. } => HEADER + cmd.payload_size,

@@ -6,7 +6,9 @@ use crate::graph::DependencyGraph;
 use crate::keydeps::KeyDeps;
 use crate::messages::{Ballot, Message};
 use atlas_core::protocol::Time;
-use atlas_core::{Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology};
+use atlas_core::{
+    Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Progress of a command identifier at this replica (paper §3.2.1).
@@ -106,7 +108,8 @@ impl Atlas {
     /// The fast quorum for a regular command: the `⌊n/2⌋ + f` closest
     /// processes, including this coordinator (paper §3.2.2).
     fn fast_quorum(&self) -> Vec<ProcessId> {
-        self.topology.closest_quorum(self.config.atlas_fast_quorum_size())
+        self.topology
+            .closest_quorum(self.config.atlas_fast_quorum_size())
     }
 
     /// The fast quorum for an NFR read: a plain majority (paper §4).
@@ -221,10 +224,7 @@ impl Atlas {
             // Fast path (line 16): commit after a single round trip.
             self.metrics.fast_paths += 1;
             let deps = union;
-            let mut actions = vec![Action::broadcast(
-                n,
-                Message::MCommit { dot, cmd, deps },
-            )];
+            let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
             actions.extend(self.noop_actions(time));
             actions
         } else {
@@ -297,7 +297,10 @@ impl Atlas {
         }
         // The proposal survives f failures: commit it.
         info.committed_sent = true;
-        let cmd = info.cmd.clone().expect("accepted proposal stores the command");
+        let cmd = info
+            .cmd
+            .clone()
+            .expect("accepted proposal stores the command");
         let deps = info.deps.clone();
         let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
         actions.extend(self.noop_actions(time));
@@ -588,8 +591,16 @@ mod tests {
             let coordinator = (i % 3 + 1) as ProcessId;
             cluster.submit(coordinator, put(coordinator as u64, i + 1, 0));
         }
-        let total_fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
-        let total_slow: u64 = cluster.replicas.iter().map(|r| r.metrics().slow_paths).sum();
+        let total_fast: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().fast_paths)
+            .sum();
+        let total_slow: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().slow_paths)
+            .sum();
         assert_eq!(total_fast, 20);
         assert_eq!(total_slow, 0);
     }
@@ -601,7 +612,11 @@ mod tests {
         let mut cluster = TestCluster::new(5, 2);
         cluster.submit(1, put(1, 1, 0));
         cluster.submit(3, put(3, 1, 0));
-        let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
+        let fast: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().fast_paths)
+            .sum();
         assert_eq!(fast, 2);
         // Every process executes both, in the same order.
         let reference = cluster.executed_at(1);

@@ -1,0 +1,52 @@
+//! Open-loop driving of a real TCP cluster: fire batches without waiting,
+//! collect per-command latencies as replies stream back.
+//!
+//! ```text
+//! cargo run --release -p atlas-runtime --example open_loop
+//! ```
+
+use atlas_core::{Command, Config};
+use atlas_protocol::Atlas;
+use atlas_runtime::{Cluster, OpenLoopClient};
+
+fn main() {
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let cluster = Cluster::spawn::<Atlas>(Config::new(3, 1))
+            .await
+            .expect("cluster boots");
+        let mut client = OpenLoopClient::connect(cluster.addr(1), 1)
+            .await
+            .expect("client connects");
+
+        // Fire 50 batches of 20 commands without waiting for replies.
+        let (batches, batch_size) = (50u64, 20u64);
+        for batch in 0..batches {
+            let cmds: Vec<Command> = (0..batch_size)
+                .map(|i| {
+                    let rifl = client.next_rifl();
+                    Command::put(rifl, batch * batch_size + i, rifl.seq, 64)
+                })
+                .collect();
+            client.submit_batch(cmds).await.expect("submit");
+        }
+
+        let mut latencies = client.finish().await.expect("all replies collected");
+        assert_eq!(
+            latencies.len(),
+            (batches * batch_size) as usize,
+            "every fired command must be matched with a reply"
+        );
+        latencies.sort_unstable();
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        println!(
+            "open loop: {} commands, latency p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+            latencies.len(),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            latencies[latencies.len() - 1],
+        );
+        cluster.shutdown();
+    });
+}

@@ -1,0 +1,133 @@
+//! Closed-loop workload driver: `atlas-client --addr 127.0.0.1:4001
+//! [--clients 4] [--ops 500] [--keys 100] [--conflict 10] [--payload 64]`
+//!
+//! Spawns `--clients` concurrent closed-loop clients against one replica;
+//! each client issues `--ops` single-key PUTs, picking the shared key 0 with
+//! probability `--conflict`% and a client-private key otherwise (the paper's
+//! §5.2 microbenchmark shape). Prints throughput and latency percentiles.
+
+use atlas_core::{Command, Rifl};
+use atlas_runtime::Client;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Instant;
+
+struct Args {
+    addr: SocketAddr,
+    clients: u64,
+    ops: u64,
+    keys: u64,
+    conflict_pct: u64,
+    payload: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: atlas-client --addr <host:port> [--clients <n>] [--ops <n>] \
+         [--keys <n>] [--conflict <pct>] [--payload <bytes>]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4001".parse().unwrap(),
+        clients: 4,
+        ops: 500,
+        keys: 100,
+        conflict_pct: 10,
+        payload: 64,
+    };
+    let mut iter = std::env::args().skip(1);
+    let mut saw_addr = false;
+    while let Some(flag) = iter.next() {
+        let value = iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = value.parse().unwrap_or_else(|_| usage());
+                saw_addr = true;
+            }
+            "--clients" => args.clients = value.parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = value.parse().unwrap_or_else(|_| usage()),
+            "--keys" => args.keys = value.parse().unwrap_or_else(|_| usage()),
+            "--conflict" => args.conflict_pct = value.parse().unwrap_or_else(|_| usage()),
+            "--payload" => args.payload = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if !saw_addr {
+        usage();
+    }
+    args
+}
+
+async fn drive(
+    addr: SocketAddr,
+    client_id: u64,
+    ops: u64,
+    keys: u64,
+    conflict_pct: u64,
+    payload: usize,
+) -> std::io::Result<Vec<u64>> {
+    let mut client = Client::connect(addr, client_id).await?;
+    let mut rng = SmallRng::seed_from_u64(client_id);
+    let mut latencies_us = Vec::with_capacity(ops as usize);
+    for seq in 1..=ops {
+        let key = if rng.gen_range(0u64..100) < conflict_pct {
+            0
+        } else {
+            1 + client_id * keys + rng.gen_range(0..keys)
+        };
+        let cmd = Command::put(Rifl::new(client_id, seq), key, seq, payload);
+        let start = Instant::now();
+        client.submit(cmd).await?;
+        latencies_us.push(start.elapsed().as_micros() as u64);
+    }
+    Ok(latencies_us)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let started = Instant::now();
+        let mut tasks = Vec::new();
+        for client_id in 1..=args.clients {
+            tasks.push(tokio::spawn(drive(
+                args.addr,
+                client_id,
+                args.ops,
+                args.keys,
+                args.conflict_pct,
+                args.payload,
+            )));
+        }
+        let mut latencies: Vec<u64> = Vec::new();
+        for task in tasks {
+            latencies.extend(task.await.expect("client task").expect("client run"));
+        }
+        let elapsed = started.elapsed();
+        latencies.sort_unstable();
+        let total = latencies.len() as f64;
+        println!(
+            "{} commands in {:.2?}  ->  {:.0} ops/s",
+            latencies.len(),
+            elapsed,
+            total / elapsed.as_secs_f64()
+        );
+        println!(
+            "latency  p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms   max {:>7.2} ms",
+            percentile(&latencies, 0.50) as f64 / 1_000.0,
+            percentile(&latencies, 0.95) as f64 / 1_000.0,
+            percentile(&latencies, 0.99) as f64 / 1_000.0,
+            latencies.last().copied().unwrap_or(0) as f64 / 1_000.0,
+        );
+    });
+}

@@ -1,0 +1,109 @@
+//! Runs one networked replica: `atlas-replica --id 1 --f 1
+//! --addrs 127.0.0.1:4001,127.0.0.1:4002,127.0.0.1:4003 [--protocol atlas]`
+//!
+//! The `--addrs` list is the full cluster membership in identifier order;
+//! replica `--id i` binds the `i`-th address and dials the others with
+//! reconnecting links, so start order does not matter.
+
+use atlas_core::{Config, ProcessId, Protocol};
+use atlas_runtime::replica::{self, ReplicaConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: atlas-replica --id <1..n> --addrs <a1,a2,...> [--f <f>] \
+         [--protocol atlas|epaxos|fpaxos|mencius] [--nfr]"
+    );
+    exit(2);
+}
+
+struct Args {
+    id: ProcessId,
+    addrs: Vec<SocketAddr>,
+    f: usize,
+    protocol: String,
+    nfr: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        id: 0,
+        addrs: Vec::new(),
+        f: 1,
+        protocol: "atlas".to_string(),
+        nfr: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |flag: &str| iter.next().unwrap_or_else(|| usage_for(flag));
+        fn usage_for(flag: &str) -> String {
+            eprintln!("missing value for {flag}");
+            usage()
+        }
+        match flag.as_str() {
+            "--id" => args.id = value("--id").parse().unwrap_or_else(|_| usage()),
+            "--f" => args.f = value("--f").parse().unwrap_or_else(|_| usage()),
+            "--protocol" => args.protocol = value("--protocol"),
+            "--nfr" => args.nfr = true,
+            "--addrs" => {
+                args.addrs = value("--addrs")
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            _ => usage(),
+        }
+    }
+    if args.id == 0 || args.addrs.is_empty() || args.id as usize > args.addrs.len() {
+        usage();
+    }
+    args
+}
+
+fn run<P>(args: &Args)
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
+    let n = args.addrs.len();
+    let config = Config::new(n, args.f).with_nfr(args.nfr);
+    let addrs: HashMap<ProcessId, SocketAddr> = args
+        .addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (i as ProcessId + 1, *addr))
+        .collect();
+    let cfg = ReplicaConfig::new(args.id, config, addrs);
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let handle = replica::spawn::<P>(cfg).await.expect("replica spawn");
+        println!(
+            "{} replica {} listening on {} (n={n}, f={})",
+            P::name(),
+            handle.id,
+            handle.addr,
+            args.f
+        );
+        // Serve until killed.
+        loop {
+            tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
+        }
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    match args.protocol.as_str() {
+        "atlas" => run::<atlas_protocol::Atlas>(&args),
+        "epaxos" => run::<epaxos::EPaxos>(&args),
+        "fpaxos" => run::<fpaxos::FPaxos>(&args),
+        "mencius" => run::<mencius::Mencius>(&args),
+        other => {
+            eprintln!("unknown protocol {other:?}");
+            usage();
+        }
+    }
+}

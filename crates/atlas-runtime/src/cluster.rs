@@ -1,0 +1,84 @@
+//! The [`Cluster`] harness: boots an `n`-replica cluster of any protocol on
+//! localhost, for tests, examples and benches.
+
+use crate::replica::{self, ReplicaConfig, ReplicaHandle};
+use atlas_core::{Config, ProcessId, Protocol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+use tokio::net::TcpListener;
+
+/// A running cluster of networked replicas on 127.0.0.1.
+#[derive(Debug)]
+pub struct Cluster {
+    handles: Vec<ReplicaHandle>,
+    addrs: HashMap<ProcessId, SocketAddr>,
+}
+
+impl Cluster {
+    /// Boots `config.n` replicas of protocol `P` on ephemeral localhost
+    /// ports. Returns once every replica's listener is live (replicas dial
+    /// each other lazily with reconnecting links, so no start-order dance is
+    /// needed).
+    pub async fn spawn<P>(config: Config) -> io::Result<Self>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        Self::spawn_with_tick::<P>(config, Duration::from_millis(25)).await
+    }
+
+    /// Like [`Cluster::spawn`], with an explicit [`Protocol::tick`] cadence.
+    pub async fn spawn_with_tick<P>(config: Config, tick_interval: Duration) -> io::Result<Self>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        // Bind every replica on port 0 first, so the full address map exists
+        // before any replica starts.
+        let mut listeners = Vec::with_capacity(config.n);
+        let mut addrs = HashMap::new();
+        for id in 1..=config.n as ProcessId {
+            let listener = TcpListener::bind("127.0.0.1:0").await?;
+            addrs.insert(id, listener.local_addr()?);
+            listeners.push((id, listener));
+        }
+        let mut handles = Vec::with_capacity(config.n);
+        for (id, listener) in listeners {
+            let mut cfg = ReplicaConfig::new(id, config, addrs.clone());
+            cfg.tick_interval = tick_interval;
+            handles.push(replica::spawn_on_listener::<P>(cfg, listener)?);
+        }
+        Ok(Self { handles, addrs })
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The address of replica `id` (to connect clients to).
+    pub fn addr(&self, id: ProcessId) -> SocketAddr {
+        self.addrs[&id]
+    }
+
+    /// All replica addresses, keyed by identifier.
+    pub fn addrs(&self) -> &HashMap<ProcessId, SocketAddr> {
+        &self.addrs
+    }
+
+    /// Stops every replica.
+    pub fn shutdown(&self) {
+        for handle in &self.handles {
+            handle.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,85 @@
+//! # atlas-runtime
+//!
+//! A tokio-based **networked runtime** that hosts any
+//! [`Protocol`](atlas_core::Protocol) implementation — Atlas, EPaxos,
+//! Flexible Paxos, Mencius — as a replica speaking real TCP, so the very same
+//! pure state machines the discrete-event simulator drives also serve
+//! traffic over sockets. This mirrors the separation the paper's artifact
+//! (and the Compartmentalization line of work) draws between *protocol
+//! logic* and the *deployment substrate*: protocols never see sockets, and
+//! the runtime never sees quorums.
+//!
+//! ## The `Action` → network mapping
+//!
+//! A protocol consumes inputs (`submit`, `handle`, `tick`) and returns
+//! [`Action`](atlas_core::Action)s. The replica event loop
+//! ([`replica`]) owns the protocol plus the local
+//! [`KVStore`](kvstore::KVStore) and maps each action onto the runtime:
+//!
+//! | `Action` | runtime effect |
+//! |---|---|
+//! | `Send { targets, msg }`, remote target | `msg` is bincode-encoded once, wrapped in a length-prefixed [`wire::PeerFrame`], and queued on the reconnecting [`transport::PeerLink`] to each target |
+//! | `Send { .. }`, own id among targets | delivered back into `Protocol::handle` with zero delay, before the next event is taken (the paper's "self-addressed messages are delivered immediately") |
+//! | `Execute { dot, cmd }` | `cmd` is applied to the local KVS, `dot` is appended to the replica's execution record, and — if the submitting client's session lives on this replica — a [`wire::ClientReply::Executed`] is pushed to it |
+//! | `Commit { dot }` | bookkeeping only; clients are answered at execution time |
+//!
+//! Inbound, the runtime turns every network event back into protocol inputs:
+//! peer frames become `handle` calls, client `Submit` frames become `submit`
+//! calls, and a timer turns wall-clock time into periodic `tick` calls.
+//! Time is passed to the protocol as microseconds since replica start, so
+//! protocol-side latency metrics keep working unchanged.
+//!
+//! ## What the runtime does *not* do yet
+//!
+//! Replica state is **in-memory only**: there is no durable log and no
+//! catch-up/state-transfer protocol. A crashed replica's peers keep working
+//! (the protocols tolerate `f` failures and the links buffer + reconnect),
+//! but restarting that replica **with the same identifier** is not sound: a
+//! fresh incarnation re-issues command identifiers its peers already
+//! executed, so its submissions are ignored as duplicates, and it cannot
+//! execute commands whose dependencies predate the restart. Durable logs and
+//! a catch-up protocol are the natural next subsystem on top of this crate.
+//!
+//! ## Pieces
+//!
+//! * [`wire`] — length-prefixed bincode framing and the hello/request/reply
+//!   envelope types;
+//! * [`transport`] — reconnecting outbound peer links (exponential backoff,
+//!   frame-granularity resend);
+//! * [`replica`] — the event loop, acceptor, peer readers, client sessions
+//!   and ticker;
+//! * [`client`] — closed-loop ([`Client`]) and open-loop
+//!   ([`OpenLoopClient`]) drivers with per-command latency capture;
+//! * [`cluster`] — [`Cluster`], a harness booting an n-replica localhost
+//!   cluster for tests/examples/benches.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use atlas_core::Config;
+//! use atlas_protocol::Atlas;
+//! use atlas_runtime::{Client, Cluster};
+//!
+//! let rt = tokio::runtime::Runtime::new().unwrap();
+//! rt.block_on(async {
+//!     // A real 3-replica Atlas cluster over 127.0.0.1 TCP.
+//!     let cluster = Cluster::spawn::<Atlas>(Config::new(3, 1)).await.unwrap();
+//!     let mut client = Client::connect(cluster.addr(1), 1).await.unwrap();
+//!     client.put(42, 7).await.unwrap();
+//!     assert_eq!(client.get(42).await.unwrap(), Some(7));
+//!     cluster.shutdown();
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod replica;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, OpenLoopClient};
+pub use cluster::Cluster;
+pub use replica::{ReplicaConfig, ReplicaHandle};

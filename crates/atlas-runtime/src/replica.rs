@@ -1,0 +1,422 @@
+//! The networked replica: an event loop that owns a [`Protocol`] state
+//! machine plus the local [`KVStore`], and maps the protocol's
+//! [`Action`] output language onto sockets, timers and client sessions.
+//!
+//! One replica runs these tasks:
+//!
+//! * the **event loop** (this module's heart) — single owner of all mutable
+//!   protocol state; consumes [`Event`]s from one mpsc queue;
+//! * an **acceptor** on the replica's listen address; each inbound connection
+//!   identifies itself with a [`Hello`] frame and becomes either a peer
+//!   reader or a client session;
+//! * one **peer reader** per inbound peer connection, decoding
+//!   [`PeerFrame`]s into `Event::Peer`;
+//! * one **client session** per connected client: a reader turning
+//!   `Submit` batches into `Event::Submit` and a writer draining that
+//!   session's replies;
+//! * one **writer task per outbound peer link** (see [`crate::transport`]);
+//! * a **ticker** emitting `Event::Tick` at a fixed cadence, which the event
+//!   loop forwards to [`Protocol::tick`] as periodic events.
+
+use crate::transport::PeerLink;
+use crate::wire::{read_frame, write_frame, ClientReply, ClientRequest, Hello, PeerFrame};
+use atlas_core::{Action, ClientId, Command, Config, Dot, ProcessId, Protocol, Rifl, Topology};
+use kvstore::KVStore;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use tokio::net::TcpListener;
+use tokio::sync::mpsc::{self, UnboundedReceiver, UnboundedSender};
+
+/// Static configuration of one networked replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's identifier (`1..=n`).
+    pub id: ProcessId,
+    /// Protocol configuration (`n`, `f`, optimization switches).
+    pub config: Config,
+    /// Listen/dial addresses of **all** replicas, own id included.
+    pub addrs: HashMap<ProcessId, SocketAddr>,
+    /// Cadence of [`Protocol::tick`] periodic events.
+    pub tick_interval: Duration,
+}
+
+impl ReplicaConfig {
+    /// Configuration with the default 25 ms tick cadence.
+    pub fn new(id: ProcessId, config: Config, addrs: HashMap<ProcessId, SocketAddr>) -> Self {
+        Self {
+            id,
+            config,
+            addrs,
+            tick_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Everything that can happen to a replica, funnelled into one queue so the
+/// event loop is the single owner of protocol state (no locks anywhere).
+enum Event<M> {
+    /// A protocol message arrived from peer `from`.
+    Peer {
+        /// The sending replica.
+        from: ProcessId,
+        /// The decoded protocol message.
+        msg: M,
+    },
+    /// A local client submitted a command.
+    Submit {
+        /// The command.
+        cmd: Command,
+        /// Where to route this client's replies from now on.
+        session: UnboundedSender<ClientReply>,
+    },
+    /// A client asked for the execution record.
+    Query {
+        /// Where to send the reply.
+        session: UnboundedSender<ClientReply>,
+    },
+    /// Periodic tick.
+    Tick,
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// Handle to a spawned replica.
+pub struct ReplicaHandle {
+    /// The replica's identifier.
+    pub id: ProcessId,
+    /// The address the replica listens on.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown: Box<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for ReplicaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaHandle")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ReplicaHandle {
+    /// Stops the replica: ends the event loop, aborts reconnect loops and
+    /// unblocks the acceptor. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        (self.shutdown)();
+        // The acceptor task is blocked in `accept`; a dummy connection
+        // unblocks it so it can observe the stop flag and exit.
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+/// Binds `cfg`'s own address and spawns the replica on it.
+pub async fn spawn<P>(cfg: ReplicaConfig) -> io::Result<ReplicaHandle>
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
+    let addr = cfg.addrs[&cfg.id];
+    let listener = TcpListener::bind(addr).await?;
+    spawn_on_listener::<P>(cfg, listener)
+}
+
+/// Spawns the replica on an already-bound listener (lets a harness bind port
+/// 0 for every replica first and distribute the real addresses afterwards).
+pub fn spawn_on_listener<P>(cfg: ReplicaConfig, listener: TcpListener) -> io::Result<ReplicaHandle>
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
+    let addr = listener.local_addr()?;
+    let id = cfg.id;
+    let n = cfg.config.n;
+    assert_eq!(
+        cfg.addrs.len(),
+        n,
+        "replica {id}: {} addresses configured for n={n}",
+        cfg.addrs.len()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (event_tx, event_rx) = mpsc::unbounded_channel::<Event<P::Message>>();
+
+    // Outbound links to every other replica (self-sends short-circuit inside
+    // the event loop and never touch the network).
+    let mut links = HashMap::new();
+    for (&peer, &peer_addr) in &cfg.addrs {
+        if peer != id {
+            links.insert(peer, PeerLink::spawn(id, peer_addr, Arc::clone(&stop)));
+        }
+    }
+
+    tokio::spawn(acceptor(listener, event_tx.clone(), Arc::clone(&stop)));
+    tokio::spawn(ticker(
+        cfg.tick_interval,
+        event_tx.clone(),
+        Arc::clone(&stop),
+    ));
+
+    let topology = Topology::identity(id, n);
+    let protocol = P::new(id, cfg.config, topology);
+    tokio::spawn(event_loop(protocol, id, links, event_rx));
+
+    let shutdown_tx = event_tx;
+    Ok(ReplicaHandle {
+        id,
+        addr,
+        stop,
+        shutdown: Box::new(move || {
+            let _ = shutdown_tx.send(Event::Shutdown);
+        }),
+    })
+}
+
+/// Accepts inbound connections and classifies them by their hello frame.
+async fn acceptor<M>(
+    listener: TcpListener,
+    event_tx: UnboundedSender<Event<M>>,
+    stop: Arc<AtomicBool>,
+) where
+    M: Deserialize + Send + 'static,
+{
+    loop {
+        let accepted = listener.accept().await;
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok((stream, _)) = accepted else {
+            // Persistent accept errors (e.g. fd exhaustion) would otherwise
+            // busy-spin this task; back off briefly before retrying.
+            tokio::time::sleep(Duration::from_millis(50)).await;
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let event_tx = event_tx.clone();
+        tokio::spawn(async move {
+            let (mut reader, writer) = stream.into_split();
+            match read_frame::<_, Hello>(&mut reader).await {
+                Ok(Hello::Peer { from }) => peer_reader(reader, from, event_tx).await,
+                Ok(Hello::Client { client }) => {
+                    client_session(reader, writer, client, event_tx).await
+                }
+                // Dummy shutdown connections and port scanners land here.
+                Err(_) => {}
+            }
+        });
+    }
+}
+
+/// Pumps protocol messages from one inbound peer connection into the event
+/// loop. Ends at EOF / connection error (the peer will redial).
+async fn peer_reader<M>(
+    mut reader: OwnedReadHalf,
+    from: ProcessId,
+    event_tx: UnboundedSender<Event<M>>,
+) where
+    M: Deserialize,
+{
+    while let Ok(frame) = read_frame::<_, PeerFrame>(&mut reader).await {
+        debug_assert_eq!(frame.from, from, "peer hello/frame sender mismatch");
+        let Ok(msg) = bincode::deserialize::<M>(&frame.payload) else {
+            // A partner speaking another protocol version; drop the frame
+            // rather than poisoning the event loop.
+            continue;
+        };
+        if event_tx.send(Event::Peer { from, msg }).is_err() {
+            return; // event loop gone: replica is shutting down
+        }
+    }
+}
+
+/// One connected client: forwards submissions into the event loop and drains
+/// the session's replies back into the socket.
+async fn client_session<M>(
+    mut reader: OwnedReadHalf,
+    mut writer: OwnedWriteHalf,
+    client: ClientId,
+    event_tx: UnboundedSender<Event<M>>,
+) {
+    let (reply_tx, mut reply_rx) = mpsc::unbounded_channel::<ClientReply>();
+    // Writer side: one task per session so a slow client only stalls itself.
+    tokio::spawn(async move {
+        while let Some(reply) = reply_rx.recv().await {
+            if write_frame(&mut writer, &reply).await.is_err() {
+                return;
+            }
+        }
+    });
+    loop {
+        match read_frame::<_, ClientRequest>(&mut reader).await {
+            Ok(ClientRequest::Submit { cmds }) => {
+                for cmd in cmds {
+                    debug_assert_eq!(
+                        cmd.rifl.client, client,
+                        "client {client} submitted a command with a foreign rifl"
+                    );
+                    let event = Event::Submit {
+                        cmd,
+                        session: reply_tx.clone(),
+                    };
+                    if event_tx.send(event).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(ClientRequest::ExecutionLog) => {
+                let event = Event::Query {
+                    session: reply_tx.clone(),
+                };
+                if event_tx.send(event).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return, // client disconnected
+        }
+    }
+}
+
+/// Emits `Event::Tick` at a fixed cadence until shutdown.
+async fn ticker<M>(period: Duration, event_tx: UnboundedSender<Event<M>>, stop: Arc<AtomicBool>) {
+    let mut interval = tokio::time::interval(period);
+    loop {
+        interval.tick().await;
+        if stop.load(Ordering::Relaxed) || event_tx.send(Event::Tick).is_err() {
+            return;
+        }
+    }
+}
+
+/// The event loop: single-threaded owner of the protocol state machine, the
+/// store, the execution record and the client reply routes.
+async fn event_loop<P>(
+    mut protocol: P,
+    id: ProcessId,
+    links: HashMap<ProcessId, PeerLink>,
+    mut events: UnboundedReceiver<Event<P::Message>>,
+) where
+    P: Protocol,
+    P::Message: Serialize + Deserialize,
+{
+    let start = Instant::now();
+    let mut store = KVStore::new();
+    let mut log: Vec<(Dot, Rifl)> = Vec::new();
+    let mut sessions: HashMap<ClientId, UnboundedSender<ClientReply>> = HashMap::new();
+
+    while let Some(event) = events.recv().await {
+        let now = start.elapsed().as_micros() as u64;
+        let actions = match event {
+            Event::Peer { from, msg } => protocol.handle(from, msg, now),
+            Event::Submit { cmd, session } => {
+                // Route all of this client's replies through its session (a
+                // client that reconnects simply re-registers here).
+                sessions.insert(cmd.rifl.client, session);
+                protocol.submit(cmd, now)
+            }
+            Event::Query { session } => {
+                let _ = session.send(ClientReply::ExecutionLog {
+                    entries: log.clone(),
+                    digest: store.digest(),
+                });
+                continue;
+            }
+            Event::Tick => protocol.tick(now),
+            Event::Shutdown => return,
+        };
+
+        // Drain actions to fixpoint: self-addressed sends are delivered with
+        // zero delay (the paper's assumption), and may themselves produce
+        // more actions.
+        let mut local: VecDeque<(ProcessId, P::Message)> = VecDeque::new();
+        perform_actions(
+            id,
+            &links,
+            &mut store,
+            &mut log,
+            &mut sessions,
+            actions,
+            &mut local,
+        );
+        while let Some((from, msg)) = local.pop_front() {
+            let actions = protocol.handle(from, msg, now);
+            perform_actions(
+                id,
+                &links,
+                &mut store,
+                &mut log,
+                &mut sessions,
+                actions,
+                &mut local,
+            );
+        }
+    }
+}
+
+/// Maps one batch of protocol [`Action`]s onto the runtime:
+///
+/// * `Send` to a remote peer → encode once, enqueue on that peer's link;
+/// * `Send` to self → queue for immediate local handling;
+/// * `Execute` → apply to the store, append to the execution record and
+///   answer the submitting client if its session lives here;
+/// * `Commit` → bookkeeping only (clients are answered at execution).
+fn perform_actions<M: Serialize + Clone>(
+    id: ProcessId,
+    links: &HashMap<ProcessId, PeerLink>,
+    store: &mut KVStore,
+    log: &mut Vec<(Dot, Rifl)>,
+    sessions: &mut HashMap<ClientId, UnboundedSender<ClientReply>>,
+    actions: Vec<Action<M>>,
+    local: &mut VecDeque<(ProcessId, M)>,
+) {
+    for action in actions {
+        match action {
+            Action::Send { targets, msg } => {
+                let mut frame: Option<Vec<u8>> = None;
+                for target in targets {
+                    if target == id {
+                        local.push_back((id, msg.clone()));
+                        continue;
+                    }
+                    let Some(link) = links.get(&target) else {
+                        debug_assert!(false, "send to unknown replica {target}");
+                        continue;
+                    };
+                    let frame = frame.get_or_insert_with(|| {
+                        let payload =
+                            bincode::serialize(&msg).expect("protocol messages always encode");
+                        bincode::serialize(&PeerFrame { from: id, payload })
+                            .expect("peer frames always encode")
+                    });
+                    link.send(frame.clone());
+                }
+            }
+            Action::Execute { dot, cmd } => {
+                let rifl = cmd.rifl;
+                let mut outputs: Vec<_> = store.execute(&cmd).into_iter().collect();
+                outputs.sort_by_key(|(key, _)| *key);
+                log.push((dot, rifl));
+                if let Some(session) = sessions.get(&rifl.client) {
+                    // A dead session (client gone) is fine; the command still
+                    // executed, only the notification is dropped. Evict the
+                    // route so the session's reply-writer task (and its
+                    // socket half) are freed instead of leaking per
+                    // disconnected client.
+                    if session
+                        .send(ClientReply::Executed { rifl, outputs })
+                        .is_err()
+                    {
+                        sessions.remove(&rifl.client);
+                    }
+                }
+            }
+            Action::Commit { .. } => {}
+        }
+    }
+}

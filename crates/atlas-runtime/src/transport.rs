@@ -1,0 +1,113 @@
+//! Reconnecting peer links.
+//!
+//! A replica owns one [`PeerLink`] per remote peer. The link is a handle to a
+//! dedicated **writer task** that dials the peer, identifies itself with
+//! [`Hello::Peer`](crate::wire::Hello), and then drains an unbounded outbound
+//! queue of pre-encoded [`PeerFrame`](crate::wire::PeerFrame) payloads into
+//! the socket. Peer connections are unidirectional (see [`crate::wire`]):
+//! replica `i`'s messages to `j` always travel over the connection `i` dialed
+//! to `j`, while messages from `j` arrive on the connection `j` dialed.
+//!
+//! If the connection drops (or was never up), the writer reconnects with
+//! exponential backoff and **resends the frame whose write failed**. Two
+//! loss/duplication windows remain, inherent to ack-less TCP: a frame
+//! `write_all` accepted into the kernel send buffer may still be undelivered
+//! when the connection breaks (lost), and a frame that *was* received right
+//! before the break is resent on the fresh connection (duplicated — the
+//! hosted protocols are idempotent against duplicates, so this is safe).
+//! Closing the loss window needs application-level acknowledgements and a
+//! resend buffer; that belongs with the durability/catch-up subsystem (see
+//! the crate docs), since a peer that crashes outright loses its protocol
+//! state anyway.
+
+use crate::wire::{write_frame, write_raw_frame, Hello};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::tcp::OwnedWriteHalf;
+use tokio::net::TcpStream;
+use tokio::sync::mpsc::{self, UnboundedSender};
+
+use atlas_core::ProcessId;
+
+/// Initial reconnect backoff; doubles up to [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+/// Backoff ceiling while a peer is unreachable.
+const MAX_BACKOFF: Duration = Duration::from_millis(1_000);
+
+/// Handle to the outbound link to one peer.
+#[derive(Debug, Clone)]
+pub struct PeerLink {
+    tx: UnboundedSender<Vec<u8>>,
+}
+
+impl PeerLink {
+    /// Spawns the writer task for the link `self_id → peer` at `addr`.
+    ///
+    /// `stop` aborts reconnect loops at shutdown; an established idle link
+    /// terminates when the owning replica drops its `PeerLink` handles.
+    pub fn spawn(self_id: ProcessId, addr: SocketAddr, stop: Arc<AtomicBool>) -> Self {
+        let (tx, rx) = mpsc::unbounded_channel();
+        tokio::spawn(writer_task(self_id, addr, rx, stop));
+        Self { tx }
+    }
+
+    /// Queues one pre-encoded `PeerFrame` payload for delivery.
+    pub fn send(&self, frame: Vec<u8>) {
+        // Failure means the writer task exited (shutdown); dropping the
+        // frame is then correct.
+        let _ = self.tx.send(frame);
+    }
+}
+
+/// Dials `addr` and sends the peer hello, returning the write half.
+async fn connect(self_id: ProcessId, addr: SocketAddr) -> std::io::Result<OwnedWriteHalf> {
+    let stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true)?;
+    let (_read_half, mut write_half) = stream.into_split();
+    write_frame(&mut write_half, &Hello::Peer { from: self_id }).await?;
+    Ok(write_half)
+}
+
+async fn writer_task(
+    self_id: ProcessId,
+    addr: SocketAddr,
+    mut rx: mpsc::UnboundedReceiver<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn: Option<OwnedWriteHalf> = None;
+    let mut backoff = INITIAL_BACKOFF;
+    'next_frame: while let Some(frame) = rx.recv().await {
+        // Deliver `frame`, (re)connecting as needed, until it is on the wire
+        // or the runtime shuts down.
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let writer = match &mut conn {
+                Some(writer) => writer,
+                None => match connect(self_id, addr).await {
+                    Ok(writer) => {
+                        backoff = INITIAL_BACKOFF;
+                        conn.insert(writer)
+                    }
+                    Err(_) => {
+                        tokio::time::sleep(backoff).await;
+                        backoff = (backoff * 2).min(MAX_BACKOFF);
+                        continue;
+                    }
+                },
+            };
+            match write_raw_frame(writer, &frame).await {
+                Ok(()) => continue 'next_frame,
+                Err(_) => {
+                    // Connection broke mid-frame: drop it and resend the
+                    // whole frame on a fresh one (the receiver discards
+                    // partial frames with the dead connection).
+                    conn = None;
+                }
+            }
+        }
+    }
+}

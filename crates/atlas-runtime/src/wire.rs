@@ -1,0 +1,246 @@
+//! Wire format of the networked runtime.
+//!
+//! Every connection — replica↔replica and client↔replica — carries
+//! **length-prefixed bincode frames**: a little-endian `u32` payload length
+//! followed by the bincode encoding of one value. The first frame on any
+//! inbound connection is a [`Hello`] identifying the dialer; everything after
+//! depends on the connection kind:
+//!
+//! * peer connections are **unidirectional**: the dialer only writes
+//!   [`PeerFrame`]s (its protocol messages), the acceptor only reads;
+//! * client connections are bidirectional: [`ClientRequest`] frames flow in,
+//!   [`ClientReply`] frames flow out.
+//!
+//! Protocol messages are carried as an opaque `Vec<u8>` payload inside
+//! [`PeerFrame`] (bincode within bincode) so the envelope types stay
+//! non-generic while the runtime remains generic over the hosted
+//! [`Protocol`](atlas_core::Protocol)'s message type.
+
+use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl};
+use kvstore::Output;
+use serde::{Deserialize, Serialize};
+use std::io;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Upper bound on a frame payload; guards against corrupted length prefixes.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// First frame on every connection: who is dialing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hello {
+    /// A fellow replica; subsequent frames are [`PeerFrame`]s.
+    Peer {
+        /// The dialing replica.
+        from: ProcessId,
+    },
+    /// A client; subsequent frames are [`ClientRequest`]s.
+    Client {
+        /// The dialing client.
+        client: ClientId,
+    },
+}
+
+/// One protocol message on a peer connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerFrame {
+    /// The sending replica.
+    pub from: ProcessId,
+    /// bincode encoding of the protocol's `Message` type.
+    pub payload: Vec<u8>,
+}
+
+/// Requests a client sends to its replica.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Submit a batch of commands; one [`ClientReply::Executed`] comes back
+    /// per command, in execution order (not necessarily submission order).
+    Submit {
+        /// The batched commands.
+        cmds: Vec<Command>,
+    },
+    /// Ask for the replica's execution record (testing/inspection).
+    ExecutionLog,
+}
+
+/// Replies a replica sends to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientReply {
+    /// A command this client submitted was executed.
+    Executed {
+        /// The command's request identifier.
+        rifl: Rifl,
+        /// Per-key outputs of the execution.
+        outputs: Vec<(Key, Output)>,
+    },
+    /// The replica's execution record so far.
+    ExecutionLog {
+        /// Executed commands — `(dot, rifl)` — in local execution order.
+        entries: Vec<(Dot, Rifl)>,
+        /// Digest of the replica's key–value store state.
+        digest: u64,
+    },
+}
+
+fn encode_err(e: bincode::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Writes one length-prefixed frame containing the bincode encoding of
+/// `value`.
+pub async fn write_frame<W, T>(writer: &mut W, value: &T) -> io::Result<()>
+where
+    W: AsyncWriteExt,
+    T: Serialize,
+{
+    let payload = bincode::serialize(value).map_err(encode_err)?;
+    write_raw_frame(writer, &payload).await
+}
+
+/// Writes one length-prefixed frame around pre-encoded `payload` bytes.
+pub async fn write_raw_frame<W: AsyncWriteExt>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    // One write_all for the whole frame: a frame is either fully queued on
+    // the socket or the connection is considered broken (and the link layer
+    // resends the frame on a fresh connection).
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    writer.write_all(&buf).await
+}
+
+/// Reads one length-prefixed frame and decodes it as a `T`.
+pub async fn read_frame<R, T>(reader: &mut R) -> io::Result<T>
+where
+    R: AsyncReadExt,
+    T: Deserialize,
+{
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf).await?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).await?;
+    bincode::deserialize(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::{Command, Config, Rifl, Topology};
+    use atlas_protocol::Message as AtlasMessage;
+    use std::collections::HashSet;
+
+    #[test]
+    fn atlas_messages_round_trip_through_bincode() {
+        let cmd = Command::put(Rifl::new(7, 3), 42, 9, 100);
+        let msgs = vec![
+            AtlasMessage::MCollect {
+                dot: Dot::new(1, 1),
+                cmd: cmd.clone(),
+                past: [Dot::new(2, 1), Dot::new(3, 5)].into_iter().collect(),
+                quorum: vec![1, 2, 3],
+            },
+            AtlasMessage::MCollectAck {
+                dot: Dot::new(1, 1),
+                deps: HashSet::new(),
+            },
+            AtlasMessage::MCommit {
+                dot: Dot::new(1, 1),
+                cmd: cmd.clone(),
+                deps: [Dot::new(9, 9)].into_iter().collect(),
+            },
+        ];
+        for msg in msgs {
+            let bytes = bincode::serialize(&msg).unwrap();
+            let back: AtlasMessage = bincode::deserialize(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn baseline_messages_round_trip_through_bincode() {
+        let cmd = Command::put(Rifl::new(1, 1), 0, 1, 64);
+        let epx = epaxos::Message::MPreAccept {
+            dot: Dot::new(2, 9),
+            cmd: cmd.clone(),
+            deps: [Dot::new(1, 1)].into_iter().collect(),
+            quorum: vec![1, 2, 3, 4],
+        };
+        let bytes = bincode::serialize(&epx).unwrap();
+        assert_eq!(
+            bincode::deserialize::<epaxos::Message>(&bytes).unwrap(),
+            epx
+        );
+
+        let fpx = fpaxos::Message::MPromise {
+            ballot: 12,
+            accepted: [(3u64, (7u64, cmd.clone()))].into_iter().collect(),
+        };
+        let bytes = bincode::serialize(&fpx).unwrap();
+        assert_eq!(
+            bincode::deserialize::<fpaxos::Message>(&bytes).unwrap(),
+            fpx
+        );
+
+        let men = mencius::Message::MSkip {
+            slots: vec![1, 4, 7],
+        };
+        let bytes = bincode::serialize(&men).unwrap();
+        assert_eq!(
+            bincode::deserialize::<mencius::Message>(&bytes).unwrap(),
+            men
+        );
+    }
+
+    #[test]
+    fn wire_envelopes_round_trip() {
+        let hello = Hello::Peer { from: 3 };
+        let bytes = bincode::serialize(&hello).unwrap();
+        assert_eq!(bincode::deserialize::<Hello>(&bytes).unwrap(), hello);
+
+        let req = ClientRequest::Submit {
+            cmds: vec![Command::get(Rifl::new(5, 1), 11)],
+        };
+        let bytes = bincode::serialize(&req).unwrap();
+        assert_eq!(bincode::deserialize::<ClientRequest>(&bytes).unwrap(), req);
+
+        let reply = ClientReply::Executed {
+            rifl: Rifl::new(5, 1),
+            outputs: vec![(11, Output::Value(Some(9)))],
+        };
+        let bytes = bincode::serialize(&reply).unwrap();
+        assert_eq!(bincode::deserialize::<ClientReply>(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn corrupted_protocol_payload_is_an_error_not_a_panic() {
+        let cmd = Command::put(Rifl::new(1, 1), 0, 1, 64);
+        let msg = AtlasMessage::MCommit {
+            dot: Dot::new(1, 1),
+            cmd,
+            deps: HashSet::new(),
+        };
+        let mut bytes = bincode::serialize(&msg).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(bincode::deserialize::<AtlasMessage>(&bytes).is_err());
+    }
+
+    /// `Protocol::new` only sees `Config` and `Topology`; make sure both the
+    /// types a deployment tool would ship over the network round-trip too.
+    #[test]
+    fn config_and_topology_round_trip() {
+        let config = Config::new(5, 2).with_nfr(true);
+        let bytes = bincode::serialize(&config).unwrap();
+        assert_eq!(bincode::deserialize::<Config>(&bytes).unwrap(), config);
+
+        let topology = Topology::identity(2, 5);
+        let bytes = bincode::serialize(&topology).unwrap();
+        assert_eq!(bincode::deserialize::<Topology>(&bytes).unwrap(), topology);
+    }
+}

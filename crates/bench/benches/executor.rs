@@ -27,7 +27,11 @@ fn dependency_chain(c: &mut Criterion) {
         b.iter(|| {
             let mut graph = DependencyGraph::new();
             for i in 1..=10_000u64 {
-                let deps = if i == 1 { vec![] } else { vec![Dot::new(1, i - 1)] };
+                let deps = if i == 1 {
+                    vec![]
+                } else {
+                    vec![Dot::new(1, i - 1)]
+                };
                 graph.commit(Dot::new(1, i), cmd(i), deps);
             }
             graph.executed_count()

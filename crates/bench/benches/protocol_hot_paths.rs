@@ -75,7 +75,10 @@ fn commit_throughput(c: &mut Criterion) {
                     let mut cluster = Cluster::<Atlas>::new(n, f);
                     for i in 0..1_000u64 {
                         let at = (i % n as u64 + 1) as ProcessId;
-                        cluster.submit(at, Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100));
+                        cluster.submit(
+                            at,
+                            Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100),
+                        );
                     }
                     cluster.executed
                 })
@@ -89,7 +92,10 @@ fn commit_throughput(c: &mut Criterion) {
                     let mut cluster = Cluster::<EPaxos>::new(n, f);
                     for i in 0..1_000u64 {
                         let at = (i % n as u64 + 1) as ProcessId;
-                        cluster.submit(at, Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100));
+                        cluster.submit(
+                            at,
+                            Command::put(Rifl::new(at as u64, i + 1), i % 16, i, 100),
+                        );
                     }
                     cluster.executed
                 })
@@ -121,7 +127,9 @@ fn quorum_threshold_union(c: &mut Criterion) {
             .map(|p| {
                 (
                     p,
-                    (0..32u64).map(|i| Dot::new((i % 8 + 1) as ProcessId, i)).collect(),
+                    (0..32u64)
+                        .map(|i| Dot::new((i % 8 + 1) as ProcessId, i))
+                        .collect(),
                 )
             })
             .collect();

@@ -1,0 +1,80 @@
+//! Baseline for the real TCP stack: commands/sec through a 3-replica Atlas
+//! cluster on localhost, measured at a closed-loop client. Later transport
+//! optimizations (frame coalescing, zero-copy encode, connection pooling)
+//! are judged against these numbers.
+
+use atlas_core::{Command, Config, Rifl};
+use atlas_protocol::Atlas;
+use atlas_runtime::{Client, Cluster};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Harness {
+    rt: tokio::runtime::Runtime,
+    _cluster: Cluster,
+    client: Client,
+    seq: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let rt = tokio::runtime::Runtime::new().expect("runtime");
+        let (cluster, client) = rt.block_on(async {
+            let cluster = Cluster::spawn::<Atlas>(Config::new(3, 1))
+                .await
+                .expect("cluster boots");
+            let client = Client::connect(cluster.addr(1), 1).await.expect("client");
+            (cluster, client)
+        });
+        Self {
+            rt,
+            _cluster: cluster,
+            client,
+            seq: 0,
+        }
+    }
+
+    fn next_rifl(&mut self) -> Rifl {
+        self.seq += 1;
+        Rifl::new(1, self.seq)
+    }
+}
+
+/// One conflicting PUT per iteration: full submit → commit → execute →
+/// reply round trip over loopback TCP.
+fn put_round_trip(c: &mut Criterion) {
+    let mut h = Harness::new();
+    c.bench_function("runtime_loopback/put_round_trip", |b| {
+        b.iter(|| {
+            let rifl = h.next_rifl();
+            let cmd = Command::put(rifl, 0, rifl.seq, 64);
+            h.rt.block_on(h.client.submit(cmd))
+                .expect("command executes")
+        });
+    });
+}
+
+/// A 16-command batch per iteration (single submit frame, 16 executions
+/// awaited): measures how much framing/syscall overhead batching amortizes.
+fn put_batch_16(c: &mut Criterion) {
+    let mut h = Harness::new();
+    c.bench_function("runtime_loopback/put_batch_16", |b| {
+        b.iter(|| {
+            let cmds: Vec<Command> = (0..16)
+                .map(|i| {
+                    let rifl = h.next_rifl();
+                    // Distinct keys: the batch commits in parallel.
+                    Command::put(rifl, 1 + i, rifl.seq, 64)
+                })
+                .collect();
+            h.rt.block_on(h.client.submit_batch(cmds))
+                .expect("batch executes")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = put_round_trip, put_batch_16
+}
+criterion_main!(benches);

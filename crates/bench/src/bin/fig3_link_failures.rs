@@ -19,7 +19,16 @@ fn main() {
         campaign.duration_s / 86_400
     );
     println!();
-    println!("{}", header(&["threshold", "detected link failures", "max simultaneous", "failure events", "min f to cover"]));
+    println!(
+        "{}",
+        header(&[
+            "threshold",
+            "detected link failures",
+            "max simultaneous",
+            "failure events",
+            "min f to cover"
+        ])
+    );
     for threshold in [3.0, 5.0, 10.0] {
         let detected = analysis::link_failures(&campaign, threshold).len();
         let peak = analysis::max_simultaneous(&campaign, threshold);

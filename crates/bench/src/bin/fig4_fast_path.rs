@@ -18,7 +18,10 @@ fn main() {
     println!("# Figure 4 — fast-path ratio vs conflict rate");
     println!("# 3 sites for f=1, 5 sites for f=2, 7 sites for f=3; 1 client per site");
     println!();
-    println!("{}", header(&["protocol", "sites", "conflict %", "fast path %"]));
+    println!(
+        "{}",
+        header(&["protocol", "sites", "conflict %", "fast path %"])
+    );
     for p in fast_path::run_experiment(&params) {
         println!(
             "{}",

@@ -19,7 +19,16 @@ fn main() {
     println!("# Figure 5 — latency when scaling out (fixed client population)");
     println!("# clients spread over 13 locations, 2% conflicts, 100 B commands");
     println!();
-    println!("{}", header(&["sites", "protocol", "latency (ms)", "optimal (ms)", "overhead %"]));
+    println!(
+        "{}",
+        header(&[
+            "sites",
+            "protocol",
+            "latency (ms)",
+            "optimal (ms)",
+            "overhead %"
+        ])
+    );
     for p in scale_out::run_experiment(&params) {
         println!(
             "{}",

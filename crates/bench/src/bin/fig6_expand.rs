@@ -18,9 +18,20 @@ fn main() {
     };
 
     println!("# Figure 6 — latency penalty when expanding the service");
-    println!("# 128 clients per site (load grows with the deployment), 1% conflicts, 3 KB commands");
+    println!(
+        "# 128 clients per site (load grows with the deployment), 1% conflicts, 3 KB commands"
+    );
     println!();
-    println!("{}", header(&["sites", "protocol", "latency (ms)", "optimal (ms)", "penalty (x)"]));
+    println!(
+        "{}",
+        header(&[
+            "sites",
+            "protocol",
+            "latency (ms)",
+            "optimal (ms)",
+            "penalty (x)"
+        ])
+    );
     for p in expand::run_experiment(&params) {
         println!(
             "{}",

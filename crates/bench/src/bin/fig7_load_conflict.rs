@@ -21,7 +21,13 @@ fn main() {
     println!();
     println!(
         "{}",
-        header(&["conflict %", "protocol", "clients/site", "throughput (ops/s)", "latency (ms)"])
+        header(&[
+            "conflict %",
+            "protocol",
+            "clients/site",
+            "throughput (ops/s)",
+            "latency (ms)"
+        ])
     );
     for p in load_sweep::run_experiment(&params) {
         println!(

@@ -30,7 +30,16 @@ fn main() {
             set.total_ops, set.ops_after_recovery
         );
         println!();
-        println!("{}", header(&["time (s)", "TW ops/s", "FI ops/s", "SC ops/s", "all sites ops/s"]));
+        println!(
+            "{}",
+            header(&[
+                "time (s)",
+                "TW ops/s",
+                "FI ops/s",
+                "SC ops/s",
+                "all sites ops/s"
+            ])
+        );
         // Print a downsampled series (every 5th window) to keep the table
         // readable; the full series is available programmatically.
         let step = 5;

@@ -48,7 +48,10 @@ pub fn row(cells: &[String]) -> String {
 /// Prints a header followed by a separator, returning both lines.
 pub fn header(cells: &[&str]) -> String {
     let head = row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    let sep = format!("|{}|", cells.iter().map(|_| " --- ").collect::<Vec<_>>().join("|"));
+    let sep = format!(
+        "|{}|",
+        cells.iter().map(|_| " --- ").collect::<Vec<_>>().join("|")
+    );
     format!("{head}\n{sep}")
 }
 

@@ -28,13 +28,14 @@ use atlas_core::{
     Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
 };
 use atlas_protocol::{DependencyGraph, KeyDeps};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Ballot numbers for the accept phase.
 pub type Ballot = u64;
 
 /// Wire messages of the EPaxos commit protocol.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Coordinator → fast quorum: start the pre-accept phase.
     MPreAccept {
@@ -91,7 +92,9 @@ impl Message {
         match self {
             Message::MPreAccept { cmd, deps, .. }
             | Message::MAccept { cmd, deps, .. }
-            | Message::MCommit { cmd, deps, .. } => HEADER + cmd.payload_size + PER_DEP * deps.len(),
+            | Message::MCommit { cmd, deps, .. } => {
+                HEADER + cmd.payload_size + PER_DEP * deps.len()
+            }
             Message::MPreAcceptAck { deps, .. } => HEADER + PER_DEP * deps.len(),
             Message::MAcceptAck { .. } => HEADER,
         }
@@ -175,7 +178,10 @@ impl EPaxos {
         info.cmd = Some(cmd);
         info.deps = local.clone();
         info.quorum = quorum;
-        vec![Action::send([from], Message::MPreAcceptAck { dot, deps: local })]
+        vec![Action::send(
+            [from],
+            Message::MPreAcceptAck { dot, deps: local },
+        )]
     }
 
     fn handle_preaccept_ack(
@@ -487,8 +493,16 @@ mod tests {
         let mut cluster = Cluster::new(5, 2);
         cluster.submit(1, put(1, 1, 1));
         cluster.submit(2, put(2, 1, 2));
-        let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
-        let slow: u64 = cluster.replicas.iter().map(|r| r.metrics().slow_paths).sum();
+        let fast: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().fast_paths)
+            .sum();
+        let slow: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().slow_paths)
+            .sum();
         assert_eq!(fast, 2);
         assert_eq!(slow, 0);
     }
@@ -499,7 +513,11 @@ mod tests {
         let mut cluster = Cluster::new(5, 2);
         cluster.submit(1, put(1, 1, 0));
         cluster.submit(2, put(2, 1, 0));
-        let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
+        let fast: u64 = cluster
+            .replicas
+            .iter()
+            .map(|r| r.metrics().fast_paths)
+            .sum();
         assert_eq!(fast, 2);
     }
 

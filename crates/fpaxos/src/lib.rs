@@ -25,9 +25,8 @@
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
-use atlas_core::{
-    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology,
-};
+use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Log slot index (1-based).
@@ -36,8 +35,12 @@ pub type Slot = u64;
 /// Ballot number; encodes the leader identity (`ballot % n == leader - 1`).
 pub type Ballot = u64;
 
+/// Previously accepted entries reported in a phase-1 promise:
+/// slot → (accepted ballot, command).
+pub type PromisedEntries = BTreeMap<Slot, (Ballot, Command)>;
+
 /// Wire messages of the FPaxos protocol.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Proxy → leader: please order this command.
     MForward {
@@ -93,12 +96,18 @@ impl Message {
     pub fn size_bytes(&self) -> usize {
         const HEADER: usize = 32;
         match self {
-            Message::MForward { cmd } | Message::MCommit { cmd, .. } | Message::MAccept { cmd, .. } => {
-                HEADER + cmd.payload_size
+            Message::MForward { cmd }
+            | Message::MCommit { cmd, .. }
+            | Message::MAccept { cmd, .. } => HEADER + cmd.payload_size,
+            Message::MAccepted { .. } | Message::MPrepare { .. } | Message::MNewLeader { .. } => {
+                HEADER
             }
-            Message::MAccepted { .. } | Message::MPrepare { .. } | Message::MNewLeader { .. } => HEADER,
             Message::MPromise { accepted, .. } => {
-                HEADER + accepted.values().map(|(_, cmd)| cmd.payload_size + 16).sum::<usize>()
+                HEADER
+                    + accepted
+                        .values()
+                        .map(|(_, cmd)| cmd.payload_size + 16)
+                        .sum::<usize>()
             }
         }
     }
@@ -136,7 +145,7 @@ pub struct FPaxos {
     /// during leader changes).
     pending_forward: Vec<Command>,
     /// Phase-1 promises received while campaigning, keyed by ballot.
-    promises: HashMap<Ballot, HashMap<ProcessId, BTreeMap<Slot, (Ballot, Command)>>>,
+    promises: HashMap<Ballot, HashMap<ProcessId, PromisedEntries>>,
     /// Commit times per slot (for commit→execute metrics).
     commit_times: HashMap<Slot, Time>,
     metrics: ProtocolMetrics,
@@ -214,7 +223,10 @@ impl FPaxos {
         } else {
             // Not the leader (e.g. a stale forward during a leader change):
             // re-forward to the current leader.
-            vec![Action::send([self.current_leader()], Message::MForward { cmd })]
+            vec![Action::send(
+                [self.current_leader()],
+                Message::MForward { cmd },
+            )]
         }
     }
 
@@ -257,7 +269,10 @@ impl FPaxos {
                 actions.extend(self.propose(cmd));
             } else {
                 self.metrics.fast_paths += 1;
-                actions.push(Action::send([self.current_leader()], Message::MForward { cmd }));
+                actions.push(Action::send(
+                    [self.current_leader()],
+                    Message::MForward { cmd },
+                ));
             }
         }
         actions
@@ -326,7 +341,10 @@ impl FPaxos {
         let ballot = self.next_ballot_for(self.id, self.ballot.max(self.leader_ballot));
         self.ballot = ballot;
         self.metrics.recoveries += 1;
-        vec![Action::broadcast(self.config.n, Message::MPrepare { ballot })]
+        vec![Action::broadcast(
+            self.config.n,
+            Message::MPrepare { ballot },
+        )]
     }
 
     fn handle_prepare(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<Message>> {
@@ -457,7 +475,10 @@ impl Protocol for FPaxos {
             Vec::new()
         } else {
             self.metrics.fast_paths += 1;
-            vec![Action::send([self.current_leader()], Message::MForward { cmd })]
+            vec![Action::send(
+                [self.current_leader()],
+                Message::MForward { cmd },
+            )]
         }
     }
 
@@ -616,9 +637,21 @@ mod tests {
             assert_eq!(executed.len(), 3, "process {id}");
         }
         // Same order everywhere.
-        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        let reference: Vec<Rifl> = cluster
+            .executed
+            .get(&1)
+            .unwrap()
+            .iter()
+            .map(|c| c.rifl)
+            .collect();
         for id in 2..=5u32 {
-            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            let order: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
             assert_eq!(order, reference);
         }
     }
@@ -671,10 +704,22 @@ mod tests {
         cluster.submit(3, put(3, 1, 0));
         // The five pre-crash commands plus the new one execute at survivors
         // in the same order.
-        let reference: Vec<Rifl> = cluster.executed.get(&2).unwrap().iter().map(|c| c.rifl).collect();
+        let reference: Vec<Rifl> = cluster
+            .executed
+            .get(&2)
+            .unwrap()
+            .iter()
+            .map(|c| c.rifl)
+            .collect();
         assert_eq!(reference.len(), 6);
         for id in 3..=5u32 {
-            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            let order: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
             assert_eq!(order, reference, "process {id}");
         }
     }

@@ -1,10 +1,11 @@
 //! The key–value store state machine.
 
 use atlas_core::{Command, Key, KvOp, Rifl, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// The result of executing one operation of a command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Output {
     /// Result of a `Get`: the value stored under the key, if any.
     Value(Option<Value>),
@@ -200,7 +201,11 @@ mod tests {
     #[test]
     fn multi_key_command_executes_all_operations() {
         let mut store = KVStore::new();
-        let cmd = Command::new(rifl(1), [(1, KvOp::Put(10)), (2, KvOp::Put(20)), (3, KvOp::Get)], 8);
+        let cmd = Command::new(
+            rifl(1),
+            [(1, KvOp::Put(10)), (2, KvOp::Put(20)), (3, KvOp::Get)],
+            8,
+        );
         let out = store.execute(&cmd);
         assert_eq!(out.len(), 3);
         assert_eq!(store.peek(1), Some(10));

@@ -55,7 +55,11 @@ impl ConflictWorkload {
 impl Workload for ConflictWorkload {
     fn next_command(&mut self, client: ClientId, seq: u64, rng: &mut dyn rand::RngCore) -> Command {
         let conflicting = rng.gen::<f64>() < self.conflict_rate;
-        let key = if conflicting { 0 } else { Self::private_key(client) };
+        let key = if conflicting {
+            0
+        } else {
+            Self::private_key(client)
+        };
         Command::put(Rifl::new(client, seq), key, seq, self.payload_size)
     }
 
@@ -196,7 +200,10 @@ mod tests {
         let mut always = ConflictWorkload::new(1.0, 100);
         for seq in 0..100 {
             assert!(never.next_command(3, seq, &mut rng).keys().all(|k| *k != 0));
-            assert!(always.next_command(3, seq, &mut rng).keys().all(|k| *k == 0));
+            assert!(always
+                .next_command(3, seq, &mut rng)
+                .keys()
+                .all(|k| *k == 0));
         }
     }
 
@@ -240,10 +247,17 @@ mod tests {
         let mut workload = YcsbWorkload::new(10_000, YcsbMix::ReadHeavy, 100);
         let samples = 20_000;
         let reads = (0..samples)
-            .filter(|seq| workload.next_command(1, *seq as u64, &mut rng).is_read_only())
+            .filter(|seq| {
+                workload
+                    .next_command(1, *seq as u64, &mut rng)
+                    .is_read_only()
+            })
             .count();
         let fraction = reads as f64 / samples as f64;
-        assert!((fraction - 0.8).abs() < 0.02, "observed read fraction {fraction}");
+        assert!(
+            (fraction - 0.8).abs() < 0.02,
+            "observed read fraction {fraction}"
+        );
         assert!((workload.write_ratio() - 0.2).abs() < 1e-9);
     }
 

@@ -42,7 +42,10 @@ impl Zipfian {
     /// `theta ∈ (0, 1)`.
     pub fn with_theta(items: u64, theta: f64) -> Self {
         assert!(items > 0, "a Zipfian distribution needs at least one item");
-        assert!((0.0..1.0).contains(&theta), "theta must be in (0, 1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in (0, 1), got {theta}"
+        );
         let zetan = Self::zeta(items, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -162,7 +165,10 @@ mod tests {
         // The paper notes the first 12 records take ~20% of accesses (§5.7).
         let top12: u64 = (0..12).map(|r| *counts.get(&r).unwrap_or(&0)).sum();
         let top12 = top12 as f64 / samples as f64;
-        assert!(top12 > 0.12 && top12 < 0.35, "top-12 mass {top12} out of range");
+        assert!(
+            top12 > 0.12 && top12 < 0.35,
+            "top-12 mass {top12} out of range"
+        );
     }
 
     #[test]
@@ -210,7 +216,11 @@ mod tests {
         for _ in 0..50_000 {
             *counts.entry(scrambled.next_key(&mut rng)).or_insert(0) += 1;
         }
-        let most_popular = counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k).unwrap();
+        let most_popular = counts
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(k, _)| *k)
+            .unwrap();
         assert_eq!(most_popular, fnv1a_64(0) % 1_000_000);
         assert_ne!(most_popular, 0);
     }

@@ -77,7 +77,12 @@ fn build_event(outages: &[&LinkOutage]) -> FailureEvent {
     }
     let max_simultaneous_links = boundaries
         .iter()
-        .map(|&t| outages.iter().filter(|o| o.start <= t && t <= o.end).count())
+        .map(|&t| {
+            outages
+                .iter()
+                .filter(|o| o.start <= t && t <= o.end)
+                .count()
+        })
         .max()
         .unwrap_or(0);
     let links = outages

@@ -93,7 +93,10 @@ impl PingCampaign {
     /// 3. A number of sporadic, isolated single-link glitches of a few
     ///    seconds each.
     pub fn generate(params: &CampaignParams) -> Self {
-        assert!(params.sites >= 10, "the paper-shaped campaign needs at least 10 sites");
+        assert!(
+            params.sites >= 10,
+            "the paper-shaped campaign needs at least 10 sites"
+        );
         let mut rng = SmallRng::seed_from_u64(params.seed);
         let mut outages = Vec::new();
 

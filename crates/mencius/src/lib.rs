@@ -19,16 +19,15 @@
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
-use atlas_core::{
-    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology,
-};
+use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Log slot index (1-based). Slot `s` is owned by process `((s − 1) mod n) + 1`.
 pub type Slot = u64;
 
 /// Wire messages of the Mencius protocol.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Slot owner → all: order `cmd` at `slot`.
     MPropose {
@@ -61,7 +60,9 @@ impl Message {
     pub fn size_bytes(&self) -> usize {
         const HEADER: usize = 32;
         match self {
-            Message::MPropose { cmd, .. } | Message::MCommit { cmd, .. } => HEADER + cmd.payload_size,
+            Message::MPropose { cmd, .. } | Message::MCommit { cmd, .. } => {
+                HEADER + cmd.payload_size
+            }
             Message::MProposeAck { .. } => HEADER,
             Message::MSkip { slots } => HEADER + 8 * slots.len(),
         }
@@ -110,7 +111,10 @@ impl Mencius {
         if skipped.is_empty() {
             Vec::new()
         } else {
-            vec![Action::broadcast(self.config.n, Message::MSkip { slots: skipped })]
+            vec![Action::broadcast(
+                self.config.n,
+                Message::MSkip { slots: skipped },
+            )]
         }
     }
 
@@ -136,7 +140,12 @@ impl Mencius {
         actions
     }
 
-    fn handle_propose(&mut self, from: ProcessId, slot: Slot, cmd: Command) -> Vec<Action<Message>> {
+    fn handle_propose(
+        &mut self,
+        from: ProcessId,
+        slot: Slot,
+        cmd: Command,
+    ) -> Vec<Action<Message>> {
         debug_assert_eq!(self.owner(slot), from, "slot proposed by a non-owner");
         // Seeing a proposal for `slot` means every smaller owned slot of ours
         // that is still unused will never be needed before it: skip them so
@@ -149,7 +158,12 @@ impl Mencius {
         actions
     }
 
-    fn handle_propose_ack(&mut self, from: ProcessId, slot: Slot, time: Time) -> Vec<Action<Message>> {
+    fn handle_propose_ack(
+        &mut self,
+        from: ProcessId,
+        slot: Slot,
+        time: Time,
+    ) -> Vec<Action<Message>> {
         let n = self.config.n;
         let Some((_, acks)) = self.proposals.get_mut(&slot) else {
             return Vec::new();
@@ -214,7 +228,10 @@ impl Protocol for Mencius {
         let slot = self.next_owned;
         self.next_owned += self.config.n as Slot;
         self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
-        vec![Action::broadcast(self.config.n, Message::MPropose { slot, cmd })]
+        vec![Action::broadcast(
+            self.config.n,
+            Message::MPropose { slot, cmd },
+        )]
     }
 
     fn message_size(msg: &Message) -> usize {
@@ -320,7 +337,11 @@ mod tests {
         let mut cluster = Cluster::new(3);
         cluster.submit(2, put(2, 1, 0));
         for id in 1..=3u32 {
-            assert_eq!(cluster.executed.get(&id).map(Vec::len).unwrap_or(0), 1, "process {id}");
+            assert_eq!(
+                cluster.executed.get(&id).map(Vec::len).unwrap_or(0),
+                1,
+                "process {id}"
+            );
         }
     }
 
@@ -348,10 +369,22 @@ mod tests {
                 cluster.submit(source, put(source as u64, seq, 0));
             }
         }
-        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        let reference: Vec<Rifl> = cluster
+            .executed
+            .get(&1)
+            .unwrap()
+            .iter()
+            .map(|c| c.rifl)
+            .collect();
         assert_eq!(reference.len(), 20);
         for id in 2..=5u32 {
-            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            let order: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
             assert_eq!(order, reference, "process {id}");
         }
     }
@@ -363,10 +396,22 @@ mod tests {
         cluster.submit(3, put(3, 1, 0));
         cluster.submit(2, put(2, 1, 0));
         cluster.submit(1, put(1, 2, 0));
-        let reference: Vec<Rifl> = cluster.executed.get(&1).unwrap().iter().map(|c| c.rifl).collect();
+        let reference: Vec<Rifl> = cluster
+            .executed
+            .get(&1)
+            .unwrap()
+            .iter()
+            .map(|c| c.rifl)
+            .collect();
         assert_eq!(reference.len(), 4);
         for id in 2..=3u32 {
-            let order: Vec<Rifl> = cluster.executed.get(&id).unwrap().iter().map(|c| c.rifl).collect();
+            let order: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
             assert_eq!(order, reference);
         }
     }

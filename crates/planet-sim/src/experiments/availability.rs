@@ -81,7 +81,10 @@ pub struct SeriesSet {
 pub fn run_experiment(params: &Params) -> Vec<SeriesSet> {
     let sites = Region::availability3();
     let mut results = Vec::new();
-    for (kind, label) in [(ProtocolKind::FPaxos, "Paxos"), (ProtocolKind::Atlas, "Atlas")] {
+    for (kind, label) in [
+        (ProtocolKind::FPaxos, "Paxos"),
+        (ProtocolKind::Atlas, "Atlas"),
+    ] {
         let mut cfg = SimConfig::new(
             Config::new(3, 1),
             sites.clone(),
@@ -135,7 +138,11 @@ mod tests {
         let results = run_experiment(&Params::quick());
         assert_eq!(results.len(), 2);
         for set in &results {
-            assert!(set.total_ops > 0, "{} made no progress at all", set.protocol);
+            assert!(
+                set.total_ops > 0,
+                "{} made no progress at all",
+                set.protocol
+            );
             assert!(
                 set.ops_after_recovery > 0,
                 "{} never recovered after the TW crash",

@@ -130,7 +130,11 @@ mod tests {
     fn atlas_penalty_stays_low_as_the_system_grows() {
         let points = run_experiment(&tiny());
         for p in points.iter().filter(|p| p.protocol == "Atlas f=1") {
-            assert!(p.penalty >= 0.9, "penalty below the optimum at {} sites", p.sites);
+            assert!(
+                p.penalty >= 0.9,
+                "penalty below the optimum at {} sites",
+                p.sites
+            );
             assert!(
                 p.penalty < 2.0,
                 "Atlas f=1 penalty {} too high at {} sites",

@@ -77,10 +77,7 @@ pub fn run_experiment(params: &Params) -> Vec<Point> {
                 Config::new(n, f),
                 Region::deployment(n),
                 params.clients_per_site,
-                WorkloadSpec::Conflict {
-                    rate,
-                    payload: 100,
-                },
+                WorkloadSpec::Conflict { rate, payload: 100 },
             )
             .with_duration(params.duration)
             .with_seed(params.seed);

@@ -122,9 +122,14 @@ pub fn run_experiment(params: &Params) -> Vec<Point> {
                     protocol: label,
                     nfr,
                     throughput_ops: throughput,
-                    speedup_over_epaxos: if baseline > 0.0 { throughput / baseline } else { 0.0 },
+                    speedup_over_epaxos: if baseline > 0.0 {
+                        throughput / baseline
+                    } else {
+                        0.0
+                    },
                     fast_path_ratio: report.fast_path_ratio().unwrap_or(0.0),
-                    commit_to_execute_ms: report.protocol_metrics.commit_to_execute.mean() / 1_000.0,
+                    commit_to_execute_ms: report.protocol_metrics.commit_to_execute.mean()
+                        / 1_000.0,
                 });
             }
         }

@@ -58,8 +58,23 @@ impl Region {
     pub fn all17() -> Vec<Region> {
         use Region::*;
         vec![
-            Taiwan, Tokyo, Mumbai, Singapore, Sydney, Finland, Belgium, London, Frankfurt,
-            Netherlands, Quebec, SaoPaulo, Iowa, SouthCarolina, Virginia, Oregon, LosAngeles,
+            Taiwan,
+            Tokyo,
+            Mumbai,
+            Singapore,
+            Sydney,
+            Finland,
+            Belgium,
+            London,
+            Frankfurt,
+            Netherlands,
+            Quebec,
+            SaoPaulo,
+            Iowa,
+            SouthCarolina,
+            Virginia,
+            Oregon,
+            LosAngeles,
         ]
     }
 
@@ -216,7 +231,10 @@ impl LatencyMatrix {
                 one_way_us[i][j] = ((rtt / 2.0) * 1_000.0).round() as u64;
             }
         }
-        Self { regions, one_way_us }
+        Self {
+            regions,
+            one_way_us,
+        }
     }
 
     /// Number of sites.
@@ -248,7 +266,16 @@ impl LatencyMatrix {
     /// `from` itself is always first.
     pub fn sorted_by_distance(&self, from: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.len()).collect();
-        order.sort_by_key(|&to| (if to == from { 0 } else { self.one_way_us(from, to) }, to));
+        order.sort_by_key(|&to| {
+            (
+                if to == from {
+                    0
+                } else {
+                    self.one_way_us(from, to)
+                },
+                to,
+            )
+        });
         order
     }
 
@@ -293,7 +320,10 @@ mod tests {
     fn seventeen_regions_and_thirteen_site_deployment() {
         assert_eq!(Region::all17().len(), 17);
         assert_eq!(Region::deployment13().len(), 13);
-        assert_eq!(Region::availability3(), vec![Region::Taiwan, Region::Finland, Region::SouthCarolina]);
+        assert_eq!(
+            Region::availability3(),
+            vec![Region::Taiwan, Region::Finland, Region::SouthCarolina]
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ mod tests {
             ProtocolKind::Mencius,
         ] {
             let report = run(kind, cfg.clone());
-            assert!(!report.completions.is_empty(), "{} made no progress", kind.name());
+            assert!(
+                !report.completions.is_empty(),
+                "{} made no progress",
+                kind.name()
+            );
         }
     }
 }

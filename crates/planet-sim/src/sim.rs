@@ -62,7 +62,12 @@ impl SimConfig {
     /// A baseline configuration: `n` sites from the standard deployment
     /// order, `clients_per_site` clients each, a conflict microbenchmark
     /// workload, 60 simulated seconds.
-    pub fn new(config: Config, regions: Vec<Region>, clients_per_site: usize, workload: WorkloadSpec) -> Self {
+    pub fn new(
+        config: Config,
+        regions: Vec<Region>,
+        clients_per_site: usize,
+        workload: WorkloadSpec,
+    ) -> Self {
         let n = regions.len();
         assert_eq!(config.n, n, "config.n must match the number of regions");
         Self {
@@ -202,13 +207,34 @@ struct Client {
 
 /// Events processed by the simulator.
 enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    ClientNext { client: usize },
-    SubmitAtSite { client: usize, site: ProcessId, cmd: Command },
-    Response { client: usize, rifl: Rifl, served_by: ProcessId },
-    Crash { site: ProcessId },
-    Suspect { observer: ProcessId, suspected: ProcessId },
-    ClientReconnect { client: usize },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    ClientNext {
+        client: usize,
+    },
+    SubmitAtSite {
+        client: usize,
+        site: ProcessId,
+        cmd: Command,
+    },
+    Response {
+        client: usize,
+        rifl: Rifl,
+        served_by: ProcessId,
+    },
+    Crash {
+        site: ProcessId,
+    },
+    Suspect {
+        observer: ProcessId,
+        suspected: ProcessId,
+    },
+    ClientReconnect {
+        client: usize,
+    },
 }
 
 struct Event<M> {
@@ -297,9 +323,13 @@ impl<P: Protocol> Simulation<P> {
         for (region, count) in placements {
             for _ in 0..count {
                 let id = clients.len() as ClientId + 1;
-                let (site, site_latency_us) =
-                    Self::closest_site(&matrix, region, &vec![false; n], cfg.client_site_latency_us)
-                        .expect("at least one site is alive at start-up");
+                let (site, site_latency_us) = Self::closest_site(
+                    &matrix,
+                    region,
+                    &vec![false; n],
+                    cfg.client_site_latency_us,
+                )
+                .expect("at least one site is alive at start-up");
                 clients.push(Client {
                     id,
                     region,
@@ -410,11 +440,16 @@ impl<P: Protocol> Simulation<P> {
                 self.submit_at_site(now, client, site, cmd)
             }
             EventKind::Deliver { from, to, msg } => self.deliver(now, from, to, msg),
-            EventKind::Response { client, rifl, served_by } => {
-                self.response(now, client, rifl, served_by)
-            }
+            EventKind::Response {
+                client,
+                rifl,
+                served_by,
+            } => self.response(now, client, rifl, served_by),
             EventKind::Crash { site } => self.crash(now, site),
-            EventKind::Suspect { observer, suspected } => self.suspect(now, observer, suspected),
+            EventKind::Suspect {
+                observer,
+                suspected,
+            } => self.suspect(now, observer, suspected),
             EventKind::ClientReconnect { client } => self.client_reconnect(now, client),
         }
     }

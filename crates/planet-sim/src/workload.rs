@@ -1,8 +1,8 @@
 //! Cloneable workload specifications used to spawn one workload instance per
 //! simulated client.
 
-use kvstore::{ConflictWorkload, Workload, YcsbWorkload};
 use kvstore::workload::YcsbMix;
+use kvstore::{ConflictWorkload, Workload, YcsbWorkload};
 use rand::Rng;
 
 /// A description of the workload every client runs; building it per client

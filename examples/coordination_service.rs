@@ -98,7 +98,10 @@ fn main() {
             let client = site as u64;
             // try_acquire(lock): a write to the lock key (conflicts with all
             // other lock operations, so Atlas orders them consistently).
-            cluster.submit(site, Command::put(next(client), LOCK_KEY, client * 100 + round, 16));
+            cluster.submit(
+                site,
+                Command::put(next(client), LOCK_KEY, client * 100 + round, 16),
+            );
             // publish new configuration epoch.
             cluster.submit(site, Command::put(next(client), CONFIG_KEY, round, 16));
         }
@@ -112,8 +115,19 @@ fn main() {
     println!("all replicas applied the SAME order of conflicting ops: {all_agree}");
     let digests: Vec<u64> = cluster.stores.iter().map(|s| s.digest()).collect();
     println!("replica state digests: {digests:?}");
-    println!("states identical: {}", digests.windows(2).all(|w| w[0] == w[1]));
-    let fast: u64 = cluster.replicas.iter().map(|r| r.metrics().fast_paths).sum();
-    let slow: u64 = cluster.replicas.iter().map(|r| r.metrics().slow_paths).sum();
+    println!(
+        "states identical: {}",
+        digests.windows(2).all(|w| w[0] == w[1])
+    );
+    let fast: u64 = cluster
+        .replicas
+        .iter()
+        .map(|r| r.metrics().fast_paths)
+        .sum();
+    let slow: u64 = cluster
+        .replicas
+        .iter()
+        .map(|r| r.metrics().slow_paths)
+        .sum();
     println!("fast-path commits: {fast}, slow-path commits: {slow}");
 }

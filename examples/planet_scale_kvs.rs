@@ -1,54 +1,98 @@
-//! A geo-replicated key–value store serving a YCSB-style workload from 7
-//! sites around the world, comparing Atlas (f = 1, with the NFR read
-//! optimization) against EPaxos — the §5.7 scenario in miniature.
+//! A replicated key–value store served by a **real TCP cluster**: three
+//! replicas of each protocol are booted on localhost, closed-loop clients
+//! drive conflicting and private writes through actual sockets, and
+//! per-command latency is measured at the client.
 //!
 //! ```text
 //! cargo run --release --example planet_scale_kvs
 //! ```
+//!
+//! This is the networked sibling of the WAN simulation experiments: the same
+//! protocol state machines, but every message crosses the loopback TCP stack
+//! (framing, serialization, reconnecting links, client sessions). Use the
+//! planet simulator (`examples/quickstart.rs`) for geo-latency questions and
+//! this runtime for real-deployment plumbing and throughput questions.
 
-use atlas::core::Config;
-use atlas::kvstore::workload::YcsbMix;
-use atlas::sim::region::Region;
-use atlas::sim::runner::{run, ProtocolKind};
-use atlas::sim::sim::SimConfig;
-use atlas::sim::workload::WorkloadSpec;
+use atlas::core::{Command, Config, Protocol, Rifl};
+use atlas::protocol::Atlas;
+use atlas::runtime::{Client, Cluster};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const CLIENTS: u64 = 4;
+const OPS_PER_CLIENT: u64 = 250;
+const CONFLICT_PCT: u64 = 10;
+
+async fn drive(addr: std::net::SocketAddr, client_id: u64) -> std::io::Result<Vec<u64>> {
+    let mut client = Client::connect(addr, client_id).await?;
+    let mut latencies_us = Vec::with_capacity(OPS_PER_CLIENT as usize);
+    for seq in 1..=OPS_PER_CLIENT {
+        // The §5.2 microbenchmark shape: key 0 with probability
+        // CONFLICT_PCT%, a client-private key otherwise.
+        let key = if seq % (100 / CONFLICT_PCT) == 0 {
+            0
+        } else {
+            1 + client_id
+        };
+        let cmd = Command::put(Rifl::new(client_id, seq), key, seq, 100);
+        let start = Instant::now();
+        client.submit(cmd).await?;
+        latencies_us.push(start.elapsed().as_micros() as u64);
+    }
+    Ok(latencies_us)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    sorted[((sorted.len() as f64 - 1.0) * p).round() as usize] as f64 / 1_000.0
+}
+
+fn run_cluster<P>(label: &str, config: Config)
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let cluster = Cluster::spawn::<P>(config).await.expect("cluster boots");
+        let started = Instant::now();
+        let mut tasks = Vec::new();
+        for client_id in 1..=CLIENTS {
+            // Spread clients over the replicas.
+            let replica = ((client_id - 1) % cluster.n() as u64) as u32 + 1;
+            tasks.push(tokio::spawn(drive(cluster.addr(replica), client_id)));
+        }
+        let mut latencies: Vec<u64> = Vec::new();
+        for task in tasks {
+            latencies.extend(task.await.expect("client task").expect("client run"));
+        }
+        let elapsed = started.elapsed();
+        latencies.sort_unstable();
+        println!(
+            "{label}  {:>5} cmds in {:>8.2?}   {:>6.0} ops/s   p50 {:>6.2} ms   p95 {:>6.2} ms   p99 {:>6.2} ms",
+            latencies.len(),
+            elapsed,
+            latencies.len() as f64 / elapsed.as_secs_f64(),
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
+        );
+        cluster.shutdown();
+    });
+}
 
 fn main() {
-    let sites = Region::deployment(7);
-    let names: Vec<_> = sites.iter().map(|r| r.short_name()).collect();
-    println!("geo-replicated KVS over {names:?}, read-heavy YCSB (80% reads)");
+    println!(
+        "3-replica clusters over 127.0.0.1 TCP — {CLIENTS} closed-loop clients, \
+         {OPS_PER_CLIENT} single-key PUTs each, {CONFLICT_PCT}% conflicts"
+    );
     println!();
-
-    for (label, kind, f, nfr) in [
-        ("EPaxos          ", ProtocolKind::EPaxos, 3, false),
-        ("Atlas  f=1      ", ProtocolKind::Atlas, 1, false),
-        ("Atlas  f=1 + NFR", ProtocolKind::Atlas, 1, true),
-        ("Atlas  f=2 + NFR", ProtocolKind::Atlas, 2, true),
-    ] {
-        let config = Config::new(7, f).with_nfr(nfr);
-        let cfg = SimConfig::new(
-            config,
-            sites.clone(),
-            16,
-            WorkloadSpec::Ycsb {
-                mix: YcsbMix::ReadHeavy,
-                records: 100_000,
-                payload: 100,
-            },
-        )
-        .with_duration(10_000_000)
-        .with_seed(7);
-        let report = run(kind, cfg);
-        println!(
-            "{label}  throughput {:>6.0} ops/s   mean latency {:>5.1} ms   fast path {:>3.0}%",
-            report.throughput_ops(),
-            report.mean_latency_ms(),
-            report.fast_path_ratio().unwrap_or(0.0) * 100.0,
-        );
-    }
-
+    run_cluster::<Atlas>("Atlas   f=1      ", Config::new(3, 1));
+    run_cluster::<Atlas>("Atlas   f=1 + NFR", Config::new(3, 1).with_nfr(true));
+    run_cluster::<epaxos::EPaxos>("EPaxos           ", Config::new(3, 1));
+    run_cluster::<fpaxos::FPaxos>("FPaxos  f=1      ", Config::new(3, 1));
+    run_cluster::<mencius::Mencius>("Mencius          ", Config::new(3, 1));
     println!();
-    println!("Atlas commits from its closest majority (fast quorum of 4 of 7 when f = 1),");
-    println!("while EPaxos needs 5-of-7 fast quorums and matching replies; NFR additionally");
-    println!("lets reads commit from a plain majority without becoming dependencies.");
+    println!("On loopback every replica is equidistant, so the differences above are");
+    println!("protocol overhead (quorum sizes, message counts, forwarding hops), not");
+    println!("geography — run the planet simulator examples for the WAN picture.");
 }

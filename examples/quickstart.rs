@@ -29,7 +29,10 @@ fn main() {
     .with_seed(1);
 
     println!("running Atlas (f=1) on {:?} for 10 simulated seconds...", {
-        let names: Vec<_> = Region::deployment(3).iter().map(|r| r.short_name()).collect();
+        let names: Vec<_> = Region::deployment(3)
+            .iter()
+            .map(|r| r.short_name())
+            .collect();
         names
     });
 

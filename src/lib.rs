@@ -17,6 +17,8 @@
 //! * [`kvstore`] — the replicated key–value store and YCSB-style workloads.
 //! * [`sim`] (`planet-sim`) — the discrete-event planet simulator and the
 //!   per-figure experiment drivers.
+//! * [`runtime`] (`atlas-runtime`) — the tokio-based networked runtime that
+//!   serves any of the protocols over real TCP.
 //! * [`linkfail`] — the §5.1 link-failure study.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
@@ -37,6 +39,7 @@
 
 pub use atlas_core as core;
 pub use atlas_protocol as protocol;
+pub use atlas_runtime as runtime;
 pub use epaxos;
 pub use fpaxos;
 pub use kvstore;

@@ -1,5 +1,6 @@
-//! Property-based tests (proptest) of the core invariants, across randomly
-//! generated workloads:
+//! Randomized property tests of the core invariants, across randomly
+//! generated workloads (seeded `SmallRng` sweeps — the offline stand-in for
+//! the original proptest harness):
 //!
 //! * conflicting commands are executed in the same order at every Atlas
 //!   replica, for arbitrary mixes of keys, sites and read/write operations;
@@ -7,13 +8,12 @@
 //!   commit order (Invariant 4 / batch equality);
 //! * the Zipfian sampler stays within bounds for arbitrary sizes and skews.
 
+use atlas::core::Dot;
 use atlas::core::{Action, Command, Config, Protocol, Rifl, Topology};
 use atlas::kvstore::Zipfian;
 use atlas::protocol::{Atlas, DependencyGraph};
-use atlas::core::Dot;
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// In-memory cluster driver (instant delivery) for property tests.
@@ -26,16 +26,16 @@ fn run_atlas(n: usize, f: usize, ops: &[(u32, u64, bool)]) -> (Vec<Vec<Rifl>>, V
     let mut executed: Vec<Vec<Rifl>> = vec![Vec::new(); n];
 
     let deliver = |replicas: &mut Vec<Atlas>,
-                       stores: &mut Vec<atlas::kvstore::KVStore>,
-                       executed: &mut Vec<Vec<Rifl>>,
-                       source: u32,
-                       actions: Vec<Action<atlas::protocol::Message>>| {
+                   stores: &mut Vec<atlas::kvstore::KVStore>,
+                   executed: &mut Vec<Vec<Rifl>>,
+                   source: u32,
+                   actions: Vec<Action<atlas::protocol::Message>>| {
         let mut queue: Vec<(u32, u32, atlas::protocol::Message)> = Vec::new();
         let enqueue = |source: u32,
-                           actions: Vec<Action<atlas::protocol::Message>>,
-                           queue: &mut Vec<(u32, u32, atlas::protocol::Message)>,
-                           stores: &mut Vec<atlas::kvstore::KVStore>,
-                           executed: &mut Vec<Vec<Rifl>>| {
+                       actions: Vec<Action<atlas::protocol::Message>>,
+                       queue: &mut Vec<(u32, u32, atlas::protocol::Message)>,
+                       stores: &mut Vec<atlas::kvstore::KVStore>,
+                       executed: &mut Vec<Vec<Rifl>>| {
             for action in actions {
                 match action {
                     Action::Send { targets, msg } => {
@@ -77,48 +77,55 @@ fn run_atlas(n: usize, f: usize, ops: &[(u32, u64, bool)]) -> (Vec<Vec<Rifl>>, V
     (executed, digests)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Ordering + convergence: for arbitrary workloads over a small key
-    /// space, every Atlas replica executes each command exactly once and all
-    /// replicas converge to the same state.
-    #[test]
-    fn atlas_replicas_converge_on_random_workloads(
-        ops in proptest::collection::vec((1u32..=5, 0u64..4, any::<bool>()), 1..60),
-        f in 1usize..=2,
-    ) {
+/// Ordering + convergence: for arbitrary workloads over a small key space,
+/// every Atlas replica executes each command exactly once and all replicas
+/// converge to the same state.
+#[test]
+fn atlas_replicas_converge_on_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA71A5 + case);
+        let f = rng.gen_range(1usize..=2);
+        let len = rng.gen_range(1usize..60);
+        let ops: Vec<(u32, u64, bool)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range(1u32..=5),
+                    rng.gen_range(0u64..4),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
         let (executed, digests) = run_atlas(5, f, &ops);
         for log in &executed {
-            prop_assert_eq!(log.len(), ops.len());
+            assert_eq!(log.len(), ops.len(), "case {case}");
             let unique: HashSet<_> = log.iter().collect();
-            prop_assert_eq!(unique.len(), log.len());
+            assert_eq!(unique.len(), log.len(), "case {case}: duplicate execution");
         }
         for d in &digests {
-            prop_assert_eq!(*d, digests[0]);
+            assert_eq!(*d, digests[0], "case {case}: replicas diverged");
         }
     }
+}
 
-    /// The executor produces the same execution order regardless of the
-    /// order in which the same committed commands (with the same
-    /// dependencies) arrive.
-    #[test]
-    fn executor_order_is_commit_order_independent(
-        seed in any::<u64>(),
-        size in 2usize..30,
-    ) {
+/// The executor produces the same execution order regardless of the order in
+/// which the same committed commands (with the same dependencies) arrive.
+#[test]
+fn executor_order_is_commit_order_independent() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE8EC + case);
+        let size = rng.gen_range(2usize..30);
         // Build a random dependency graph over `size` commands where command
         // i may depend on a subset of earlier commands (acyclic) plus one
         // optional mutual dependency to create SCCs.
-        let mut rng = SmallRng::seed_from_u64(seed);
-        use rand::Rng;
-        let dots: Vec<Dot> = (1..=size as u64).map(|i| Dot::new((i % 5 + 1) as u32, i)).collect();
+        let dots: Vec<Dot> = (1..=size as u64)
+            .map(|i| Dot::new((i % 5 + 1) as u32, i))
+            .collect();
         let mut deps: Vec<Vec<Dot>> = Vec::new();
         for i in 0..size {
             let mut d = Vec::new();
-            for j in 0..i {
+            for dot in dots.iter().take(i) {
                 if rng.gen_bool(0.3) {
-                    d.push(dots[j]);
+                    d.push(*dot);
                 }
             }
             // Occasionally add a forward edge to create a cycle (SCC).
@@ -145,7 +152,7 @@ proptest! {
         let a = commit_in(forward);
         let b = commit_in(backward);
         // Both orders execute the same set of commands...
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len(), "case {case}");
         // ...and any two commands related by a dependency edge (i.e. the
         // conflicting pairs — independent commands commute and may execute
         // in either order) appear in the same relative order everywhere.
@@ -159,22 +166,26 @@ proptest! {
                 }
                 let (ax, ay) = (pos(&a, x).unwrap(), pos(&a, y).unwrap());
                 let (bx, by) = (pos(&b, x).unwrap(), pos(&b, y).unwrap());
-                prop_assert_eq!(ax < ay, bx < by, "pair {:?} {:?} ordered differently", x, y);
+                assert_eq!(
+                    ax < ay,
+                    bx < by,
+                    "case {case}: pair {x:?} {y:?} ordered differently"
+                );
             }
         }
     }
+}
 
-    /// Zipfian samples always stay within the key space, for any size/skew.
-    #[test]
-    fn zipfian_is_always_in_bounds(
-        items in 1u64..100_000,
-        theta in 0.01f64..0.999,
-        seed in any::<u64>(),
-    ) {
+/// Zipfian samples always stay within the key space, for any size/skew.
+#[test]
+fn zipfian_is_always_in_bounds() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0x21BF + case);
+        let items = rng.gen_range(1u64..100_000);
+        let theta = rng.gen_range(0.01f64..0.999);
         let zipf = Zipfian::with_theta(items, theta);
-        let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..200 {
-            prop_assert!(zipf.next_rank(&mut rng) < items);
+            assert!(zipf.next_rank(&mut rng) < items, "case {case}");
         }
     }
 }

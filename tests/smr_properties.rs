@@ -60,7 +60,12 @@ impl<P: Protocol> Harness<P> {
         }
     }
 
-    fn enqueue(&mut self, source: u32, actions: Vec<Action<P::Message>>, queue: &mut Vec<(u32, u32, P::Message)>) {
+    fn enqueue(
+        &mut self,
+        source: u32,
+        actions: Vec<Action<P::Message>>,
+        queue: &mut Vec<(u32, u32, P::Message)>,
+    ) {
         for action in actions {
             match action {
                 Action::Send { targets, msg } => {
@@ -86,12 +91,26 @@ impl<P: Protocol> Harness<P> {
         for (idx, log) in self.executed.iter().enumerate() {
             // Validity: everything executed was submitted.
             for rifl in log {
-                assert!(self.submitted.contains(rifl), "process {} executed a command nobody submitted", idx + 1);
+                assert!(
+                    self.submitted.contains(rifl),
+                    "process {} executed a command nobody submitted",
+                    idx + 1
+                );
             }
             // Integrity: at most once.
             let unique: HashSet<_> = log.iter().collect();
-            assert_eq!(unique.len(), log.len(), "process {} executed a command twice", idx + 1);
-            assert_eq!(log.len(), expected_commands, "process {} missed executions", idx + 1);
+            assert_eq!(
+                unique.len(),
+                log.len(),
+                "process {} executed a command twice",
+                idx + 1
+            );
+            assert_eq!(
+                log.len(),
+                expected_commands,
+                "process {} missed executions",
+                idx + 1
+            );
         }
         // Convergence: same final KV state everywhere (all commands conflict
         // on the keys they share, so equal digests mean consistent ordering).
@@ -180,7 +199,10 @@ fn all_protocols_agree_on_the_final_state_of_the_same_workload() {
     run_protocol!(FPaxos);
     run_protocol!(Mencius);
     for d in &digests {
-        assert_eq!(*d, digests[0], "protocols disagree on the final state of a sequential workload");
+        assert_eq!(
+            *d, digests[0],
+            "protocols disagree on the final state of a sequential workload"
+        );
     }
 }
 

@@ -1,0 +1,82 @@
+//! Offline stub of [bincode](https://docs.rs/bincode/1): `serialize` /
+//! `deserialize` entry points over the binary encoding implemented by the
+//! `serde` stub in `vendor/serde`. The wire format is little-endian
+//! fixed-width integers with `u64` length prefixes — the same family of
+//! encodings real bincode produces, so swapping in the real crates changes
+//! the byte layout but none of the calling code.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error raised on malformed input (or, never in practice, on encode).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bincode: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self { msg: e.to_string() }
+    }
+}
+
+/// Result alias matching real bincode's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes `value` into a fresh byte vector.
+pub fn serialize<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Encodes `value` into `out`, reusing its allocation.
+pub fn serialize_into(out: &mut Vec<u8>, value: &impl serde::Serialize) -> Result<()> {
+    value.serialize(out);
+    Ok(())
+}
+
+/// Decodes a value from `bytes`, rejecting trailing garbage.
+pub fn deserialize<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let mut reader = serde::Reader::new(bytes);
+    let value = T::deserialize(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(Error {
+            msg: format!("{} trailing bytes after value", reader.remaining()),
+        });
+    }
+    Ok(value)
+}
+
+/// Size of the encoding of `value`, in bytes.
+pub fn serialized_size(value: &impl serde::Serialize) -> Result<u64> {
+    Ok(serialize(value)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_trailing_bytes() {
+        let v = vec![(1u64, true), (2, false)];
+        let bytes = serialize(&v).unwrap();
+        assert_eq!(serialized_size(&v).unwrap(), bytes.len() as u64);
+        let back: Vec<(u64, bool)> = deserialize(&bytes).unwrap();
+        assert_eq!(back, v);
+
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(deserialize::<Vec<(u64, bool)>>(&longer).is_err());
+        assert!(deserialize::<Vec<(u64, bool)>>(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

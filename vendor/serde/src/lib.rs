@@ -1,0 +1,543 @@
+//! Offline stub of [serde](https://serde.rs).
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate provides the *subset* of serde's surface the workspace uses:
+//! the [`Serialize`] / [`Deserialize`] traits and the matching derive macros
+//! (re-exported from the sibling `serde_derive` stub).
+//!
+//! Unlike real serde, the data model is fixed: values serialize to a compact
+//! little-endian binary encoding (the one `bincode` would produce) rather
+//! than going through a generic `Serializer`/`Deserializer` pair. The
+//! `bincode` stub in `vendor/bincode` is a thin wrapper over these traits.
+//! Swapping the stubs for the real crates only requires removing the `path`
+//! keys in the workspace `Cargo.toml`; no source changes are needed as long
+//! as code sticks to `#[derive(Serialize, Deserialize)]` and
+//! `bincode::{serialize, deserialize}`.
+//!
+//! Encoding rules:
+//!
+//! * fixed-width integers and floats: little-endian bytes (`usize` as `u64`);
+//! * `bool`: one byte, `0` or `1`;
+//! * sequences and maps: `u64` length followed by the elements;
+//! * `Option`: one tag byte followed by the value if present;
+//! * enums: `u32` variant index followed by the variant's fields;
+//! * tuples and structs: fields in declaration order, no framing.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when decoding malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Cursor over the bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::custom(format!(
+                "unexpected end of input: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Decodes a `u64` length prefix, bounding it by the remaining input so
+    /// corrupted lengths cannot trigger huge allocations.
+    pub fn take_len(&mut self) -> Result<usize, Error> {
+        let len = u64::deserialize(self)? as usize;
+        if len > self.remaining() {
+            return Err(Error::custom(format!(
+                "length prefix {len} exceeds remaining input {}",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+/// Serialization into the stub's binary encoding.
+pub trait Serialize {
+    /// Appends the encoding of `self` to `out`.
+    fn serialize(&self, out: &mut Vec<u8>);
+}
+
+/// Deserialization from the stub's binary encoding.
+pub trait Deserialize: Sized {
+    /// Decodes a value, advancing the reader.
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error>;
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+                let bytes = input.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let v = u64::deserialize(input)?;
+        usize::try_from(v).map_err(|_| Error::custom("usize overflow"))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as i64).serialize(out);
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let v = i64::deserialize(input)?;
+        isize::try_from(v).map_err(|_| Error::custom("isize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        match input.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error::custom(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(u32::deserialize(input)?))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(f64::from_bits(u64::deserialize(input)?))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u32).serialize(out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        char::from_u32(u32::deserialize(input)?).ok_or_else(|| Error::custom("invalid char"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let bytes = input.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::custom("invalid utf-8"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(input)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        match input.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(input)?)),
+            b => Err(Error::custom(format!("invalid option tag {b}"))),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(
+    len: usize,
+    items: impl Iterator<Item = &'a T>,
+    out: &mut Vec<u8>,
+) {
+    (len as u64).serialize(out);
+    for item in items {
+        item.serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.len(), self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.len(), self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        // Arrays have a statically known length: no prefix.
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::deserialize(input)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        // Hash iteration order is nondeterministic; encode sorted bytes so
+        // equal sets encode equally.
+        let mut encoded: Vec<Vec<u8>> = self
+            .iter()
+            .map(|item| {
+                let mut buf = Vec::new();
+                item.serialize(&mut buf);
+                buf
+            })
+            .collect();
+        encoded.sort_unstable();
+        (encoded.len() as u64).serialize(out);
+        for item in encoded {
+            out.extend_from_slice(&item);
+        }
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let mut out = HashSet::with_capacity(len);
+        for _ in 0..len {
+            out.insert(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.len(), self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).serialize(out);
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(input)?;
+            let v = V::deserialize(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        let mut encoded: Vec<Vec<u8>> = self
+            .iter()
+            .map(|(k, v)| {
+                let mut buf = Vec::new();
+                k.serialize(&mut buf);
+                v.serialize(&mut buf);
+                buf
+            })
+            .collect();
+        encoded.sort_unstable();
+        (encoded.len() as u64).serialize(out);
+        for item in encoded {
+            out.extend_from_slice(&item);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let len = input.take_len()?;
+        let mut out = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = K::deserialize(input)?;
+            let v = V::deserialize(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.as_secs().serialize(out);
+        self.subsec_nanos().serialize(out);
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+        let secs = u64::deserialize(input)?;
+        let nanos = u32::deserialize(input)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Deserialize for () {
+    fn deserialize(_input: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                $(self.$idx.serialize(out);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(input: &mut Reader<'_>) -> Result<Self, Error> {
+                Ok(($($name::deserialize(input)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.serialize(&mut buf);
+        let mut reader = Reader::new(&buf);
+        let back = T::deserialize(&mut reader).expect("decode");
+        assert_eq!(back, value);
+        assert_eq!(reader.remaining(), 0, "trailing bytes after {value:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(3.25f64);
+        round_trip('λ');
+        round_trip("planet-scale".to_string());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Some(7u32));
+        round_trip(None::<u32>);
+        round_trip((1u8, 2u64, "x".to_string()));
+        round_trip([5u64; 4]);
+        round_trip((1..100u64).collect::<HashSet<_>>());
+        round_trip((1..100u64).collect::<BTreeSet<_>>());
+        round_trip((0..50u64).map(|k| (k, k * 2)).collect::<BTreeMap<_, _>>());
+        round_trip((0..50u64).map(|k| (k, k * 2)).collect::<HashMap<_, _>>());
+        round_trip(Duration::from_micros(1_234_567));
+    }
+
+    #[test]
+    fn hash_set_encoding_is_deterministic() {
+        let a: HashSet<u64> = (0..1000).collect();
+        let b: HashSet<u64> = (0..1000).rev().collect();
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.serialize(&mut ba);
+        b.serialize(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3].serialize(&mut buf);
+        for cut in 0..buf.len() {
+            let mut reader = Reader::new(&buf[..cut]);
+            assert!(Vec::<u64>::deserialize(&mut reader).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        (u64::MAX).serialize(&mut buf);
+        let mut reader = Reader::new(&buf);
+        assert!(Vec::<u8>::deserialize(&mut reader).is_err());
+    }
+}

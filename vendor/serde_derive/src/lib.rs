@@ -1,0 +1,278 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! simplified traits of the sibling `serde` stub, by hand-parsing the item's
+//! token stream (no `syn`/`quote` available offline). Supports non-generic
+//! structs (named, tuple, unit) and enums (named, tuple and unit variants) —
+//! exactly the shapes used in this workspace. Field and variant *types* are
+//! never inspected: code generation only needs names and arities, which keeps
+//! the parser small and robust.
+//!
+//! Unsupported shapes (generics, unions) produce a compile-time panic with a
+//! clear message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out);"))
+            .collect::<String>(),
+        Shape::TupleStruct(n) => (0..*n)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, out);"))
+            .collect::<String>(),
+        Shape::UnitStruct => String::new(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let sers: String = fields
+                                .iter()
+                                .map(|f| format!("::serde::Serialize::serialize({f}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => {{ \
+                                 ::serde::Serialize::serialize(&{tag}u32, out); {sers} }}"
+                            )
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let pat = binds.join(", ");
+                            let sers: String = binds
+                                .iter()
+                                .map(|f| format!("::serde::Serialize::serialize({f}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({pat}) => {{ \
+                                 ::serde::Serialize::serialize(&{tag}u32, out); {sers} }}"
+                            )
+                        }
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => {{ ::serde::Serialize::serialize(&{tag}u32, out); }}"
+                        ),
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{ \
+         let _ = &out; {body} }} }}"
+    );
+    out.parse()
+        .expect("serde stub derive: generated code must parse")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|_| "::serde::Deserialize::deserialize(input)?,".to_string())
+                .collect();
+            format!("::std::result::Result::Ok({name}({inits}))")
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vn = &v.name;
+                    let ctor = match &v.kind {
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?,"))
+                                .collect();
+                            format!("{name}::{vn} {{ {inits} }}")
+                        }
+                        VariantKind::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|_| "::serde::Deserialize::deserialize(input)?,".to_string())
+                                .collect();
+                            format!("{name}::{vn}({inits})")
+                        }
+                        VariantKind::Unit => format!("{name}::{vn}"),
+                    };
+                    format!("{tag}u32 => ::std::result::Result::Ok({ctor}),")
+                })
+                .collect();
+            format!(
+                "let tag: u32 = ::serde::Deserialize::deserialize(input)?; \
+                 match tag {{ {arms} _ => ::std::result::Result::Err(\
+                 ::serde::Error::custom(concat!(\"invalid enum tag for \", stringify!({name})))) }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(input: &mut ::serde::Reader<'_>) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    );
+    out.parse()
+        .expect("serde stub derive: generated code must parse")
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(named_field_names(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("serde stub derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde stub derive: unsupported enum body {other:?}"),
+        },
+        kw => panic!("serde stub derive: unsupported item kind `{kw}`"),
+    }
+}
+
+/// Skips leading `#[...]` attributes (doc comments included) and `pub` /
+/// `pub(...)` visibility qualifiers.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas. Parens/brackets/braces arrive
+/// pre-grouped, so only `<...>` nesting needs manual depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tree);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut iter);
+            match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde stub derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut iter);
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde stub derive: expected variant name, got {other:?}"),
+            };
+            let kind = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(named_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                other => panic!(
+                    "serde stub derive: unsupported tokens after variant `{name}`: {other:?}"
+                ),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}

@@ -1,0 +1,25 @@
+//! Byte-oriented async read/write extension traits, mirroring the names of
+//! `tokio::io::{AsyncReadExt, AsyncWriteExt}` for the types this stub ships.
+
+use std::io;
+
+/// Async reading of bytes.
+pub trait AsyncReadExt {
+    /// Reads some bytes, returning how many were read (0 at EOF).
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Reads exactly `buf.len()` bytes, erroring on early EOF.
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// Async writing of bytes.
+pub trait AsyncWriteExt {
+    /// Writes the whole buffer.
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Flushes buffered data.
+    async fn flush(&mut self) -> io::Result<()>;
+
+    /// Shuts down the write side of the stream.
+    async fn shutdown(&mut self) -> io::Result<()>;
+}

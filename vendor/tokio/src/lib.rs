@@ -1,0 +1,60 @@
+//! Offline stub of [tokio](https://tokio.rs) exposing the API subset used by
+//! `atlas-runtime`: `spawn`/`JoinHandle`, `runtime::Runtime`, async TCP
+//! (`net::{TcpListener, TcpStream}` with owned split halves), byte-oriented
+//! read/write extension traits, unbounded mpsc + oneshot channels, and
+//! `time::{sleep, interval, timeout}`.
+//!
+//! # How it differs from real tokio
+//!
+//! There is no reactor and no cooperative scheduler: **every task is an OS
+//! thread**, and every async operation simply performs the corresponding
+//! *blocking* `std` call inside its first `poll`. Futures produced by this
+//! crate therefore resolve on first poll (or block the calling task-thread
+//! until they can). This gives the same observable semantics for code that is
+//! structured task-per-connection — which is exactly how `atlas-runtime` is
+//! written — at the cost of one thread per task, which is fine at the scale
+//! of the test clusters and localhost benches this workspace runs offline.
+//!
+//! Code written against this stub sticks to the real tokio API shape, so
+//! pointing the workspace manifest at real tokio is a no-source-change swap
+//! (`tokio::select!` and `#[tokio::main]` are intentionally *not* provided;
+//! the runtime avoids them).
+
+#![forbid(unsafe_code)]
+#![allow(async_fn_in_trait)]
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread, parking between
+/// polls. The crate's only executor: `spawn` runs this on a fresh thread.
+pub(crate) fn block_on_current<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Async-shaped TCP types backed by blocking `std::net` sockets. Each async
+//! method performs the blocking call inside its first poll, which is safe
+//! under the crate's thread-per-task execution model.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A TCP listener accepting connections.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    /// Accepts one inbound connection (blocks the calling task).
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        Ok((TcpStream::from_std_stream(stream), addr))
+    }
+
+    /// The bound local address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A TCP connection.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: Arc<std::net::TcpStream>,
+}
+
+impl TcpStream {
+    fn from_std_stream(inner: std::net::TcpStream) -> Self {
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Connects to `addr` (blocks the calling task).
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self::from_std_stream(std::net::TcpStream::connect(addr)?))
+    }
+
+    /// Disables/enables Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Local address of the connection.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Remote address of the connection.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Splits into independently owned read/write halves (the shape
+    /// `atlas-runtime` uses to run reader and writer tasks per connection).
+    pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+        (
+            tcp::OwnedReadHalf {
+                inner: Arc::clone(&self.inner),
+            },
+            tcp::OwnedWriteHalf { inner: self.inner },
+        )
+    }
+}
+
+/// Owned split halves of a [`TcpStream`].
+pub mod tcp {
+    use super::*;
+
+    /// Read half of a connection.
+    #[derive(Debug)]
+    pub struct OwnedReadHalf {
+        pub(crate) inner: Arc<std::net::TcpStream>,
+    }
+
+    /// Write half of a connection. Dropping it (and the read half) closes
+    /// the socket; [`crate::io::AsyncWriteExt::shutdown`] half-closes it
+    /// eagerly.
+    #[derive(Debug)]
+    pub struct OwnedWriteHalf {
+        pub(crate) inner: Arc<std::net::TcpStream>,
+    }
+
+    impl OwnedReadHalf {
+        pub(crate) fn raw(&self) -> &std::net::TcpStream {
+            &self.inner
+        }
+    }
+
+    impl OwnedWriteHalf {
+        pub(crate) fn raw(&self) -> &std::net::TcpStream {
+            &self.inner
+        }
+
+        /// Half-closes the write direction.
+        pub fn shutdown_now(&self) -> io::Result<()> {
+            self.inner.shutdown(Shutdown::Write)
+        }
+    }
+}
+
+pub(crate) use inner_access::*;
+
+mod inner_access {
+    use super::*;
+    use std::io::{Read, Write};
+
+    pub(crate) fn read_stream(stream: &std::net::TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        // `Read` is implemented for `&TcpStream`, allowing shared halves.
+        (&*stream).read(buf)
+    }
+
+    pub(crate) fn read_exact_stream(
+        stream: &std::net::TcpStream,
+        buf: &mut [u8],
+    ) -> io::Result<usize> {
+        (&*stream).read_exact(buf)?;
+        Ok(buf.len())
+    }
+
+    pub(crate) fn write_all_stream(stream: &std::net::TcpStream, buf: &[u8]) -> io::Result<()> {
+        (&*stream).write_all(buf)
+    }
+
+    pub(crate) fn flush_stream(stream: &std::net::TcpStream) -> io::Result<()> {
+        (&*stream).flush()
+    }
+}
+
+impl crate::io::AsyncReadExt for TcpStream {
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        read_stream(&self.inner, buf)
+    }
+
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        read_exact_stream(&self.inner, buf)
+    }
+}
+
+impl crate::io::AsyncWriteExt for TcpStream {
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        write_all_stream(&self.inner, buf)
+    }
+
+    async fn flush(&mut self) -> io::Result<()> {
+        flush_stream(&self.inner)
+    }
+
+    async fn shutdown(&mut self) -> io::Result<()> {
+        self.inner.shutdown(Shutdown::Write)
+    }
+}
+
+impl crate::io::AsyncReadExt for tcp::OwnedReadHalf {
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        read_stream(self.raw(), buf)
+    }
+
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        read_exact_stream(self.raw(), buf)
+    }
+}
+
+impl crate::io::AsyncWriteExt for tcp::OwnedWriteHalf {
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        write_all_stream(self.raw(), buf)
+    }
+
+    async fn flush(&mut self) -> io::Result<()> {
+        flush_stream(self.raw())
+    }
+
+    async fn shutdown(&mut self) -> io::Result<()> {
+        self.raw().shutdown(Shutdown::Write)
+    }
+}

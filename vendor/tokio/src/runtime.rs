@@ -1,0 +1,66 @@
+//! Minimal `tokio::runtime` surface: [`Runtime`] and [`Builder`].
+
+use std::future::Future;
+
+/// Handle to the (trivial) runtime: tasks are plain OS threads, so the
+/// runtime itself holds no state and only provides `block_on`.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self::default())
+    }
+
+    /// Runs `fut` to completion on the calling thread.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        crate::block_on_current(fut)
+    }
+}
+
+/// Mirror of tokio's runtime builder; every knob is accepted and ignored
+/// because the stub has nothing to configure.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    /// Multi-threaded flavor (tasks are always threads here).
+    pub fn new_multi_thread() -> Self {
+        Self::default()
+    }
+
+    /// Current-thread flavor (identical in the stub).
+    pub fn new_current_thread() -> Self {
+        Self::default()
+    }
+
+    /// Accepted for compatibility; the stub has no drivers to enable.
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn enable_io(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn enable_time(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; thread count adapts to the task count.
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

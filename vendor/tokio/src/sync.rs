@@ -1,0 +1,160 @@
+//! Channels mirroring `tokio::sync::{mpsc, oneshot}`, backed by
+//! `std::sync::mpsc`. Receiving blocks the calling task-thread, which is the
+//! correct behavior under the crate's thread-per-task execution model.
+
+/// Multi-producer single-consumer channels.
+pub mod mpsc {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned when sending on a channel whose receiver was dropped;
+    /// gives the message back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Errors returned by [`UnboundedReceiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders were dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct UnboundedSender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("UnboundedSender")
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct UnboundedReceiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("UnboundedReceiver")
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Awaits the next message; `None` once all senders are dropped and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            self.inner.recv().ok()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive, for use outside async contexts.
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            self.inner.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            UnboundedSender { inner: tx },
+            UnboundedReceiver { inner: rx },
+        )
+    }
+}
+
+/// One-shot channels.
+pub mod oneshot {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned when the sender was dropped without sending.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "oneshot sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half: consumes itself on send.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends the value, giving it back if the receiver was dropped.
+        pub fn send(self, value: T) -> Result<(), T> {
+            self.inner.send(value).map_err(|e| e.0)
+        }
+    }
+
+    /// Receiving half: a future resolving to the sent value.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> std::future::Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(
+            self: std::pin::Pin<&mut Self>,
+            _cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<Self::Output> {
+            // Thread-per-task executor: blocking blocks only this task.
+            std::task::Poll::Ready(self.inner.recv().map_err(|_| RecvError))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive, for use outside async contexts.
+        pub fn blocking_recv(self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a one-shot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}

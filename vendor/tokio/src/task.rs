@@ -1,0 +1,83 @@
+//! Task spawning: every task is an OS thread driven by a parking executor.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc;
+use std::task::{Context, Poll};
+
+/// Error returned when a task's thread terminated without producing a value
+/// (it panicked).
+#[derive(Debug)]
+pub struct JoinError {
+    _priv: (),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Owned handle awaiting a spawned task's output.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    rx: mpsc::Receiver<T>,
+    finished: bool,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task already sent its result.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Thread-per-task executor: blocking here blocks only this task.
+        let out = self.rx.recv().map_err(|_| JoinError { _priv: () });
+        self.finished = true;
+        Poll::Ready(out)
+    }
+}
+
+/// Spawns `fut` on a dedicated thread, returning a handle to await its
+/// output.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name("tokio-shim-task".into())
+        .spawn(move || {
+            let out = crate::block_on_current(fut);
+            let _ = tx.send(out);
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle {
+        rx,
+        finished: false,
+    }
+}
+
+/// Runs a blocking closure on a dedicated thread (all threads block freely
+/// here, but the entry point is kept for API compatibility).
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn(async move { f() })
+}
+
+/// Yields once; a no-op under thread-per-task scheduling.
+pub async fn yield_now() {
+    std::thread::yield_now();
+}

@@ -1,0 +1,81 @@
+//! Timers mirroring `tokio::time`, implemented with thread sleeps (each task
+//! is its own thread, so sleeping blocks only the sleeping task).
+
+use std::future::Future;
+use std::time::{Duration, Instant};
+
+/// Timer errors.
+pub mod error {
+    use std::fmt;
+
+    /// A [`super::timeout`] elapsed before its future completed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct Elapsed {
+        pub(crate) _priv: (),
+    }
+
+    impl fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+}
+
+/// Sleeps for `duration`.
+pub async fn sleep(duration: Duration) {
+    std::thread::sleep(duration);
+}
+
+/// A repeating timer with a fixed period.
+#[derive(Debug)]
+pub struct Interval {
+    next: Instant,
+    period: Duration,
+}
+
+impl Interval {
+    /// Waits until the next period boundary, returning its timestamp. Like
+    /// tokio's default `MissedTickBehavior::Burst`, missed ticks fire
+    /// immediately.
+    pub async fn tick(&mut self) -> Instant {
+        let now = Instant::now();
+        if self.next > now {
+            std::thread::sleep(self.next - now);
+        }
+        let fired = self.next;
+        self.next += self.period;
+        fired
+    }
+}
+
+/// Creates an [`Interval`] whose first tick fires immediately.
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        next: Instant::now(),
+        period,
+    }
+}
+
+/// Awaits `fut` for at most `duration`.
+///
+/// The stub runs `fut` on a helper thread; on timeout that thread is left to
+/// finish in the background (its result is discarded), hence the additional
+/// `Send + 'static` bounds compared to real tokio.
+pub async fn timeout<F>(duration: Duration, fut: F) -> Result<F::Output, error::Elapsed>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    std::thread::Builder::new()
+        .name("tokio-shim-timeout".into())
+        .spawn(move || {
+            let _ = tx.send(crate::block_on_current(fut));
+        })
+        .expect("failed to spawn timeout thread");
+    rx.recv_timeout(duration)
+        .map_err(|_| error::Elapsed { _priv: () })
+}
