@@ -104,7 +104,7 @@ impl fmt::Display for Dot {
 ///
 /// Mirrors line 2 of Algorithm 1: `id ← ⟨i, min{l | ⟨i, l⟩ ∈ start}⟩`, i.e.
 /// identifiers are handed out sequentially.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DotGen {
     source: ProcessId,
     next: u64,
@@ -126,6 +126,14 @@ impl DotGen {
     /// Number of identifiers generated so far.
     pub fn generated(&self) -> u64 {
         self.next - 1
+    }
+
+    /// Ensures every future identifier has a sequence strictly greater than
+    /// `seq`. Used when a replica rejoins after losing its state: peers may
+    /// have seen dots of its previous incarnation, and reissuing one of them
+    /// for a different command would be unsound.
+    pub fn advance_past(&mut self, seq: u64) {
+        self.next = self.next.max(seq + 1);
     }
 }
 
@@ -174,6 +182,17 @@ mod tests {
         assert!(a < b);
         assert!(b < c);
         assert_eq!(a, Rifl::new(7, 1));
+    }
+
+    #[test]
+    fn dot_gen_advance_past_never_reissues() {
+        let mut gen = DotGen::new(1);
+        let _ = gen.next_dot();
+        gen.advance_past(10);
+        assert_eq!(gen.next_dot(), Dot::new(1, 11));
+        // Advancing backwards is a no-op.
+        gen.advance_past(3);
+        assert_eq!(gen.next_dot(), Dot::new(1, 12));
     }
 
     #[test]

@@ -183,6 +183,58 @@ pub trait Protocol: Sized {
         Vec::new()
     }
 
+    /// Serializes the replica's complete state for a durable snapshot.
+    ///
+    /// A runtime with a write-ahead log calls this periodically so it can
+    /// truncate the journaled input prefix the snapshot covers;
+    /// [`Protocol::restore_state`] must rebuild an equivalent replica from
+    /// the returned bytes. Returning `None` (the default) tells the runtime
+    /// the protocol does not support snapshotting — the runtime then keeps
+    /// the full input journal and recovers by replaying it from the start.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuilds a replica from bytes produced by [`Protocol::save_state`] on
+    /// a replica with the same identifier and configuration. Returns `None`
+    /// if the bytes cannot be decoded or belong to a different replica — the
+    /// caller must treat that as corruption, not as an empty state.
+    fn restore_state(
+        _id: ProcessId,
+        _config: Config,
+        _topology: Topology,
+        _state: &[u8],
+    ) -> Option<Self> {
+        None
+    }
+
+    /// Messages that, replayed through [`Protocol::handle`] on a fresh
+    /// replica, convey every command this replica has committed — the
+    /// payload of a peer-assisted catch-up (state transfer). Commit-style
+    /// messages are idempotent in every protocol of this workspace, so
+    /// applying a committed log on top of partially known state is safe.
+    /// Default: empty (no catch-up support).
+    fn committed_log(&self) -> Vec<Self::Message> {
+        Vec::new()
+    }
+
+    /// The highest command sequence number (dot sequence or log slot) this
+    /// replica has *seen* — committed or not — originating from `source`.
+    ///
+    /// A replica that lost its state and rejoins asks its peers for this
+    /// horizon and calls [`Protocol::advance_identifiers`] with the maximum,
+    /// so the identifiers of its previous incarnation are never reissued for
+    /// different commands. Default: 0 (nothing seen).
+    fn seen_horizon(&self, _source: ProcessId) -> u64 {
+        0
+    }
+
+    /// Ensures every identifier this replica generates from now on is
+    /// strictly greater than `past` (in its own identifier space). Called
+    /// during peer-assisted catch-up with the peers' [`seen
+    /// horizon`](Protocol::seen_horizon) for this replica. Default: no-op.
+    fn advance_identifiers(&mut self, _past: u64) {}
+
     /// Protocol metrics accumulated so far.
     fn metrics(&self) -> &ProtocolMetrics;
 }

@@ -1,0 +1,137 @@
+//! Atomic snapshot persistence.
+//!
+//! A snapshot is an opaque blob covering every WAL record below a given
+//! index. Snapshots are written to a temporary file, fsynced, and renamed
+//! into place, so a crash mid-snapshot leaves the previous snapshot intact;
+//! the highest-indexed valid snapshot wins on load.
+
+use crate::crc::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Stores and retrieves CRC-protected snapshot blobs in a directory.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snapshot_name(index: u64) -> String {
+    format!("snap-{index:020}.bin")
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Atomically persists `payload` as the snapshot covering WAL records
+    /// `.. index`, then prunes older snapshots.
+    pub fn save(&self, index: u64, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("snap-{index:020}.tmp"));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&crc32(payload).to_le_bytes())?;
+        file.write_all(payload)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, self.dir.join(snapshot_name(index)))?;
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        // Prune every older snapshot; the new one covers them.
+        for old in self.indices()? {
+            if old < index {
+                let _ = fs::remove_file(self.dir.join(snapshot_name(old)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the highest-indexed snapshot, if any, returning `(index,
+    /// payload)`. A snapshot whose CRC does not match fails loudly — the
+    /// caller must not silently fall back to an empty state.
+    pub fn load_latest(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let Some(index) = self.indices()?.into_iter().max() else {
+            return Ok(None);
+        };
+        let mut bytes = Vec::new();
+        File::open(self.dir.join(snapshot_name(index)))?.read_to_end(&mut bytes)?;
+        if bytes.len() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot {index} is too short to contain its checksum"),
+            ));
+        }
+        let expected = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let payload = bytes.split_off(4);
+        if crc32(&payload) != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("CRC mismatch in snapshot {index}"),
+            ));
+        }
+        Ok(Some((index, payload)))
+    }
+
+    fn indices(&self) -> io::Result<Vec<u64>> {
+        Ok(fs::read_dir(&self.dir)?
+            .filter_map(|entry| parse_snapshot_name(entry.ok()?.file_name().to_str()?))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = TempDir::new("snap-empty").unwrap();
+        let store = SnapshotStore::open(dir.path()).unwrap();
+        assert_eq!(store.load_latest().unwrap(), None);
+    }
+
+    #[test]
+    fn latest_snapshot_wins_and_older_ones_are_pruned() {
+        let dir = TempDir::new("snap-latest").unwrap();
+        let store = SnapshotStore::open(dir.path()).unwrap();
+        store.save(10, b"ten").unwrap();
+        store.save(25, b"twenty-five").unwrap();
+        assert_eq!(
+            store.load_latest().unwrap(),
+            Some((25, b"twenty-five".to_vec()))
+        );
+        let files = fs::read_dir(dir.path()).unwrap().count();
+        assert_eq!(files, 1, "older snapshots must be pruned");
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_loudly() {
+        let dir = TempDir::new("snap-corrupt").unwrap();
+        let store = SnapshotStore::open(dir.path()).unwrap();
+        store.save(3, b"precious state").unwrap();
+        let path = dir.path().join(snapshot_name(3));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load_latest().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -16,6 +16,7 @@
 //! when that dependency commits.
 
 use atlas_core::{Command, Dot};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of adding a committed command to the executor: the list of
@@ -23,7 +24,7 @@ use std::collections::{HashMap, HashSet};
 pub type ExecutionBatch = Vec<(Dot, Command)>;
 
 /// State of a vertex in the dependency graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Vertex {
     cmd: Command,
     deps: Vec<Dot>,
@@ -45,7 +46,7 @@ struct Vertex {
 /// let order: Vec<_> = executed.iter().map(|(dot, _)| *dot).collect();
 /// assert_eq!(order, vec![a, b]); // a executes before b everywhere
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct DependencyGraph {
     /// Committed but not yet executed vertices.
     pending: HashMap<Dot, Vertex>,

@@ -17,10 +17,11 @@
 //! never become dependencies of later commands.
 
 use atlas_core::{Command, Dot, Key};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Per-key record: the last write and the reads issued after it.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct KeyEntry {
     last_write: Option<Dot>,
     reads_after_write: Vec<Dot>,
@@ -28,7 +29,7 @@ struct KeyEntry {
 
 /// Conflict index mapping keys to the identifiers of the latest conflicting
 /// commands.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeyDeps {
     entries: HashMap<Key, KeyEntry>,
     /// Identifiers already added, to keep [`KeyDeps::add`] idempotent.

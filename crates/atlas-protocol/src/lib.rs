@@ -4,7 +4,7 @@
 //! *"State-Machine Replication for Planet-Scale Systems"* (EuroSys 2020),
 //! together with its dependency-graph execution layer.
 //!
-//! Highlights of the protocol (see the paper and `DESIGN.md`):
+//! Highlights of the protocol (see the paper and `ARCHITECTURE.md`):
 //!
 //! * **Small fast quorums** of size `⌊n/2⌋ + f`, where the number of
 //!   tolerated concurrent site failures `f` is chosen independently of `n`.

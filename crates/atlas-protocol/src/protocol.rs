@@ -1,6 +1,6 @@
 //! The Atlas replica state machine: failure-free protocol (Algorithm 1) plus
 //! the execution loop (Algorithm 3). The recovery path (Algorithm 2) lives in
-//! [`crate::recovery`].
+//! the crate-private `recovery` module.
 
 use crate::graph::DependencyGraph;
 use crate::keydeps::KeyDeps;
@@ -9,10 +9,11 @@ use atlas_core::protocol::Time;
 use atlas_core::{
     Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Progress of a command identifier at this replica (paper §3.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum Phase {
     /// Nothing known beyond possibly the identifier itself.
     Start,
@@ -28,7 +29,7 @@ pub(crate) enum Phase {
 
 /// Everything a recovery acknowledgement carries (used by the new
 /// coordinator to compute its proposal).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct RecAck {
     pub cmd: Command,
     pub deps: HashSet<Dot>,
@@ -37,7 +38,7 @@ pub(crate) struct RecAck {
 }
 
 /// Per-identifier bookkeeping (the mappings at the bottom of Algorithm 1/4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Info {
     pub phase: Phase,
     pub cmd: Option<Command>,
@@ -85,8 +86,11 @@ impl Info {
 /// Drive it through the [`Protocol`] trait: [`Protocol::submit`] makes this
 /// replica the initial coordinator of a command, [`Protocol::handle`]
 /// processes a message from a peer, and [`Protocol::suspect`] triggers
-/// recovery of a failed peer's in-flight commands.
-#[derive(Debug)]
+/// recovery of a failed peer's in-flight commands. [`Protocol::save_state`]
+/// / [`Protocol::restore_state`] serialize the whole replica for durable
+/// snapshots (every field below, including the conflict index and the
+/// execution graph, round-trips through serde).
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Atlas {
     pub(crate) id: ProcessId,
     pub(crate) config: Config,
@@ -460,6 +464,53 @@ impl Protocol for Atlas {
 
     fn suspect(&mut self, suspected: ProcessId, time: Time) -> Vec<Action<Message>> {
         self.recover_suspected(suspected, time)
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(self).expect("replica state always encodes"))
+    }
+
+    fn restore_state(
+        id: ProcessId,
+        config: Config,
+        _topology: Topology,
+        state: &[u8],
+    ) -> Option<Self> {
+        let state: Atlas = bincode::deserialize(state).ok()?;
+        (state.id == id && state.config == config).then_some(state)
+    }
+
+    fn committed_log(&self) -> Vec<Message> {
+        let mut commits: Vec<(Dot, Message)> = self
+            .info
+            .iter()
+            .filter(|(_, info)| matches!(info.phase, Phase::Commit | Phase::Execute))
+            .filter_map(|(dot, info)| {
+                Some((
+                    *dot,
+                    Message::MCommit {
+                        dot: *dot,
+                        cmd: info.cmd.clone()?,
+                        deps: info.deps.clone(),
+                    },
+                ))
+            })
+            .collect();
+        commits.sort_by_key(|(dot, _)| *dot);
+        commits.into_iter().map(|(_, msg)| msg).collect()
+    }
+
+    fn seen_horizon(&self, source: ProcessId) -> u64 {
+        self.info
+            .keys()
+            .filter(|dot| dot.source == source)
+            .map(|dot| dot.seq)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn advance_identifiers(&mut self, past: u64) {
+        self.dot_gen.advance_past(past);
     }
 
     fn metrics(&self) -> &ProtocolMetrics {

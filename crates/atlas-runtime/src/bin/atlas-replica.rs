@@ -1,21 +1,33 @@
 //! Runs one networked replica: `atlas-replica --id 1 --f 1
-//! --addrs 127.0.0.1:4001,127.0.0.1:4002,127.0.0.1:4003 [--protocol atlas]`
+//! --addrs 127.0.0.1:4001,127.0.0.1:4002,127.0.0.1:4003 [--protocol atlas]
+//! [--data-dir /var/lib/atlas/r1]`
 //!
 //! The `--addrs` list is the full cluster membership in identifier order;
 //! replica `--id i` binds the `i`-th address and dials the others with
 //! reconnecting links, so start order does not matter.
+//!
+//! With `--data-dir` the replica journals every input and snapshots its
+//! state there; after a crash (SIGKILL included), rerunning the same command
+//! line recovers the replica before it serves traffic. `--flush` trades
+//! durability against fsync cost (`always`, `every:<n>`, `os`), and
+//! `--catch-up` makes a replica whose data dir was lost rebuild committed
+//! state from its peers.
 
 use atlas_core::{Config, ProcessId, Protocol};
+use atlas_log::FlushPolicy;
 use atlas_runtime::replica::{self, ReplicaConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: atlas-replica --id <1..n> --addrs <a1,a2,...> [--f <f>] \
-         [--protocol atlas|epaxos|fpaxos|mencius] [--nfr]"
+         [--protocol atlas|epaxos|fpaxos|mencius] [--nfr] \
+         [--data-dir <path>] [--flush always|every:<n>|os] \
+         [--snapshot-every <records>] [--catch-up]"
     );
     exit(2);
 }
@@ -26,6 +38,10 @@ struct Args {
     f: usize,
     protocol: String,
     nfr: bool,
+    data_dir: Option<PathBuf>,
+    flush: FlushPolicy,
+    snapshot_every: u64,
+    catch_up: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +51,10 @@ fn parse_args() -> Args {
         f: 1,
         protocol: "atlas".to_string(),
         nfr: false,
+        data_dir: None,
+        flush: FlushPolicy::default(),
+        snapshot_every: 4096,
+        catch_up: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -54,6 +74,16 @@ fn parse_args() -> Args {
                     .map(|a| a.parse().unwrap_or_else(|_| usage()))
                     .collect()
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--flush" => {
+                args.flush = FlushPolicy::parse(&value("--flush")).unwrap_or_else(|| usage())
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = value("--snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--catch-up" => args.catch_up = true,
             _ => usage(),
         }
     }
@@ -76,16 +106,24 @@ where
         .enumerate()
         .map(|(i, addr)| (i as ProcessId + 1, *addr))
         .collect();
-    let cfg = ReplicaConfig::new(args.id, config, addrs);
+    let mut cfg = ReplicaConfig::new(args.id, config, addrs);
+    cfg.data_dir = args.data_dir.clone();
+    cfg.flush_policy = args.flush;
+    cfg.snapshot_every = args.snapshot_every;
+    cfg.catch_up = args.catch_up;
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {
         let handle = replica::spawn::<P>(cfg).await.expect("replica spawn");
         println!(
-            "{} replica {} listening on {} (n={n}, f={})",
+            "{} replica {} listening on {} (n={n}, f={}, {})",
             P::name(),
             handle.id,
             handle.addr,
-            args.f
+            args.f,
+            match &args.data_dir {
+                Some(dir) => format!("journaling to {}", dir.display()),
+                None => "ephemeral".to_string(),
+            }
         );
         // Serve until killed.
         loop {

@@ -54,10 +54,22 @@ pub struct Client {
 impl Client {
     /// Connects client `id` to the replica at `addr`.
     pub async fn connect(addr: SocketAddr, id: ClientId) -> io::Result<Self> {
+        Self::connect_with_seq(addr, id, 1).await
+    }
+
+    /// Connects client `id` with an explicit first sequence number — for a
+    /// client logically resuming an identity whose earlier requests already
+    /// used sequences below `first_seq` (request identifiers must stay
+    /// unique per client).
+    pub async fn connect_with_seq(
+        addr: SocketAddr,
+        id: ClientId,
+        first_seq: u64,
+    ) -> io::Result<Self> {
         let (reader, writer) = connect(addr, id).await?;
         Ok(Self {
             id,
-            next_seq: 1,
+            next_seq: first_seq,
             reader,
             writer,
         })

@@ -1,20 +1,64 @@
 //! The [`Cluster`] harness: boots an `n`-replica cluster of any protocol on
-//! localhost, for tests, examples and benches.
+//! localhost — each replica journaling to its own ephemeral data directory —
+//! and supports crash/restart fault injection for tests, examples and
+//! benches.
 
 use crate::replica::{self, ReplicaConfig, ReplicaHandle};
 use atlas_core::{Config, ProcessId, Protocol};
+use atlas_log::{FlushPolicy, TempDir};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 use tokio::net::TcpListener;
 
+/// Tunables of a [`Cluster`]; the defaults match what tests want (fast
+/// ticks are still explicit, journaling on, OS-buffered flushing — a
+/// process crash keeps the journal, and tests never power-fail the host).
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Cadence of [`Protocol::tick`] events.
+    pub tick_interval: Duration,
+    /// fsync batching of the per-replica journals.
+    pub flush_policy: FlushPolicy,
+    /// Snapshot + journal truncation cadence, in journaled records (0 =
+    /// keep the full journal).
+    pub snapshot_every: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            tick_interval: Duration::from_millis(25),
+            flush_policy: FlushPolicy::OsBuffered,
+            snapshot_every: 4096,
+        }
+    }
+}
+
 /// A running cluster of networked replicas on 127.0.0.1.
+///
+/// Every replica gets `<tmp>/atlas-cluster-*/r<id>` as its data directory,
+/// removed when the `Cluster` drops — so every cluster test exercises the
+/// durability layer, and crash/restart scenarios need no extra setup:
+///
+/// * [`Cluster::kill`] stops a replica abruptly (no flush, no checkpoint —
+///   equivalent to SIGKILL as far as replica state is concerned);
+/// * [`Cluster::restart`] boots it again under the same identifier, address
+///   and data directory, recovering from its journal;
+/// * [`Cluster::restart_wiped`] wipes the data directory first and boots
+///   with peer catch-up enabled, exercising the state-transfer path.
 #[derive(Debug)]
 pub struct Cluster {
-    handles: Vec<ReplicaHandle>,
+    handles: HashMap<ProcessId, Option<ReplicaHandle>>,
     addrs: HashMap<ProcessId, SocketAddr>,
+    config: Config,
+    options: ClusterOptions,
+    dirs: HashMap<ProcessId, PathBuf>,
+    /// Owns the on-disk tree of every replica's data dir.
+    _data_root: TempDir,
 }
 
 impl Cluster {
@@ -27,7 +71,7 @@ impl Cluster {
         P: Protocol + Send + 'static,
         P::Message: Serialize + Deserialize + Send + 'static,
     {
-        Self::spawn_with_tick::<P>(config, Duration::from_millis(25)).await
+        Self::spawn_with::<P>(config, ClusterOptions::default()).await
     }
 
     /// Like [`Cluster::spawn`], with an explicit [`Protocol::tick`] cadence.
@@ -36,6 +80,20 @@ impl Cluster {
         P: Protocol + Send + 'static,
         P::Message: Serialize + Deserialize + Send + 'static,
     {
+        let options = ClusterOptions {
+            tick_interval,
+            ..ClusterOptions::default()
+        };
+        Self::spawn_with::<P>(config, options).await
+    }
+
+    /// Boots the cluster with explicit [`ClusterOptions`].
+    pub async fn spawn_with<P>(config: Config, options: ClusterOptions) -> io::Result<Self>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        let data_root = TempDir::new("atlas-cluster")?;
         // Bind every replica on port 0 first, so the full address map exists
         // before any replica starts.
         let mut listeners = Vec::with_capacity(config.n);
@@ -45,13 +103,33 @@ impl Cluster {
             addrs.insert(id, listener.local_addr()?);
             listeners.push((id, listener));
         }
-        let mut handles = Vec::with_capacity(config.n);
+        let dirs: HashMap<ProcessId, PathBuf> = (1..=config.n as ProcessId)
+            .map(|id| (id, data_root.path().join(format!("r{id}"))))
+            .collect();
+        let mut cluster = Self {
+            handles: HashMap::new(),
+            addrs,
+            config,
+            options,
+            dirs,
+            _data_root: data_root,
+        };
         for (id, listener) in listeners {
-            let mut cfg = ReplicaConfig::new(id, config, addrs.clone());
-            cfg.tick_interval = tick_interval;
-            handles.push(replica::spawn_on_listener::<P>(cfg, listener)?);
+            let cfg = cluster.replica_config(id, false);
+            let handle = replica::spawn_on_listener::<P>(cfg, listener)?;
+            cluster.handles.insert(id, Some(handle));
         }
-        Ok(Self { handles, addrs })
+        Ok(cluster)
+    }
+
+    fn replica_config(&self, id: ProcessId, catch_up: bool) -> ReplicaConfig {
+        let mut cfg = ReplicaConfig::new(id, self.config, self.addrs.clone());
+        cfg.tick_interval = self.options.tick_interval;
+        cfg.data_dir = Some(self.dirs[&id].clone());
+        cfg.flush_policy = self.options.flush_policy;
+        cfg.snapshot_every = self.options.snapshot_every;
+        cfg.catch_up = catch_up;
+        cfg
     }
 
     /// Number of replicas.
@@ -69,9 +147,87 @@ impl Cluster {
         &self.addrs
     }
 
+    /// The data directory of replica `id`.
+    pub fn data_dir(&self, id: ProcessId) -> &PathBuf {
+        &self.dirs[&id]
+    }
+
+    /// Crashes replica `id`: its tasks stop without flushing or
+    /// checkpointing anything, so only what the durability layer already
+    /// persisted survives — the closest an in-process harness gets to
+    /// SIGKILL. No-op if the replica is already down.
+    pub fn kill(&mut self, id: ProcessId) {
+        if let Some(Some(handle)) = self.handles.get_mut(&id).map(Option::take) {
+            handle.shutdown();
+        }
+    }
+
+    /// Restarts a killed replica under the same identifier, address and
+    /// data directory; it recovers from its journal before serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is still running.
+    pub async fn restart<P>(&mut self, id: ProcessId) -> io::Result<()>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        self.restart_inner::<P>(id, false).await
+    }
+
+    /// Restarts a killed replica with a **wiped** data directory, as after
+    /// losing a disk: it rejoins by fetching committed state from its peers
+    /// (peer-assisted catch-up) instead of replaying a local journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is still running.
+    pub async fn restart_wiped<P>(&mut self, id: ProcessId) -> io::Result<()>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        let dir = &self.dirs[&id];
+        if dir.exists() {
+            std::fs::remove_dir_all(dir)?;
+        }
+        self.restart_inner::<P>(id, true).await
+    }
+
+    async fn restart_inner<P>(&mut self, id: ProcessId, catch_up: bool) -> io::Result<()>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        assert!(
+            self.handles.get(&id).is_none_or(|h| h.is_none()),
+            "replica {id} is still running; kill it before restarting"
+        );
+        let addr = self.addrs[&id];
+        // The previous incarnation's sockets may take a moment to fully
+        // close (readers notice the dead event loop lazily); retry the bind
+        // briefly. SO_REUSEADDR on the listener handles TIME_WAIT residue.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let listener = loop {
+            match TcpListener::bind(addr).await {
+                Ok(listener) => break listener,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    tokio::time::sleep(Duration::from_millis(50)).await;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let cfg = self.replica_config(id, catch_up);
+        let handle = replica::spawn_on_listener::<P>(cfg, listener)?;
+        self.handles.insert(id, Some(handle));
+        Ok(())
+    }
+
     /// Stops every replica.
     pub fn shutdown(&self) {
-        for handle in &self.handles {
+        for handle in self.handles.values().flatten() {
             handle.shutdown();
         }
     }

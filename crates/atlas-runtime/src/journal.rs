@@ -1,0 +1,235 @@
+//! What the replica persists and how it recovers.
+//!
+//! The durable state of a replica is an **input journal** plus periodic
+//! **snapshots**, both kept under one data directory by `atlas-log`:
+//!
+//! * every protocol-relevant input — a client [`JournalRecord::Submit`] or a
+//!   peer [`JournalRecord::Peer`] message — is appended to the write-ahead
+//!   log *before* the protocol processes it. Protocols are deterministic
+//!   state machines (wall-clock time only feeds metrics), so replaying the
+//!   journaled inputs in order reconstructs exactly the state the previous
+//!   incarnation reached — including the dots it assigned, the dependencies
+//!   it reported and the promises it made to peers;
+//! * every `snapshot_every` records the replica serializes a
+//!   [`ReplicaSnapshot`] — the protocol's
+//!   [`save_state`](atlas_core::Protocol::save_state), the key–value store
+//!   and the execution record — and truncates the journal prefix the
+//!   snapshot covers, so replay work and disk usage stay bounded.
+//!
+//! Recovery is then: load the latest snapshot (if any), restore the
+//! protocol with [`restore_state`](atlas_core::Protocol::restore_state),
+//! and replay the journal suffix. A replica whose data directory was wiped
+//! additionally performs peer-assisted catch-up (see
+//! [`crate::replica`]).
+
+use atlas_core::{Command, Dot, ProcessId, Rifl};
+use atlas_log::{FlushPolicy, SnapshotStore, Wal};
+use kvstore::KVStore;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// One journaled protocol input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A local client submitted `cmd`.
+    Submit {
+        /// The submitted command.
+        cmd: Command,
+    },
+    /// Peer `from` sent a protocol message (bincode encoding of the hosted
+    /// protocol's `Message`; kept opaque so the record type is not generic).
+    Peer {
+        /// The sending replica.
+        from: ProcessId,
+        /// Encoded protocol message, exactly as received.
+        payload: Vec<u8>,
+    },
+    /// During catch-up, peers reported having seen this replica's
+    /// identifiers up to `past`
+    /// ([`Protocol::advance_identifiers`](atlas_core::Protocol::advance_identifiers)).
+    /// Journaled so the advance survives a second crash.
+    Advance {
+        /// Horizon below which identifiers must never be reissued.
+        past: u64,
+    },
+}
+
+/// Everything a snapshot captures. Restoring this plus replaying the
+/// journal suffix is equivalent to replaying the full journal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaSnapshot {
+    /// [`Protocol::save_state`](atlas_core::Protocol::save_state) bytes.
+    pub protocol: Vec<u8>,
+    /// The replicated key–value store.
+    pub store: KVStore,
+    /// The execution record: `(dot, rifl)` in local execution order.
+    pub log: Vec<(Dot, Rifl)>,
+}
+
+/// The open durable state of a running replica.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    wal: Wal,
+    snapshots: SnapshotStore,
+    /// Take a snapshot after this many journaled records (0 = never).
+    snapshot_every: u64,
+    /// Records appended since the last snapshot.
+    since_snapshot: u64,
+}
+
+/// An `InvalidData` error for journal/snapshot corruption — the class of
+/// failure recovery must surface loudly instead of booting amnesiac.
+pub(crate) fn corrupt(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Journal {
+    /// Opens the data directory, returning the journal positioned for
+    /// appending, the latest snapshot (if any) and the journal records the
+    /// snapshot does not cover, in order.
+    pub fn open(
+        dir: &Path,
+        policy: FlushPolicy,
+        snapshot_every: u64,
+    ) -> io::Result<(Self, Option<ReplicaSnapshot>, Vec<JournalRecord>)> {
+        let snapshots = SnapshotStore::open(dir)?;
+        let (wal, raw_records) = Wal::open(&dir.join("wal"), policy)?;
+        let (snapshot, covered) = match snapshots.load_latest()? {
+            Some((index, bytes)) => {
+                let snapshot: ReplicaSnapshot = bincode::deserialize(&bytes)
+                    .map_err(|e| corrupt(format!("undecodable snapshot {index}: {e}")))?;
+                (Some(snapshot), index)
+            }
+            None => (None, 0),
+        };
+        let mut records = Vec::new();
+        for raw in raw_records {
+            if raw.index < covered {
+                continue; // segment straddling the snapshot index
+            }
+            let record = bincode::deserialize(&raw.payload)
+                .map_err(|e| corrupt(format!("undecodable journal record {}: {e}", raw.index)))?;
+            records.push(record);
+        }
+        // The replayed suffix counts toward the snapshot cadence: a replica
+        // that keeps crashing just short of `snapshot_every` *new* records
+        // would otherwise never snapshot, and its journal (and recovery
+        // time) would grow without bound across restarts.
+        let since_snapshot = records.len() as u64;
+        Ok((
+            Self {
+                wal,
+                snapshots,
+                snapshot_every,
+                since_snapshot,
+            },
+            snapshot,
+            records,
+        ))
+    }
+
+    /// Appends one input record (write-ahead: call this *before* handing the
+    /// input to the protocol).
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let bytes = bincode::serialize(record).expect("journal records always encode");
+        self.wal.append(&bytes)?;
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Whether enough records accumulated since the last snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Makes every appended record durable before an effect derived from it
+    /// is externalized — a delivery ack (the peer then drops the record
+    /// from its resend buffer forever) or a freshly minted command
+    /// identifier (reissuing it after losing the record would be unsound).
+    /// Under [`FlushPolicy::OsBuffered`] this is a no-op — that policy
+    /// explicitly trades host-power-loss durability away (process crashes
+    /// are still covered by the page cache).
+    pub fn make_durable(&mut self) -> io::Result<()> {
+        self.wal.sync_pending()
+    }
+
+    /// Persists `snapshot` as covering every record journaled so far and
+    /// truncates the log prefix it covers.
+    pub fn save_snapshot(&mut self, snapshot: &ReplicaSnapshot) -> io::Result<()> {
+        let index = self.wal.next_index();
+        let bytes = bincode::serialize(snapshot).expect("snapshots always encode");
+        // Snapshot must be durable before the log it replaces goes away.
+        self.wal.sync()?;
+        self.snapshots.save(index, &bytes)?;
+        self.wal.truncate_below(index)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_log::TempDir;
+
+    fn submit(n: u64) -> JournalRecord {
+        JournalRecord::Submit {
+            cmd: Command::put(Rifl::new(n, 1), n, n, 8),
+        }
+    }
+
+    #[test]
+    fn journal_records_round_trip_across_reopen() {
+        let dir = TempDir::new("journal-roundtrip").unwrap();
+        let (mut journal, snap, records) =
+            Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
+        assert!(snap.is_none());
+        assert!(records.is_empty());
+        journal.append(&submit(1)).unwrap();
+        journal
+            .append(&JournalRecord::Peer {
+                from: 2,
+                payload: vec![1, 2, 3],
+            })
+            .unwrap();
+        drop(journal);
+
+        let (_, snap, records) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], submit(1));
+        assert_eq!(
+            records[1],
+            JournalRecord::Peer {
+                from: 2,
+                payload: vec![1, 2, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_truncates_the_covered_prefix() {
+        let dir = TempDir::new("journal-snap").unwrap();
+        let (mut journal, _, _) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 3).unwrap();
+        for i in 0..3 {
+            journal.append(&submit(i)).unwrap();
+        }
+        assert!(journal.snapshot_due());
+        let snapshot = ReplicaSnapshot {
+            protocol: vec![9, 9],
+            store: KVStore::new(),
+            log: vec![(Dot::new(1, 1), Rifl::new(1, 1))],
+        };
+        journal.save_snapshot(&snapshot).unwrap();
+        assert!(!journal.snapshot_due());
+        journal.append(&submit(7)).unwrap();
+        drop(journal);
+
+        let (_, snap, records) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 3).unwrap();
+        let snap = snap.expect("snapshot restored");
+        assert_eq!(snap.protocol, vec![9, 9]);
+        assert_eq!(snap.log.len(), 1);
+        assert_eq!(records, vec![submit(7)], "only the suffix replays");
+    }
+}

@@ -29,29 +29,44 @@
 //! Time is passed to the protocol as microseconds since replica start, so
 //! protocol-side latency metrics keep working unchanged.
 //!
-//! ## What the runtime does *not* do yet
+//! ## Durability and crash recovery
 //!
-//! Replica state is **in-memory only**: there is no durable log and no
-//! catch-up/state-transfer protocol. A crashed replica's peers keep working
-//! (the protocols tolerate `f` failures and the links buffer + reconnect),
-//! but restarting that replica **with the same identifier** is not sound: a
-//! fresh incarnation re-issues command identifiers its peers already
-//! executed, so its submissions are ignored as duplicates, and it cannot
-//! execute commands whose dependencies predate the restart. Durable logs and
-//! a catch-up protocol are the natural next subsystem on top of this crate.
+//! With [`ReplicaConfig::data_dir`](replica::ReplicaConfig) set, a replica
+//! journals every protocol input (client submissions, peer messages) to a
+//! write-ahead log **before** processing it, and periodically checkpoints
+//! its full state — [`Protocol::save_state`](atlas_core::Protocol), the
+//! KVS, the execution record — truncating the journal prefix the snapshot
+//! covers. A crashed replica restarted **under the same identifier** first
+//! restores the snapshot, then replays the journal suffix (protocols are
+//! deterministic state machines, so replay reconstructs exactly the state
+//! its peers observed), and only then serves traffic. A replica that lost
+//! its data directory rejoins with
+//! [`catch_up`](replica::ReplicaConfig::catch_up): it fetches every
+//! reachable peer's [`committed_log`](atlas_core::Protocol::committed_log)
+//! and replays it through the normal message path, advancing its identifier
+//! generator past the peers' observed horizon so identifiers of the lost
+//! incarnation are never reissued. Peer links carry sequence numbers and
+//! cumulative acks with sender-side resend buffers ([`transport`]), so
+//! messages sent while a replica was down are redelivered once it returns.
+//! See `ARCHITECTURE.md` at the repository root for the full design,
+//! including what is deliberately *not* recovered (commands that were in
+//! flight, uncommitted anywhere, when a disk was lost).
 //!
 //! ## Pieces
 //!
-//! * [`wire`] — length-prefixed bincode framing and the hello/request/reply
-//!   envelope types;
-//! * [`transport`] — reconnecting outbound peer links (exponential backoff,
-//!   frame-granularity resend);
+//! * [`wire`] — length-prefixed bincode framing and the
+//!   hello/request/reply/catch-up envelope types;
+//! * [`transport`] — reconnecting outbound peer links with at-least-once
+//!   delivery (resend buffers trimmed by cumulative acks);
+//! * [`journal`] — what goes into the write-ahead log and snapshots, and
+//!   how recovery replays them;
 //! * [`replica`] — the event loop, acceptor, peer readers, client sessions
 //!   and ticker;
 //! * [`client`] — closed-loop ([`Client`]) and open-loop
 //!   ([`OpenLoopClient`]) drivers with per-command latency capture;
 //! * [`cluster`] — [`Cluster`], a harness booting an n-replica localhost
-//!   cluster for tests/examples/benches.
+//!   cluster (each replica journaling to an ephemeral data dir) with
+//!   kill/restart fault injection for tests/examples/benches.
 //!
 //! ## Example
 //!
@@ -76,10 +91,11 @@
 
 pub mod client;
 pub mod cluster;
+pub mod journal;
 pub mod replica;
 pub mod transport;
 pub mod wire;
 
 pub use client::{Client, OpenLoopClient};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterOptions};
 pub use replica::{ReplicaConfig, ReplicaHandle};

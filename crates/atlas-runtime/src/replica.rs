@@ -1,37 +1,80 @@
 //! The networked replica: an event loop that owns a [`Protocol`] state
 //! machine plus the local [`KVStore`], and maps the protocol's
-//! [`Action`] output language onto sockets, timers and client sessions.
+//! [`Action`] output language onto sockets, timers, client sessions and the
+//! durable journal.
 //!
 //! One replica runs these tasks:
 //!
 //! * the **event loop** (this module's heart) — single owner of all mutable
-//!   protocol state; consumes [`Event`]s from one mpsc queue;
+//!   protocol state; consumes events from one mpsc queue;
 //! * an **acceptor** on the replica's listen address; each inbound connection
-//!   identifies itself with a [`Hello`] frame and becomes either a peer
-//!   reader or a client session;
+//!   identifies itself with a [`Hello`] frame and becomes a peer reader, a
+//!   client session, or a one-shot catch-up exchange;
 //! * one **peer reader** per inbound peer connection, decoding
-//!   [`PeerFrame`]s into `Event::Peer`;
+//!   [`PeerFrame`]s into peer events;
 //! * one **client session** per connected client: a reader turning
-//!   `Submit` batches into `Event::Submit` and a writer draining that
+//!   `Submit` batches into submit events and a writer draining that
 //!   session's replies;
 //! * one **writer task per outbound peer link** (see [`crate::transport`]);
-//! * a **ticker** emitting `Event::Tick` at a fixed cadence, which the event
-//!   loop forwards to [`Protocol::tick`] as periodic events.
+//! * a **ticker** emitting tick events at a fixed cadence, which the event
+//!   loop forwards to [`Protocol::tick`] as periodic events (and uses to
+//!   flush pending delivery acks).
+//!
+//! ## Durability and crash recovery
+//!
+//! With [`ReplicaConfig::data_dir`] set, every protocol input is journaled
+//! **before** it reaches the protocol (see [`crate::journal`]), and the
+//! replica snapshots its full state every
+//! [`ReplicaConfig::snapshot_every`] records. On startup the replica
+//! restores the latest snapshot, replays the journal suffix — re-emitting
+//! the outbound messages the inputs produce, which peers deduplicate by
+//! protocol-level idempotence — and only then starts consuming live events.
+//! With [`ReplicaConfig::catch_up`] also set (a replica whose disk was
+//! lost), it first fetches every reachable peer's
+//! [`committed_log`](Protocol::committed_log) over a [`Hello::CatchUp`]
+//! exchange and replays it through the normal message path, then advances
+//! its identifier generator past the peers' observed
+//! [`seen_horizon`](Protocol::seen_horizon) so identifiers of the lost
+//! incarnation are never reissued. Commands that were still in flight (not
+//! committed anywhere) when the disk was lost are not recovered — that is
+//! the window the paper's recovery protocol ([`Protocol::suspect`]) exists
+//! for; note the runtime does not yet run a failure detector to drive
+//! `suspect`, so such orphaned in-flight commands currently stall the
+//! commands that conflict with them until recovery is wired up (tracked in
+//! `ROADMAP.md`).
 
+use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
 use crate::transport::PeerLink;
-use crate::wire::{read_frame, write_frame, ClientReply, ClientRequest, Hello, PeerFrame};
+use crate::wire::{
+    read_frame, write_frame, write_raw_frame, CatchUpReply, ClientReply, ClientRequest, Hello,
+    PeerBody, PeerFrame,
+};
 use atlas_core::{Action, ClientId, Command, Config, Dot, ProcessId, Protocol, Rifl, Topology};
+use atlas_log::FlushPolicy;
 use kvstore::KVStore;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
-use tokio::net::TcpListener;
+use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc::{self, UnboundedReceiver, UnboundedSender};
+
+/// Send a cumulative delivery ack at latest after this many received
+/// message frames (ticks flush earlier).
+const ACK_EVERY: u64 = 64;
+
+/// How many rounds of peer polling a catch-up attempt makes before giving
+/// up on peers that never answered (all unreachable = a fresh cluster
+/// boot).
+const CATCH_UP_ROUNDS: u32 = 3;
+
+/// Bound on one catch-up connect + reply exchange.
+const CATCH_UP_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Static configuration of one networked replica.
 #[derive(Debug, Clone)]
@@ -44,16 +87,32 @@ pub struct ReplicaConfig {
     pub addrs: HashMap<ProcessId, SocketAddr>,
     /// Cadence of [`Protocol::tick`] periodic events.
     pub tick_interval: Duration,
+    /// Where to keep the durable journal and snapshots. `None` runs the
+    /// replica ephemeral (crash = state loss), the pre-durability behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// fsync batching for the journal (ignored without a data dir).
+    pub flush_policy: FlushPolicy,
+    /// Snapshot (and truncate the journal) every this many journaled
+    /// records; 0 disables snapshotting and keeps the full journal.
+    pub snapshot_every: u64,
+    /// On startup, fetch committed state from peers before serving — for a
+    /// replica rejoining under its old identifier with a lost data dir.
+    pub catch_up: bool,
 }
 
 impl ReplicaConfig {
-    /// Configuration with the default 25 ms tick cadence.
+    /// Configuration with the default 25 ms tick cadence, no data directory
+    /// (ephemeral state) and default flush/snapshot knobs.
     pub fn new(id: ProcessId, config: Config, addrs: HashMap<ProcessId, SocketAddr>) -> Self {
         Self {
             id,
             config,
             addrs,
             tick_interval: Duration::from_millis(25),
+            data_dir: None,
+            flush_policy: FlushPolicy::default(),
+            snapshot_every: 4096,
+            catch_up: false,
         }
     }
 }
@@ -65,8 +124,19 @@ enum Event<M> {
     Peer {
         /// The sending replica.
         from: ProcessId,
+        /// Link sequence number of the frame (0 = unsequenced).
+        seq: u64,
+        /// The encoded message, exactly as received (journaled verbatim).
+        payload: Vec<u8>,
         /// The decoded protocol message.
         msg: M,
+    },
+    /// Peer `from` cumulatively acknowledged our frames up to `upto`.
+    PeerAck {
+        /// The acknowledging replica.
+        from: ProcessId,
+        /// Highest acknowledged sequence on our link to it.
+        upto: u64,
     },
     /// A local client submitted a command.
     Submit {
@@ -79,6 +149,14 @@ enum Event<M> {
     Query {
         /// Where to send the reply.
         session: UnboundedSender<ClientReply>,
+    },
+    /// A recovering replica asked for our committed state.
+    CatchUp {
+        /// The recovering replica.
+        from: ProcessId,
+        /// Where the encoded [`CatchUpReply`] goes (the acceptor task
+        /// writes it back on the requesting connection).
+        reply: UnboundedSender<Vec<u8>>,
     },
     /// Periodic tick.
     Tick,
@@ -108,6 +186,10 @@ impl std::fmt::Debug for ReplicaHandle {
 impl ReplicaHandle {
     /// Stops the replica: ends the event loop, aborts reconnect loops and
     /// unblocks the acceptor. Idempotent.
+    ///
+    /// Nothing is flushed or checkpointed on the way down — shutting down is
+    /// deliberately indistinguishable from a crash as far as the durability
+    /// layer is concerned, so every test of this path is also a crash test.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         (self.shutdown)();
@@ -130,6 +212,11 @@ where
 
 /// Spawns the replica on an already-bound listener (lets a harness bind port
 /// 0 for every replica first and distribute the real addresses afterwards).
+///
+/// When a data directory is configured, durable state is recovered — the
+/// latest snapshot restored and the journal suffix replayed — *before* this
+/// returns; an unreadable or corrupt journal fails loudly here rather than
+/// booting an amnesiac replica.
 pub fn spawn_on_listener<P>(cfg: ReplicaConfig, listener: TcpListener) -> io::Result<ReplicaHandle>
 where
     P: Protocol + Send + 'static,
@@ -157,6 +244,10 @@ where
         }
     }
 
+    // Recover durable state before accepting any input. Blocking file IO is
+    // fine here: the runtime is thread-per-task.
+    let core = Core::<P>::recover(&cfg, links)?;
+
     tokio::spawn(acceptor(listener, event_tx.clone(), Arc::clone(&stop)));
     tokio::spawn(ticker(
         cfg.tick_interval,
@@ -164,9 +255,14 @@ where
         Arc::clone(&stop),
     ));
 
-    let topology = Topology::identity(id, n);
-    let protocol = P::new(id, cfg.config, topology);
-    tokio::spawn(event_loop(protocol, id, links, event_rx));
+    let catch_up_addrs = cfg.catch_up.then(|| cfg.addrs.clone());
+    tokio::spawn(event_loop(
+        core,
+        event_rx,
+        catch_up_addrs,
+        Arc::clone(&stop),
+        addr,
+    ));
 
     let shutdown_tx = event_tx;
     Ok(ReplicaHandle {
@@ -201,11 +297,26 @@ async fn acceptor<M>(
         let _ = stream.set_nodelay(true);
         let event_tx = event_tx.clone();
         tokio::spawn(async move {
-            let (mut reader, writer) = stream.into_split();
+            let (mut reader, mut writer) = stream.into_split();
             match read_frame::<_, Hello>(&mut reader).await {
                 Ok(Hello::Peer { from }) => peer_reader(reader, from, event_tx).await,
                 Ok(Hello::Client { client }) => {
                     client_session(reader, writer, client, event_tx).await
+                }
+                Ok(Hello::CatchUp { from }) => {
+                    // One-shot exchange: ask the event loop for the encoded
+                    // reply, write it back, hang up.
+                    let (reply_tx, mut reply_rx) = mpsc::unbounded_channel::<Vec<u8>>();
+                    let event = Event::CatchUp {
+                        from,
+                        reply: reply_tx,
+                    };
+                    if event_tx.send(event).is_err() {
+                        return;
+                    }
+                    if let Some(bytes) = reply_rx.recv().await {
+                        let _ = write_raw_frame(&mut writer, &bytes).await;
+                    }
                 }
                 // Dummy shutdown connections and port scanners land here.
                 Err(_) => {}
@@ -214,8 +325,8 @@ async fn acceptor<M>(
     }
 }
 
-/// Pumps protocol messages from one inbound peer connection into the event
-/// loop. Ends at EOF / connection error (the peer will redial).
+/// Pumps frames from one inbound peer connection into the event loop. Ends
+/// at EOF / connection error (the peer will redial).
 async fn peer_reader<M>(
     mut reader: OwnedReadHalf,
     from: ProcessId,
@@ -225,12 +336,21 @@ async fn peer_reader<M>(
 {
     while let Ok(frame) = read_frame::<_, PeerFrame>(&mut reader).await {
         debug_assert_eq!(frame.from, from, "peer hello/frame sender mismatch");
-        let Ok(msg) = bincode::deserialize::<M>(&frame.payload) else {
-            // A partner speaking another protocol version; drop the frame
-            // rather than poisoning the event loop.
-            continue;
+        let event = match frame.body {
+            PeerBody::Msg(payload) => match bincode::deserialize::<M>(&payload) {
+                Ok(msg) => Event::Peer {
+                    from,
+                    seq: frame.seq,
+                    payload,
+                    msg,
+                },
+                // A partner speaking another protocol version; drop the
+                // frame rather than poisoning the event loop.
+                Err(_) => continue,
+            },
+            PeerBody::Ack(upto) => Event::PeerAck { from, upto },
         };
-        if event_tx.send(Event::Peer { from, msg }).is_err() {
+        if event_tx.send(event).is_err() {
             return; // event loop gone: replica is shutting down
         }
     }
@@ -294,129 +414,489 @@ async fn ticker<M>(period: Duration, event_tx: UnboundedSender<Event<M>>, stop: 
     }
 }
 
-/// The event loop: single-threaded owner of the protocol state machine, the
-/// store, the execution record and the client reply routes.
-async fn event_loop<P>(
-    mut protocol: P,
+/// Per-peer inbound delivery bookkeeping (for outgoing acks).
+#[derive(Debug, Default)]
+struct AckState {
+    /// Sequence of the most recently received message frame.
+    last_seen: u64,
+    /// Message frames received since the last ack we sent.
+    unacked: u64,
+}
+
+/// The single-threaded owner of all replica state: the protocol state
+/// machine, the store, the execution record, the client reply routes, the
+/// journal and the outbound links.
+struct Core<P: Protocol> {
     id: ProcessId,
+    protocol: P,
     links: HashMap<ProcessId, PeerLink>,
-    mut events: UnboundedReceiver<Event<P::Message>>,
-) where
+    store: KVStore,
+    log: Vec<(Dot, Rifl)>,
+    sessions: HashMap<ClientId, UnboundedSender<ClientReply>>,
+    journal: Option<Journal>,
+    acks: HashMap<ProcessId, AckState>,
+    start: Instant,
+}
+
+use crate::journal::corrupt;
+
+impl<P> Core<P>
+where
     P: Protocol,
     P::Message: Serialize + Deserialize,
 {
-    let start = Instant::now();
-    let mut store = KVStore::new();
-    let mut log: Vec<(Dot, Rifl)> = Vec::new();
-    let mut sessions: HashMap<ClientId, UnboundedSender<ClientReply>> = HashMap::new();
-
-    while let Some(event) = events.recv().await {
-        let now = start.elapsed().as_micros() as u64;
-        let actions = match event {
-            Event::Peer { from, msg } => protocol.handle(from, msg, now),
-            Event::Submit { cmd, session } => {
-                // Route all of this client's replies through its session (a
-                // client that reconnects simply re-registers here).
-                sessions.insert(cmd.rifl.client, session);
-                protocol.submit(cmd, now)
-            }
-            Event::Query { session } => {
-                let _ = session.send(ClientReply::ExecutionLog {
-                    entries: log.clone(),
-                    digest: store.digest(),
-                });
-                continue;
-            }
-            Event::Tick => protocol.tick(now),
-            Event::Shutdown => return,
+    /// Builds the replica state, restoring snapshot + journal when a data
+    /// directory is configured. Replay re-performs the actions the inputs
+    /// produce — outbound sends included, which doubles as at-least-once
+    /// redelivery of anything the previous incarnation may never have put
+    /// on the wire.
+    fn recover(cfg: &ReplicaConfig, links: HashMap<ProcessId, PeerLink>) -> io::Result<Self> {
+        let topology = Topology::identity(cfg.id, cfg.config.n);
+        let mut core = Self {
+            id: cfg.id,
+            protocol: P::new(cfg.id, cfg.config, topology.clone()),
+            links,
+            store: KVStore::new(),
+            log: Vec::new(),
+            sessions: HashMap::new(),
+            journal: None,
+            acks: HashMap::new(),
+            start: Instant::now(),
         };
+        let Some(dir) = &cfg.data_dir else {
+            return Ok(core);
+        };
+        let (journal, snapshot, records) =
+            Journal::open(dir, cfg.flush_policy, cfg.snapshot_every)?;
+        if let Some(snapshot) = snapshot {
+            core.protocol = P::restore_state(cfg.id, cfg.config, topology, &snapshot.protocol)
+                .ok_or_else(|| {
+                    corrupt(format!("replica {}: snapshot failed to restore", cfg.id))
+                })?;
+            core.store = snapshot.store;
+            core.log = snapshot.log;
+        }
+        for record in records {
+            core.replay(record)?;
+        }
+        core.journal = Some(journal);
+        Ok(core)
+    }
 
-        // Drain actions to fixpoint: self-addressed sends are delivered with
-        // zero delay (the paper's assumption), and may themselves produce
-        // more actions.
+    /// Microseconds since replica start (the protocol's notion of time).
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn journal_append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        match &mut self.journal {
+            Some(journal) => journal.append(record),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-applies one journaled input during recovery. Replay passes time 0:
+    /// wall-clock time only feeds latency metrics, never state transitions.
+    fn replay(&mut self, record: JournalRecord) -> io::Result<()> {
+        match record {
+            JournalRecord::Submit { cmd } => {
+                let actions = self.protocol.submit(cmd, 0);
+                self.perform(actions, 0);
+            }
+            JournalRecord::Peer { from, payload } => {
+                let msg = bincode::deserialize::<P::Message>(&payload)
+                    .map_err(|e| corrupt(format!("journaled message no longer decodes: {e}")))?;
+                let actions = self.protocol.handle(from, msg, 0);
+                self.perform(actions, 0);
+            }
+            JournalRecord::Advance { past } => self.protocol.advance_identifiers(past),
+        }
+        Ok(())
+    }
+
+    /// A local client submitted `cmd`.
+    fn submit(&mut self, cmd: Command, session: UnboundedSender<ClientReply>) -> io::Result<()> {
+        self.journal_append(&JournalRecord::Submit { cmd: cmd.clone() })?;
+        // A submission mints a *new* command identifier that is about to
+        // reach peers; if the journal record behind it were lost to a host
+        // power failure, the restarted replica would reissue the identifier
+        // for a different command — unsound, not merely lossy. So make the
+        // journal durable before the identifier is externalized (no-op
+        // under `Always`, already synced; deliberate no-op under
+        // `OsBuffered`, which opts out of power-loss safety entirely).
+        if let Some(journal) = &mut self.journal {
+            journal.make_durable()?;
+        }
+        // Route all of this client's replies through its session (a client
+        // that reconnects simply re-registers here).
+        self.sessions.insert(cmd.rifl.client, session);
+        let now = self.now();
+        let actions = self.protocol.submit(cmd, now);
+        self.perform(actions, now);
+        self.maybe_snapshot()
+    }
+
+    /// Peer `from` sent a message frame.
+    fn peer_msg(
+        &mut self,
+        from: ProcessId,
+        seq: u64,
+        payload: Vec<u8>,
+        msg: P::Message,
+    ) -> io::Result<()> {
+        // Write-ahead: once we ack this frame the peer may drop it forever,
+        // so it must hit the journal before the protocol (and the ack).
+        self.journal_append(&JournalRecord::Peer { from, payload })?;
+        let now = self.now();
+        let actions = self.protocol.handle(from, msg, now);
+        self.perform(actions, now);
+        if seq > 0 {
+            let state = self.acks.entry(from).or_default();
+            state.last_seen = seq;
+            state.unacked += 1;
+            if state.unacked >= ACK_EVERY {
+                self.send_ack(from)?;
+            }
+        }
+        self.maybe_snapshot()
+    }
+
+    /// Sends the pending cumulative ack to `peer` — after making the
+    /// journaled records durable: the ack releases the peer's resend
+    /// buffer, so it must never outrun the fsync horizon (under
+    /// `FlushPolicy::OsBuffered` the sync is a deliberate no-op and the
+    /// durability caveat is the policy's, not the ack's).
+    fn send_ack(&mut self, peer: ProcessId) -> io::Result<()> {
+        if let Some(journal) = &mut self.journal {
+            journal.make_durable()?;
+        }
+        if let (Some(link), Some(state)) = (self.links.get(&peer), self.acks.get_mut(&peer)) {
+            link.send_ack(state.last_seen);
+            state.unacked = 0;
+        }
+        Ok(())
+    }
+
+    /// Periodic tick: forward to the protocol, flush pending acks, and
+    /// probe every outbound link so silently dead connections surface.
+    fn tick(&mut self) -> io::Result<()> {
+        let now = self.now();
+        let actions = self.protocol.tick(now);
+        self.perform(actions, now);
+        let pending: Vec<ProcessId> = self
+            .acks
+            .iter()
+            .filter(|(_, state)| state.unacked > 0)
+            .map(|(&peer, _)| peer)
+            .collect();
+        for peer in pending {
+            self.send_ack(peer)?;
+        }
+        for link in self.links.values() {
+            link.probe();
+        }
+        Ok(())
+    }
+
+    /// Builds the encoded [`CatchUpReply`] for a recovering peer.
+    fn catch_up_reply(&self, from: ProcessId) -> Vec<u8> {
+        let msgs = self
+            .protocol
+            .committed_log()
+            .iter()
+            .map(|msg| bincode::serialize(msg).expect("protocol messages always encode"))
+            .collect();
+        let reply = CatchUpReply {
+            horizon: self.protocol.seen_horizon(from),
+            msgs,
+        };
+        bincode::serialize(&reply).expect("catch-up replies always encode")
+    }
+
+    /// Applies one peer's catch-up reply: advance identifiers past the
+    /// peer's horizon (journaled), then feed its committed log through the
+    /// message path.
+    ///
+    /// With `journal_msgs` false (a snapshot-capable protocol), the bulk
+    /// messages are *not* journaled — `catch_up_from_peers` snapshots once
+    /// when the whole catch-up completes, instead of writing up to `n-1`
+    /// copies of the cluster history through the write-ahead path. A crash
+    /// before that snapshot only loses un-journaled catch-up progress, which
+    /// restarting with catch-up enabled (the documented flow for a wiped
+    /// replica: rerun the same command line) simply redoes.
+    fn apply_catch_up(
+        &mut self,
+        peer: ProcessId,
+        reply: CatchUpReply,
+        journal_msgs: bool,
+    ) -> io::Result<()> {
+        if reply.horizon > 0 {
+            self.journal_append(&JournalRecord::Advance {
+                past: reply.horizon,
+            })?;
+            self.protocol.advance_identifiers(reply.horizon);
+        }
+        for payload in reply.msgs {
+            let Ok(msg) = bincode::deserialize::<P::Message>(&payload) else {
+                continue; // peer speaking another protocol version
+            };
+            if journal_msgs {
+                self.peer_msg(peer, 0, payload, msg)?;
+            } else {
+                let now = self.now();
+                let actions = self.protocol.handle(peer, msg, now);
+                self.perform(actions, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers an execution-record query.
+    fn query(&self, session: UnboundedSender<ClientReply>) {
+        let _ = session.send(ClientReply::ExecutionLog {
+            entries: self.log.clone(),
+            digest: self.store.digest(),
+        });
+    }
+
+    /// Snapshots and truncates the journal when due (and supported by the
+    /// protocol — a protocol without `save_state` keeps the full journal).
+    fn maybe_snapshot(&mut self) -> io::Result<()> {
+        match &self.journal {
+            Some(journal) if journal.snapshot_due() => self.snapshot_now(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Snapshots and truncates the journal unconditionally (no-op without a
+    /// journal or for a protocol that does not support `save_state`).
+    fn snapshot_now(&mut self) -> io::Result<()> {
+        let Some(protocol) = self.protocol.save_state() else {
+            return Ok(());
+        };
+        let Some(journal) = &mut self.journal else {
+            return Ok(());
+        };
+        let snapshot = ReplicaSnapshot {
+            protocol,
+            store: self.store.clone(),
+            log: self.log.clone(),
+        };
+        journal.save_snapshot(&snapshot)
+    }
+
+    /// Maps protocol [`Action`]s onto the runtime and drains self-addressed
+    /// sends to fixpoint (delivered with zero delay, the paper's
+    /// assumption; they may themselves produce more actions). Local
+    /// deliveries are *not* journaled — they are a deterministic consequence
+    /// of the journaled input that produced them.
+    fn perform(&mut self, actions: Vec<Action<P::Message>>, now: u64) {
         let mut local: VecDeque<(ProcessId, P::Message)> = VecDeque::new();
-        perform_actions(
-            id,
-            &links,
-            &mut store,
-            &mut log,
-            &mut sessions,
-            actions,
-            &mut local,
-        );
+        self.do_actions(actions, &mut local);
         while let Some((from, msg)) = local.pop_front() {
-            let actions = protocol.handle(from, msg, now);
-            perform_actions(
-                id,
-                &links,
-                &mut store,
-                &mut log,
-                &mut sessions,
-                actions,
-                &mut local,
-            );
+            let actions = self.protocol.handle(from, msg, now);
+            self.do_actions(actions, &mut local);
+        }
+    }
+
+    /// One batch of actions:
+    ///
+    /// * `Send` to a remote peer → encode the message once, queue it on that
+    ///   peer's (at-least-once) link;
+    /// * `Send` to self → queue for immediate local handling;
+    /// * `Execute` → apply to the store, append to the execution record and
+    ///   answer the submitting client if its session lives here;
+    /// * `Commit` → bookkeeping only (clients are answered at execution).
+    fn do_actions(
+        &mut self,
+        actions: Vec<Action<P::Message>>,
+        local: &mut VecDeque<(ProcessId, P::Message)>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { targets, msg } => {
+                    let mut payload: Option<Vec<u8>> = None;
+                    for target in targets {
+                        if target == self.id {
+                            local.push_back((self.id, msg.clone()));
+                            continue;
+                        }
+                        let Some(link) = self.links.get(&target) else {
+                            debug_assert!(false, "send to unknown replica {target}");
+                            continue;
+                        };
+                        let payload = payload.get_or_insert_with(|| {
+                            bincode::serialize(&msg).expect("protocol messages always encode")
+                        });
+                        link.send(payload.clone());
+                    }
+                }
+                Action::Execute { dot, cmd } => {
+                    let rifl = cmd.rifl;
+                    let mut outputs: Vec<_> = self.store.execute(&cmd).into_iter().collect();
+                    outputs.sort_by_key(|(key, _)| *key);
+                    self.log.push((dot, rifl));
+                    if let Some(session) = self.sessions.get(&rifl.client) {
+                        // A dead session (client gone) is fine; the command
+                        // still executed, only the notification is dropped.
+                        // Evict the route so the session's reply-writer task
+                        // (and its socket half) are freed instead of leaking
+                        // per disconnected client.
+                        if session
+                            .send(ClientReply::Executed { rifl, outputs })
+                            .is_err()
+                        {
+                            self.sessions.remove(&rifl.client);
+                        }
+                    }
+                }
+                Action::Commit { .. } => {}
+            }
         }
     }
 }
 
-/// Maps one batch of protocol [`Action`]s onto the runtime:
+/// Dials `addr` and performs one catch-up exchange, bounded by
+/// [`CATCH_UP_FETCH_TIMEOUT`]. The timeout matters for more than slow
+/// peers: a peer that is *itself* mid-catch-up queues our request behind
+/// its own (its event loop only answers once it starts serving), so two
+/// simultaneously recovering replicas would otherwise block on each other
+/// forever.
+async fn fetch_catch_up(addr: SocketAddr, self_id: ProcessId) -> io::Result<CatchUpReply> {
+    let exchange = async move {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        let (mut reader, mut writer) = stream.into_split();
+        write_frame(&mut writer, &Hello::CatchUp { from: self_id }).await?;
+        read_frame::<_, CatchUpReply>(&mut reader).await
+    };
+    tokio::time::timeout(CATCH_UP_FETCH_TIMEOUT, exchange)
+        .await
+        .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "catch-up exchange timed out"))?
+}
+
+/// Fetches and applies committed state from the peers, retrying until
+/// **every** peer has answered once or the rounds run out.
 ///
-/// * `Send` to a remote peer → encode once, enqueue on that peer's link;
-/// * `Send` to self → queue for immediate local handling;
-/// * `Execute` → apply to the store, append to the execution record and
-///   answer the submitting client if its session lives here;
-/// * `Commit` → bookkeeping only (clients are answered at execution).
-fn perform_actions<M: Serialize + Clone>(
-    id: ProcessId,
-    links: &HashMap<ProcessId, PeerLink>,
-    store: &mut KVStore,
-    log: &mut Vec<(Dot, Rifl)>,
-    sessions: &mut HashMap<ClientId, UnboundedSender<ClientReply>>,
-    actions: Vec<Action<M>>,
-    local: &mut VecDeque<(ProcessId, M)>,
-) {
-    for action in actions {
-        match action {
-            Action::Send { targets, msg } => {
-                let mut frame: Option<Vec<u8>> = None;
-                for target in targets {
-                    if target == id {
-                        local.push_back((id, msg.clone()));
-                        continue;
-                    }
-                    let Some(link) = links.get(&target) else {
-                        debug_assert!(false, "send to unknown replica {target}");
-                        continue;
-                    };
-                    let frame = frame.get_or_insert_with(|| {
-                        let payload =
-                            bincode::serialize(&msg).expect("protocol messages always encode");
-                        bincode::serialize(&PeerFrame { from: id, payload })
-                            .expect("peer frames always encode")
-                    });
-                    link.send(frame.clone());
+/// Hearing from all peers matters for safety, not just completeness: the
+/// identifier horizon protects against reissuing identifiers of the lost
+/// incarnation, but an in-flight identifier may be known to only some
+/// quorum members — only the union of all peers' horizons is guaranteed to
+/// cover it. If some peers stay unreachable the replica proceeds with what
+/// it got (they may be crashed for good, and waiting forever would trade a
+/// narrow unsoundness window for guaranteed unavailability) and says so
+/// loudly. If *no* peer ever answers this is a fresh cluster boot.
+async fn catch_up_from_peers<P>(
+    core: &mut Core<P>,
+    addrs: &HashMap<ProcessId, SocketAddr>,
+) -> io::Result<()>
+where
+    P: Protocol,
+    P::Message: Serialize + Deserialize,
+{
+    let mut pending: Vec<(ProcessId, SocketAddr)> = addrs
+        .iter()
+        .filter(|(&peer, _)| peer != core.id)
+        .map(|(&peer, &addr)| (peer, addr))
+        .collect();
+    pending.sort_unstable_by_key(|(peer, _)| *peer);
+    // Snapshot-capable protocols get the bulk messages un-journaled plus one
+    // snapshot at the end; others fall back to journaling every message.
+    let journal_msgs = core.protocol.save_state().is_none();
+    let mut heard_from_any = false;
+    for round in 0..CATCH_UP_ROUNDS {
+        let mut still_pending = Vec::new();
+        for &(peer, addr) in &pending {
+            match fetch_catch_up(addr, core.id).await {
+                Ok(reply) => {
+                    heard_from_any = true;
+                    core.apply_catch_up(peer, reply, journal_msgs)?;
                 }
+                Err(_) => still_pending.push((peer, addr)),
             }
-            Action::Execute { dot, cmd } => {
-                let rifl = cmd.rifl;
-                let mut outputs: Vec<_> = store.execute(&cmd).into_iter().collect();
-                outputs.sort_by_key(|(key, _)| *key);
-                log.push((dot, rifl));
-                if let Some(session) = sessions.get(&rifl.client) {
-                    // A dead session (client gone) is fine; the command still
-                    // executed, only the notification is dropped. Evict the
-                    // route so the session's reply-writer task (and its
-                    // socket half) are freed instead of leaking per
-                    // disconnected client.
-                    if session
-                        .send(ClientReply::Executed { rifl, outputs })
-                        .is_err()
-                    {
-                        sessions.remove(&rifl.client);
-                    }
+        }
+        pending = still_pending;
+        if pending.is_empty() {
+            break;
+        }
+        if round + 1 < CATCH_UP_ROUNDS {
+            tokio::time::sleep(Duration::from_millis(250)).await;
+        }
+    }
+    if heard_from_any {
+        if !pending.is_empty() {
+            let missing: Vec<ProcessId> = pending.iter().map(|(peer, _)| *peer).collect();
+            eprintln!(
+                "replica {}: caught up without peers {missing:?}; identifiers they alone \
+                 observed from the previous incarnation may be unprotected",
+                core.id
+            );
+        }
+        // Persist the caught-up state in one stroke; until this completes a
+        // crash simply redoes the catch-up.
+        core.snapshot_now()?;
+    }
+    Ok(())
+}
+
+/// The event loop: single-threaded owner of the [`Core`]. On a fatal error
+/// (journal failure, catch-up IO failure) it tears the whole replica down
+/// via `fatal_stop` — exiting alone would leave a zombie whose acceptor
+/// keeps accepting connections that nobody will ever answer.
+async fn event_loop<P>(
+    mut core: Core<P>,
+    mut events: UnboundedReceiver<Event<P::Message>>,
+    catch_up_addrs: Option<HashMap<ProcessId, SocketAddr>>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) where
+    P: Protocol,
+    P::Message: Serialize + Deserialize,
+{
+    let fatal_stop = |id: ProcessId, what: &str, e: io::Error| {
+        // A replica that cannot journal must not keep acknowledging inputs
+        // it would forget after a crash: stop serving instead. Same
+        // teardown as ReplicaHandle::shutdown — set the flag, then unblock
+        // the acceptor with a dummy connection so it observes it.
+        eprintln!("replica {id}: {what}, stopping: {e}");
+        stop.store(true, Ordering::Relaxed);
+        let _ = std::net::TcpStream::connect(addr);
+    };
+    if let Some(addrs) = catch_up_addrs {
+        if let Err(e) = catch_up_from_peers(&mut core, &addrs).await {
+            fatal_stop(core.id, "catch-up failed", e);
+            return;
+        }
+    }
+    while let Some(event) = events.recv().await {
+        let result = match event {
+            Event::Peer {
+                from,
+                seq,
+                payload,
+                msg,
+            } => core.peer_msg(from, seq, payload, msg),
+            Event::PeerAck { from, upto } => {
+                if let Some(link) = core.links.get(&from) {
+                    link.acked(upto);
                 }
+                Ok(())
             }
-            Action::Commit { .. } => {}
+            Event::Submit { cmd, session } => core.submit(cmd, session),
+            Event::Query { session } => {
+                core.query(session);
+                Ok(())
+            }
+            Event::CatchUp { from, reply } => {
+                let _ = reply.send(core.catch_up_reply(from));
+                Ok(())
+            }
+            Event::Tick => core.tick(),
+            Event::Shutdown => return,
+        };
+        if let Err(e) = result {
+            fatal_stop(core.id, "journal failure", e);
+            return;
         }
     }
 }

@@ -1,26 +1,33 @@
-//! Reconnecting peer links.
+//! Reconnecting peer links with at-least-once delivery.
 //!
 //! A replica owns one [`PeerLink`] per remote peer. The link is a handle to a
 //! dedicated **writer task** that dials the peer, identifies itself with
-//! [`Hello::Peer`](crate::wire::Hello), and then drains an unbounded outbound
-//! queue of pre-encoded [`PeerFrame`](crate::wire::PeerFrame) payloads into
-//! the socket. Peer connections are unidirectional (see [`crate::wire`]):
-//! replica `i`'s messages to `j` always travel over the connection `i` dialed
-//! to `j`, while messages from `j` arrive on the connection `j` dialed.
+//! [`Hello::Peer`](crate::wire::Hello), and then drains an outbound queue of
+//! [`PeerFrame`]s into the socket. Peer connections
+//! are unidirectional (see [`crate::wire`]): replica `i`'s messages to `j`
+//! always travel over the connection `i` dialed to `j`, while messages from
+//! `j` arrive on the connection `j` dialed.
 //!
-//! If the connection drops (or was never up), the writer reconnects with
-//! exponential backoff and **resends the frame whose write failed**. Two
-//! loss/duplication windows remain, inherent to ack-less TCP: a frame
-//! `write_all` accepted into the kernel send buffer may still be undelivered
-//! when the connection breaks (lost), and a frame that *was* received right
-//! before the break is resent on the fresh connection (duplicated — the
-//! hosted protocols are idempotent against duplicates, so this is safe).
-//! Closing the loss window needs application-level acknowledgements and a
-//! resend buffer; that belongs with the durability/catch-up subsystem (see
-//! the crate docs), since a peer that crashes outright loses its protocol
-//! state anyway.
+//! ## Delivery guarantee
+//!
+//! Every message frame gets a per-link sequence number and stays in the
+//! writer's **resend buffer** until the peer acknowledges it (acks arrive on
+//! the reverse connection and are routed here by the replica event loop via
+//! [`PeerLink::acked`]). After a reconnect the writer replays the entire
+//! unacknowledged suffix, so a frame that was sitting in the kernel buffers
+//! of a dying connection — the loss window an ack-less design cannot close —
+//! is delivered again on the fresh one. Frames received twice are handled by
+//! protocol-level idempotence. The result is at-least-once delivery for as
+//! long as both endpoints eventually run, which is exactly what a replica
+//! recovering from its journal needs in order to observe everything its
+//! peers sent while it was down.
+//!
+//! Outgoing [`PeerBody::Ack`](crate::wire::PeerBody) control frames are
+//! fire-and-forget: they are never buffered or resent (a lost ack merely
+//! delays trimming of the peer's resend buffer until the next ack).
 
-use crate::wire::{write_frame, write_raw_frame, Hello};
+use crate::wire::{write_frame, write_raw_frame, Hello, PeerBody, PeerFrame};
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,10 +43,38 @@ const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
 /// Backoff ceiling while a peer is unreachable.
 const MAX_BACKOFF: Duration = Duration::from_millis(1_000);
 
+/// What the event loop asks the link writer to do.
+enum LinkCmd {
+    /// Deliver a protocol message payload (pre-encoded `Message` bytes);
+    /// sequenced, buffered and resent until acknowledged.
+    Msg(Vec<u8>),
+    /// Send a cumulative delivery ack for the reverse link; best-effort.
+    SendAck(u64),
+    /// The peer acknowledged every sequence `<= .0`: trim the resend buffer.
+    Acked(u64),
+    /// Probe the connection if frames await acknowledgement: a TCP write to
+    /// a silently dead peer "succeeds" into its kernel buffers, so a link
+    /// whose every frame is written but unacknowledged would otherwise never
+    /// learn the frames are gone. The probe forces a write, and a failing
+    /// write triggers reconnect + resend.
+    Probe,
+}
+
 /// Handle to the outbound link to one peer.
 #[derive(Debug, Clone)]
 pub struct PeerLink {
-    tx: UnboundedSender<Vec<u8>>,
+    tx: UnboundedSender<LinkCmd>,
+}
+
+impl std::fmt::Debug for LinkCmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkCmd::Msg(payload) => write!(f, "Msg({} bytes)", payload.len()),
+            LinkCmd::SendAck(upto) => write!(f, "SendAck({upto})"),
+            LinkCmd::Acked(upto) => write!(f, "Acked({upto})"),
+            LinkCmd::Probe => write!(f, "Probe"),
+        }
+    }
 }
 
 impl PeerLink {
@@ -53,11 +88,34 @@ impl PeerLink {
         Self { tx }
     }
 
-    /// Queues one pre-encoded `PeerFrame` payload for delivery.
-    pub fn send(&self, frame: Vec<u8>) {
+    /// Queues one pre-encoded protocol message payload for (at-least-once)
+    /// delivery.
+    pub fn send(&self, payload: Vec<u8>) {
         // Failure means the writer task exited (shutdown); dropping the
         // frame is then correct.
-        let _ = self.tx.send(frame);
+        let _ = self.tx.send(LinkCmd::Msg(payload));
+    }
+
+    /// Sends a cumulative delivery ack for frames received *from* this peer
+    /// (the ack travels on this link, in the opposite direction of the
+    /// frames it acknowledges). Best-effort.
+    pub fn send_ack(&self, upto: u64) {
+        let _ = self.tx.send(LinkCmd::SendAck(upto));
+    }
+
+    /// Records that the peer acknowledged every frame with `seq <= upto`,
+    /// releasing them from the resend buffer.
+    pub fn acked(&self, upto: u64) {
+        let _ = self.tx.send(LinkCmd::Acked(upto));
+    }
+
+    /// Asks the writer to verify the connection if frames await
+    /// acknowledgement (a TCP write to a silently dead peer "succeeds" into
+    /// kernel buffers, so such a link would otherwise never notice its
+    /// frames are gone); called on every replica tick so a dead connection
+    /// cannot strand written-but-undelivered frames indefinitely.
+    pub fn probe(&self) {
+        let _ = self.tx.send(LinkCmd::Probe);
     }
 }
 
@@ -73,15 +131,75 @@ async fn connect(self_id: ProcessId, addr: SocketAddr) -> std::io::Result<OwnedW
 async fn writer_task(
     self_id: ProcessId,
     addr: SocketAddr,
-    mut rx: mpsc::UnboundedReceiver<Vec<u8>>,
+    mut rx: mpsc::UnboundedReceiver<LinkCmd>,
     stop: Arc<AtomicBool>,
 ) {
     let mut conn: Option<OwnedWriteHalf> = None;
     let mut backoff = INITIAL_BACKOFF;
-    'next_frame: while let Some(frame) = rx.recv().await {
-        // Deliver `frame`, (re)connecting as needed, until it is on the wire
-        // or the runtime shuts down.
-        loop {
+    let mut next_seq: u64 = 1;
+    // Frames not yet acknowledged: `(seq, encoded PeerFrame)`.
+    let mut unacked: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+    // How many frames at the front of `unacked` were already written on the
+    // *current* connection; reset on reconnect so the whole buffer replays.
+    let mut written: usize = 0;
+
+    while let Some(cmd) = rx.recv().await {
+        match cmd {
+            LinkCmd::Acked(upto) => {
+                while unacked.front().is_some_and(|(seq, _)| *seq <= upto) {
+                    unacked.pop_front();
+                    written = written.saturating_sub(1);
+                }
+                continue;
+            }
+            LinkCmd::SendAck(upto) => {
+                let frame = encode_frame(self_id, 0, PeerBody::Ack(upto));
+                // One connect attempt if the link is down, no backoff loop:
+                // an ack alone is not worth stalling the queue for. A fresh
+                // connection means delivery of previously "written" frames
+                // is unknown, so the drain below must replay the buffer —
+                // forgetting this (`written = 0`) would strand the frames
+                // written to the dead connection while newer frames flow.
+                if conn.is_none() && !stop.load(Ordering::Relaxed) {
+                    if let Ok(writer) = connect(self_id, addr).await {
+                        written = 0;
+                        conn = Some(writer);
+                    }
+                }
+                if let Some(writer) = &mut conn {
+                    if write_raw_frame(writer, &frame).await.is_err() {
+                        conn = None;
+                    }
+                }
+            }
+            LinkCmd::Probe => {
+                // Only meaningful when every frame is written yet some are
+                // unacknowledged: a silently dead connection would never
+                // produce a write error on its own. An empty probe frame
+                // (`Ack(0)` acknowledges nothing) forces the kernel to
+                // surface a broken connection as an error.
+                if !unacked.is_empty() && written == unacked.len() {
+                    if let Some(writer) = &mut conn {
+                        let frame = encode_frame(self_id, 0, PeerBody::Ack(0));
+                        if write_raw_frame(writer, &frame).await.is_err() {
+                            conn = None;
+                        }
+                    }
+                }
+            }
+            LinkCmd::Msg(payload) => {
+                let seq = next_seq;
+                next_seq += 1;
+                unacked.push_back((seq, encode_frame(self_id, seq, PeerBody::Msg(payload))));
+            }
+        }
+
+        // Deliver every pending frame, reconnecting as needed, until the
+        // buffer is fully on the wire or the runtime shuts down. Also
+        // entered with a fully written buffer when the connection is gone
+        // (e.g. a failed probe): frames "written" to a dead connection may
+        // never have arrived, so they replay on the fresh one.
+        while written < unacked.len() || (conn.is_none() && !unacked.is_empty()) {
             if stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -90,6 +208,8 @@ async fn writer_task(
                 None => match connect(self_id, addr).await {
                     Ok(writer) => {
                         backoff = INITIAL_BACKOFF;
+                        // Fresh connection: replay the whole buffer.
+                        written = 0;
                         conn.insert(writer)
                     }
                     Err(_) => {
@@ -99,15 +219,19 @@ async fn writer_task(
                     }
                 },
             };
-            match write_raw_frame(writer, &frame).await {
-                Ok(()) => continue 'next_frame,
+            match write_raw_frame(writer, &unacked[written].1).await {
+                Ok(()) => written += 1,
                 Err(_) => {
-                    // Connection broke mid-frame: drop it and resend the
-                    // whole frame on a fresh one (the receiver discards
-                    // partial frames with the dead connection).
+                    // Connection broke mid-frame: the receiver discards the
+                    // partial frame with the dead connection; replay on a
+                    // fresh one.
                     conn = None;
                 }
             }
         }
     }
+}
+
+fn encode_frame(from: ProcessId, seq: u64, body: PeerBody) -> Vec<u8> {
+    bincode::serialize(&PeerFrame { from, seq, body }).expect("peer frames always encode")
 }

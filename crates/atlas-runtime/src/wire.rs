@@ -7,14 +7,30 @@
 //! depends on the connection kind:
 //!
 //! * peer connections are **unidirectional**: the dialer only writes
-//!   [`PeerFrame`]s (its protocol messages), the acceptor only reads;
+//!   [`PeerFrame`]s (its protocol messages and delivery acknowledgements),
+//!   the acceptor only reads;
 //! * client connections are bidirectional: [`ClientRequest`] frames flow in,
-//!   [`ClientReply`] frames flow out.
+//!   [`ClientReply`] frames flow out;
+//! * catch-up connections ([`Hello::CatchUp`]) carry exactly one
+//!   [`CatchUpReply`] back to the dialer and are then closed.
 //!
 //! Protocol messages are carried as an opaque `Vec<u8>` payload inside
 //! [`PeerFrame`] (bincode within bincode) so the envelope types stay
 //! non-generic while the runtime remains generic over the hosted
 //! [`Protocol`](atlas_core::Protocol)'s message type.
+//!
+//! ## Reliable delivery
+//!
+//! Each [`PeerFrame`] carrying a message also carries a per-link **sequence
+//! number**; the receiver acknowledges delivery (cumulatively, after
+//! journaling the message when durability is on) with [`PeerBody::Ack`]
+//! frames flowing over its own link in the opposite direction. The sender
+//! keeps every unacknowledged frame in a resend buffer and replays the
+//! buffer after a reconnect, which upgrades links from "at most once across
+//! reconnects" to **at least once**; the hosted protocols are idempotent
+//! against the resulting duplicates. This is the acknowledgement layer the
+//! durability subsystem needs so that a replica restarting from its journal
+//! still receives everything peers sent while it was down.
 
 use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl};
 use kvstore::Output;
@@ -38,15 +54,50 @@ pub enum Hello {
         /// The dialing client.
         client: ClientId,
     },
+    /// A replica rebuilding its state asks for a [`CatchUpReply`]; the
+    /// acceptor answers with exactly one frame and closes the connection.
+    CatchUp {
+        /// The recovering replica.
+        from: ProcessId,
+    },
 }
 
-/// One protocol message on a peer connection.
+/// One frame on a peer connection.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeerFrame {
     /// The sending replica.
     pub from: ProcessId,
+    /// Per-link sequence number of a [`PeerBody::Msg`] frame (1-based,
+    /// assigned by the sender's link writer); 0 for unsequenced control
+    /// frames such as acks.
+    pub seq: u64,
+    /// What the frame carries.
+    pub body: PeerBody,
+}
+
+/// Payload of a [`PeerFrame`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerBody {
     /// bincode encoding of the protocol's `Message` type.
-    pub payload: Vec<u8>,
+    Msg(Vec<u8>),
+    /// Cumulative delivery acknowledgement: the sender of this frame has
+    /// received (and, when durability is on, journaled) every `Msg` frame
+    /// with sequence `<=` the value on the *reverse* link.
+    Ack(u64),
+}
+
+/// Answer to a [`Hello::CatchUp`] request: everything the serving replica
+/// has committed, as replayable protocol messages, plus how far it has seen
+/// the requester's identifier space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatchUpReply {
+    /// Highest identifier sequence the serving replica has seen from the
+    /// requester (committed or in flight); the requester must not reissue
+    /// identifiers at or below it.
+    pub horizon: u64,
+    /// bincode encodings of the serving protocol's
+    /// [`committed_log`](atlas_core::Protocol::committed_log) messages.
+    pub msgs: Vec<Vec<u8>>,
 }
 
 /// Requests a client sends to its replica.

@@ -18,7 +18,8 @@
 //! EPaxos' instance-recovery procedure is notoriously intricate (and the
 //! paper notes it contains a bug, §3.3); since none of the paper's
 //! experiments exercise EPaxos recovery, [`EPaxos::suspect`] is a no-op here.
-//! This substitution is recorded in `DESIGN.md`.
+//! This substitution is deliberate (crash *recovery* of a restarting replica
+//! is handled by the runtime durability layer instead; see `ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -102,7 +103,7 @@ impl Message {
 }
 
 /// Progress of an instance at this replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Phase {
     Start,
     PreAccept,
@@ -110,7 +111,7 @@ enum Phase {
     Commit,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Info {
     phase: Option<Phase>,
     cmd: Option<Command>,
@@ -129,7 +130,7 @@ impl Info {
 }
 
 /// An EPaxos replica.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct EPaxos {
     id: ProcessId,
     config: Config,
@@ -403,6 +404,53 @@ impl Protocol for EPaxos {
             Message::MAcceptAck { dot, ballot } => self.handle_accept_ack(from, dot, ballot, time),
             Message::MCommit { dot, cmd, deps } => self.handle_commit(dot, cmd, deps, time),
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(self).expect("replica state always encodes"))
+    }
+
+    fn restore_state(
+        id: ProcessId,
+        config: Config,
+        _topology: Topology,
+        state: &[u8],
+    ) -> Option<Self> {
+        let state: EPaxos = bincode::deserialize(state).ok()?;
+        (state.id == id && state.config == config).then_some(state)
+    }
+
+    fn committed_log(&self) -> Vec<Message> {
+        let mut commits: Vec<(Dot, Message)> = self
+            .info
+            .iter()
+            .filter(|(_, info)| info.phase() == Phase::Commit)
+            .filter_map(|(dot, info)| {
+                Some((
+                    *dot,
+                    Message::MCommit {
+                        dot: *dot,
+                        cmd: info.cmd.clone()?,
+                        deps: info.deps.clone(),
+                    },
+                ))
+            })
+            .collect();
+        commits.sort_by_key(|(dot, _)| *dot);
+        commits.into_iter().map(|(_, msg)| msg).collect()
+    }
+
+    fn seen_horizon(&self, source: ProcessId) -> u64 {
+        self.info
+            .keys()
+            .filter(|dot| dot.source == source)
+            .map(|dot| dot.seq)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn advance_identifiers(&mut self, past: u64) {
+        self.dot_gen.advance_past(past);
     }
 
     fn metrics(&self) -> &ProtocolMetrics {

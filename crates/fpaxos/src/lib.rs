@@ -113,7 +113,7 @@ impl Message {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SlotState {
     ballot: Ballot,
     cmd: Command,
@@ -122,7 +122,7 @@ struct SlotState {
 }
 
 /// A Flexible Paxos replica.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct FPaxos {
     id: ProcessId,
     config: Config,
@@ -504,6 +504,45 @@ impl Protocol for FPaxos {
                 }
             }
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(self).expect("replica state always encodes"))
+    }
+
+    fn restore_state(
+        id: ProcessId,
+        config: Config,
+        _topology: Topology,
+        state: &[u8],
+    ) -> Option<Self> {
+        let state: FPaxos = bincode::deserialize(state).ok()?;
+        (state.id == id && state.config == config).then_some(state)
+    }
+
+    fn committed_log(&self) -> Vec<Message> {
+        // Slot order; noOp gap-fillers are included so the receiver's
+        // in-order executor does not stall on them.
+        self.decided
+            .iter()
+            .map(|(&slot, cmd)| Message::MCommit {
+                slot,
+                cmd: cmd.clone(),
+            })
+            .collect()
+    }
+
+    fn seen_horizon(&self, _source: ProcessId) -> u64 {
+        // Slots are assigned centrally by the leader rather than per
+        // process, so the horizon is the highest slot this replica has seen
+        // in any role (accepted or decided).
+        let accepted = self.log.keys().next_back().copied().unwrap_or(0);
+        let decided = self.decided.keys().next_back().copied().unwrap_or(0);
+        accepted.max(decided)
+    }
+
+    fn advance_identifiers(&mut self, past: u64) {
+        self.next_slot = self.next_slot.max(past + 1);
     }
 
     fn suspect(&mut self, suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {

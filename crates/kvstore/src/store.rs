@@ -19,7 +19,7 @@ pub enum Output {
 /// Executing the same sequence of commands on two instances yields the same
 /// state and the same outputs — the property the SMR Ordering guarantee
 /// builds on.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KVStore {
     data: BTreeMap<Key, Value>,
     executed: u64,

@@ -13,7 +13,9 @@
 //!
 //! Failure handling in Mencius requires revoking the slots of a crashed
 //! replica; none of the reproduced experiments exercise it, so
-//! [`Mencius::suspect`] is a no-op (documented in `DESIGN.md`).
+//! [`Mencius::suspect`] is a no-op (a deliberate substitution; a crashed
+//! replica *restarting* is handled by the runtime durability layer instead —
+//! see `ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,7 +72,7 @@ impl Message {
 }
 
 /// A Mencius replica.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Mencius {
     id: ProcessId,
     config: Config,
@@ -244,6 +246,60 @@ impl Protocol for Mencius {
             Message::MProposeAck { slot } => self.handle_propose_ack(from, slot, time),
             Message::MSkip { slots } => self.handle_skip(slots, time),
             Message::MCommit { slot, cmd } => self.handle_commit(slot, cmd, time),
+        }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(self).expect("replica state always encodes"))
+    }
+
+    fn restore_state(
+        id: ProcessId,
+        config: Config,
+        _topology: Topology,
+        state: &[u8],
+    ) -> Option<Self> {
+        let state: Mencius = bincode::deserialize(state).ok()?;
+        (state.id == id && state.config == config).then_some(state)
+    }
+
+    fn committed_log(&self) -> Vec<Message> {
+        // One MSkip carrying every skipped slot, then the commits in slot
+        // order. `handle_skip`/`handle_commit` are both idempotent inserts,
+        // so the receiver's in-order executor replays this from any state.
+        let skipped: Vec<Slot> = self
+            .decided
+            .iter()
+            .filter(|(_, entry)| entry.is_none())
+            .map(|(&slot, _)| slot)
+            .collect();
+        let mut log = Vec::new();
+        if !skipped.is_empty() {
+            log.push(Message::MSkip { slots: skipped });
+        }
+        log.extend(self.decided.iter().filter_map(|(&slot, entry)| {
+            entry.as_ref().map(|cmd| Message::MCommit {
+                slot,
+                cmd: cmd.clone(),
+            })
+        }));
+        log
+    }
+
+    fn seen_horizon(&self, source: ProcessId) -> u64 {
+        self.decided
+            .keys()
+            .chain(self.proposals.keys())
+            .copied()
+            .filter(|&slot| self.owner(slot) == source)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn advance_identifiers(&mut self, past: u64) {
+        let n = self.config.n as Slot;
+        while self.next_owned <= past {
+            self.next_owned += n;
         }
     }
 

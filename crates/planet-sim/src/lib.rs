@@ -7,7 +7,7 @@
 //!
 //! The paper deploys Atlas on Google Cloud Platform over 3–13 regions; this
 //! crate substitutes that testbed so that every figure of the evaluation can
-//! be regenerated on a laptop (see `DESIGN.md` for the substitution
+//! be regenerated on a laptop (see `ARCHITECTURE.md` for the substitution
 //! rationale). The [`experiments`] module contains one driver per figure.
 //!
 //! # Example

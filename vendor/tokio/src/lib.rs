@@ -20,7 +20,9 @@
 //! (`tokio::select!` and `#[tokio::main]` are intentionally *not* provided;
 //! the runtime avoids them).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `net::reuse` needs one scoped `allow` for the
+// raw-socket FFI that sets `SO_REUSEADDR` (real tokio does this through mio).
+#![deny(unsafe_code)]
 #![allow(async_fn_in_trait)]
 
 use std::future::Future;

@@ -14,10 +14,23 @@ pub struct TcpListener {
 
 impl TcpListener {
     /// Binds to `addr`.
+    ///
+    /// Like real tokio (via mio), the listening socket is created with
+    /// `SO_REUSEADDR` on Unix, so a crashed process can rebind its address
+    /// immediately even while sockets accepted by the previous incarnation
+    /// linger in `TIME_WAIT` / `FIN_WAIT`. `std::net::TcpListener::bind`
+    /// alone does not set the option, which would make restart-under-the-
+    /// same-address fail with `EADDRINUSE` for up to a minute.
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        Ok(Self {
-            inner: std::net::TcpListener::bind(addr)?,
-        })
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match reuse::bind_reuseaddr(&addr) {
+                Ok(inner) => return Ok(Self { inner }),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to bind")))
     }
 
     /// Accepts one inbound connection (blocks the calling task).
@@ -113,6 +126,121 @@ pub mod tcp {
     }
 }
 
+/// `SO_REUSEADDR`-enabled listener creation.
+///
+/// `std` exposes no way to set socket options before `bind`, so on Linux the
+/// socket is created through a minimal hand-declared libc FFI surface
+/// (`socket`/`setsockopt`/`bind`/`listen`) and then handed to
+/// `std::net::TcpListener` via `FromRawFd`. Platforms or address families the
+/// shim does not cover fall back to plain `std` binding (losing only the
+/// fast-rebind behaviour, not correctness).
+mod reuse {
+    use std::io;
+    use std::net::SocketAddr;
+
+    #[cfg(target_os = "linux")]
+    #[allow(unsafe_code)]
+    mod ffi {
+        use std::io;
+        use std::net::SocketAddr;
+        use std::os::fd::FromRawFd;
+
+        const AF_INET: i32 = 2;
+        const SOCK_STREAM: i32 = 1;
+        const SOCK_CLOEXEC: i32 = 0x80000;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+        const BACKLOG: i32 = 1024;
+
+        /// `struct sockaddr_in` (Linux layout). Port and address are
+        /// big-endian as the kernel expects.
+        #[repr(C)]
+        struct SockAddrIn {
+            sin_family: u16,
+            sin_port: u16,
+            sin_addr: u32,
+            sin_zero: [u8; 8],
+        }
+
+        mod c {
+            use std::ffi::c_void;
+
+            unsafe extern "C" {
+                pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+                pub fn setsockopt(
+                    fd: i32,
+                    level: i32,
+                    optname: i32,
+                    optval: *const c_void,
+                    optlen: u32,
+                ) -> i32;
+                pub fn bind(fd: i32, addr: *const c_void, addrlen: u32) -> i32;
+                pub fn listen(fd: i32, backlog: i32) -> i32;
+                pub fn close(fd: i32) -> i32;
+            }
+        }
+
+        /// Creates a listening IPv4 socket with `SO_REUSEADDR` set before
+        /// `bind`. Returns `None` for address families the shim does not
+        /// cover (the caller then falls back to `std`).
+        pub(super) fn bind_listener(
+            addr: &SocketAddr,
+        ) -> Option<io::Result<std::net::TcpListener>> {
+            let SocketAddr::V4(v4) = addr else {
+                return None;
+            };
+            let sa = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from(*v4.ip()).to_be(),
+                sin_zero: [0; 8],
+            };
+            // SAFETY: plain libc socket-creation calls on owned fds; the fd
+            // is either closed on every error path or moved into the
+            // returned `TcpListener`, which owns it from then on.
+            let listener = unsafe {
+                let fd = c::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                if fd < 0 {
+                    return Some(Err(io::Error::last_os_error()));
+                }
+                let one: i32 = 1;
+                let mut rc = c::setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEADDR,
+                    (&raw const one).cast(),
+                    std::mem::size_of::<i32>() as u32,
+                );
+                if rc == 0 {
+                    rc = c::bind(
+                        fd,
+                        (&raw const sa).cast(),
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    );
+                }
+                if rc == 0 {
+                    rc = c::listen(fd, BACKLOG);
+                }
+                if rc != 0 {
+                    let err = io::Error::last_os_error();
+                    c::close(fd);
+                    return Some(Err(err));
+                }
+                std::net::TcpListener::from_raw_fd(fd)
+            };
+            Some(Ok(listener))
+        }
+    }
+
+    pub(super) fn bind_reuseaddr(addr: &SocketAddr) -> io::Result<std::net::TcpListener> {
+        #[cfg(target_os = "linux")]
+        if let Some(bound) = ffi::bind_listener(addr) {
+            return bound;
+        }
+        std::net::TcpListener::bind(addr)
+    }
+}
+
 pub(crate) use inner_access::*;
 
 mod inner_access {
@@ -186,5 +314,34 @@ impl crate::io::AsyncWriteExt for tcp::OwnedWriteHalf {
 
     async fn shutdown(&mut self) -> io::Result<()> {
         self.raw().shutdown(Shutdown::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::AsyncWriteExt;
+
+    /// A crashed replica must be able to rebind its listen address while
+    /// connections accepted by the previous incarnation still linger — the
+    /// `SO_REUSEADDR` behaviour real tokio inherits from mio.
+    #[test]
+    fn rebinding_after_close_with_lingering_connections_succeeds() {
+        crate::block_on_current(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).await.unwrap();
+            let (accepted, _) = listener.accept().await.unwrap();
+            // Server side closes first (the worst case: its port holds the
+            // TIME_WAIT state) and the listener goes away with the "crash".
+            let (_read, mut write) = accepted.into_split();
+            write.write_all(b"x").await.unwrap();
+            drop(write);
+            drop(listener);
+            // The restarted incarnation binds the very same address.
+            let rebound = TcpListener::bind(addr).await.expect("rebind");
+            assert_eq!(rebound.local_addr().unwrap(), addr);
+            drop(client);
+        });
     }
 }
