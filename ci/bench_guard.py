@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate the bench-smoke CI job on a checked-in latency baseline.
+
+Usage: bench_guard.py <current.json> <baseline.json> [--max-ratio 3.0]
+
+Both files carry ``{"benches": {"<name>": {"mean_ns": <int>, ...}}}`` — the
+current file is emitted by the vendored criterion stub via
+``CRITERION_JSON``; the baseline is checked in at
+``ci/BENCH_runtime_baseline.json``.
+
+The job fails when any benchmark named in the baseline is missing from the
+current run (a silently deleted bench must not pass the gate) or regressed
+by more than ``--max-ratio`` over its baseline mean. The generous default
+ratio absorbs runner jitter; it exists to catch order-of-magnitude
+regressions (an accidental sync call on the hot path, an O(n^2) slip), not
+single-digit percentages — those need a quiet machine and the full bench
+suite.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benches(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        sys.exit(f"bench_guard: {path} has no benches")
+    return benches
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-ratio", type=float, default=3.0)
+    args = parser.parse_args()
+
+    current = load_benches(args.current)
+    baseline = load_benches(args.baseline)
+
+    failures = []
+    for name, base in baseline.items():
+        base_ns = base["mean_ns"]
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        got_ns = got["mean_ns"]
+        ratio = got_ns / base_ns
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(
+            f"{verdict:4} {name}: {got_ns} ns vs baseline {base_ns} ns "
+            f"({ratio:.2f}x, limit {args.max_ratio:.1f}x)"
+        )
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x over baseline")
+
+    if failures:
+        print("\nbench_guard: latency regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench_guard: all benchmarks within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

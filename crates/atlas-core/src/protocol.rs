@@ -179,6 +179,27 @@ pub trait Protocol: Sized {
     /// Notifies the replica that `suspected` is believed to have failed.
     /// Leaderless protocols recover the suspected process's in-flight
     /// commands; leader-based protocols elect a new leader. Default: no-op.
+    ///
+    /// Both the simulator and the networked runtime's failure detector call
+    /// this, so implementations must uphold two contracts:
+    ///
+    /// * **Idempotent under re-dispatch.** The runtime repeats the call
+    ///   every `suspect_after` while a peer stays suspected (recovery of
+    ///   one command can surface further identifiers of the dead peer that
+    ///   only a later pass can pick up), and a flapping peer may be
+    ///   suspected, trusted and suspected again. Re-suspecting must never
+    ///   corrupt state — at worst it reissues recovery traffic at higher
+    ///   ballots.
+    /// * **Deterministic.** The networked runtime journals suspicions as
+    ///   protocol inputs (they can mint recovery ballots, i.e. promises)
+    ///   and replays them in order after a crash; `suspect` must depend
+    ///   only on protocol state and its arguments, never on a clock or
+    ///   randomness (`time` may be 0 during replay, as for every other
+    ///   replayed input).
+    ///
+    /// A wrong suspicion must be *safe* (consensus-protected), merely not
+    /// free: the paper only requires the detector to be eventually accurate
+    /// for liveness.
     fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Self::Message>> {
         Vec::new()
     }

@@ -457,6 +457,224 @@ mod tests {
         assert_eq!(info.deps, deps);
     }
 
+    /// Like `Net`, but delivers queued messages in seeded-random order with
+    /// random duplication — the message schedule of a real network with
+    /// at-least-once links, instead of the lock-step FIFO above. Messages
+    /// to or from crashed processes are lost.
+    struct ChaosNet {
+        replicas: Vec<Atlas>,
+        crashed: HashSet<ProcessId>,
+        executed: std::collections::HashMap<ProcessId, Vec<Dot>>,
+        rng: rand::rngs::SmallRng,
+    }
+
+    impl ChaosNet {
+        fn new(n: usize, f: usize, seed: u64) -> Self {
+            use rand::SeedableRng;
+            let config = Config::new(n, f);
+            let replicas = (1..=n as ProcessId)
+                .map(|id| Atlas::new(id, config, Topology::identity(id, n)))
+                .collect();
+            Self {
+                replicas,
+                crashed: HashSet::new(),
+                executed: Default::default(),
+                rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            }
+        }
+
+        fn replica(&mut self, id: ProcessId) -> &mut Atlas {
+            &mut self.replicas[(id - 1) as usize]
+        }
+
+        fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
+            use rand::Rng;
+            let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+            self.enqueue(source, actions, &mut queue);
+            while !queue.is_empty() {
+                // Reordering: deliver a uniformly random queued message.
+                let idx = self.rng.gen_range(0..queue.len());
+                let (from, to, msg) = queue.swap_remove(idx);
+                if self.crashed.contains(&from) || self.crashed.contains(&to) {
+                    continue; // loss
+                }
+                // Duplication: an at-least-once link may deliver twice.
+                if queue.len() < 4096 && self.rng.gen_bool(0.2) {
+                    queue.push((from, to, msg.clone()));
+                }
+                let out = self.replica(to).handle(from, msg, 0);
+                self.enqueue(to, out, &mut queue);
+            }
+        }
+
+        /// Remote sends go into the chaotic queue; self-addressed messages
+        /// are delivered immediately to fixpoint, exactly like the runtime's
+        /// `perform` (the paper's zero-delay self-delivery assumption —
+        /// e.g. a coordinator always processes its own `MCollect` before
+        /// any of the acks it provokes).
+        fn enqueue(
+            &mut self,
+            source: ProcessId,
+            actions: Vec<Action<Message>>,
+            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
+        ) {
+            let mut local: Vec<Message> = Vec::new();
+            self.sort_actions(source, actions, &mut local, queue);
+            while let Some(msg) = local.pop() {
+                let out = self.replica(source).handle(source, msg, 0);
+                self.sort_actions(source, out, &mut local, queue);
+            }
+        }
+
+        fn sort_actions(
+            &mut self,
+            source: ProcessId,
+            actions: Vec<Action<Message>>,
+            local: &mut Vec<Message>,
+            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
+        ) {
+            for action in actions {
+                match action {
+                    Action::Send { targets, msg } => {
+                        for to in targets {
+                            if to == source {
+                                local.push(msg.clone());
+                            } else {
+                                queue.push((source, to, msg.clone()));
+                            }
+                        }
+                    }
+                    Action::Execute { dot, .. } => {
+                        self.executed.entry(source).or_default().push(dot);
+                    }
+                    Action::Commit { .. } => {}
+                }
+            }
+        }
+
+        /// Submits at `at`, delivering the MCollect only to `reach` and
+        /// losing every reply — a command stranded mid-collect.
+        fn submit_reaching(&mut self, at: ProcessId, cmd: Command, reach: &[ProcessId]) {
+            let actions = self.replica(at).submit(cmd, 0);
+            for action in actions {
+                if let Action::Send { targets, msg } = action {
+                    for to in targets {
+                        if reach.contains(&to) {
+                            let _ = self.replica(to).handle(at, msg.clone(), 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Atlas recovery under realistic schedules: commands stranded at
+    /// random propagation stages, the coordinator crashed, and the
+    /// survivors' concurrent recoveries delivered with random reordering,
+    /// duplication and loss-to-the-dead — across many seeds, every
+    /// survivor must commit the *same* `(command, dependencies)` per
+    /// identifier (Invariant 1) and execute in the same order.
+    #[test]
+    fn recovery_converges_under_reordering_and_duplication() {
+        use rand::Rng;
+        for seed in 0..25u64 {
+            let mut net = ChaosNet::new(5, 2, 0xC4A05 + seed);
+            // A few conflicting commands stranded at random subsets of the
+            // fast quorum; coordinator 1 owns them all and then crashes.
+            // The coordinator always processes its own MCollect (the
+            // runtime delivers self-addressed messages immediately), so
+            // `survivor_reach` tracks who *else* saw each command.
+            let stranded = net.rng.gen_range(1..=3u64);
+            let mut survivor_reach: Vec<Vec<ProcessId>> = Vec::new();
+            for seq in 1..=stranded {
+                let reach_mask: [bool; 3] = [
+                    net.rng.gen_bool(0.6),
+                    net.rng.gen_bool(0.6),
+                    net.rng.gen_bool(0.6),
+                ];
+                let survivors: Vec<ProcessId> = [2u32, 3, 4]
+                    .into_iter()
+                    .zip(reach_mask)
+                    .filter(|(_, keep)| *keep)
+                    .map(|(id, _)| id)
+                    .collect();
+                let mut reach = vec![1u32];
+                reach.extend(&survivors);
+                net.submit_reaching(1, put(1, seq, 0), &reach);
+                survivor_reach.push(survivors);
+            }
+            // One fully propagated conflicting command from a survivor, so
+            // there is always something blocked behind the stranded ones.
+            let actions = net.replica(2).submit(put(2, 1, 0), 0);
+            net.run(2, actions);
+            net.crashed.insert(1);
+
+            // Every survivor suspects the coordinator, in random order,
+            // with chaotic delivery of the recovery traffic. Two passes,
+            // mirroring the runtime's periodic re-dispatch while a peer
+            // stays suspected: recovering one command can *surface* further
+            // identifiers of the dead coordinator (a recovered command's
+            // dependencies may name dots no survivor had seen), and only a
+            // later pass can noOp those.
+            for _pass in 0..2 {
+                let mut suspecters = vec![2u32, 3, 4, 5];
+                while !suspecters.is_empty() {
+                    let idx = net.rng.gen_range(0..suspecters.len());
+                    let at = suspecters.swap_remove(idx);
+                    let actions = net.replica(at).suspect(1, 0);
+                    net.run(at, actions);
+                }
+            }
+
+            // Invariant 1: for every identifier any survivor committed, all
+            // survivors that committed it agree on command + dependencies.
+            let mut by_dot: std::collections::HashMap<Dot, (bool, HashSet<Dot>)> =
+                Default::default();
+            for replica in &net.replicas[1..] {
+                for (dot, info) in &replica.info {
+                    if !matches!(info.phase, Phase::Commit | Phase::Execute) {
+                        continue;
+                    }
+                    let noop = info.cmd.as_ref().unwrap().is_noop();
+                    let entry = by_dot
+                        .entry(*dot)
+                        .or_insert_with(|| (noop, info.deps.clone()));
+                    assert_eq!(entry.0, noop, "seed {seed}: {dot:?} noop-ness differs");
+                    assert_eq!(
+                        entry.1, info.deps,
+                        "seed {seed}: {dot:?} committed deps differ"
+                    );
+                }
+            }
+            // Every stranded identifier that at least one *survivor* saw
+            // was resolved by recovery (an identifier nobody alive ever
+            // saw is rightly left alone — nothing can reference it).
+            for seq in 1..=stranded {
+                if !survivor_reach[(seq - 1) as usize].is_empty() {
+                    assert!(
+                        by_dot.contains_key(&Dot::new(1, seq)),
+                        "seed {seed}: stranded dot ⟨1,{seq}⟩ (seen by {:?}) never committed",
+                        survivor_reach[(seq - 1) as usize]
+                    );
+                }
+            }
+            // And the survivor's blocked command executed everywhere alive,
+            // in the same global order.
+            let reference = net.executed.get(&2).cloned().unwrap_or_default();
+            assert!(
+                !reference.is_empty(),
+                "seed {seed}: survivor 2 executed nothing"
+            );
+            for id in [3u32, 4, 5] {
+                assert_eq!(
+                    net.executed.get(&id),
+                    Some(&reference),
+                    "seed {seed}: execution order diverges at {id}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn recovery_is_idempotent_across_multiple_recoverers() {
         // Two surviving replicas recover the same command concurrently; the

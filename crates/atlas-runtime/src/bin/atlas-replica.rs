@@ -12,6 +12,11 @@
 //! durability against fsync cost (`always`, `every:<n>`, `os`), and
 //! `--catch-up` makes a replica whose data dir was lost rebuild committed
 //! state from its peers.
+//!
+//! Failure detection is on by default: a peer silent past `--suspect-after`
+//! (milliseconds, default 1500) is handed to the protocol's recovery
+//! (`Protocol::suspect`), and trusted again only after being audible for
+//! `--trust-after` (default 250). `--no-failure-detector` turns it off.
 
 use atlas_core::{Config, ProcessId, Protocol};
 use atlas_log::FlushPolicy;
@@ -27,7 +32,8 @@ fn usage() -> ! {
         "usage: atlas-replica --id <1..n> --addrs <a1,a2,...> [--f <f>] \
          [--protocol atlas|epaxos|fpaxos|mencius] [--nfr] \
          [--data-dir <path>] [--flush always|every:<n>|os] \
-         [--snapshot-every <records>] [--catch-up]"
+         [--snapshot-every <records>] [--catch-up] \
+         [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector]"
     );
     exit(2);
 }
@@ -42,6 +48,9 @@ struct Args {
     flush: FlushPolicy,
     snapshot_every: u64,
     catch_up: bool,
+    suspect_after: Option<u64>,
+    trust_after: Option<u64>,
+    failure_detector: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +64,9 @@ fn parse_args() -> Args {
         flush: FlushPolicy::default(),
         snapshot_every: 4096,
         catch_up: false,
+        suspect_after: None,
+        trust_after: None,
+        failure_detector: true,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -84,6 +96,14 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--catch-up" => args.catch_up = true,
+            "--suspect-after" => {
+                args.suspect_after =
+                    Some(value("--suspect-after").parse().unwrap_or_else(|_| usage()))
+            }
+            "--trust-after" => {
+                args.trust_after = Some(value("--trust-after").parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-failure-detector" => args.failure_detector = false,
             _ => usage(),
         }
     }
@@ -111,6 +131,14 @@ where
     cfg.flush_policy = args.flush;
     cfg.snapshot_every = args.snapshot_every;
     cfg.catch_up = args.catch_up;
+    if !args.failure_detector {
+        cfg.suspect_after = None;
+    } else if let Some(ms) = args.suspect_after {
+        cfg.suspect_after = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.trust_after {
+        cfg.trust_after = std::time::Duration::from_millis(ms);
+    }
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {
         let handle = replica::spawn::<P>(cfg).await.expect("replica spawn");

@@ -26,14 +26,74 @@ pub struct ClusterOptions {
     /// Snapshot + journal truncation cadence, in journaled records (0 =
     /// keep the full journal).
     pub snapshot_every: u64,
+    /// Failure-detector silence threshold
+    /// ([`ReplicaConfig::suspect_after`]); `None` disables suspicion.
+    pub suspect_after: Option<Duration>,
+    /// Failure-detector trust hysteresis ([`ReplicaConfig::trust_after`]).
+    pub trust_after: Duration,
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
+        // Mirrors the `ReplicaConfig::new` failure-detection defaults.
         Self {
             tick_interval: Duration::from_millis(25),
             flush_policy: FlushPolicy::OsBuffered,
             snapshot_every: 4096,
+            suspect_after: Some(Duration::from_millis(1_500)),
+            trust_after: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// Returns a copy with fast failure detection for fault-injection
+    /// tests: suspect after `suspect_after`, restore trust after half of
+    /// it. Keep the threshold a healthy multiple of
+    /// [`ClusterOptions::tick_interval`] so heartbeats can actually refute
+    /// the suspicion.
+    pub fn with_suspicion(mut self, suspect_after: Duration) -> Self {
+        self.suspect_after = Some(suspect_after);
+        self.trust_after = suspect_after / 2;
+        self
+    }
+}
+
+/// Root of the cluster's on-disk tree: a self-removing temp dir by
+/// default, or a kept directory under `$ATLAS_DATA_ROOT` when that
+/// environment variable is set — CI fault drills set it so the replicas'
+/// journals and snapshots survive a failing run and can be uploaded as a
+/// post-mortem artifact.
+#[derive(Debug)]
+enum DataRoot {
+    /// Removed (with all replica data dirs) when the cluster drops.
+    Ephemeral(TempDir),
+    /// Kept on disk after the run.
+    Kept(PathBuf),
+}
+
+impl DataRoot {
+    fn create() -> io::Result<Self> {
+        match std::env::var_os("ATLAS_DATA_ROOT") {
+            Some(root) => {
+                static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let unique = format!(
+                    "cluster-{}-{}",
+                    std::process::id(),
+                    COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                );
+                let path = PathBuf::from(root).join(unique);
+                std::fs::create_dir_all(&path)?;
+                Ok(Self::Kept(path))
+            }
+            None => Ok(Self::Ephemeral(TempDir::new("atlas-cluster")?)),
+        }
+    }
+
+    fn path(&self) -> &std::path::Path {
+        match self {
+            Self::Ephemeral(dir) => dir.path(),
+            Self::Kept(path) => path,
         }
     }
 }
@@ -41,8 +101,10 @@ impl Default for ClusterOptions {
 /// A running cluster of networked replicas on 127.0.0.1.
 ///
 /// Every replica gets `<tmp>/atlas-cluster-*/r<id>` as its data directory,
-/// removed when the `Cluster` drops — so every cluster test exercises the
-/// durability layer, and crash/restart scenarios need no extra setup:
+/// removed when the `Cluster` drops (kept on disk when `$ATLAS_DATA_ROOT`
+/// is set, so CI fault drills can upload journals and snapshots as a
+/// post-mortem artifact) — so every cluster test exercises the durability
+/// layer, and crash/restart scenarios need no extra setup:
 ///
 /// * [`Cluster::kill`] stops a replica abruptly (no flush, no checkpoint —
 ///   equivalent to SIGKILL as far as replica state is concerned);
@@ -58,7 +120,7 @@ pub struct Cluster {
     options: ClusterOptions,
     dirs: HashMap<ProcessId, PathBuf>,
     /// Owns the on-disk tree of every replica's data dir.
-    _data_root: TempDir,
+    _data_root: DataRoot,
 }
 
 impl Cluster {
@@ -93,7 +155,7 @@ impl Cluster {
         P: Protocol + Send + 'static,
         P::Message: Serialize + Deserialize + Send + 'static,
     {
-        let data_root = TempDir::new("atlas-cluster")?;
+        let data_root = DataRoot::create()?;
         // Bind every replica on port 0 first, so the full address map exists
         // before any replica starts.
         let mut listeners = Vec::with_capacity(config.n);
@@ -129,6 +191,8 @@ impl Cluster {
         cfg.flush_policy = self.options.flush_policy;
         cfg.snapshot_every = self.options.snapshot_every;
         cfg.catch_up = catch_up;
+        cfg.suspect_after = self.options.suspect_after;
+        cfg.trust_after = self.options.trust_after;
         cfg
     }
 

@@ -1,0 +1,355 @@
+//! Timeout-based failure detector with hysteresis.
+//!
+//! The detector is a **pure state machine** over wall-clock instants — it
+//! owns no sockets and spawns no tasks, which keeps it unit-testable with
+//! synthetic clocks. The replica event loop feeds it two inputs:
+//!
+//! * [`FailureDetector::heard`] whenever *any* frame arrives from a peer —
+//!   protocol messages, delivery acks, heartbeat probes, or a
+//!   [`Hello::CatchUp`](crate::wire::Hello) request (a rejoining replica
+//!   announcing itself counts as evidence of life, which is what keeps a
+//!   wiped-and-rejoined replica from staying suspected forever);
+//! * [`FailureDetector::tick`] on every periodic tick, which advances the
+//!   per-peer state machines and returns the transitions the replica must
+//!   act on.
+//!
+//! Liveness traffic exists even on an idle cluster because every replica's
+//! outbound links emit heartbeat probes each tick (see
+//! [`crate::transport`]); a silent peer is therefore a dead or partitioned
+//! peer, not merely an idle one.
+//!
+//! ## The per-peer state machine
+//!
+//! ```text
+//!             silence ≥ suspect_after
+//!   Trusted ───────────────────────────▶ Suspected ──▶ (Protocol::suspect,
+//!      ▲                                    │           re-dispatched every
+//!      │ heard continuously                 │           suspect_after while
+//!      │ for trust_after                    │           the peer stays dead)
+//!      │                                    │ any frame heard
+//!      │                                    ▼
+//!      └───────────────────────────── Probation
+//!                 (silence ≥ suspect_after ⇒ back to Suspected)
+//! ```
+//!
+//! The `Probation` stage is the hysteresis: a peer that was suspected must
+//! stay audible for a full `trust_after` window before it is trusted again,
+//! so one stray frame from a flapping link does not oscillate the cluster
+//! between suspecting and trusting (each `Suspected` transition triggers a
+//! protocol recovery broadcast — safe to repeat, but not free). In failure
+//! detector terms this trades detection *speed* for *accuracy*: ◇P-style
+//! eventual accuracy is what Atlas recovery needs for liveness, and wrong
+//! suspicions, while safe (recovery is consensus-protected), can replace a
+//! live coordinator's uncommitted commands with `noOp`s.
+//!
+//! A freshly armed detector grants every peer a full `suspect_after` of
+//! grace, so replicas booting in any order do not suspect peers that simply
+//! have not finished binding their listeners yet.
+
+use atlas_core::ProcessId;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A transition the replica must act on, returned by
+/// [`FailureDetector::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorEvent {
+    /// `peer` exceeded the silence threshold: hand it to
+    /// [`Protocol::suspect`](atlas_core::Protocol::suspect) (journaled, so
+    /// the recovery the suspicion triggers survives a crash of *this*
+    /// replica).
+    Suspect(ProcessId),
+    /// A previously suspected `peer` has been audible for the full
+    /// `trust_after` window and is trusted again.
+    Trust(ProcessId),
+}
+
+/// Trust state of one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trust {
+    /// Peer is believed alive.
+    Trusted,
+    /// Peer exceeded `suspect_after` of silence; `Protocol::suspect` was
+    /// last dispatched at the contained instant. While the peer stays
+    /// suspected, the dispatch repeats every `suspect_after` — recovery of
+    /// one in-flight command can *surface* further identifiers of the dead
+    /// peer (a recovered command's dependencies may name dots no survivor
+    /// had seen before the recovery committed), and only a later `suspect`
+    /// pass can pick those up. Re-dispatch is idempotent for everything
+    /// already recovered.
+    Suspected(Instant),
+    /// A suspected peer has been heard again and is serving out the
+    /// `trust_after` hysteresis window that started at the contained
+    /// instant.
+    Probation(Instant),
+}
+
+/// Per-peer bookkeeping.
+#[derive(Debug)]
+struct PeerState {
+    last_heard: Instant,
+    trust: Trust,
+}
+
+/// The replica-level failure detector: one state machine per remote peer.
+#[derive(Debug)]
+pub struct FailureDetector {
+    self_id: ProcessId,
+    suspect_after: Duration,
+    trust_after: Duration,
+    /// `BTreeMap` so `tick` emits events in deterministic peer order.
+    peers: BTreeMap<ProcessId, PeerState>,
+}
+
+impl FailureDetector {
+    /// Builds a detector for the peers in `peers` (the own identifier is
+    /// ignored if present: a replica never suspects itself). Every peer
+    /// starts `Trusted` with `now` as its last-heard instant, granting a
+    /// full `suspect_after` of boot grace.
+    pub fn new(
+        self_id: ProcessId,
+        peers: impl IntoIterator<Item = ProcessId>,
+        suspect_after: Duration,
+        trust_after: Duration,
+        now: Instant,
+    ) -> Self {
+        let peers = peers
+            .into_iter()
+            .filter(|&peer| peer != self_id)
+            .map(|peer| {
+                (
+                    peer,
+                    PeerState {
+                        last_heard: now,
+                        trust: Trust::Trusted,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            self_id,
+            suspect_after,
+            trust_after,
+            peers,
+        }
+    }
+
+    /// Restarts every peer's grace period at `now` without touching trust
+    /// states. Called when the replica *starts serving* — journal replay and
+    /// peer-assisted catch-up can take arbitrarily long, and that time must
+    /// not count as peer silence.
+    pub fn arm(&mut self, now: Instant) {
+        for state in self.peers.values_mut() {
+            state.last_heard = now;
+            if matches!(state.trust, Trust::Suspected(_)) {
+                // Re-dispatch cadence restarts too: "arm" means "count
+                // everything from now".
+                state.trust = Trust::Suspected(now);
+            }
+        }
+    }
+
+    /// Records evidence that `peer` is alive at `now` (any inbound frame or
+    /// catch-up request from it). Hearing from a suspected peer starts its
+    /// probation window; the promotion back to trusted happens in
+    /// [`FailureDetector::tick`] once the window has been served.
+    pub fn heard(&mut self, peer: ProcessId, now: Instant) {
+        if peer == self.self_id {
+            return;
+        }
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return; // not a configured peer (e.g. a client id); ignore
+        };
+        state.last_heard = now;
+        if matches!(state.trust, Trust::Suspected(_)) {
+            state.trust = Trust::Probation(now);
+        }
+    }
+
+    /// Advances every peer's state machine to `now` and returns the
+    /// transitions, in ascending peer order.
+    pub fn tick(&mut self, now: Instant) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        for (&peer, state) in self.peers.iter_mut() {
+            let silence = now.saturating_duration_since(state.last_heard);
+            match state.trust {
+                Trust::Trusted if silence >= self.suspect_after => {
+                    state.trust = Trust::Suspected(now);
+                    events.push(DetectorEvent::Suspect(peer));
+                }
+                // Still dead, another `suspect_after` served: re-dispatch so
+                // identifiers of the dead peer that recovery itself surfaced
+                // (as dependencies of what it committed) get recovered too.
+                Trust::Suspected(last_dispatch)
+                    if now.saturating_duration_since(last_dispatch) >= self.suspect_after =>
+                {
+                    state.trust = Trust::Suspected(now);
+                    events.push(DetectorEvent::Suspect(peer));
+                }
+                // Fell silent again while on probation: re-suspect. The peer
+                // may have proposed new commands during its brief return, so
+                // the re-dispatch is not redundant (recovery of already
+                // committed identifiers is a no-op).
+                Trust::Probation(_) if silence >= self.suspect_after => {
+                    state.trust = Trust::Suspected(now);
+                    events.push(DetectorEvent::Suspect(peer));
+                }
+                // Promotion needs both halves of "audible for the full
+                // window": the window has elapsed *and* the peer was heard
+                // recently (strictly within trust_after). Elapsed time alone
+                // would let one stray frame followed by renewed silence
+                // restore trust — the oscillation hysteresis exists to
+                // prevent. A stray-then-silent peer instead idles here until
+                // the re-suspect arm above fires.
+                Trust::Probation(since)
+                    if now.saturating_duration_since(since) >= self.trust_after
+                        && silence < self.trust_after =>
+                {
+                    state.trust = Trust::Trusted;
+                    events.push(DetectorEvent::Trust(peer));
+                }
+                _ => {}
+            }
+        }
+        events
+    }
+
+    /// Whether `peer` is currently suspected (probation counts as still
+    /// suspected: trust has not been restored yet).
+    pub fn is_suspected(&self, peer: ProcessId) -> bool {
+        matches!(
+            self.peers.get(&peer).map(|s| s.trust),
+            Some(Trust::Suspected(_) | Trust::Probation(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUSPECT: Duration = Duration::from_millis(100);
+    const TRUST: Duration = Duration::from_millis(40);
+
+    fn detector(now: Instant) -> FailureDetector {
+        FailureDetector::new(1, 1..=3, SUSPECT, TRUST, now)
+    }
+
+    #[test]
+    fn no_suspicion_below_the_threshold() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        assert!(d.tick(t0 + SUSPECT / 2).is_empty());
+        // Keep hearing from peer 2 only; peer 3 crosses the threshold alone.
+        d.heard(2, t0 + SUSPECT / 2);
+        let events = d.tick(t0 + SUSPECT);
+        assert_eq!(events, vec![DetectorEvent::Suspect(3)]);
+        assert!(!d.is_suspected(2));
+        assert!(d.is_suspected(3));
+    }
+
+    #[test]
+    fn suspicion_fires_once_per_window_not_every_tick() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        assert_eq!(d.tick(t0 + SUSPECT).len(), 2); // peers 2 and 3
+                                                   // No re-fire tick-by-tick within a window...
+        assert!(d.tick(t0 + SUSPECT + SUSPECT / 4).is_empty());
+        assert!(d.tick(t0 + SUSPECT + SUSPECT / 2).is_empty());
+        // ...but a peer that *stays* dead is re-dispatched each window, so
+        // identifiers surfaced by recovery itself get recovered too.
+        assert_eq!(d.tick(t0 + SUSPECT * 2).len(), 2);
+    }
+
+    #[test]
+    fn never_suspects_self() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        let events = d.tick(t0 + SUSPECT * 10);
+        assert!(!events.contains(&DetectorEvent::Suspect(1)));
+        assert!(!d.is_suspected(1));
+    }
+
+    #[test]
+    fn trust_restored_only_after_the_full_probation_window() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        d.tick(t0 + SUSPECT);
+        assert!(d.is_suspected(2));
+        // Peer 2 reconnects and keeps heartbeating, but trust is not
+        // immediate.
+        let back = t0 + SUSPECT + Duration::from_millis(5);
+        d.heard(2, back);
+        assert!(d.is_suspected(2), "probation still counts as suspected");
+        assert!(d.tick(back + TRUST / 2).is_empty());
+        d.heard(2, back + TRUST * 3 / 4);
+        let events = d.tick(back + TRUST);
+        assert_eq!(events, vec![DetectorEvent::Trust(2)]);
+        assert!(!d.is_suspected(2));
+    }
+
+    #[test]
+    fn stray_frame_then_silence_does_not_restore_trust() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        d.tick(t0 + SUSPECT);
+        assert!(d.is_suspected(2));
+        // One stray frame, then silence again: the probation window
+        // elapsing must NOT promote the peer — it was not audible through
+        // it. (The spurious promotion would log "trust restored" for a
+        // dead peer and re-enter the full Suspect cycle from Trusted.)
+        let stray = t0 + SUSPECT + Duration::from_millis(1);
+        d.heard(2, stray);
+        let events = d.tick(stray + TRUST);
+        assert!(
+            !events.contains(&DetectorEvent::Trust(2)),
+            "silent peer must not be trusted: {events:?}"
+        );
+        assert!(d.is_suspected(2));
+    }
+
+    #[test]
+    fn flapping_peer_is_resuspected_from_probation() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        d.tick(t0 + SUSPECT);
+        // One stray frame, then silence again: back to suspected (one
+        // event), not an oscillation of suspect/trust pairs.
+        let stray = t0 + SUSPECT + Duration::from_millis(1);
+        d.heard(2, stray);
+        let events = d.tick(stray + SUSPECT);
+        assert!(events.contains(&DetectorEvent::Suspect(2)));
+        assert!(!events.contains(&DetectorEvent::Trust(2)));
+    }
+
+    #[test]
+    fn arming_restarts_grace_without_clearing_suspicions() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        d.heard(2, t0 + SUSPECT / 2);
+        d.tick(t0 + SUSPECT); // suspects 3 only
+        assert!(d.is_suspected(3));
+        // Re-arm far in the future (e.g. after a long catch-up): nothing
+        // fires for another full suspect_after, and existing suspicions
+        // stay (the peer has still never been heard from).
+        let t1 = t0 + SUSPECT * 100;
+        d.arm(t1);
+        assert!(d.tick(t1 + SUSPECT / 2).is_empty());
+        assert!(d.is_suspected(3));
+        // ...but the silence clock did restart: 2 is newly suspected, and
+        // still-dead 3 gets its periodic re-dispatch.
+        assert_eq!(
+            d.tick(t1 + SUSPECT),
+            vec![DetectorEvent::Suspect(2), DetectorEvent::Suspect(3)]
+        );
+    }
+
+    #[test]
+    fn hearing_from_unknown_ids_is_ignored() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        d.heard(99, t0); // not a peer
+        d.heard(1, t0); // self
+        assert!(!d.is_suspected(99));
+    }
+}

@@ -53,6 +53,18 @@ pub enum JournalRecord {
         /// Horizon below which identifiers must never be reissued.
         past: u64,
     },
+    /// The failure detector suspected `peer` and the replica dispatched
+    /// [`Protocol::suspect`](atlas_core::Protocol::suspect). Journaled
+    /// because suspicion is a protocol *input* like any other: it can mint
+    /// recovery ballots (promises this replica makes as a recovery
+    /// coordinator), and replaying the subsequent peer messages without it
+    /// would reconstruct a different — unsound — replica. Kept as the last
+    /// variant so journals written before failure detection existed still
+    /// decode.
+    Suspect {
+        /// The suspected replica.
+        peer: ProcessId,
+    },
 }
 
 /// Everything a snapshot captures. Restoring this plus replaying the
@@ -193,11 +205,12 @@ mod tests {
                 payload: vec![1, 2, 3],
             })
             .unwrap();
+        journal.append(&JournalRecord::Suspect { peer: 3 }).unwrap();
         drop(journal);
 
         let (_, snap, records) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
         assert!(snap.is_none());
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 3);
         assert_eq!(records[0], submit(1));
         assert_eq!(
             records[1],
@@ -206,6 +219,7 @@ mod tests {
                 payload: vec![1, 2, 3]
             }
         );
+        assert_eq!(records[2], JournalRecord::Suspect { peer: 3 });
     }
 
     #[test]

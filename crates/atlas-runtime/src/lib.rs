@@ -52,12 +52,29 @@
 //! including what is deliberately *not* recovered (commands that were in
 //! flight, uncommitted anywhere, when a disk was lost).
 //!
+//! ## Failure detection
+//!
+//! The event loop runs a timeout-based [`FailureDetector`]
+//! ([`ReplicaConfig::suspect_after`](replica::ReplicaConfig) /
+//! [`trust_after`](replica::ReplicaConfig)): outbound links heartbeat every
+//! tick, any inbound frame counts as evidence its sender is alive, and a
+//! peer silent past the threshold is handed to
+//! [`Protocol::suspect`](atlas_core::Protocol::suspect) through the
+//! journaled input pipeline — for Atlas this runs the paper's Algorithm 2
+//! and replaces a dead coordinator's unseen in-flight commands with
+//! `noOp`s, so the commands that conflict with them stop stalling. See
+//! [`detector`] for the hysteresis state machine.
+//!
 //! ## Pieces
 //!
 //! * [`wire`] — length-prefixed bincode framing and the
 //!   hello/request/reply/catch-up envelope types;
 //! * [`transport`] — reconnecting outbound peer links with at-least-once
-//!   delivery (resend buffers trimmed by cumulative acks);
+//!   delivery (resend buffers trimmed by cumulative acks, capped against
+//!   long-dead peers) and tick-driven heartbeat probes;
+//! * [`detector`] — the per-peer suspicion state machine with hysteresis
+//!   that turns link silence into [`Protocol::suspect`
+//!   calls](atlas_core::Protocol::suspect);
 //! * [`journal`] — what goes into the write-ahead log and snapshots, and
 //!   how recovery replays them;
 //! * [`replica`] — the event loop, acceptor, peer readers, client sessions
@@ -91,6 +108,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod detector;
 pub mod journal;
 pub mod replica;
 pub mod transport;
@@ -98,4 +116,5 @@ pub mod wire;
 
 pub use client::{Client, OpenLoopClient};
 pub use cluster::{Cluster, ClusterOptions};
+pub use detector::{DetectorEvent, FailureDetector};
 pub use replica::{ReplicaConfig, ReplicaHandle};

@@ -38,13 +38,29 @@
 //! incarnation are never reissued. Commands that were still in flight (not
 //! committed anywhere) when the disk was lost are not recovered — that is
 //! the window the paper's recovery protocol ([`Protocol::suspect`]) exists
-//! for; note the runtime does not yet run a failure detector to drive
-//! `suspect`, so such orphaned in-flight commands currently stall the
-//! commands that conflict with them until recovery is wired up (tracked in
-//! `ROADMAP.md`).
+//! for.
+//!
+//! ## Failure detection
+//!
+//! With [`ReplicaConfig::suspect_after`] set (the default), the event loop
+//! runs a [`FailureDetector`](crate::detector): every
+//! inbound frame (peer message, delivery ack, heartbeat, catch-up request)
+//! counts as evidence that its sender is alive, every tick heartbeats all
+//! outbound links and checks for peers that exceeded `suspect_after` of
+//! silence. A suspicion is journaled (as [`JournalRecord::Suspect`] — it is
+//! a protocol input like any other and can mint recovery ballots) and then
+//! dispatched to [`Protocol::suspect`], whose actions flow through the
+//! normal [`Action`] pipeline; for Atlas this takes over the suspected
+//! replica's in-flight commands and replaces the unseen ones with `noOp`s
+//! so conflicting commands stop stalling. Trust is restored with hysteresis
+//! ([`ReplicaConfig::trust_after`]) once the peer is heard again — a
+//! crashed replica that restarts (journal recovery) or rejoins wiped
+//! (`catch_up`) announces itself through its own heartbeats and catch-up
+//! requests, so it is never permanently suspected.
 
+use crate::detector::{DetectorEvent, FailureDetector};
 use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
-use crate::transport::PeerLink;
+use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
     read_frame, write_frame, write_raw_frame, CatchUpReply, ClientReply, ClientRequest, Hello,
     PeerBody, PeerFrame,
@@ -98,11 +114,36 @@ pub struct ReplicaConfig {
     /// On startup, fetch committed state from peers before serving — for a
     /// replica rejoining under its old identifier with a lost data dir.
     pub catch_up: bool,
+    /// Suspect a peer after this much silence and hand it to
+    /// [`Protocol::suspect`]. `None` disables failure detection (the
+    /// pre-detector behaviour: a dead coordinator's in-flight commands
+    /// stall everything that conflicts with them forever). Must comfortably
+    /// exceed `tick_interval` — the silence clock only advances between
+    /// heartbeats — and should leave headroom for scheduling noise: a
+    /// false suspicion is *safe* (recovery is consensus-protected) but can
+    /// replace a live coordinator's not-yet-propagated commands with
+    /// `noOp`s, which drops those commands.
+    pub suspect_after: Option<Duration>,
+    /// Hysteresis: a suspected peer must stay audible this long before it
+    /// is trusted again, so a flapping link does not oscillate between
+    /// suspicion (each one a recovery broadcast) and trust. Must strictly
+    /// exceed `tick_interval`: "audible" means heard within the last
+    /// `trust_after`, and heartbeats only arrive once per tick.
+    pub trust_after: Duration,
+    /// Cap on buffered-but-unacknowledged frames per outbound peer link; at
+    /// the cap the newest frame is dropped (logged on first drop, counted
+    /// in [`LinkStatus::dropped`](crate::transport::LinkStatus::dropped))
+    /// so a long-dead peer cannot balloon memory. Dropping gaps the link
+    /// permanently: a replica that was down past the cap **must** rejoin
+    /// wiped via `catch_up` — a plain restart would leave it missing the
+    /// dropped frames forever.
+    pub resend_buffer_cap: usize,
 }
 
 impl ReplicaConfig {
     /// Configuration with the default 25 ms tick cadence, no data directory
-    /// (ephemeral state) and default flush/snapshot knobs.
+    /// (ephemeral state), default flush/snapshot knobs and failure
+    /// detection on (1.5 s suspicion threshold, 250 ms trust hysteresis).
     pub fn new(id: ProcessId, config: Config, addrs: HashMap<ProcessId, SocketAddr>) -> Self {
         Self {
             id,
@@ -113,6 +154,9 @@ impl ReplicaConfig {
             flush_policy: FlushPolicy::default(),
             snapshot_every: 4096,
             catch_up: false,
+            suspect_after: Some(Duration::from_millis(1_500)),
+            trust_after: Duration::from_millis(250),
+            resend_buffer_cap: DEFAULT_RESEND_BUFFER_CAP,
         }
     }
 }
@@ -240,7 +284,10 @@ where
     let mut links = HashMap::new();
     for (&peer, &peer_addr) in &cfg.addrs {
         if peer != id {
-            links.insert(peer, PeerLink::spawn(id, peer_addr, Arc::clone(&stop)));
+            links.insert(
+                peer,
+                PeerLink::spawn(id, peer_addr, Arc::clone(&stop), cfg.resend_buffer_cap),
+            );
         }
     }
 
@@ -435,6 +482,7 @@ struct Core<P: Protocol> {
     sessions: HashMap<ClientId, UnboundedSender<ClientReply>>,
     journal: Option<Journal>,
     acks: HashMap<ProcessId, AckState>,
+    detector: Option<FailureDetector>,
     start: Instant,
 }
 
@@ -452,6 +500,15 @@ where
     /// on the wire.
     fn recover(cfg: &ReplicaConfig, links: HashMap<ProcessId, PeerLink>) -> io::Result<Self> {
         let topology = Topology::identity(cfg.id, cfg.config.n);
+        let detector = cfg.suspect_after.map(|suspect_after| {
+            FailureDetector::new(
+                cfg.id,
+                cfg.addrs.keys().copied(),
+                suspect_after,
+                cfg.trust_after,
+                Instant::now(),
+            )
+        });
         let mut core = Self {
             id: cfg.id,
             protocol: P::new(cfg.id, cfg.config, topology.clone()),
@@ -461,6 +518,7 @@ where
             sessions: HashMap::new(),
             journal: None,
             acks: HashMap::new(),
+            detector,
             start: Instant::now(),
         };
         let Some(dir) = &cfg.data_dir else {
@@ -510,8 +568,56 @@ where
                 self.perform(actions, 0);
             }
             JournalRecord::Advance { past } => self.protocol.advance_identifiers(past),
+            JournalRecord::Suspect { peer } => {
+                // The journal replays inputs in their original order, so the
+                // protocol is in exactly the state it was in when the
+                // suspicion was dispatched live — the replayed `suspect`
+                // reissues the same recovery ballots (and the promises they
+                // imply), which is precisely why suspicions are journaled.
+                let actions = self.protocol.suspect(peer, 0);
+                self.perform(actions, 0);
+            }
         }
         Ok(())
+    }
+
+    /// Records inbound evidence that `peer` is alive.
+    fn heard(&mut self, peer: ProcessId) {
+        if let Some(detector) = &mut self.detector {
+            detector.heard(peer, Instant::now());
+        }
+    }
+
+    /// Restarts the failure detector's silence clocks — called when the
+    /// replica starts serving live traffic, so time spent in journal replay
+    /// or peer-assisted catch-up does not count as peer silence.
+    fn arm_detector(&mut self) {
+        if let Some(detector) = &mut self.detector {
+            detector.arm(Instant::now());
+        }
+    }
+
+    /// The failure detector reported `peer` silent past the threshold:
+    /// journal the suspicion (it is a protocol input — it can mint recovery
+    /// ballots whose promises must survive a crash), make it durable before
+    /// any `MRec` it produces is externalized (reissuing a recovery ballot
+    /// for a different proposal after losing the record would be unsound
+    /// Paxos), then let the protocol take over the peer's in-flight
+    /// commands.
+    fn dispatch_suspect(&mut self, peer: ProcessId) -> io::Result<()> {
+        eprintln!(
+            "replica {}: suspecting replica {peer} (silent past threshold); \
+             recovering its in-flight commands",
+            self.id
+        );
+        self.journal_append(&JournalRecord::Suspect { peer })?;
+        if let Some(journal) = &mut self.journal {
+            journal.make_durable()?;
+        }
+        let now = self.now();
+        let actions = self.protocol.suspect(peer, now);
+        self.perform(actions, now);
+        self.maybe_snapshot()
     }
 
     /// A local client submitted `cmd`.
@@ -544,6 +650,7 @@ where
         payload: Vec<u8>,
         msg: P::Message,
     ) -> io::Result<()> {
+        self.heard(from);
         // Write-ahead: once we ack this frame the peer may drop it forever,
         // so it must hit the journal before the protocol (and the ack).
         self.journal_append(&JournalRecord::Peer { from, payload })?;
@@ -577,8 +684,11 @@ where
         Ok(())
     }
 
-    /// Periodic tick: forward to the protocol, flush pending acks, and
-    /// probe every outbound link so silently dead connections surface.
+    /// Periodic tick: forward to the protocol, flush pending acks, probe
+    /// (heartbeat) every outbound link, and advance the failure detector —
+    /// suspicions it reports are journaled and dispatched to
+    /// [`Protocol::suspect`] right here, through the same action pipeline
+    /// as every other protocol input.
     fn tick(&mut self) -> io::Result<()> {
         let now = self.now();
         let actions = self.protocol.tick(now);
@@ -592,14 +702,32 @@ where
         for peer in pending {
             self.send_ack(peer)?;
         }
+        // Heartbeat every link (self-suppressed while a link is
+        // mid-reconnect): keeps silently dead connections surfacing *and*
+        // gives idle-but-alive peers the traffic their detectors listen for.
         for link in self.links.values() {
             link.probe();
+        }
+        if let Some(detector) = &mut self.detector {
+            for event in detector.tick(Instant::now()) {
+                match event {
+                    DetectorEvent::Suspect(peer) => self.dispatch_suspect(peer)?,
+                    DetectorEvent::Trust(peer) => eprintln!(
+                        "replica {}: replica {peer} is audible again; trust restored",
+                        self.id
+                    ),
+                }
+            }
         }
         Ok(())
     }
 
-    /// Builds the encoded [`CatchUpReply`] for a recovering peer.
-    fn catch_up_reply(&self, from: ProcessId) -> Vec<u8> {
+    /// Builds the encoded [`CatchUpReply`] for a recovering peer. A
+    /// catch-up request is also evidence the peer is alive again — marking
+    /// it heard here is what keeps a wiped replica rejoining under its old
+    /// identifier from staying suspected while it rebuilds.
+    fn catch_up_reply(&mut self, from: ProcessId) -> Vec<u8> {
+        self.heard(from);
         let msgs = self
             .protocol
             .committed_log()
@@ -868,6 +996,9 @@ async fn event_loop<P>(
             return;
         }
     }
+    // Journal replay and catch-up can take arbitrarily long; only now does
+    // peer silence start counting toward suspicion.
+    core.arm_detector();
     while let Some(event) = events.recv().await {
         let result = match event {
             Event::Peer {
@@ -877,6 +1008,7 @@ async fn event_loop<P>(
                 msg,
             } => core.peer_msg(from, seq, payload, msg),
             Event::PeerAck { from, upto } => {
+                core.heard(from);
                 if let Some(link) = core.links.get(&from) {
                     link.acked(upto);
                 }

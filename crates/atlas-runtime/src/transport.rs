@@ -1,4 +1,5 @@
-//! Reconnecting peer links with at-least-once delivery.
+//! Reconnecting peer links with at-least-once delivery and piggybacked
+//! liveness.
 //!
 //! A replica owns one [`PeerLink`] per remote peer. The link is a handle to a
 //! dedicated **writer task** that dials the peer, identifies itself with
@@ -22,6 +23,35 @@
 //! recovering from its journal needs in order to observe everything its
 //! peers sent while it was down.
 //!
+//! The resend buffer is **capped** ([`PeerLink::spawn`] takes the cap): a
+//! peer that stays dead would otherwise grow the buffer without bound while
+//! the cluster keeps committing around it. At the cap, the newest frame is
+//! dropped and counted in [`LinkStatus::dropped`] (the first drop is also
+//! logged) — from that point the link is **gapped**: once the peer returns
+//! and the buffer drains, newer frames flow again, so what the peer
+//! received has a permanent hole in the middle and at-least-once delivery
+//! no longer holds toward it. That is safe for the *survivors* (quorum
+//! protocols tolerate message loss; the failure detector has long since
+//! handed the peer to
+//! [`Protocol::suspect`](atlas_core::Protocol::suspect)), but the returned
+//! peer itself may be missing commits it will never be resent — a replica
+//! that was down past the cap must therefore rejoin wiped via peer-assisted
+//! catch-up (`--catch-up`), not by plain restart.
+//!
+//! ## Liveness signal
+//!
+//! [`PeerLink::probe`], called on every replica tick, makes the writer send
+//! a **heartbeat** frame (`Ack(0)`, acknowledging nothing) and dial the peer
+//! if the link is down. The heartbeat serves double duty: a write to a
+//! silently dead peer eventually errors (triggering reconnect + resend of
+//! anything the kernel swallowed), and on the receiving side *any* inbound
+//! frame counts as evidence of life for the
+//! [`FailureDetector`](crate::detector::FailureDetector) — so an idle but
+//! alive peer is never mistaken for a dead one. Each link's coarse state is
+//! published in a shared [`LinkStatus`] ([`PeerLink::status`]); the event
+//! loop skips probing a link that is mid-reconnect so probe commands cannot
+//! pile up behind a backoff loop while a peer is down.
+//!
 //! Outgoing [`PeerBody::Ack`](crate::wire::PeerBody) control frames are
 //! fire-and-forget: they are never buffered or resent (a lost ack merely
 //! delays trimming of the peer's resend buffer until the next ack).
@@ -29,7 +59,7 @@
 use crate::wire::{write_frame, write_raw_frame, Hello, PeerBody, PeerFrame};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::tcp::OwnedWriteHalf;
@@ -43,6 +73,66 @@ const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
 /// Backoff ceiling while a peer is unreachable.
 const MAX_BACKOFF: Duration = Duration::from_millis(1_000);
 
+/// Default cap on buffered-but-unacknowledged message frames per link (see
+/// the module docs for what overflowing it means).
+pub const DEFAULT_RESEND_BUFFER_CAP: usize = 65_536;
+
+/// Link connection states published in [`LinkStatus`].
+mod state {
+    /// No connection and the writer is idle (will dial on the next frame or
+    /// probe).
+    pub const IDLE: u8 = 0;
+    /// A connection is established.
+    pub const CONNECTED: u8 = 1;
+    /// The writer is inside a dial/backoff loop; probing it would only queue
+    /// commands it cannot serve yet.
+    pub const RECONNECTING: u8 = 2;
+}
+
+/// Shared, lock-free view of one link's health, updated by the writer task
+/// and read by the replica event loop (and tests). This is the "surface a
+/// metric" half of the resend-buffer cap, and what lets the event loop avoid
+/// flooding a reconnecting link with probes.
+#[derive(Debug, Default)]
+pub struct LinkStatus {
+    /// One of the [`state`] constants.
+    state: AtomicU8,
+    /// Message frames handed to the link and not yet acknowledged by the
+    /// peer (queued + in the resend buffer). Bounded by the link's cap.
+    buffered: AtomicU64,
+    /// Message frames dropped because the buffer was at its cap.
+    dropped: AtomicU64,
+}
+
+impl LinkStatus {
+    /// Whether the link currently has an established connection.
+    pub fn is_connected(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == state::CONNECTED
+    }
+
+    /// Whether the writer is inside a dial/backoff loop (probes are pointless
+    /// and would pile up).
+    pub fn is_reconnecting(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == state::RECONNECTING
+    }
+
+    /// Message frames accepted but not yet acknowledged by the peer.
+    pub fn buffered(&self) -> u64 {
+        self.buffered.load(Ordering::Relaxed)
+    }
+
+    /// Message frames dropped at the resend-buffer cap since the link
+    /// spawned. A nonzero value toward a peer that later rejoins *without*
+    /// catch-up means that peer may be missing frames forever.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn set_state(&self, s: u8) {
+        self.state.store(s, Ordering::Relaxed);
+    }
+}
+
 /// What the event loop asks the link writer to do.
 enum LinkCmd {
     /// Deliver a protocol message payload (pre-encoded `Message` bytes);
@@ -52,18 +142,34 @@ enum LinkCmd {
     SendAck(u64),
     /// The peer acknowledged every sequence `<= .0`: trim the resend buffer.
     Acked(u64),
-    /// Probe the connection if frames await acknowledgement: a TCP write to
-    /// a silently dead peer "succeeds" into its kernel buffers, so a link
-    /// whose every frame is written but unacknowledged would otherwise never
-    /// learn the frames are gone. The probe forces a write, and a failing
-    /// write triggers reconnect + resend.
+    /// Tick-driven heartbeat: dial the peer if the link is down, then write
+    /// an empty `Ack(0)` frame. A TCP write to a silently dead peer
+    /// "succeeds" into its kernel buffers, so a link whose every frame is
+    /// written but unacknowledged would otherwise never learn the frames are
+    /// gone — the heartbeat forces a write, and a failing write triggers
+    /// reconnect + resend. On the peer's side the heartbeat is the liveness
+    /// signal its failure detector listens for.
     Probe,
 }
 
 /// Handle to the outbound link to one peer.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PeerLink {
     tx: UnboundedSender<LinkCmd>,
+    status: Arc<LinkStatus>,
+    cap: u64,
+    /// Who owns this link and where it points — only for log messages.
+    self_id: ProcessId,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for PeerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerLink")
+            .field("buffered", &self.status.buffered())
+            .field("dropped", &self.status.dropped())
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for LinkCmd {
@@ -78,20 +184,59 @@ impl std::fmt::Debug for LinkCmd {
 }
 
 impl PeerLink {
-    /// Spawns the writer task for the link `self_id → peer` at `addr`.
+    /// Spawns the writer task for the link `self_id → peer` at `addr`, with
+    /// at most `resend_buffer_cap` buffered-but-unacknowledged message
+    /// frames (frames beyond the cap are dropped and counted in
+    /// [`LinkStatus::dropped`]).
     ///
     /// `stop` aborts reconnect loops at shutdown; an established idle link
     /// terminates when the owning replica drops its `PeerLink` handles.
-    pub fn spawn(self_id: ProcessId, addr: SocketAddr, stop: Arc<AtomicBool>) -> Self {
+    pub fn spawn(
+        self_id: ProcessId,
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        resend_buffer_cap: usize,
+    ) -> Self {
         let (tx, rx) = mpsc::unbounded_channel();
-        tokio::spawn(writer_task(self_id, addr, rx, stop));
-        Self { tx }
+        let status = Arc::new(LinkStatus::default());
+        tokio::spawn(writer_task(self_id, addr, rx, stop, Arc::clone(&status)));
+        Self {
+            tx,
+            status,
+            cap: resend_buffer_cap.max(1) as u64,
+            self_id,
+            addr,
+        }
     }
 
-    /// Queues one pre-encoded protocol message payload for (at-least-once)
-    /// delivery.
+    /// This link's shared health/metric view.
+    pub fn status(&self) -> &LinkStatus {
+        &self.status
+    }
+
+    /// Queues one pre-encoded protocol message payload for (at-least-once,
+    /// up to the resend-buffer cap) delivery.
     pub fn send(&self, payload: Vec<u8>) {
-        // Failure means the writer task exited (shutdown); dropping the
+        // The cap check races nothing: the replica event loop is the only
+        // caller, and the writer task only ever *decreases* `buffered`.
+        if self.status.buffered() >= self.cap {
+            if self.status.dropped.fetch_add(1, Ordering::Relaxed) == 0 {
+                // From the first drop on, this link is *gapped*: the peer's
+                // received stream is no longer a prefix of what was sent,
+                // and only a wiped rejoin (catch-up) restores completeness.
+                // Say so once, loudly, for the operator's post-mortem.
+                eprintln!(
+                    "link {self_id} -> {addr}: resend buffer full ({cap} frames); dropping \
+                     frames — if this peer ever rejoins, it must use --catch-up",
+                    self_id = self.self_id,
+                    addr = self.addr,
+                    cap = self.cap,
+                );
+            }
+            return;
+        }
+        self.status.buffered.fetch_add(1, Ordering::Relaxed);
+        // Send failure means the writer task exited (shutdown); dropping the
         // frame is then correct.
         let _ = self.tx.send(LinkCmd::Msg(payload));
     }
@@ -109,12 +254,15 @@ impl PeerLink {
         let _ = self.tx.send(LinkCmd::Acked(upto));
     }
 
-    /// Asks the writer to verify the connection if frames await
-    /// acknowledgement (a TCP write to a silently dead peer "succeeds" into
-    /// kernel buffers, so such a link would otherwise never notice its
-    /// frames are gone); called on every replica tick so a dead connection
-    /// cannot strand written-but-undelivered frames indefinitely.
+    /// Asks the writer to heartbeat the peer (dialing first if the link is
+    /// down); called on every replica tick. Skipped while the writer is
+    /// mid-reconnect — it could not serve the probe anyway, and unserved
+    /// probes would pile up in the command queue for as long as the peer
+    /// stays dead.
     pub fn probe(&self) {
+        if self.status.is_reconnecting() {
+            return;
+        }
         let _ = self.tx.send(LinkCmd::Probe);
     }
 }
@@ -133,6 +281,7 @@ async fn writer_task(
     addr: SocketAddr,
     mut rx: mpsc::UnboundedReceiver<LinkCmd>,
     stop: Arc<AtomicBool>,
+    status: Arc<LinkStatus>,
 ) {
     let mut conn: Option<OwnedWriteHalf> = None;
     let mut backoff = INITIAL_BACKOFF;
@@ -146,46 +295,50 @@ async fn writer_task(
     while let Some(cmd) = rx.recv().await {
         match cmd {
             LinkCmd::Acked(upto) => {
+                let mut trimmed: u64 = 0;
                 while unacked.front().is_some_and(|(seq, _)| *seq <= upto) {
                     unacked.pop_front();
                     written = written.saturating_sub(1);
+                    trimmed += 1;
+                }
+                if trimmed > 0 {
+                    status.buffered.fetch_sub(trimmed, Ordering::Relaxed);
                 }
                 continue;
             }
+            // Both control frames share the dial-once-then-write shape: an
+            // ack or heartbeat alone is not worth stalling the queue with a
+            // backoff loop.
             LinkCmd::SendAck(upto) => {
                 let frame = encode_frame(self_id, 0, PeerBody::Ack(upto));
-                // One connect attempt if the link is down, no backoff loop:
-                // an ack alone is not worth stalling the queue for. A fresh
-                // connection means delivery of previously "written" frames
-                // is unknown, so the drain below must replay the buffer —
-                // forgetting this (`written = 0`) would strand the frames
-                // written to the dead connection while newer frames flow.
-                if conn.is_none() && !stop.load(Ordering::Relaxed) {
-                    if let Ok(writer) = connect(self_id, addr).await {
-                        written = 0;
-                        conn = Some(writer);
-                    }
-                }
-                if let Some(writer) = &mut conn {
-                    if write_raw_frame(writer, &frame).await.is_err() {
-                        conn = None;
-                    }
-                }
+                dial_once_and_write(
+                    self_id,
+                    addr,
+                    &stop,
+                    &status,
+                    &mut conn,
+                    &mut written,
+                    &mut backoff,
+                    &frame,
+                )
+                .await;
             }
             LinkCmd::Probe => {
-                // Only meaningful when every frame is written yet some are
-                // unacknowledged: a silently dead connection would never
-                // produce a write error on its own. An empty probe frame
-                // (`Ack(0)` acknowledges nothing) forces the kernel to
-                // surface a broken connection as an error.
-                if !unacked.is_empty() && written == unacked.len() {
-                    if let Some(writer) = &mut conn {
-                        let frame = encode_frame(self_id, 0, PeerBody::Ack(0));
-                        if write_raw_frame(writer, &frame).await.is_err() {
-                            conn = None;
-                        }
-                    }
-                }
+                // Heartbeat: `Ack(0)` acknowledges nothing, so the frame is
+                // pure signal — it forces a write (surfacing a silently
+                // dead connection) and tells the peer's detector we live.
+                let frame = encode_frame(self_id, 0, PeerBody::Ack(0));
+                dial_once_and_write(
+                    self_id,
+                    addr,
+                    &stop,
+                    &status,
+                    &mut conn,
+                    &mut written,
+                    &mut backoff,
+                    &frame,
+                )
+                .await;
             }
             LinkCmd::Msg(payload) => {
                 let seq = next_seq;
@@ -205,19 +358,22 @@ async fn writer_task(
             }
             let writer = match &mut conn {
                 Some(writer) => writer,
-                None => match connect(self_id, addr).await {
-                    Ok(writer) => {
-                        backoff = INITIAL_BACKOFF;
-                        // Fresh connection: replay the whole buffer.
-                        written = 0;
-                        conn.insert(writer)
+                None => {
+                    status.set_state(state::RECONNECTING);
+                    match connect(self_id, addr).await {
+                        Ok(writer) => {
+                            backoff = INITIAL_BACKOFF;
+                            // Fresh connection: replay the whole buffer.
+                            written = 0;
+                            conn.insert(writer)
+                        }
+                        Err(_) => {
+                            tokio::time::sleep(backoff).await;
+                            backoff = (backoff * 2).min(MAX_BACKOFF);
+                            continue;
+                        }
                     }
-                    Err(_) => {
-                        tokio::time::sleep(backoff).await;
-                        backoff = (backoff * 2).min(MAX_BACKOFF);
-                        continue;
-                    }
-                },
+                }
             };
             match write_raw_frame(writer, &unacked[written].1).await {
                 Ok(()) => written += 1,
@@ -229,9 +385,112 @@ async fn writer_task(
                 }
             }
         }
+        status.set_state(if conn.is_some() {
+            state::CONNECTED
+        } else {
+            state::IDLE
+        });
+    }
+}
+
+/// One dial attempt (no backoff loop) if the link is down, then one write
+/// of `frame` through whatever connection exists. A fresh connection means
+/// delivery of previously "written" frames is unknown, so `written` resets
+/// to 0 — the writer's drain loop then replays the whole resend buffer
+/// (forgetting this would strand frames written to the dead connection
+/// while newer frames flow). A successful dial also resets the reconnect
+/// `backoff`, so a later disconnect retries briskly instead of inheriting
+/// a stale 1 s ceiling from an earlier outage.
+#[allow(clippy::too_many_arguments)]
+async fn dial_once_and_write(
+    self_id: ProcessId,
+    addr: SocketAddr,
+    stop: &AtomicBool,
+    status: &LinkStatus,
+    conn: &mut Option<OwnedWriteHalf>,
+    written: &mut usize,
+    backoff: &mut Duration,
+    frame: &[u8],
+) {
+    if conn.is_none() && !stop.load(Ordering::Relaxed) {
+        status.set_state(state::RECONNECTING);
+        if let Ok(writer) = connect(self_id, addr).await {
+            *written = 0;
+            *backoff = INITIAL_BACKOFF;
+            *conn = Some(writer);
+        }
+    }
+    if let Some(writer) = conn {
+        if write_raw_frame(writer, frame).await.is_err() {
+            *conn = None;
+        }
     }
 }
 
 fn encode_frame(from: ProcessId, seq: u64, body: PeerBody) -> Vec<u8> {
     bincode::serialize(&PeerFrame { from, seq, body }).expect("peer frames always encode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// The resend buffer toward a dead peer stops growing at the cap and
+    /// counts what it drops — the regression test for the unbounded-memory
+    /// bug when `Cluster::kill` leaves a peer down for good.
+    #[test]
+    fn resend_buffer_is_capped_toward_a_dead_peer() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            // A port nothing listens on: every dial fails fast.
+            let dead = {
+                let probe = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+                probe.local_addr().unwrap()
+                // listener drops here; the port is free again
+            };
+            let stop = Arc::new(AtomicBool::new(false));
+            let cap = 32;
+            let link = PeerLink::spawn(1, dead, Arc::clone(&stop), cap);
+            for i in 0..(cap as u64 + 50) {
+                link.send(vec![i as u8; 16]);
+            }
+            assert_eq!(link.status().buffered(), cap as u64, "buffer at the cap");
+            assert_eq!(link.status().dropped(), 50, "overflow counted");
+            // More sends while saturated only grow the drop counter.
+            link.send(vec![0; 16]);
+            assert_eq!(link.status().buffered(), cap as u64);
+            assert_eq!(link.status().dropped(), 51);
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    /// Probes are suppressed while the writer is stuck dialing a dead peer,
+    /// so tick-driven heartbeats cannot pile up in the command queue.
+    #[test]
+    fn probes_skip_a_reconnecting_link() {
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let dead = {
+                let probe = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+                probe.local_addr().unwrap()
+            };
+            let stop = Arc::new(AtomicBool::new(false));
+            let link = PeerLink::spawn(1, dead, Arc::clone(&stop), 8);
+            // A message forces the writer into its dial/backoff loop.
+            link.send(vec![1, 2, 3]);
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while !link.status().is_reconnecting() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "writer never entered the reconnect loop"
+                );
+                tokio::time::sleep(Duration::from_millis(5)).await;
+            }
+            // While reconnecting, probe() is a no-op at the handle level.
+            link.probe();
+            assert!(link.status().is_reconnecting());
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
 }

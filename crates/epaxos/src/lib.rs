@@ -20,6 +20,13 @@
 //! experiments exercise EPaxos recovery, [`EPaxos::suspect`] is a no-op here.
 //! This substitution is deliberate (crash *recovery* of a restarting replica
 //! is handled by the runtime durability layer instead; see `ARCHITECTURE.md`).
+//!
+//! The no-op is safe under the runtime's failure detector, which calls
+//! `suspect` (repeatedly) for any silent peer: nothing is recovered, so a
+//! dead replica's in-flight commands keep blocking whatever conflicts with
+//! them until the replica restarts and replays its journal — reduced
+//! availability, never inconsistency. Only Atlas (and, for leader failure,
+//! FPaxos) turn suspicions into actual recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -438,6 +445,14 @@ impl Protocol for EPaxos {
             .collect();
         commits.sort_by_key(|(dot, _)| *dot);
         commits.into_iter().map(|(_, msg)| msg).collect()
+    }
+
+    /// Deliberate no-op (see the crate docs): EPaxos instance recovery is
+    /// not reproduced, so a suspected peer's in-flight commands stay
+    /// blocked until the peer itself returns. Safe under the runtime's
+    /// repeated suspicion dispatch — the call never touches state.
+    fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
+        Vec::new()
     }
 
     fn seen_horizon(&self, source: ProcessId) -> u64 {

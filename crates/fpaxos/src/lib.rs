@@ -545,6 +545,12 @@ impl Protocol for FPaxos {
         self.next_slot = self.next_slot.max(past + 1);
     }
 
+    // Safe under the runtime detector's repeated dispatch: the suspected
+    // set is idempotent, a non-leader suspicion stays inert, and
+    // re-campaigning for a still-incomplete election merely reissues
+    // MPrepare at a higher ballot (which doubles as lost-message
+    // recovery). Trust restoration has no protocol hook — a falsely
+    // suspected leader stays deposed, which ballots make safe.
     fn suspect(&mut self, suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
         if suspected == self.id {
             return Vec::new();

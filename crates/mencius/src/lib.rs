@@ -15,7 +15,10 @@
 //! replica; none of the reproduced experiments exercise it, so
 //! [`Mencius::suspect`] is a no-op (a deliberate substitution; a crashed
 //! replica *restarting* is handled by the runtime durability layer instead —
-//! see `ARCHITECTURE.md`).
+//! see `ARCHITECTURE.md`). The runtime's failure detector still calls
+//! `suspect` for a silent peer; with the no-op, commands simply stall until
+//! the peer returns — the paper's observation that Mencius runs at the
+//! speed of its slowest replica, taken to its crashed extreme.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -284,6 +287,16 @@ impl Protocol for Mencius {
             })
         }));
         log
+    }
+
+    /// Deliberate no-op (see the crate docs): slot revocation is not
+    /// reproduced, so while a replica is down the log stops growing past
+    /// its unacknowledged slots — Mencius runs at the speed of its slowest
+    /// replica, and a crashed one has speed zero until it restarts and
+    /// replays its journal. Safe under the runtime's repeated suspicion
+    /// dispatch — the call never touches state.
+    fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
+        Vec::new()
     }
 
     fn seen_horizon(&self, source: ProcessId) -> u64 {

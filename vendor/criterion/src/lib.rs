@@ -4,13 +4,53 @@
 //! timing harness. It reports mean and best-of-samples time per iteration to
 //! stdout — no statistics engine, HTML reports or CLI filtering. Benchmarks
 //! written against this stub compile unchanged against real criterion.
+//!
+//! Two environment variables drive CI integration (both stub extensions;
+//! real criterion offers `--quick` and `--save-baseline` instead):
+//!
+//! * `CRITERION_SAMPLE_SIZE=<n>` overrides every benchmark's sample count
+//!   (quick/smoke mode);
+//! * `CRITERION_JSON=<path>` makes [`emit_json`] (called by
+//!   `criterion_main!` after all groups ran) write
+//!   `{"benches": {"<name>": {"mean_ns": .., "best_ns": ..}, ...}}` so CI
+//!   can gate on regressions against a checked-in baseline.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results recorded by [`run_one`] for [`emit_json`]: `(name, mean_ns,
+/// best_ns)` per finished benchmark.
+static RESULTS: Mutex<Vec<(String, u128, u128)>> = Mutex::new(Vec::new());
+
+/// Writes every recorded benchmark result as JSON to `$CRITERION_JSON`, if
+/// set. Called by the `main` that `criterion_main!` expands to; harmless to
+/// call again (the file is simply rewritten).
+pub fn emit_json() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("benchmarks do not panic mid-record");
+    let mut out = String::from("{\n  \"benches\": {\n");
+    for (i, (name, mean_ns, best_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // Benchmark names are code-chosen identifiers (no escaping needed).
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"mean_ns\": {mean_ns}, \"best_ns\": {best_ns} }}{comma}\n"
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!(
+            "criterion stub: cannot write {}: {e}",
+            path.to_string_lossy()
+        );
+    }
+}
 
 /// Benchmark driver: collects samples and prints a summary per benchmark.
 pub struct Criterion {
@@ -121,6 +161,12 @@ impl Bencher {
 }
 
 fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Quick/smoke mode: an env override beats the code-configured size.
+    let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n >= 2)
+        .unwrap_or(sample_size);
     // Warm-up (also sizes the iteration batch so fast bodies are measurable).
     let mut bencher = Bencher {
         samples: Vec::new(),
@@ -150,6 +196,10 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let best = samples.iter().min().copied().unwrap_or_default();
+    RESULTS
+        .lock()
+        .expect("benchmarks do not panic mid-record")
+        .push((name.to_string(), mean.as_nanos(), best.as_nanos()));
     println!(
         "{name:<50} time: [mean {:>12?}  best {:>12?}]  ({} samples x {} iters)",
         mean,
@@ -183,6 +233,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::emit_json();
         }
     };
 }
