@@ -235,8 +235,110 @@ pub trait Protocol: Sized {
     /// messages are idempotent in every protocol of this workspace, so
     /// applying a committed log on top of partially known state is safe.
     /// Default: empty (no catch-up support).
+    ///
+    /// Note that after [`Protocol::gc_executed`] has run, only entries
+    /// above the compaction floor remain here — a runtime serving catch-up
+    /// must pair this retained log with the executed-state base from
+    /// [`Protocol::save_executed`], which covers everything any replica
+    /// has collected. The receiver's executed-state marker makes replaying
+    /// entries the base already reflects an idempotent no-op, so shipping
+    /// the full retained log (executed entries included) is what keeps
+    /// catch-up complete: an entry executed here may still be unknown to
+    /// the peer whose base the receiver installed.
     fn committed_log(&self) -> Vec<Self::Message> {
         Vec::new()
+    }
+
+    /// This replica's **executed watermarks**: for every identifier space
+    /// (a coordinating process for dot-based protocols, the sentinel
+    /// process `0` for the single shared log of slot-based protocols), the
+    /// highest sequence `w` such that *every* identifier `1..=w` of that
+    /// space has been executed by the local state machine — the contiguous
+    /// executed prefix, not merely the highest executed identifier.
+    ///
+    /// Watermarks drive garbage collection: the runtime exchanges them
+    /// between replicas and hands the **pointwise minimum** (the
+    /// all-executed horizon) to [`Protocol::gc_executed`]. They must be
+    ///
+    /// * **monotone** — a watermark never regresses on a live replica
+    ///   (restoring a peer's base via [`Protocol::restore_executed`] after
+    ///   a wipe may legitimately report lower values than the lost
+    ///   incarnation once did; see `ARCHITECTURE.md` for why that stale
+    ///   window is safe), and
+    /// * **truthful** — reporting `w` promises this replica will never
+    ///   need a peer to re-send a commit for an identifier `<= w`.
+    ///
+    /// Sorted by space identifier, deterministic for a given state.
+    /// Default: empty (the runtime then never garbage-collects).
+    fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
+        Vec::new()
+    }
+
+    /// Drops bookkeeping for entries at or below `horizon` — the pointwise
+    /// minimum of every replica's [`executed
+    /// watermarks`](Protocol::executed_watermarks), i.e. identifiers that
+    /// **every** replica has already executed. Returns how many entries
+    /// were dropped (0 = nothing to do).
+    ///
+    /// The caller guarantees `horizon` is an all-executed horizon; the
+    /// implementation in turn guarantees:
+    ///
+    /// * **Idempotent and monotone.** Re-applying the same (or a lower)
+    ///   horizon drops nothing and changes nothing; the compaction floor
+    ///   only ever rises.
+    /// * **Deterministic for replay.** The networked runtime journals each
+    ///   GC round (as a `Gc` input record) and replays it in order after a
+    ///   crash, exactly like `suspect`; the result must depend only on
+    ///   protocol state and `horizon`.
+    /// * **Invisible to the protocol's future behaviour.** Messages that
+    ///   still arrive for a collected entry (duplicates from at-least-once
+    ///   links, stragglers, recovery probes) must be ignored exactly as if
+    ///   the entry were still present in its terminal phase — never
+    ///   treated as a fresh command. Digests and per-key execution order
+    ///   must be indistinguishable from a never-collected replica.
+    ///
+    /// Default: no-op returning 0 (no GC support).
+    fn gc_executed(&mut self, _horizon: &[(ProcessId, u64)]) -> u64 {
+        0
+    }
+
+    /// Serializes this replica's **executed-state marker**: an opaque,
+    /// protocol-defined encoding of *which* identifiers the local state
+    /// machine has executed (e.g. per-source contiguous frontiers plus the
+    /// out-of-order executed set, or a single slot watermark). Paired with
+    /// the runtime's copy of the state machine (store + execution record),
+    /// it forms the base of a streamed catch-up: a wiped peer installs the
+    /// base, marks exactly these identifiers executed via
+    /// [`Protocol::restore_executed`], and replays the peers' retained
+    /// [`committed_log`](Protocol::committed_log)s on top (base-covered
+    /// entries replay as no-ops).
+    /// Returning `None` (the default) disables base transfer — catch-up
+    /// then falls back to replaying the full committed log, which is only
+    /// complete while [`Protocol::gc_executed`] has never collected
+    /// anything.
+    fn save_executed(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Installs an executed-state marker produced by a **peer's**
+    /// [`Protocol::save_executed`] into this replica. Must only be called
+    /// on a replica whose state machine is otherwise untouched (a wiped
+    /// rejoiner before it has executed anything); marking an identifier
+    /// executed suppresses its future execution, so installing a marker
+    /// over real progress would skip commands. Returns `false` if the
+    /// bytes cannot be decoded — the caller must treat that as a failed
+    /// catch-up attempt, not as an empty marker. Default: `false`.
+    fn restore_executed(&mut self, _marker: &[u8]) -> bool {
+        false
+    }
+
+    /// Number of per-command bookkeeping entries currently held (command
+    /// info maps, decided-slot maps, …) — the quantity
+    /// [`Protocol::gc_executed`] exists to bound. Observability only; the
+    /// runtime exposes it to clients so tests and operators can assert the
+    /// maps stay bounded under GC. Default: 0.
+    fn tracked_entries(&self) -> usize {
+        0
     }
 
     /// The highest command sequence number (dot sequence or log slot) this

@@ -15,13 +15,33 @@
 //! on a not-yet-committed dependency are indexed so they are retried exactly
 //! when that dependency commits.
 
-use atlas_core::{Command, Dot};
+use atlas_core::{Command, Dot, ProcessId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of adding a committed command to the executor: the list of
 /// commands that became executable, in execution order.
 pub type ExecutionBatch = Vec<(Dot, Command)>;
+
+/// Bound on the per-batch size record kept for metrics; garbage collection
+/// drains the oldest entries beyond it so the record cannot grow without
+/// bound on a long-lived replica.
+const BATCH_SIZES_CAP: usize = 4096;
+
+/// Compact encoding of the graph's executed set — the protocol's
+/// executed-state marker shipped to a wiped peer during catch-up base
+/// transfer (see `Protocol::save_executed`). Every dot `⟨s, 1..=f⟩` for
+/// `(s, f)` in `frontiers` is executed, plus every dot listed in `above`;
+/// nothing else is.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutedMarker {
+    /// Contiguous executed prefix per source, sorted by source; sources
+    /// with an empty prefix are omitted.
+    pub frontiers: Vec<(ProcessId, u64)>,
+    /// Executed dots above their source's frontier (out-of-order
+    /// executions whose predecessors have not all executed yet), sorted.
+    pub above: Vec<Dot>,
+}
 
 /// State of a vertex in the dependency graph.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,14 +70,24 @@ struct Vertex {
 pub struct DependencyGraph {
     /// Committed but not yet executed vertices.
     pending: HashMap<Dot, Vertex>,
-    /// Dots already executed.
+    /// Dots already executed, except those at or below the compaction
+    /// `floor` (whose membership is implied).
     executed: HashSet<Dot>,
     /// For each not-yet-committed dot, the committed dots blocked on it.
     waiting_on: HashMap<Dot, HashSet<Dot>>,
     /// Total number of executed commands.
     executed_count: u64,
-    /// Sizes of the batches executed so far.
+    /// Sizes of the batches executed so far (bounded; GC drains the oldest
+    /// entries past [`BATCH_SIZES_CAP`]).
     batch_sizes: Vec<usize>,
+    /// Per-source contiguous executed prefix: every dot `⟨s, 1..=f⟩` is
+    /// executed. Drives the executed watermarks exchanged for GC.
+    frontiers: HashMap<ProcessId, u64>,
+    /// Per-source compaction floor (≤ the frontier): executed dots at or
+    /// below it were dropped from `executed` by [`compact
+    /// below`](DependencyGraph::compact_below); [`is
+    /// executed`](DependencyGraph::is_executed) still reports them.
+    floor: HashMap<ProcessId, u64>,
 }
 
 impl DependencyGraph {
@@ -68,12 +98,99 @@ impl DependencyGraph {
 
     /// Whether `dot` has already been executed.
     pub fn is_executed(&self, dot: &Dot) -> bool {
-        self.executed.contains(dot)
+        dot.seq <= self.floor_of(dot.source) || self.executed.contains(dot)
     }
 
-    /// Whether `dot` is committed (possibly already executed).
+    /// The compaction floor for `source`: every dot of `source` at or below
+    /// it is executed and has been garbage-collected.
+    pub fn floor_of(&self, source: ProcessId) -> u64 {
+        self.floor.get(&source).copied().unwrap_or(0)
+    }
+
+    /// The contiguous executed prefix of `source`'s identifier space: every
+    /// dot `⟨source, 1..=frontier⟩` has been executed here.
+    pub fn executed_frontier(&self, source: ProcessId) -> u64 {
+        self.frontiers.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Drops executed dots at or below `horizon` (per source) from the
+    /// executed set, raising the compaction floor. The effective floor per
+    /// source is clamped to its frontier, so a (buggy or malicious) horizon
+    /// can never imply execution of a dot that did not execute. Returns how
+    /// many set entries were dropped; idempotent and monotone.
+    pub fn compact_below(&mut self, horizon: &[(ProcessId, u64)]) -> u64 {
+        let mut advanced = false;
+        for &(source, h) in horizon {
+            let eff = h.min(self.executed_frontier(source));
+            let floor = self.floor.entry(source).or_insert(0);
+            if eff > *floor {
+                *floor = eff;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            return 0;
+        }
+        let before = self.executed.len();
+        let floor = &self.floor;
+        self.executed
+            .retain(|dot| dot.seq > floor.get(&dot.source).copied().unwrap_or(0));
+        if self.batch_sizes.len() > BATCH_SIZES_CAP {
+            let excess = self.batch_sizes.len() - BATCH_SIZES_CAP;
+            self.batch_sizes.drain(..excess);
+        }
+        (before - self.executed.len()) as u64
+    }
+
+    /// Serializes the executed set as an [`ExecutedMarker`] (deterministic:
+    /// both halves sorted).
+    pub fn executed_marker(&self) -> ExecutedMarker {
+        let mut frontiers: Vec<(ProcessId, u64)> = self
+            .frontiers
+            .iter()
+            .filter(|(_, &f)| f > 0)
+            .map(|(&s, &f)| (s, f))
+            .collect();
+        frontiers.sort_unstable();
+        let mut above: Vec<Dot> = self
+            .executed
+            .iter()
+            .copied()
+            .filter(|dot| dot.seq > self.executed_frontier(dot.source))
+            .collect();
+        above.sort_unstable();
+        ExecutedMarker { frontiers, above }
+    }
+
+    /// Installs a peer's [`ExecutedMarker`] into a **fresh** graph (catch-up
+    /// base transfer): the marked dots are treated as executed — and as
+    /// already garbage-collected up to each frontier — so replaying the
+    /// peer's pending commits on top never re-executes what the transferred
+    /// store already reflects. Returns `false` (and changes nothing) if this
+    /// graph has already executed anything.
+    pub fn restore_marker(&mut self, marker: &ExecutedMarker) -> bool {
+        if self.executed_count > 0 || !self.executed.is_empty() {
+            return false;
+        }
+        for &(source, f) in &marker.frontiers {
+            if f > 0 {
+                self.frontiers.insert(source, f);
+                self.floor.insert(source, f);
+                self.executed_count += f;
+            }
+        }
+        for &dot in &marker.above {
+            if self.executed.insert(dot) {
+                self.executed_count += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `dot` is committed (possibly already executed, including
+    /// dots below the compaction floor).
     pub fn is_committed(&self, dot: &Dot) -> bool {
-        self.executed.contains(dot) || self.pending.contains_key(dot)
+        self.is_executed(dot) || self.pending.contains_key(dot)
     }
 
     /// Number of committed-but-not-executed commands.
@@ -138,6 +255,16 @@ impl DependencyGraph {
         executed
     }
 
+    /// Advances `source`'s contiguous executed prefix over whatever run of
+    /// consecutive sequences is now present in the executed set.
+    fn advance_frontier(&mut self, source: ProcessId) {
+        let mut frontier = self.executed_frontier(source);
+        while self.executed.contains(&Dot::new(source, frontier + 1)) {
+            frontier += 1;
+        }
+        self.frontiers.insert(source, frontier);
+    }
+
     /// Attempts to execute the closure of `root`; appends executed commands
     /// (in order) to `out`. On failure (the closure reaches an uncommitted
     /// dot), indexes the DFS path on that dot and records it in `blocked_on`.
@@ -173,7 +300,7 @@ impl DependencyGraph {
             }
             let next = deps[*pos];
             *pos += 1;
-            if self.executed.contains(&next) || !seen.insert(next) {
+            if dot_is_executed(&self.executed, &self.floor, &next) || !seen.insert(next) {
                 continue;
             }
             if let Some(&m) = blocked_on.get(&next) {
@@ -214,7 +341,9 @@ impl DependencyGraph {
                     v.deps
                         .iter()
                         .copied()
-                        .filter(|d| seen.contains(d) && !self.executed.contains(d))
+                        .filter(|d| {
+                            seen.contains(d) && !dot_is_executed(&self.executed, &self.floor, d)
+                        })
                         .collect()
                 })
                 .unwrap_or_default()
@@ -235,6 +364,7 @@ impl DependencyGraph {
                     .expect("closure member must be pending");
                 self.executed.insert(dot);
                 self.executed_count += 1;
+                self.advance_frontier(dot.source);
                 self.waiting_on.remove(&dot);
                 if !vertex.cmd.is_noop() {
                     out.push((dot, vertex.cmd));
@@ -242,6 +372,12 @@ impl DependencyGraph {
             }
         }
     }
+}
+
+/// Floor-aware executed check usable while individual fields of the graph
+/// are independently borrowed (the DFS holds other borrows of `self`).
+fn dot_is_executed(executed: &HashSet<Dot>, floor: &HashMap<ProcessId, u64>, dot: &Dot) -> bool {
+    dot.seq <= floor.get(&dot.source).copied().unwrap_or(0) || executed.contains(dot)
 }
 
 /// Iterative Tarjan strongly-connected-components over the vertices in
@@ -529,5 +665,90 @@ mod tests {
         g.commit(a, cmd(1), vec![]);
         // b depends on the already-executed a.
         assert_eq!(dots(&g.commit(b, cmd(2), vec![a])), vec![b]);
+    }
+
+    #[test]
+    fn frontier_tracks_the_contiguous_executed_prefix() {
+        let mut g = DependencyGraph::new();
+        g.commit(Dot::new(1, 1), cmd(1), vec![]);
+        g.commit(Dot::new(1, 3), cmd(3), vec![]);
+        // Sequence 2 is missing: the frontier stops at 1.
+        assert_eq!(g.executed_frontier(1), 1);
+        g.commit(Dot::new(1, 2), cmd(2), vec![]);
+        assert_eq!(g.executed_frontier(1), 3);
+        assert_eq!(g.executed_frontier(9), 0, "unknown source has no prefix");
+    }
+
+    #[test]
+    fn compaction_drops_executed_dots_but_still_reports_them_executed() {
+        let mut g = DependencyGraph::new();
+        for seq in 1..=5 {
+            g.commit(Dot::new(1, seq), cmd(seq), vec![]);
+        }
+        let dropped = g.compact_below(&[(1, 3)]);
+        assert_eq!(dropped, 3);
+        assert_eq!(g.floor_of(1), 3);
+        // Membership below the floor is implied, so duplicate commits of a
+        // collected dot are still idempotent.
+        assert!(g.is_executed(&Dot::new(1, 2)));
+        assert!(g.commit(Dot::new(1, 2), cmd(2), vec![]).is_empty());
+        assert_eq!(g.executed_count(), 5);
+        // Idempotent: the same (or a lower) horizon drops nothing.
+        assert_eq!(g.compact_below(&[(1, 3)]), 0);
+        assert_eq!(g.compact_below(&[(1, 1)]), 0);
+        assert_eq!(g.floor_of(1), 3);
+    }
+
+    #[test]
+    fn compaction_is_clamped_to_the_frontier() {
+        let mut g = DependencyGraph::new();
+        g.commit(Dot::new(1, 1), cmd(1), vec![]);
+        g.commit(Dot::new(1, 3), cmd(3), vec![]);
+        // A horizon beyond the contiguous prefix must not imply execution
+        // of the missing sequence 2.
+        let dropped = g.compact_below(&[(1, 3)]);
+        assert_eq!(dropped, 1);
+        assert_eq!(g.floor_of(1), 1);
+        assert!(!g.is_executed(&Dot::new(1, 2)));
+        assert!(g.is_executed(&Dot::new(1, 3)), "kept in the set");
+    }
+
+    #[test]
+    fn executed_marker_round_trips_into_a_fresh_graph() {
+        let mut g = DependencyGraph::new();
+        for seq in 1..=4 {
+            g.commit(Dot::new(1, seq), cmd(seq), vec![]);
+        }
+        g.commit(Dot::new(2, 2), cmd(9), vec![]); // above frontier of source 2
+        g.compact_below(&[(1, 2)]);
+        let marker = g.executed_marker();
+        assert_eq!(marker.frontiers, vec![(1, 4)]);
+        assert_eq!(marker.above, vec![Dot::new(2, 2)]);
+
+        let mut fresh = DependencyGraph::new();
+        assert!(fresh.restore_marker(&marker));
+        assert_eq!(fresh.executed_count(), 5);
+        for seq in 1..=4 {
+            assert!(fresh.is_executed(&Dot::new(1, seq)));
+        }
+        assert!(fresh.is_executed(&Dot::new(2, 2)));
+        assert!(!fresh.is_executed(&Dot::new(2, 1)));
+        // Replaying a commit the marker covers is a no-op...
+        assert!(fresh.commit(Dot::new(1, 3), cmd(3), vec![]).is_empty());
+        // ...while a genuinely new commit still executes.
+        let out = fresh.commit(Dot::new(3, 1), cmd(7), vec![Dot::new(1, 2)]);
+        assert_eq!(dots(&out), vec![Dot::new(3, 1)]);
+    }
+
+    #[test]
+    fn restore_marker_refuses_a_graph_with_progress() {
+        let mut g = DependencyGraph::new();
+        g.commit(Dot::new(1, 1), cmd(1), vec![]);
+        let marker = ExecutedMarker {
+            frontiers: vec![(2, 5)],
+            above: vec![],
+        };
+        assert!(!g.restore_marker(&marker));
+        assert_eq!(g.executed_frontier(2), 0, "refused install changes nothing");
     }
 }

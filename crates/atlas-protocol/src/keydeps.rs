@@ -16,7 +16,7 @@
 //! With the NFR optimization (§4), reads are not recorded at all, so they can
 //! never become dependencies of later commands.
 
-use atlas_core::{Command, Dot, Key};
+use atlas_core::{Command, Dot, Key, ProcessId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -117,6 +117,28 @@ impl KeyDeps {
     /// Number of distinct keys tracked.
     pub fn key_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of idempotence records held (one per command ever added);
+    /// bounded by [`KeyDeps::prune_below`] under garbage collection.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Drops the idempotence records of identifiers at or below `horizon`
+    /// (per source), returning how many were dropped. Only safe once the
+    /// caller guarantees [`KeyDeps::add`] is never again invoked for those
+    /// identifiers — the protocols' GC floor ignores their messages
+    /// outright. The per-key latest-conflict entries are untouched: they
+    /// stay bounded by the number of keys, and a dependency on an
+    /// everywhere-executed command is harmless (its order is already fixed
+    /// by state).
+    pub fn prune_below(&mut self, horizon: &[(ProcessId, u64)]) -> usize {
+        let floor: HashMap<ProcessId, u64> = horizon.iter().copied().collect();
+        let before = self.known.len();
+        self.known
+            .retain(|dot| dot.seq > floor.get(&dot.source).copied().unwrap_or(0));
+        before - self.known.len()
     }
 }
 
@@ -222,6 +244,23 @@ mod tests {
         index.add(Dot::new(1, 1), &Command::noop());
         assert!(!index.contains(&Dot::new(1, 1)));
         assert_eq!(index.key_count(), 0);
+    }
+
+    #[test]
+    fn prune_below_drops_idempotence_records_but_keeps_conflicts() {
+        let mut index = KeyDeps::new(false);
+        let w1 = Dot::new(1, 1);
+        let w2 = Dot::new(1, 2);
+        index.add(w1, &Command::put(rifl(1), 0, 1, 8));
+        index.add(w2, &Command::put(rifl(2), 1, 1, 8));
+        assert_eq!(index.known_count(), 2);
+        assert_eq!(index.prune_below(&[(1, 1)]), 1);
+        assert_eq!(index.known_count(), 1);
+        assert!(!index.contains(&w1));
+        assert!(index.contains(&w2));
+        // Conflict entries survive: later commands still see the last write.
+        let deps = index.conflicts(&Command::put(rifl(3), 0, 2, 8));
+        assert_eq!(deps, HashSet::from([w1]));
     }
 
     #[test]

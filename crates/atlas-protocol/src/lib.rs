@@ -48,7 +48,7 @@ pub mod messages;
 pub mod protocol;
 mod recovery;
 
-pub use graph::DependencyGraph;
+pub use graph::{DependencyGraph, ExecutedMarker};
 pub use keydeps::KeyDeps;
 pub use messages::{Ballot, Message};
 pub use protocol::Atlas;

@@ -102,11 +102,27 @@ pub struct Atlas {
     pub(crate) metrics: ProtocolMetrics,
     /// Local commit time per identifier, to measure commit→execute delay.
     pub(crate) commit_times: HashMap<Dot, Time>,
+    /// Highest identifier sequence seen per source. Kept separately from
+    /// the `info` keys so [`Protocol::seen_horizon`] survives garbage
+    /// collection of executed entries — the horizon protects identifier
+    /// reissue, not replay, so it must never shrink.
+    pub(crate) seen: HashMap<ProcessId, u64>,
 }
 
 impl Atlas {
     pub(crate) fn info_mut(&mut self, dot: Dot) -> &mut Info {
+        let seen = self.seen.entry(dot.source).or_insert(0);
+        *seen = (*seen).max(dot.seq);
         self.info.entry(dot).or_insert_with(Info::new)
+    }
+
+    /// Whether `dot` sits at or below the GC floor: committed and executed
+    /// by **every** replica, with its bookkeeping dropped here. Messages
+    /// about such identifiers (duplicates, stragglers, recovery probes) are
+    /// ignored exactly as a terminal-phase entry would ignore them — no
+    /// replica can still be waiting on them.
+    pub(crate) fn collected(&self, dot: &Dot) -> bool {
+        dot.seq <= self.graph.floor_of(dot.source)
     }
 
     /// The fast quorum for a regular command: the `⌊n/2⌋ + f` closest
@@ -161,6 +177,9 @@ impl Atlas {
         past: HashSet<Dot>,
         quorum: Vec<ProcessId>,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            return Vec::new();
+        }
         let info = self.info_mut(dot);
         if info.phase != Phase::Start {
             // Either recovery already took over (Recover), or the command is
@@ -260,6 +279,12 @@ impl Atlas {
         deps: HashSet<Dot>,
         ballot: Ballot,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // Executed everywhere and garbage-collected: the proposer has
+            // it too (the GC horizon is all-executed), so no short-circuit
+            // MCommit is needed — or possible, the payload is gone.
+            return Vec::new();
+        }
         let info = self.info_mut(dot);
         if info.phase == Phase::Commit || info.phase == Phase::Execute {
             // Already decided: tell the proposer.
@@ -319,6 +344,13 @@ impl Atlas {
         deps: HashSet<Dot>,
         time: Time,
     ) -> Vec<Action<Message>> {
+        if self.graph.is_executed(&dot) {
+            // Already executed here: either a garbage-collected entry (the
+            // graph's floor implies it) or one covered by a catch-up base
+            // marker, where no `info` entry exists to dedupe through. A
+            // duplicate commit must not resurrect bookkeeping.
+            return Vec::new();
+        }
         {
             let info = self.info_mut(dot);
             if info.phase == Phase::Commit || info.phase == Phase::Execute {
@@ -397,6 +429,7 @@ impl Protocol for Atlas {
             graph: DependencyGraph::new(),
             metrics: ProtocolMetrics::new(),
             commit_times: HashMap::new(),
+            seen: HashMap::new(),
         }
     }
 
@@ -500,13 +533,67 @@ impl Protocol for Atlas {
         commits.into_iter().map(|(_, msg)| msg).collect()
     }
 
-    fn seen_horizon(&self, source: ProcessId) -> u64 {
+    fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
+        // Dense over every process so the runtime's pointwise minimum can
+        // tell "nothing executed from this source yet" (watermark 0) apart
+        // from "this replica never reported".
+        let mut watermarks: Vec<(ProcessId, u64)> = self
+            .topology
+            .processes
+            .iter()
+            .map(|&p| (p, self.graph.executed_frontier(p)))
+            .collect();
+        watermarks.sort_unstable();
+        watermarks
+    }
+
+    fn gc_executed(&mut self, horizon: &[(ProcessId, u64)]) -> u64 {
+        self.graph.compact_below(horizon);
+        // Drop the per-command bookkeeping of everything at or below the
+        // graph's (frontier-clamped) floor; by construction of the horizon
+        // those entries are executed at every replica. All of them, not
+        // only terminal phases: the only non-terminal entries that can sit
+        // below the floor are empty shells a straggler ack resurrected
+        // after an earlier collection, and keeping those would leak.
+        let before = self.info.len();
+        let graph = &self.graph;
         self.info
-            .keys()
-            .filter(|dot| dot.source == source)
-            .map(|dot| dot.seq)
-            .max()
-            .unwrap_or(0)
+            .retain(|dot, _| dot.seq > graph.floor_of(dot.source));
+        let dropped = (before - self.info.len()) as u64;
+        self.key_deps.prune_below(horizon);
+        dropped
+    }
+
+    fn save_executed(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(&self.graph.executed_marker()).expect("markers always encode"))
+    }
+
+    fn restore_executed(&mut self, marker: &[u8]) -> bool {
+        let Ok(marker) = bincode::deserialize::<crate::graph::ExecutedMarker>(marker) else {
+            return false;
+        };
+        if !self.graph.restore_marker(&marker) {
+            return false;
+        }
+        // The marked identifiers were seen (they executed); fold them into
+        // the seen horizon so this replica's reports protect them too.
+        for &(source, frontier) in &marker.frontiers {
+            let seen = self.seen.entry(source).or_insert(0);
+            *seen = (*seen).max(frontier);
+        }
+        for dot in &marker.above {
+            let seen = self.seen.entry(dot.source).or_insert(0);
+            *seen = (*seen).max(dot.seq);
+        }
+        true
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.info.len()
+    }
+
+    fn seen_horizon(&self, source: ProcessId) -> u64 {
+        self.seen.get(&source).copied().unwrap_or(0)
     }
 
     fn advance_identifiers(&mut self, past: u64) {

@@ -58,6 +58,11 @@ impl Atlas {
 
     /// Takes over as coordinator of `dot` (Algorithm 2, line 31).
     pub(crate) fn recover(&mut self, dot: Dot, _time: Time) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // Executed everywhere and garbage-collected; nothing can be
+            // blocked on it, so there is nothing to recover.
+            return Vec::new();
+        }
         self.metrics.recoveries += 1;
         let n = self.config.n as Ballot;
         let id = self.id as Ballot;
@@ -82,6 +87,14 @@ impl Atlas {
         cmd: Command,
         ballot: Ballot,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // The identifier executed at every replica (including the
+            // recoverer, by the all-executed GC horizon) before being
+            // collected here; a recovery probe for it is a straggler. The
+            // short-circuit MCommit is impossible — the payload is gone —
+            // and unnecessary: no live replica is blocked on this dot.
+            return Vec::new();
+        }
         // If the command is already committed or executed here, short-circuit
         // the recovery with an MCommit (line 35-36).
         {
@@ -136,6 +149,11 @@ impl Atlas {
         accepted_ballot: Ballot,
         ballot: Ballot,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // A straggling ack for a collected identifier; `info_mut` below
+            // would resurrect an empty entry that GC could never drop.
+            return Vec::new();
+        }
         let n = self.config.n;
         let recovery_quorum_size = self.config.recovery_quorum_size();
         let info = self.info_mut(dot);

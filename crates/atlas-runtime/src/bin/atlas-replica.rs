@@ -17,6 +17,13 @@
 //! (milliseconds, default 1500) is handed to the protocol's recovery
 //! (`Protocol::suspect`), and trusted again only after being audible for
 //! `--trust-after` (default 250). `--no-failure-detector` turns it off.
+//!
+//! `--gc-every <ticks>` enables executed-entry garbage collection: the
+//! replicas exchange executed watermarks on that cadence and drop
+//! per-command bookkeeping once **every** replica has executed an entry,
+//! keeping protocol maps, the journal and the snapshots bounded.
+//! `--catch-up-chunk-bytes <bytes>` bounds each frame of the streamed
+//! catch-up a recovering replica receives (default 4 MiB).
 
 use atlas_core::{Config, ProcessId, Protocol};
 use atlas_log::FlushPolicy;
@@ -33,7 +40,8 @@ fn usage() -> ! {
          [--protocol atlas|epaxos|fpaxos|mencius] [--nfr] \
          [--data-dir <path>] [--flush always|every:<n>|os] \
          [--snapshot-every <records>] [--catch-up] \
-         [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector]"
+         [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector] \
+         [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>]"
     );
     exit(2);
 }
@@ -51,6 +59,8 @@ struct Args {
     suspect_after: Option<u64>,
     trust_after: Option<u64>,
     failure_detector: bool,
+    gc_every: u64,
+    catch_up_chunk_bytes: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +77,8 @@ fn parse_args() -> Args {
         suspect_after: None,
         trust_after: None,
         failure_detector: true,
+        gc_every: 0,
+        catch_up_chunk_bytes: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -104,6 +116,14 @@ fn parse_args() -> Args {
                 args.trust_after = Some(value("--trust-after").parse().unwrap_or_else(|_| usage()))
             }
             "--no-failure-detector" => args.failure_detector = false,
+            "--gc-every" => args.gc_every = value("--gc-every").parse().unwrap_or_else(|_| usage()),
+            "--catch-up-chunk-bytes" => {
+                args.catch_up_chunk_bytes = Some(
+                    value("--catch-up-chunk-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -138,6 +158,10 @@ where
     }
     if let Some(ms) = args.trust_after {
         cfg.trust_after = std::time::Duration::from_millis(ms);
+    }
+    cfg.gc_every = args.gc_every;
+    if let Some(bytes) = args.catch_up_chunk_bytes {
+        cfg.catch_up_chunk_bytes = bytes;
     }
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {

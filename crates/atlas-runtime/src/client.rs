@@ -155,8 +155,23 @@ impl Client {
         loop {
             match read_frame::<_, ClientReply>(&mut self.reader).await? {
                 ClientReply::ExecutionLog { entries, digest } => return Ok((entries, digest)),
-                // Executions of older submissions may interleave.
-                ClientReply::Executed { .. } => continue,
+                // Executions of older submissions (or other queries) may
+                // interleave.
+                _ => continue,
+            }
+        }
+    }
+
+    /// Fetches the replica's bookkeeping statistics: `(tracked, executed)`
+    /// — how many per-command entries the protocol currently holds (the
+    /// number garbage collection keeps bounded) and how many commands the
+    /// store has executed.
+    pub async fn stats(&mut self) -> io::Result<(u64, u64)> {
+        write_frame(&mut self.writer, &ClientRequest::Stats).await?;
+        loop {
+            match read_frame::<_, ClientReply>(&mut self.reader).await? {
+                ClientReply::Stats { tracked, executed } => return Ok((tracked, executed)),
+                _ => continue,
             }
         }
     }

@@ -31,17 +31,26 @@ pub struct ClusterOptions {
     pub suspect_after: Option<Duration>,
     /// Failure-detector trust hysteresis ([`ReplicaConfig::trust_after`]).
     pub trust_after: Duration,
+    /// Executed-entry garbage-collection cadence in ticks
+    /// ([`ReplicaConfig::gc_every`]); 0 disables GC.
+    pub gc_every: u64,
+    /// Payload budget per catch-up chunk
+    /// ([`ReplicaConfig::catch_up_chunk_bytes`]); tests force tiny values
+    /// to exercise many-chunk streams.
+    pub catch_up_chunk_bytes: usize,
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
-        // Mirrors the `ReplicaConfig::new` failure-detection defaults.
+        // Mirrors the `ReplicaConfig::new` defaults.
         Self {
             tick_interval: Duration::from_millis(25),
             flush_policy: FlushPolicy::OsBuffered,
             snapshot_every: 4096,
             suspect_after: Some(Duration::from_millis(1_500)),
             trust_after: Duration::from_millis(250),
+            gc_every: 0,
+            catch_up_chunk_bytes: replica::DEFAULT_CATCH_UP_CHUNK_BYTES,
         }
     }
 }
@@ -193,6 +202,8 @@ impl Cluster {
         cfg.catch_up = catch_up;
         cfg.suspect_after = self.options.suspect_after;
         cfg.trust_after = self.options.trust_after;
+        cfg.gc_every = self.options.gc_every;
+        cfg.catch_up_chunk_bytes = self.options.catch_up_chunk_bytes;
         cfg
     }
 

@@ -58,12 +58,22 @@ pub enum JournalRecord {
     /// because suspicion is a protocol *input* like any other: it can mint
     /// recovery ballots (promises this replica makes as a recovery
     /// coordinator), and replaying the subsequent peer messages without it
-    /// would reconstruct a different — unsound — replica. Kept as the last
-    /// variant so journals written before failure detection existed still
-    /// decode.
+    /// would reconstruct a different — unsound — replica.
     Suspect {
         /// The suspected replica.
         peer: ProcessId,
+    },
+    /// A garbage-collection round ran:
+    /// [`Protocol::gc_executed`](atlas_core::Protocol::gc_executed) was
+    /// called with this all-executed horizon. Journaled so replay
+    /// reconstructs the exact post-GC state — the compaction floor changes
+    /// which straggler messages the protocol ignores, and replaying the
+    /// suffix against an uncompacted replica would diverge. Kept as the
+    /// last variant so journals written before GC existed still decode.
+    Gc {
+        /// Per identifier space, the horizon below which every replica had
+        /// executed (sorted by space).
+        horizon: Vec<(ProcessId, u64)>,
     },
 }
 
@@ -206,11 +216,16 @@ mod tests {
             })
             .unwrap();
         journal.append(&JournalRecord::Suspect { peer: 3 }).unwrap();
+        journal
+            .append(&JournalRecord::Gc {
+                horizon: vec![(1, 9), (2, 4)],
+            })
+            .unwrap();
         drop(journal);
 
         let (_, snap, records) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
         assert!(snap.is_none());
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         assert_eq!(records[0], submit(1));
         assert_eq!(
             records[1],
@@ -220,6 +235,12 @@ mod tests {
             }
         );
         assert_eq!(records[2], JournalRecord::Suspect { peer: 3 });
+        assert_eq!(
+            records[3],
+            JournalRecord::Gc {
+                horizon: vec![(1, 9), (2, 4)]
+            }
+        );
     }
 
     #[test]

@@ -41,16 +41,36 @@
 //! deterministic state machines, so replay reconstructs exactly the state
 //! its peers observed), and only then serves traffic. A replica that lost
 //! its data directory rejoins with
-//! [`catch_up`](replica::ReplicaConfig::catch_up): it fetches every
-//! reachable peer's [`committed_log`](atlas_core::Protocol::committed_log)
-//! and replays it through the normal message path, advancing its identifier
-//! generator past the peers' observed horizon so identifiers of the lost
-//! incarnation are never reissued. Peer links carry sequence numbers and
+//! [`catch_up`](replica::ReplicaConfig::catch_up): it **streams** committed
+//! state from every reachable peer as a sequence of bounded-size
+//! [`wire::CatchUpChunk`]s — an executed-state base (store records, the
+//! execution record, the protocol's
+//! [`save_executed`](atlas_core::Protocol::save_executed) marker) applied
+//! atomically, then each peer's retained committed log replayed through
+//! the normal message path (base-covered entries are idempotent no-ops) —
+//! advancing its identifier generator past the
+//! peers' observed horizon so identifiers of the lost incarnation are never
+//! reissued. No frame ever carries the whole history, so catch-up keeps
+//! working after the committed log has outgrown
+//! [`wire::MAX_FRAME_BYTES`]. Peer links carry sequence numbers and
 //! cumulative acks with sender-side resend buffers ([`transport`]), so
 //! messages sent while a replica was down are redelivered once it returns.
 //! See `ARCHITECTURE.md` at the repository root for the full design,
 //! including what is deliberately *not* recovered (commands that were in
 //! flight, uncommitted anywhere, when a disk was lost).
+//!
+//! ## Log compaction
+//!
+//! With [`gc_every`](replica::ReplicaConfig::gc_every) set, replicas
+//! exchange their [`executed
+//! watermarks`](atlas_core::Protocol::executed_watermarks) on the tick
+//! cadence (piggybacked on the peer links) and hand the pointwise minimum
+//! — entries executed at **every** replica — to
+//! [`Protocol::gc_executed`](atlas_core::Protocol::gc_executed), dropping
+//! per-command bookkeeping that can never be needed again. Each advancing
+//! round is journaled and followed by a snapshot, which truncates the WAL
+//! and prunes older snapshots — protocol maps, journal and on-disk state
+//! all stay bounded on a long-lived cluster.
 //!
 //! ## Failure detection
 //!

@@ -30,15 +30,37 @@
 //! the outbound messages the inputs produce, which peers deduplicate by
 //! protocol-level idempotence — and only then starts consuming live events.
 //! With [`ReplicaConfig::catch_up`] also set (a replica whose disk was
-//! lost), it first fetches every reachable peer's
-//! [`committed_log`](Protocol::committed_log) over a [`Hello::CatchUp`]
-//! exchange and replays it through the normal message path, then advances
-//! its identifier generator past the peers' observed
+//! lost), it first streams committed state from every reachable peer over a
+//! [`Hello::CatchUp`] exchange — a sequence of bounded-size
+//! [`CatchUpChunk`]s, applied incrementally: the first peer's
+//! **executed-state base** (store records, execution-record slices and the
+//! protocol's [`save_executed`](Protocol::save_executed) marker, installed
+//! atomically so a mid-stream disconnect can always be retried cleanly)
+//! followed by each peer's retained committed log replayed through the
+//! normal message path (base-covered entries replay as idempotent
+//! no-ops). It then advances its identifier
+//! generator past the peers' observed
 //! [`seen_horizon`](Protocol::seen_horizon) so identifiers of the lost
 //! incarnation are never reissued. Commands that were still in flight (not
 //! committed anywhere) when the disk was lost are not recovered — that is
 //! the window the paper's recovery protocol ([`Protocol::suspect`]) exists
 //! for.
+//!
+//! ## Log compaction (garbage collection)
+//!
+//! With [`ReplicaConfig::gc_every`] set, every `gc_every`-th tick the
+//! replica broadcasts its [`executed
+//! watermarks`](Protocol::executed_watermarks) to all peers (piggybacked on
+//! the existing links as unsequenced control frames) and, once every peer
+//! has reported, hands the **pointwise minimum** — identifiers executed at
+//! *every* replica — to [`Protocol::gc_executed`]. Each advancing GC round
+//! is journaled (as [`JournalRecord::Gc`], a protocol input like any
+//! other) and followed by a snapshot, which truncates the WAL below the
+//! new snapshot and prunes older snapshot files — so the protocol's
+//! per-command maps, the journal *and* the on-disk history all stay
+//! bounded while the cluster runs. See `ARCHITECTURE.md` for the safety
+//! argument (why collecting below the all-executed horizon can never
+//! strand a recovering replica).
 //!
 //! ## Failure detection
 //!
@@ -62,10 +84,12 @@ use crate::detector::{DetectorEvent, FailureDetector};
 use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
 use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
-    read_frame, write_frame, write_raw_frame, CatchUpReply, ClientReply, ClientRequest, Hello,
-    PeerBody, PeerFrame,
+    read_frame, write_frame, write_raw_frame, CatchUpChunk, CatchUpPayload, ClientReply,
+    ClientRequest, Hello, PeerBody, PeerFrame, MAX_FRAME_BYTES,
 };
-use atlas_core::{Action, ClientId, Command, Config, Dot, ProcessId, Protocol, Rifl, Topology};
+use atlas_core::{
+    Action, ClientId, Command, Config, Dot, Key, ProcessId, Protocol, Rifl, Topology, Value,
+};
 use atlas_log::FlushPolicy;
 use kvstore::KVStore;
 use serde::{Deserialize, Serialize};
@@ -89,8 +113,15 @@ const ACK_EVERY: u64 = 64;
 /// boot).
 const CATCH_UP_ROUNDS: u32 = 3;
 
-/// Bound on one catch-up connect + reply exchange.
+/// Bound on the catch-up connect and on each chunk of the reply stream (a
+/// per-chunk bound, so a long stream that keeps flowing never times out
+/// while a stalled one fails fast).
 const CATCH_UP_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default budget for one catch-up chunk's payload. Deliberately far below
+/// [`MAX_FRAME_BYTES`]: the point of chunking is that no frame ever
+/// approaches the cap, however long the served history is.
+pub const DEFAULT_CATCH_UP_CHUNK_BYTES: usize = 4 << 20;
 
 /// Static configuration of one networked replica.
 #[derive(Debug, Clone)]
@@ -138,6 +169,23 @@ pub struct ReplicaConfig {
     /// wiped via `catch_up` — a plain restart would leave it missing the
     /// dropped frames forever.
     pub resend_buffer_cap: usize,
+    /// Run an executed-entry garbage-collection round every this many
+    /// ticks: broadcast this replica's executed watermarks to the peers
+    /// and, once every peer has reported, hand the pointwise minimum to
+    /// [`Protocol::gc_executed`] (journaled, followed by a snapshot that
+    /// trims the WAL and prunes older snapshots). 0 disables GC — the
+    /// protocol's per-command maps then grow with the full history, the
+    /// pre-compaction behaviour. GC only ever collects entries executed at
+    /// **every** replica, so while any peer is down (or has never
+    /// reported) the horizon simply stops advancing.
+    pub gc_every: u64,
+    /// Budget for one catch-up chunk's payload, in bytes (clamped to half
+    /// of [`MAX_FRAME_BYTES`]); smaller values force more, smaller frames.
+    /// The serving replica packs store records, execution-record slices and
+    /// committed messages into chunks of at most this size, so catch-up
+    /// works no matter how far the served history has outgrown a single
+    /// frame.
+    pub catch_up_chunk_bytes: usize,
 }
 
 impl ReplicaConfig {
@@ -157,6 +205,8 @@ impl ReplicaConfig {
             suspect_after: Some(Duration::from_millis(1_500)),
             trust_after: Duration::from_millis(250),
             resend_buffer_cap: DEFAULT_RESEND_BUFFER_CAP,
+            gc_every: 0,
+            catch_up_chunk_bytes: DEFAULT_CATCH_UP_CHUNK_BYTES,
         }
     }
 }
@@ -182,6 +232,13 @@ enum Event<M> {
         /// Highest acknowledged sequence on our link to it.
         upto: u64,
     },
+    /// Peer `from` reported its executed watermarks (GC cadence).
+    PeerWatermarks {
+        /// The reporting replica.
+        from: ProcessId,
+        /// Its executed watermarks, per identifier space.
+        watermarks: Vec<(ProcessId, u64)>,
+    },
     /// A local client submitted a command.
     Submit {
         /// The command.
@@ -194,12 +251,18 @@ enum Event<M> {
         /// Where to send the reply.
         session: UnboundedSender<ClientReply>,
     },
+    /// A client asked for bookkeeping statistics.
+    Stats {
+        /// Where to send the reply.
+        session: UnboundedSender<ClientReply>,
+    },
     /// A recovering replica asked for our committed state.
     CatchUp {
         /// The recovering replica.
         from: ProcessId,
-        /// Where the encoded [`CatchUpReply`] goes (the acceptor task
-        /// writes it back on the requesting connection).
+        /// Where the encoded [`CatchUpChunk`] frames go, one send per
+        /// chunk (the acceptor task writes them back on the requesting
+        /// connection in order and closes it when the channel drains).
         reply: UnboundedSender<Vec<u8>>,
     },
     /// Periodic tick.
@@ -351,8 +414,9 @@ async fn acceptor<M>(
                     client_session(reader, writer, client, event_tx).await
                 }
                 Ok(Hello::CatchUp { from }) => {
-                    // One-shot exchange: ask the event loop for the encoded
-                    // reply, write it back, hang up.
+                    // Streamed exchange: the event loop produces the full
+                    // sequence of bounded-size chunk frames (one channel
+                    // send each); write them back in order, then hang up.
                     let (reply_tx, mut reply_rx) = mpsc::unbounded_channel::<Vec<u8>>();
                     let event = Event::CatchUp {
                         from,
@@ -361,8 +425,10 @@ async fn acceptor<M>(
                     if event_tx.send(event).is_err() {
                         return;
                     }
-                    if let Some(bytes) = reply_rx.recv().await {
-                        let _ = write_raw_frame(&mut writer, &bytes).await;
+                    while let Some(bytes) = reply_rx.recv().await {
+                        if write_raw_frame(&mut writer, &bytes).await.is_err() {
+                            return; // requester gone; it will retry
+                        }
                     }
                 }
                 // Dummy shutdown connections and port scanners land here.
@@ -396,6 +462,7 @@ async fn peer_reader<M>(
                 Err(_) => continue,
             },
             PeerBody::Ack(upto) => Event::PeerAck { from, upto },
+            PeerBody::Watermarks(watermarks) => Event::PeerWatermarks { from, watermarks },
         };
         if event_tx.send(event).is_err() {
             return; // event loop gone: replica is shutting down
@@ -445,6 +512,14 @@ async fn client_session<M>(
                     return;
                 }
             }
+            Ok(ClientRequest::Stats) => {
+                let event = Event::Stats {
+                    session: reply_tx.clone(),
+                };
+                if event_tx.send(event).is_err() {
+                    return;
+                }
+            }
             Err(_) => return, // client disconnected
         }
     }
@@ -484,6 +559,21 @@ struct Core<P: Protocol> {
     acks: HashMap<ProcessId, AckState>,
     detector: Option<FailureDetector>,
     start: Instant,
+    /// GC cadence in ticks (0 = disabled) and chunk budget for catch-up
+    /// serving, copied from the config.
+    gc_every: u64,
+    catch_up_chunk_bytes: usize,
+    /// Ticks seen so far (drives the GC cadence).
+    ticks: u64,
+    /// Latest executed-watermark report from each peer. Runtime state, not
+    /// journaled: it only decides *when* GC fires; the GC rounds themselves
+    /// are journaled. Reports are replaced, not maxed — a peer that rejoins
+    /// wiped legitimately reports lower values, which merely delays GC
+    /// (stale-higher values are equally safe; see `ARCHITECTURE.md`).
+    peer_watermarks: HashMap<ProcessId, Vec<(ProcessId, u64)>>,
+    /// The last horizon handed to [`Protocol::gc_executed`], to skip (and
+    /// not journal) rounds where nothing advanced.
+    last_gc_horizon: HashMap<ProcessId, u64>,
 }
 
 use crate::journal::corrupt;
@@ -520,6 +610,11 @@ where
             acks: HashMap::new(),
             detector,
             start: Instant::now(),
+            gc_every: cfg.gc_every,
+            catch_up_chunk_bytes: cfg.catch_up_chunk_bytes.clamp(1024, MAX_FRAME_BYTES / 2),
+            ticks: 0,
+            peer_watermarks: HashMap::new(),
+            last_gc_horizon: HashMap::new(),
         };
         let Some(dir) = &cfg.data_dir else {
             return Ok(core);
@@ -568,6 +663,14 @@ where
                 self.perform(actions, 0);
             }
             JournalRecord::Advance { past } => self.protocol.advance_identifiers(past),
+            JournalRecord::Gc { horizon } => {
+                // Replayed at its original position in the input order, so
+                // the compaction floor — which changes how straggler
+                // messages later in the journal are handled — matches the
+                // live run exactly.
+                let _ = self.protocol.gc_executed(&horizon);
+                self.last_gc_horizon = horizon.into_iter().collect();
+            }
             JournalRecord::Suspect { peer } => {
                 // The journal replays inputs in their original order, so the
                 // protocol is in exactly the state it was in when the
@@ -685,14 +788,19 @@ where
     }
 
     /// Periodic tick: forward to the protocol, flush pending acks, probe
-    /// (heartbeat) every outbound link, and advance the failure detector —
+    /// (heartbeat) every outbound link, advance the failure detector —
     /// suspicions it reports are journaled and dispatched to
     /// [`Protocol::suspect`] right here, through the same action pipeline
-    /// as every other protocol input.
+    /// as every other protocol input — and, on the GC cadence, exchange
+    /// executed watermarks and run a garbage-collection round.
     fn tick(&mut self) -> io::Result<()> {
         let now = self.now();
         let actions = self.protocol.tick(now);
         self.perform(actions, now);
+        self.ticks += 1;
+        if self.gc_every > 0 && self.ticks.is_multiple_of(self.gc_every) {
+            self.gc_round()?;
+        }
         let pending: Vec<ProcessId> = self
             .acks
             .iter()
@@ -722,27 +830,156 @@ where
         Ok(())
     }
 
-    /// Builds the encoded [`CatchUpReply`] for a recovering peer. A
-    /// catch-up request is also evidence the peer is alive again — marking
-    /// it heard here is what keeps a wiped replica rejoining under its old
-    /// identifier from staying suspected while it rebuilds.
-    fn catch_up_reply(&mut self, from: ProcessId) -> Vec<u8> {
-        self.heard(from);
-        let msgs = self
-            .protocol
-            .committed_log()
-            .iter()
-            .map(|msg| bincode::serialize(msg).expect("protocol messages always encode"))
+    /// One garbage-collection round: broadcast this replica's executed
+    /// watermarks, then — once every peer has reported — compute the
+    /// pointwise minimum (the all-executed horizon) and, if it advanced,
+    /// journal it and hand it to [`Protocol::gc_executed`]. A round that
+    /// dropped entries is followed by a snapshot, which truncates the WAL
+    /// below the (now smaller) snapshot and prunes older snapshot files —
+    /// the on-disk half of compaction.
+    fn gc_round(&mut self) -> io::Result<()> {
+        let mine = self.protocol.executed_watermarks();
+        if mine.is_empty() {
+            return Ok(()); // protocol without GC support
+        }
+        for link in self.links.values() {
+            link.send_watermarks(mine.clone());
+        }
+        if self.peer_watermarks.len() < self.links.len() {
+            // Some peer has never reported (down, or GC disabled there):
+            // its executed set is unknown, so nothing is provably
+            // all-executed yet.
+            return Ok(());
+        }
+        let mut horizon: HashMap<ProcessId, u64> = mine.into_iter().collect();
+        for report in self.peer_watermarks.values() {
+            let report: HashMap<ProcessId, u64> = report.iter().copied().collect();
+            horizon.retain(|space, h| match report.get(space) {
+                Some(&peer_h) => {
+                    *h = (*h).min(peer_h);
+                    true
+                }
+                None => false,
+            });
+        }
+        let mut horizon: Vec<(ProcessId, u64)> = horizon
+            .into_iter()
+            .filter(|&(space, h)| h > self.last_gc_horizon.get(&space).copied().unwrap_or(0))
             .collect();
-        let reply = CatchUpReply {
-            horizon: self.protocol.seen_horizon(from),
-            msgs,
-        };
-        bincode::serialize(&reply).expect("catch-up replies always encode")
+        if horizon.is_empty() {
+            return Ok(()); // nothing advanced since the last round
+        }
+        horizon.sort_unstable();
+        self.journal_append(&JournalRecord::Gc {
+            horizon: horizon.clone(),
+        })?;
+        let dropped = self.protocol.gc_executed(&horizon);
+        for (space, h) in horizon {
+            self.last_gc_horizon.insert(space, h);
+        }
+        if dropped > 0 {
+            self.snapshot_now()?;
+        }
+        Ok(())
     }
 
-    /// Applies one peer's catch-up reply: advance identifiers past the
-    /// peer's horizon (journaled), then feed its committed log through the
+    /// Builds the full catch-up stream for a recovering peer as encoded
+    /// [`CatchUpChunk`] frames, each payload bounded by the configured
+    /// chunk budget: `Start` (identifier horizon + executed marker), the
+    /// store records and execution-record slices of the executed-state
+    /// base, then this replica's **entire retained committed log** — the
+    /// executed entries included, because an entry executed here may be
+    /// unknown to the peer whose base the receiver installed, and the
+    /// receiver's marker makes replaying base-covered entries a no-op.
+    /// Payloads are encoded into frames as they are produced, so peak
+    /// memory is one serialized copy of the state (held in the reply
+    /// channel until the acceptor drains it), never the payloads *and*
+    /// their encodings at once. A catch-up request is also evidence the
+    /// peer is alive again — marking it heard here is what keeps a wiped
+    /// replica rejoining under its old identifier from staying suspected
+    /// while it rebuilds.
+    fn catch_up_chunks(&mut self, from: ProcessId) -> Vec<Vec<u8>> {
+        /// Encodes payloads into frames one step behind, so the final
+        /// payload can be flagged `last` without knowing the count upfront.
+        struct ChunkStream {
+            frames: Vec<Vec<u8>>,
+            held: Option<CatchUpPayload>,
+        }
+        impl ChunkStream {
+            fn push(&mut self, payload: CatchUpPayload) {
+                if let Some(prev) = self.held.replace(payload) {
+                    self.encode(prev, false);
+                }
+            }
+            fn finish(mut self) -> Vec<Vec<u8>> {
+                if let Some(prev) = self.held.take() {
+                    self.encode(prev, true);
+                }
+                self.frames
+            }
+            fn encode(&mut self, payload: CatchUpPayload, last: bool) {
+                let chunk = CatchUpChunk {
+                    seq: self.frames.len() as u32,
+                    last,
+                    payload,
+                };
+                self.frames
+                    .push(bincode::serialize(&chunk).expect("catch-up chunks always encode"));
+            }
+        }
+
+        self.heard(from);
+        let budget = self.catch_up_chunk_bytes;
+        let executed = self.protocol.save_executed();
+        let base = executed.is_some();
+        let mut stream = ChunkStream {
+            frames: Vec::new(),
+            held: None,
+        };
+        stream.push(CatchUpPayload::Start {
+            horizon: self.protocol.seen_horizon(from),
+            executed,
+            store_executed: if base { self.store.executed() } else { 0 },
+        });
+        if base {
+            // Fixed-size records: chunk by count against the byte budget,
+            // batching straight off the iterators (no full intermediate
+            // copy of the store).
+            let per_store = (budget / 24).max(1);
+            let mut batch: Vec<(Key, Value)> = Vec::with_capacity(per_store);
+            for record in self.store.records() {
+                batch.push(record);
+                if batch.len() == per_store {
+                    stream.push(CatchUpPayload::Store(std::mem::take(&mut batch)));
+                }
+            }
+            if !batch.is_empty() {
+                stream.push(CatchUpPayload::Store(batch));
+            }
+            let per_log = (budget / 40).max(1);
+            for slice in self.log.chunks(per_log) {
+                stream.push(CatchUpPayload::Log(slice.to_vec()));
+            }
+        }
+        // Messages vary in size: pack by actual encoded bytes.
+        let mut group: Vec<Vec<u8>> = Vec::new();
+        let mut group_bytes = 0usize;
+        for msg in self.protocol.committed_log() {
+            let encoded = bincode::serialize(&msg).expect("protocol messages always encode");
+            if !group.is_empty() && group_bytes + encoded.len() > budget {
+                stream.push(CatchUpPayload::Msgs(std::mem::take(&mut group)));
+                group_bytes = 0;
+            }
+            group_bytes += encoded.len();
+            group.push(encoded);
+        }
+        if !group.is_empty() {
+            stream.push(CatchUpPayload::Msgs(group));
+        }
+        stream.finish()
+    }
+
+    /// Applies one `Msgs` chunk of a peer's catch-up stream through the
     /// message path.
     ///
     /// With `journal_msgs` false (a snapshot-capable protocol), the bulk
@@ -752,19 +989,13 @@ where
     /// before that snapshot only loses un-journaled catch-up progress, which
     /// restarting with catch-up enabled (the documented flow for a wiped
     /// replica: rerun the same command line) simply redoes.
-    fn apply_catch_up(
+    fn apply_catch_up_msgs(
         &mut self,
         peer: ProcessId,
-        reply: CatchUpReply,
+        msgs: Vec<Vec<u8>>,
         journal_msgs: bool,
     ) -> io::Result<()> {
-        if reply.horizon > 0 {
-            self.journal_append(&JournalRecord::Advance {
-                past: reply.horizon,
-            })?;
-            self.protocol.advance_identifiers(reply.horizon);
-        }
-        for payload in reply.msgs {
+        for payload in msgs {
             let Ok(msg) = bincode::deserialize::<P::Message>(&payload) else {
                 continue; // peer speaking another protocol version
             };
@@ -784,6 +1015,14 @@ where
         let _ = session.send(ClientReply::ExecutionLog {
             entries: self.log.clone(),
             digest: self.store.digest(),
+        });
+    }
+
+    /// Answers a bookkeeping-statistics query.
+    fn stats(&self, session: UnboundedSender<ClientReply>) {
+        let _ = session.send(ClientReply::Stats {
+            tracked: self.protocol.tracked_entries() as u64,
+            executed: self.store.executed(),
         });
     }
 
@@ -884,23 +1123,175 @@ where
     }
 }
 
-/// Dials `addr` and performs one catch-up exchange, bounded by
-/// [`CATCH_UP_FETCH_TIMEOUT`]. The timeout matters for more than slow
-/// peers: a peer that is *itself* mid-catch-up queues our request behind
-/// its own (its event loop only answers once it starts serving), so two
-/// simultaneously recovering replicas would otherwise block on each other
-/// forever.
-async fn fetch_catch_up(addr: SocketAddr, self_id: ProcessId) -> io::Result<CatchUpReply> {
-    let exchange = async move {
-        let stream = TcpStream::connect(addr).await?;
-        stream.set_nodelay(true)?;
-        let (mut reader, mut writer) = stream.into_split();
-        write_frame(&mut writer, &Hello::CatchUp { from: self_id }).await?;
-        read_frame::<_, CatchUpReply>(&mut reader).await
+/// The not-yet-installed executed-state base of one catch-up stream,
+/// buffered so installation is **atomic**: a stream that dies while the
+/// base is still in transit leaves the replica exactly as before, and the
+/// retry (same peer or another) starts clean. The base is installed when
+/// the stream moves past its base sections (first `Msgs` chunk, or the
+/// `last` flag) — from that point on, a partially applied message tail is
+/// fine, because message application is idempotent on top of the base.
+struct PendingBase {
+    marker: Vec<u8>,
+    store_executed: u64,
+    records: Vec<(Key, Value)>,
+    log: Vec<(Dot, Rifl)>,
+}
+
+impl PendingBase {
+    /// Installs the buffered base into `core` — the transferred store
+    /// records and execution record plus the protocol's executed marker —
+    /// unless a base is already installed or the protocol refuses the
+    /// marker. A refusal on a **fresh** replica means the marker is
+    /// undecodable: that is an error (fail the stream so it is retried;
+    /// committing to message-only replay and snapshotting the result would
+    /// silently persist a truncated state whenever the peers have
+    /// garbage-collected). A refusal on a replica with **local progress**
+    /// is the `--catch-up`-with-surviving-data-dir flow: fall back to full
+    /// committed-log replay on top — complete as long as the peers never
+    /// collected, which the loud warning spells out.
+    fn install<P>(self, core: &mut Core<P>, base_installed: &mut bool) -> io::Result<()>
+    where
+        P: Protocol,
+        P::Message: Serialize + Deserialize,
+    {
+        if *base_installed {
+            return Ok(());
+        }
+        if core.protocol.restore_executed(&self.marker) {
+            for (key, value) in self.records {
+                core.store.restore_record(key, value);
+            }
+            core.store.restore_executed_count(self.store_executed);
+            core.log = self.log;
+            *base_installed = true;
+            return Ok(());
+        }
+        if core.log.is_empty() && core.store.is_empty() {
+            return Err(corrupt(format!(
+                "replica {}: peer's executed-state marker did not decode",
+                core.id
+            )));
+        }
+        eprintln!(
+            "replica {}: catch-up found local progress, so the peer's executed-state base \
+             was skipped; replaying committed logs on top — complete only if no peer has \
+             garbage-collected below this replica's state",
+            core.id
+        );
+        Ok(())
+    }
+}
+
+/// Dials `addr` and applies one peer's catch-up stream **incrementally**
+/// into `core`, chunk by chunk — memory holds the growing replica state
+/// plus at most one chunk of messages and the (buffered, bounded-by-state)
+/// base, never a serialized copy of the whole history. Each connect/read
+/// step is bounded by [`CATCH_UP_FETCH_TIMEOUT`]; the per-chunk bound
+/// matters for more than slow peers: a peer that is *itself* mid-catch-up
+/// queues our request behind its own (its event loop only answers once it
+/// starts serving), so two simultaneously recovering replicas would
+/// otherwise block on each other forever.
+///
+/// On a mid-stream error everything already applied stays (identifier
+/// advances are monotone, message application is idempotent, and the base
+/// installs atomically), so the caller simply retries the peer later.
+async fn fetch_catch_up<P>(
+    core: &mut Core<P>,
+    peer: ProcessId,
+    addr: SocketAddr,
+    journal_msgs: bool,
+    base_installed: &mut bool,
+) -> io::Result<()>
+where
+    P: Protocol,
+    P::Message: Serialize + Deserialize,
+{
+    let timed = |label: &'static str| {
+        move |e: tokio::time::error::Elapsed| {
+            let _ = e;
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("catch-up {label} timed out"),
+            )
+        }
     };
-    tokio::time::timeout(CATCH_UP_FETCH_TIMEOUT, exchange)
+    let stream = tokio::time::timeout(CATCH_UP_FETCH_TIMEOUT, TcpStream::connect(addr))
         .await
-        .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "catch-up exchange timed out"))?
+        .map_err(timed("connect"))??;
+    stream.set_nodelay(true)?;
+    let (mut reader, mut writer) = stream.into_split();
+    write_frame(&mut writer, &Hello::CatchUp { from: core.id }).await?;
+
+    // The vendored tokio's `timeout` needs an owned ('static) future, so
+    // the reader travels through it by value and comes back with the chunk.
+    async fn read_chunk(mut reader: OwnedReadHalf) -> (OwnedReadHalf, io::Result<CatchUpChunk>) {
+        let chunk = read_frame::<_, CatchUpChunk>(&mut reader).await;
+        (reader, chunk)
+    }
+
+    let mut pending: Option<PendingBase> = None;
+    let mut expected_seq: u32 = 0;
+    loop {
+        let (returned, chunk) = tokio::time::timeout(CATCH_UP_FETCH_TIMEOUT, read_chunk(reader))
+            .await
+            .map_err(timed("chunk"))?;
+        reader = returned;
+        let chunk = chunk?;
+        if chunk.seq != expected_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "catch-up stream gap: expected chunk {expected_seq}, got {}",
+                    chunk.seq
+                ),
+            ));
+        }
+        expected_seq += 1;
+        match chunk.payload {
+            CatchUpPayload::Start {
+                horizon,
+                executed,
+                store_executed,
+            } => {
+                if horizon > 0 {
+                    core.journal_append(&JournalRecord::Advance { past: horizon })?;
+                    core.protocol.advance_identifiers(horizon);
+                }
+                if let Some(marker) = executed {
+                    if !*base_installed {
+                        pending = Some(PendingBase {
+                            marker,
+                            store_executed,
+                            records: Vec::new(),
+                            log: Vec::new(),
+                        });
+                    }
+                }
+            }
+            CatchUpPayload::Store(records) => {
+                if let Some(base) = &mut pending {
+                    base.records.extend(records);
+                }
+            }
+            CatchUpPayload::Log(entries) => {
+                if let Some(base) = &mut pending {
+                    base.log.extend(entries);
+                }
+            }
+            CatchUpPayload::Msgs(msgs) => {
+                if let Some(base) = pending.take() {
+                    base.install(core, base_installed)?;
+                }
+                core.apply_catch_up_msgs(peer, msgs, journal_msgs)?;
+            }
+        }
+        if chunk.last {
+            if let Some(base) = pending.take() {
+                base.install(core, base_installed)?;
+            }
+            return Ok(());
+        }
+    }
 }
 
 /// Fetches and applies committed state from the peers, retrying until
@@ -931,15 +1322,20 @@ where
     // Snapshot-capable protocols get the bulk messages un-journaled plus one
     // snapshot at the end; others fall back to journaling every message.
     let journal_msgs = core.protocol.save_state().is_none();
+    // At most one peer's executed-state base is installed (the first whose
+    // stream reaches its message tail); every other stream contributes only
+    // messages on top. One base plus every peer's retained committed log is
+    // complete: whatever any peer garbage-collected is — by the
+    // all-executed horizon — inside every replica's executed state and
+    // hence inside the base, and everything above a peer's floor is in its
+    // retained log; base-covered entries replay as idempotent no-ops.
+    let mut base_installed = false;
     let mut heard_from_any = false;
     for round in 0..CATCH_UP_ROUNDS {
         let mut still_pending = Vec::new();
         for &(peer, addr) in &pending {
-            match fetch_catch_up(addr, core.id).await {
-                Ok(reply) => {
-                    heard_from_any = true;
-                    core.apply_catch_up(peer, reply, journal_msgs)?;
-                }
+            match fetch_catch_up(core, peer, addr, journal_msgs, &mut base_installed).await {
+                Ok(()) => heard_from_any = true,
                 Err(_) => still_pending.push((peer, addr)),
             }
         }
@@ -1014,13 +1410,26 @@ async fn event_loop<P>(
                 }
                 Ok(())
             }
+            Event::PeerWatermarks { from, watermarks } => {
+                core.heard(from);
+                core.peer_watermarks.insert(from, watermarks);
+                Ok(())
+            }
             Event::Submit { cmd, session } => core.submit(cmd, session),
             Event::Query { session } => {
                 core.query(session);
                 Ok(())
             }
+            Event::Stats { session } => {
+                core.stats(session);
+                Ok(())
+            }
             Event::CatchUp { from, reply } => {
-                let _ = reply.send(core.catch_up_reply(from));
+                for frame in core.catch_up_chunks(from) {
+                    if reply.send(frame).is_err() {
+                        break; // requester hung up; it will retry
+                    }
+                }
                 Ok(())
             }
             Event::Tick => core.tick(),

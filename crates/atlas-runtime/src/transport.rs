@@ -140,6 +140,9 @@ enum LinkCmd {
     Msg(Vec<u8>),
     /// Send a cumulative delivery ack for the reverse link; best-effort.
     SendAck(u64),
+    /// Send an executed-watermark report (GC cadence); best-effort like an
+    /// ack — a lost report only delays the receiver's next GC round.
+    SendWatermarks(Vec<(ProcessId, u64)>),
     /// The peer acknowledged every sequence `<= .0`: trim the resend buffer.
     Acked(u64),
     /// Tick-driven heartbeat: dial the peer if the link is down, then write
@@ -177,6 +180,7 @@ impl std::fmt::Debug for LinkCmd {
         match self {
             LinkCmd::Msg(payload) => write!(f, "Msg({} bytes)", payload.len()),
             LinkCmd::SendAck(upto) => write!(f, "SendAck({upto})"),
+            LinkCmd::SendWatermarks(wm) => write!(f, "SendWatermarks({} spaces)", wm.len()),
             LinkCmd::Acked(upto) => write!(f, "Acked({upto})"),
             LinkCmd::Probe => write!(f, "Probe"),
         }
@@ -248,6 +252,13 @@ impl PeerLink {
         let _ = self.tx.send(LinkCmd::SendAck(upto));
     }
 
+    /// Sends this replica's executed-watermark report (the GC cadence
+    /// piggybacks on the peer links rather than opening new connections).
+    /// Best-effort, like an ack.
+    pub fn send_watermarks(&self, watermarks: Vec<(ProcessId, u64)>) {
+        let _ = self.tx.send(LinkCmd::SendWatermarks(watermarks));
+    }
+
     /// Records that the peer acknowledged every frame with `seq <= upto`,
     /// releasing them from the resend buffer.
     pub fn acked(&self, upto: u64) {
@@ -306,11 +317,25 @@ async fn writer_task(
                 }
                 continue;
             }
-            // Both control frames share the dial-once-then-write shape: an
-            // ack or heartbeat alone is not worth stalling the queue with a
-            // backoff loop.
+            // The control frames share the dial-once-then-write shape: an
+            // ack, watermark report or heartbeat alone is not worth
+            // stalling the queue with a backoff loop.
             LinkCmd::SendAck(upto) => {
                 let frame = encode_frame(self_id, 0, PeerBody::Ack(upto));
+                dial_once_and_write(
+                    self_id,
+                    addr,
+                    &stop,
+                    &status,
+                    &mut conn,
+                    &mut written,
+                    &mut backoff,
+                    &frame,
+                )
+                .await;
+            }
+            LinkCmd::SendWatermarks(watermarks) => {
+                let frame = encode_frame(self_id, 0, PeerBody::Watermarks(watermarks));
                 dial_once_and_write(
                     self_id,
                     addr,

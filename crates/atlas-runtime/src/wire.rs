@@ -7,12 +7,18 @@
 //! depends on the connection kind:
 //!
 //! * peer connections are **unidirectional**: the dialer only writes
-//!   [`PeerFrame`]s (its protocol messages and delivery acknowledgements),
-//!   the acceptor only reads;
+//!   [`PeerFrame`]s (its protocol messages, delivery acknowledgements and
+//!   executed-watermark reports), the acceptor only reads;
 //! * client connections are bidirectional: [`ClientRequest`] frames flow in,
 //!   [`ClientReply`] frames flow out;
-//! * catch-up connections ([`Hello::CatchUp`]) carry exactly one
-//!   [`CatchUpReply`] back to the dialer and are then closed.
+//! * catch-up connections ([`Hello::CatchUp`]) carry a **stream of
+//!   bounded-size [`CatchUpChunk`]s** back to the dialer — an executed-state
+//!   base (store records, execution-record slices, the protocol's executed
+//!   marker) followed by the server's retained committed log — and are
+//!   closed after the chunk flagged [`last`](CatchUpChunk::last). Chunking
+//!   is what lets a long-lived replica's history exceed
+//!   [`MAX_FRAME_BYTES`]: no single frame ever has to carry the whole
+//!   committed log.
 //!
 //! Protocol messages are carried as an opaque `Vec<u8>` payload inside
 //! [`PeerFrame`] (bincode within bincode) so the envelope types stay
@@ -32,7 +38,7 @@
 //! durability subsystem needs so that a replica restarting from its journal
 //! still receives everything peers sent while it was down.
 
-use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl};
+use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl, Value};
 use kvstore::Output;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -54,8 +60,10 @@ pub enum Hello {
         /// The dialing client.
         client: ClientId,
     },
-    /// A replica rebuilding its state asks for a [`CatchUpReply`]; the
-    /// acceptor answers with exactly one frame and closes the connection.
+    /// A replica rebuilding its state asks for a catch-up stream; the
+    /// acceptor answers with a sequence of [`CatchUpChunk`] frames (the
+    /// final one flagged [`last`](CatchUpChunk::last)) and closes the
+    /// connection.
     CatchUp {
         /// The recovering replica.
         from: ProcessId,
@@ -84,20 +92,66 @@ pub enum PeerBody {
     /// received (and, when durability is on, journaled) every `Msg` frame
     /// with sequence `<=` the value on the *reverse* link.
     Ack(u64),
+    /// The sender's [`executed
+    /// watermarks`](atlas_core::Protocol::executed_watermarks), broadcast
+    /// on the garbage-collection cadence. Unsequenced and best-effort like
+    /// acks: a lost report merely delays the receiver's next GC round (the
+    /// pointwise minimum over *last known* reports is always a safe
+    /// horizon — watermarks only rise on a live replica).
+    Watermarks(Vec<(ProcessId, u64)>),
 }
 
-/// Answer to a [`Hello::CatchUp`] request: everything the serving replica
-/// has committed, as replayable protocol messages, plus how far it has seen
-/// the requester's identifier space.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CatchUpReply {
-    /// Highest identifier sequence the serving replica has seen from the
-    /// requester (committed or in flight); the requester must not reissue
-    /// identifiers at or below it.
-    pub horizon: u64,
-    /// bincode encodings of the serving protocol's
-    /// [`committed_log`](atlas_core::Protocol::committed_log) messages.
-    pub msgs: Vec<Vec<u8>>,
+/// One frame of the streamed answer to a [`Hello::CatchUp`] request.
+///
+/// The serving replica sends `Start`, then the executed-state base (its
+/// `Store` records and `Log` slices, present when the hosted protocol
+/// supports an executed marker), then its retained committed log as
+/// `Msgs` — every frame bounded by the configured chunk budget, the
+/// final one flagged [`last`](CatchUpChunk::last). The receiver applies
+/// chunks incrementally, but installs the base **atomically** when the
+/// first post-base chunk arrives, so a mid-stream disconnect leaves it
+/// either untouched or fully based — never half-based — and a retry (same
+/// peer or another) is always clean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatchUpChunk {
+    /// 0-based position of this chunk in the stream; the receiver rejects
+    /// gaps (a skipped frame means the stream is corrupt, not shorter).
+    pub seq: u32,
+    /// Whether this is the final chunk of the stream.
+    pub last: bool,
+    /// What the chunk carries.
+    pub payload: CatchUpPayload,
+}
+
+/// Payload of one [`CatchUpChunk`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CatchUpPayload {
+    /// First chunk of every stream.
+    Start {
+        /// Highest identifier sequence the serving replica has seen from
+        /// the requester (committed or in flight); the requester must not
+        /// reissue identifiers at or below it.
+        horizon: u64,
+        /// The serving protocol's [`executed
+        /// marker`](atlas_core::Protocol::save_executed), when supported:
+        /// which identifiers the transferred store already reflects.
+        /// `None` means no base follows — the stream is a plain committed
+        /// log, complete only while the server never garbage-collected.
+        executed: Option<Vec<u8>>,
+        /// The serving store's executed-command counter (meaningful only
+        /// with an executed marker).
+        store_executed: u64,
+    },
+    /// A slice of the serving replica's store records, in key order.
+    Store(Vec<(Key, Value)>),
+    /// A slice of the serving replica's execution record, in order.
+    Log(Vec<(Dot, Rifl)>),
+    /// bincode encodings of the serving replica's retained
+    /// [`committed_log`](atlas_core::Protocol::committed_log) — executed
+    /// entries included, since an entry executed at this server may be
+    /// unknown to the peer whose base the receiver installed; base-covered
+    /// entries replay as idempotent no-ops.
+    Msgs(Vec<Vec<u8>>),
 }
 
 /// Requests a client sends to its replica.
@@ -111,6 +165,11 @@ pub enum ClientRequest {
     },
     /// Ask for the replica's execution record (testing/inspection).
     ExecutionLog,
+    /// Ask for replica bookkeeping statistics (testing/inspection): how
+    /// many per-command entries the protocol currently tracks — the number
+    /// garbage collection keeps bounded — and how many commands the store
+    /// executed.
+    Stats,
 }
 
 /// Replies a replica sends to a client.
@@ -129,6 +188,14 @@ pub enum ClientReply {
         entries: Vec<(Dot, Rifl)>,
         /// Digest of the replica's key–value store state.
         digest: u64,
+    },
+    /// Replica bookkeeping statistics.
+    Stats {
+        /// Per-command entries currently held by the protocol
+        /// ([`tracked_entries`](atlas_core::Protocol::tracked_entries)).
+        tracked: u64,
+        /// Commands the store has executed.
+        executed: u64,
     },
 }
 
@@ -267,6 +334,54 @@ mod tests {
         };
         let bytes = bincode::serialize(&reply).unwrap();
         assert_eq!(bincode::deserialize::<ClientReply>(&bytes).unwrap(), reply);
+
+        let stats = ClientReply::Stats {
+            tracked: 7,
+            executed: 99,
+        };
+        let bytes = bincode::serialize(&stats).unwrap();
+        assert_eq!(bincode::deserialize::<ClientReply>(&bytes).unwrap(), stats);
+
+        let watermarks = PeerBody::Watermarks(vec![(1, 10), (2, 7)]);
+        let bytes = bincode::serialize(&watermarks).unwrap();
+        assert_eq!(
+            bincode::deserialize::<PeerBody>(&bytes).unwrap(),
+            watermarks
+        );
+    }
+
+    #[test]
+    fn catch_up_chunks_round_trip() {
+        let chunks = vec![
+            CatchUpChunk {
+                seq: 0,
+                last: false,
+                payload: CatchUpPayload::Start {
+                    horizon: 42,
+                    executed: Some(vec![1, 2, 3]),
+                    store_executed: 17,
+                },
+            },
+            CatchUpChunk {
+                seq: 1,
+                last: false,
+                payload: CatchUpPayload::Store(vec![(1, 10), (2, 20)]),
+            },
+            CatchUpChunk {
+                seq: 2,
+                last: false,
+                payload: CatchUpPayload::Log(vec![(Dot::new(1, 1), Rifl::new(9, 1))]),
+            },
+            CatchUpChunk {
+                seq: 3,
+                last: true,
+                payload: CatchUpPayload::Msgs(vec![vec![0xAB; 16]]),
+            },
+        ];
+        for chunk in chunks {
+            let bytes = bincode::serialize(&chunk).unwrap();
+            assert_eq!(bincode::deserialize::<CatchUpChunk>(&bytes).unwrap(), chunk);
+        }
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //!   **same state bytes** as replaying the full input history — the
 //!   correctness condition behind journal truncation;
 //! * a fresh replica fed a peer's `committed_log` converges to the same
-//!   store state (the peer-assisted catch-up payload is sufficient).
+//!   store state (the peer-assisted catch-up payload is sufficient);
+//! * the GC invariant sweep: a cluster that garbage-collects executed
+//!   entries on the all-executed horizon mid-run executes **exactly** the
+//!   same command sequence (hence identical digests and per-key order) as
+//!   a never-collected twin, keeps strictly less bookkeeping, ignores
+//!   straggler duplicates of collected commits, and GC is idempotent.
 
 use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, Rifl, Topology};
 use kvstore::KVStore;
@@ -249,6 +254,132 @@ where
     );
 }
 
+/// The all-executed horizon of a cluster: for every identifier space
+/// reported by **all** replicas, the minimum of their executed watermarks —
+/// the same pointwise minimum the networked runtime computes from the
+/// watermark reports piggybacked on the peer links.
+fn min_horizon<P: Protocol>(replicas: &[P]) -> Vec<(ProcessId, u64)> {
+    let mut horizon: Option<HashMap<ProcessId, u64>> = None;
+    for replica in replicas {
+        let report: HashMap<ProcessId, u64> = replica.executed_watermarks().into_iter().collect();
+        horizon = Some(match horizon {
+            None => report,
+            Some(mut h) => {
+                h.retain(|space, v| match report.get(space) {
+                    Some(&peer) => {
+                        *v = (*v).min(peer);
+                        true
+                    }
+                    None => false,
+                });
+                h
+            }
+        });
+    }
+    let mut horizon: Vec<(ProcessId, u64)> = horizon.unwrap_or_default().into_iter().collect();
+    horizon.sort_unstable();
+    horizon
+}
+
+/// Drives two identical conflicting workloads, garbage-collecting one
+/// cluster every other round on the all-executed horizon and never
+/// collecting the other. The collected cluster must be observationally
+/// identical — same executed `(dot, cmd)` sequence per replica (which
+/// implies the same per-key order), same store digest — while holding
+/// strictly fewer bookkeeping entries; straggler duplicates of collected
+/// commits must be ignored, and re-applying the same horizon must drop
+/// nothing.
+fn gc_matches_never_collected_twin<P: Protocol>()
+where
+    P::Message: Clone,
+{
+    let mut collected = Net::<P>::new(3, 1);
+    let mut pristine = Net::<P>::new(3, 1);
+    let mut dropped_total = 0u64;
+    for seq in 1..=16u64 {
+        for coordinator in 1..=3u32 {
+            let cmd = put(coordinator as u64, seq, seq % 4);
+            collected.submit(coordinator, cmd.clone());
+            pristine.submit(coordinator, cmd);
+        }
+        if seq % 2 == 0 {
+            let horizon = min_horizon(&collected.replicas);
+            for replica in &mut collected.replicas {
+                dropped_total += replica.gc_executed(&horizon);
+            }
+        }
+    }
+    assert!(
+        dropped_total > 0,
+        "{}: the sweep must actually collect something",
+        P::name()
+    );
+
+    for id in 1..=3u32 {
+        // Identical executed sequences ⇒ identical per-key order.
+        assert_eq!(
+            collected.executed.get(&id),
+            pristine.executed.get(&id),
+            "{}: GC changed replica {id}'s execution sequence",
+            P::name()
+        );
+        // Identical store digests.
+        let digest = |net: &Net<P>| {
+            let mut store = KVStore::new();
+            for (_, cmd) in &net.executed[&id] {
+                store.execute(cmd);
+            }
+            store.digest()
+        };
+        assert_eq!(
+            digest(&collected),
+            digest(&pristine),
+            "{}: GC changed replica {id}'s digest",
+            P::name()
+        );
+        // Strictly less bookkeeping than the never-collected twin.
+        let a = collected.replicas[(id - 1) as usize].tracked_entries();
+        let b = pristine.replicas[(id - 1) as usize].tracked_entries();
+        assert!(
+            a < b,
+            "{}: replica {id} tracked {a} entries with GC vs {b} without",
+            P::name()
+        );
+    }
+
+    // Straggler duplicates of collected commits (an at-least-once link
+    // replaying old frames) must be ignored: no actions, no new entries.
+    let stragglers = pristine.replicas[0].committed_log();
+    let replica = &mut collected.replicas[1];
+    let tracked_before = replica.tracked_entries();
+    let mut actions = 0;
+    for msg in stragglers {
+        actions += replica
+            .handle(1, msg, 0)
+            .iter()
+            .filter(|a| matches!(a, Action::Execute { .. }))
+            .count();
+    }
+    assert_eq!(actions, 0, "{}: stragglers re-executed", P::name());
+    assert_eq!(
+        replica.tracked_entries(),
+        tracked_before,
+        "{}: stragglers of collected commits grew the bookkeeping maps",
+        P::name()
+    );
+
+    // GC is idempotent: the same horizon again drops nothing.
+    let horizon = min_horizon(&collected.replicas);
+    for replica in &mut collected.replicas {
+        assert_eq!(
+            replica.gc_executed(&horizon),
+            0,
+            "{}: re-applying the horizon must be a no-op",
+            P::name()
+        );
+    }
+}
+
 macro_rules! durability_hook_tests {
     ($name:ident, $proto:ty) => {
         mod $name {
@@ -265,6 +396,11 @@ macro_rules! durability_hook_tests {
             #[test]
             fn committed_log_rebuilds_store() {
                 super::committed_log_rebuilds_store::<$proto>();
+            }
+
+            #[test]
+            fn gc_matches_never_collected_twin() {
+                super::gc_matches_never_collected_twin::<$proto>();
             }
         }
     };

@@ -148,11 +148,22 @@ pub struct EPaxos {
     graph: DependencyGraph,
     metrics: ProtocolMetrics,
     commit_times: HashMap<Dot, Time>,
+    /// Highest identifier sequence seen per source; kept separately from
+    /// the `info` keys so the seen horizon survives garbage collection.
+    seen: HashMap<ProcessId, u64>,
 }
 
 impl EPaxos {
     fn info_mut(&mut self, dot: Dot) -> &mut Info {
+        let seen = self.seen.entry(dot.source).or_insert(0);
+        *seen = (*seen).max(dot.seq);
         self.info.entry(dot).or_default()
+    }
+
+    /// Whether `dot` is at or below the GC floor (executed at every replica
+    /// and its bookkeeping dropped here); messages about it are stragglers.
+    fn collected(&self, dot: &Dot) -> bool {
+        dot.seq <= self.graph.floor_of(dot.source)
     }
 
     /// EPaxos fast quorum: the closest `f_max + ⌈(f_max+1)/2⌉` processes.
@@ -174,7 +185,7 @@ impl EPaxos {
         deps: HashSet<Dot>,
         quorum: Vec<ProcessId>,
     ) -> Vec<Action<Message>> {
-        if self.info_mut(dot).phase() != Phase::Start {
+        if self.collected(&dot) || self.info_mut(dot).phase() != Phase::Start {
             return Vec::new();
         }
         let mut local = self.key_deps.conflicts(&cmd);
@@ -199,6 +210,11 @@ impl EPaxos {
         deps: HashSet<Dot>,
         time: Time,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // A straggling ack for a collected instance; `info_mut` below
+            // would resurrect an empty entry that GC could never drop.
+            return Vec::new();
+        }
         let n = self.config.n;
         let slow_quorum = self.slow_quorum();
         let info = self.info_mut(dot);
@@ -260,6 +276,11 @@ impl EPaxos {
         deps: HashSet<Dot>,
         ballot: Ballot,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // Executed everywhere and garbage-collected; the proposer has
+            // it too, so no short-circuit MCommit is needed (or possible).
+            return Vec::new();
+        }
         let info = self.info_mut(dot);
         if info.phase() == Phase::Commit {
             let cmd = info.cmd.clone().expect("committed command is known");
@@ -283,6 +304,9 @@ impl EPaxos {
         ballot: Ballot,
         time: Time,
     ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            return Vec::new(); // straggling ack for a collected instance
+        }
         let n = self.config.n;
         let majority = self.config.majority();
         let info = self.info_mut(dot);
@@ -307,6 +331,13 @@ impl EPaxos {
         deps: HashSet<Dot>,
         time: Time,
     ) -> Vec<Action<Message>> {
+        if self.graph.is_executed(&dot) {
+            // Already executed here: a garbage-collected entry (the floor
+            // implies it) or one covered by a catch-up base marker, where
+            // no `info` entry exists to dedupe through. A duplicate commit
+            // must not resurrect bookkeeping.
+            return Vec::new();
+        }
         {
             let info = self.info_mut(dot);
             if info.phase() == Phase::Commit {
@@ -361,6 +392,7 @@ impl Protocol for EPaxos {
             graph: DependencyGraph::new(),
             metrics: ProtocolMetrics::new(),
             commit_times: HashMap::new(),
+            seen: HashMap::new(),
         }
     }
 
@@ -455,13 +487,58 @@ impl Protocol for EPaxos {
         Vec::new()
     }
 
-    fn seen_horizon(&self, source: ProcessId) -> u64 {
+    fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
+        let mut watermarks: Vec<(ProcessId, u64)> = self
+            .topology
+            .processes
+            .iter()
+            .map(|&p| (p, self.graph.executed_frontier(p)))
+            .collect();
+        watermarks.sort_unstable();
+        watermarks
+    }
+
+    fn gc_executed(&mut self, horizon: &[(ProcessId, u64)]) -> u64 {
+        self.graph.compact_below(horizon);
+        // Everything at or below the floor goes — including empty shells a
+        // straggler ack may have resurrected after an earlier collection.
+        let before = self.info.len();
+        let graph = &self.graph;
         self.info
-            .keys()
-            .filter(|dot| dot.source == source)
-            .map(|dot| dot.seq)
-            .max()
-            .unwrap_or(0)
+            .retain(|dot, _| dot.seq > graph.floor_of(dot.source));
+        let dropped = (before - self.info.len()) as u64;
+        self.key_deps.prune_below(horizon);
+        dropped
+    }
+
+    fn save_executed(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(&self.graph.executed_marker()).expect("markers always encode"))
+    }
+
+    fn restore_executed(&mut self, marker: &[u8]) -> bool {
+        let Ok(marker) = bincode::deserialize::<atlas_protocol::ExecutedMarker>(marker) else {
+            return false;
+        };
+        if !self.graph.restore_marker(&marker) {
+            return false;
+        }
+        for &(source, frontier) in &marker.frontiers {
+            let seen = self.seen.entry(source).or_insert(0);
+            *seen = (*seen).max(frontier);
+        }
+        for dot in &marker.above {
+            let seen = self.seen.entry(dot.source).or_insert(0);
+            *seen = (*seen).max(dot.seq);
+        }
+        true
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.info.len()
+    }
+
+    fn seen_horizon(&self, source: ProcessId) -> u64 {
+        self.seen.get(&source).copied().unwrap_or(0)
     }
 
     fn advance_identifiers(&mut self, past: u64) {

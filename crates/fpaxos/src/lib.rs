@@ -148,10 +148,21 @@ pub struct FPaxos {
     promises: HashMap<Ballot, HashMap<ProcessId, PromisedEntries>>,
     /// Commit times per slot (for commit→execute metrics).
     commit_times: HashMap<Slot, Time>,
+    /// Compaction floor: slots at or below it executed at **every** replica
+    /// and were dropped from `log`/`decided` by [`Protocol::gc_executed`];
+    /// messages about them are stragglers and are ignored.
+    gc_floor: Slot,
+    /// Highest slot seen in any role; kept separately from the trimmed maps
+    /// so the seen horizon survives garbage collection.
+    max_seen_slot: Slot,
     metrics: ProtocolMetrics,
 }
 
 impl FPaxos {
+    /// Records that `slot` exists (for the GC-surviving seen horizon).
+    fn note_slot(&mut self, slot: Slot) {
+        self.max_seen_slot = self.max_seen_slot.max(slot);
+    }
     /// The leader encoded by a ballot.
     fn ballot_leader(&self, ballot: Ballot) -> ProcessId {
         (ballot % self.config.n as Ballot) as ProcessId + 1
@@ -201,6 +212,7 @@ impl FPaxos {
     fn propose(&mut self, cmd: Command) -> Vec<Action<Message>> {
         let slot = self.next_slot;
         self.next_slot += 1;
+        self.note_slot(slot);
         let ballot = self.leader_ballot;
         self.log.insert(
             slot,
@@ -237,9 +249,10 @@ impl FPaxos {
         ballot: Ballot,
         cmd: Command,
     ) -> Vec<Action<Message>> {
-        if ballot < self.ballot {
+        if ballot < self.ballot || slot <= self.gc_floor {
             return Vec::new();
         }
+        self.note_slot(slot);
         let mut actions = self.learn_leader(ballot);
         self.log.insert(
             slot,
@@ -305,9 +318,10 @@ impl FPaxos {
     }
 
     fn handle_commit(&mut self, slot: Slot, cmd: Command, time: Time) -> Vec<Action<Message>> {
-        if self.decided.contains_key(&slot) {
+        if self.decided.contains_key(&slot) || slot <= self.gc_floor {
             return Vec::new();
         }
+        self.note_slot(slot);
         self.decided.insert(slot, cmd);
         self.metrics.commits += 1;
         self.commit_times.insert(slot, time);
@@ -397,9 +411,11 @@ impl FPaxos {
         }
         let max_slot = chosen.keys().next_back().copied().unwrap_or(0);
         self.next_slot = self.next_slot.max(max_slot + 1);
-        // Re-propose every known slot and fill unknown ones with noOps so the
-        // log has no gaps.
-        for slot in 1..=max_slot {
+        self.note_slot(max_slot);
+        // Re-propose every known slot and fill unknown ones with noOps so
+        // the log has no gaps. Slots at or below the GC floor executed at
+        // every replica and need no re-proposal (their payloads are gone).
+        for slot in (self.gc_floor + 1)..=max_slot {
             if self.decided.contains_key(&slot) {
                 continue;
             }
@@ -457,6 +473,8 @@ impl Protocol for FPaxos {
             pending_forward: Vec::new(),
             promises: HashMap::new(),
             commit_times: HashMap::new(),
+            gc_floor: 0,
+            max_seen_slot: 0,
             metrics: ProtocolMetrics::new(),
         }
     }
@@ -532,13 +550,61 @@ impl Protocol for FPaxos {
             .collect()
     }
 
+    fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
+        // One shared totally ordered log; report its contiguous executed
+        // prefix under the sentinel space 0 (no replica has identifier 0).
+        vec![(0, self.execute_next - 1)]
+    }
+
+    fn gc_executed(&mut self, horizon: &[(ProcessId, u64)]) -> u64 {
+        let Some(&(_, h)) = horizon.iter().find(|(space, _)| *space == 0) else {
+            return 0;
+        };
+        // Never collect beyond what executed locally, whatever the caller
+        // claims; idempotent past the current floor.
+        let eff = h.min(self.execute_next.saturating_sub(1));
+        if eff <= self.gc_floor {
+            return 0;
+        }
+        self.gc_floor = eff;
+        let mut dropped = 0u64;
+        let keep = self.log.split_off(&(eff + 1));
+        dropped += self.log.len() as u64;
+        self.log = keep;
+        let keep = self.decided.split_off(&(eff + 1));
+        dropped += self.decided.len() as u64;
+        self.decided = keep;
+        self.commit_times.retain(|&slot, _| slot > eff);
+        dropped
+    }
+
+    fn save_executed(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(&(self.execute_next - 1)).expect("markers always encode"))
+    }
+
+    fn restore_executed(&mut self, marker: &[u8]) -> bool {
+        let Ok(watermark) = bincode::deserialize::<Slot>(marker) else {
+            return false;
+        };
+        if self.execute_next != 1 {
+            return false; // only a fresh replica may adopt a peer's base
+        }
+        self.execute_next = watermark + 1;
+        self.gc_floor = watermark;
+        self.next_slot = self.next_slot.max(watermark + 1);
+        self.note_slot(watermark);
+        true
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.log.len() + self.decided.len()
+    }
+
     fn seen_horizon(&self, _source: ProcessId) -> u64 {
         // Slots are assigned centrally by the leader rather than per
         // process, so the horizon is the highest slot this replica has seen
-        // in any role (accepted or decided).
-        let accepted = self.log.keys().next_back().copied().unwrap_or(0);
-        let decided = self.decided.keys().next_back().copied().unwrap_or(0);
-        accepted.max(decided)
+        // in any role — tracked separately from the (GC-trimmed) maps.
+        self.max_seen_slot
     }
 
     fn advance_identifiers(&mut self, past: u64) {

@@ -84,6 +84,26 @@ impl KVStore {
         self.data.get(&key).copied()
     }
 
+    /// Iterates all records in key order — used to stream the store in
+    /// bounded chunks during catch-up state transfer.
+    pub fn records(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        self.data.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Installs one record transferred from a peer's store (catch-up base).
+    /// Not a replicated write: no command executes and the executed counter
+    /// does not move — pair with [`KVStore::restore_executed_count`].
+    pub fn restore_record(&mut self, key: Key, value: Value) {
+        self.data.insert(key, value);
+    }
+
+    /// Sets the executed-command counter when installing a transferred
+    /// base, so the restored store is indistinguishable from one that
+    /// executed the transferred history itself.
+    pub fn restore_executed_count(&mut self, executed: u64) {
+        self.executed = executed;
+    }
+
     /// A digest of the full state, used by tests to compare replicas cheaply.
     pub fn digest(&self) -> u64 {
         // FNV-1a over (key, value) pairs in key order: deterministic and

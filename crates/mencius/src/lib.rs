@@ -90,6 +90,13 @@ pub struct Mencius {
     execute_next: Slot,
     /// Commit times per slot, for commit→execute metrics.
     commit_times: HashMap<Slot, Time>,
+    /// Compaction floor: slots at or below it executed at **every** replica
+    /// and were dropped from `decided` by [`Protocol::gc_executed`];
+    /// messages about them are stragglers and are ignored.
+    gc_floor: Slot,
+    /// Highest slot seen per owning process; kept separately from the
+    /// (GC-trimmed) maps so the seen horizon survives garbage collection.
+    max_seen: HashMap<ProcessId, Slot>,
     metrics: ProtocolMetrics,
 }
 
@@ -97,6 +104,13 @@ impl Mencius {
     /// The owner of `slot`.
     fn owner(&self, slot: Slot) -> ProcessId {
         (((slot - 1) % self.config.n as Slot) + 1) as ProcessId
+    }
+
+    /// Records that `slot` exists (for the GC-surviving seen horizon).
+    fn note_slot(&mut self, slot: Slot) {
+        let owner = self.owner(slot);
+        let seen = self.max_seen.entry(owner).or_insert(0);
+        *seen = (*seen).max(slot);
     }
 
     /// First owned slot of this replica.
@@ -111,6 +125,7 @@ impl Mencius {
         let mut skipped = Vec::new();
         while self.next_owned < up_to {
             skipped.push(self.next_owned);
+            self.note_slot(self.next_owned);
             self.next_owned += n;
         }
         if skipped.is_empty() {
@@ -152,6 +167,12 @@ impl Mencius {
         cmd: Command,
     ) -> Vec<Action<Message>> {
         debug_assert_eq!(self.owner(slot), from, "slot proposed by a non-owner");
+        if slot <= self.gc_floor {
+            // A straggling duplicate of a proposal that executed at every
+            // replica before being garbage-collected here.
+            return Vec::new();
+        }
+        self.note_slot(slot);
         // Seeing a proposal for `slot` means every smaller owned slot of ours
         // that is still unused will never be needed before it: skip them so
         // the log has no gaps.
@@ -187,15 +208,20 @@ impl Mencius {
 
     fn handle_skip(&mut self, slots: Vec<Slot>, time: Time) -> Vec<Action<Message>> {
         for slot in slots {
+            if slot <= self.gc_floor {
+                continue; // executed everywhere, collected here
+            }
+            self.note_slot(slot);
             self.decided.entry(slot).or_insert(None);
         }
         self.try_execute(time)
     }
 
     fn handle_commit(&mut self, slot: Slot, cmd: Command, time: Time) -> Vec<Action<Message>> {
-        if matches!(self.decided.get(&slot), Some(Some(_))) {
+        if matches!(self.decided.get(&slot), Some(Some(_))) || slot <= self.gc_floor {
             return Vec::new();
         }
+        self.note_slot(slot);
         self.decided.insert(slot, Some(cmd));
         self.metrics.commits += 1;
         self.commit_times.insert(slot, time);
@@ -219,6 +245,8 @@ impl Protocol for Mencius {
             decided: BTreeMap::new(),
             execute_next: 1,
             commit_times: HashMap::new(),
+            gc_floor: 0,
+            max_seen: HashMap::new(),
             metrics: ProtocolMetrics::new(),
         };
         mencius.next_owned = mencius.first_owned();
@@ -232,6 +260,7 @@ impl Protocol for Mencius {
     fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
         let slot = self.next_owned;
         self.next_owned += self.config.n as Slot;
+        self.note_slot(slot);
         self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
         vec![Action::broadcast(
             self.config.n,
@@ -299,14 +328,59 @@ impl Protocol for Mencius {
         Vec::new()
     }
 
+    fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
+        // One shared totally ordered log; report its contiguous executed
+        // prefix under the sentinel space 0 (no replica has identifier 0).
+        vec![(0, self.execute_next - 1)]
+    }
+
+    fn gc_executed(&mut self, horizon: &[(ProcessId, u64)]) -> u64 {
+        let Some(&(_, h)) = horizon.iter().find(|(space, _)| *space == 0) else {
+            return 0;
+        };
+        let eff = h.min(self.execute_next.saturating_sub(1));
+        if eff <= self.gc_floor {
+            return 0;
+        }
+        self.gc_floor = eff;
+        let keep = self.decided.split_off(&(eff + 1));
+        let dropped = self.decided.len() as u64;
+        self.decided = keep;
+        self.commit_times.retain(|&slot, _| slot > eff);
+        dropped
+    }
+
+    fn save_executed(&self) -> Option<Vec<u8>> {
+        Some(bincode::serialize(&(self.execute_next - 1)).expect("markers always encode"))
+    }
+
+    fn restore_executed(&mut self, marker: &[u8]) -> bool {
+        let Ok(watermark) = bincode::deserialize::<Slot>(marker) else {
+            return false;
+        };
+        if self.execute_next != 1 {
+            return false; // only a fresh replica may adopt a peer's base
+        }
+        self.execute_next = watermark + 1;
+        self.gc_floor = watermark;
+        let n = self.config.n as Slot;
+        while self.next_owned <= watermark {
+            self.next_owned += n;
+        }
+        // Every slot up to the watermark was seen (it executed); record the
+        // last owned slot of each process so seen horizons stay truthful.
+        for slot in watermark.saturating_sub(n - 1).max(1)..=watermark {
+            self.note_slot(slot);
+        }
+        true
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.decided.len() + self.proposals.len()
+    }
+
     fn seen_horizon(&self, source: ProcessId) -> u64 {
-        self.decided
-            .keys()
-            .chain(self.proposals.keys())
-            .copied()
-            .filter(|&slot| self.owner(slot) == source)
-            .max()
-            .unwrap_or(0)
+        self.max_seen.get(&source).copied().unwrap_or(0)
     }
 
     fn advance_identifiers(&mut self, past: u64) {
