@@ -42,13 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 pub mod graph;
 pub mod keydeps;
 pub mod messages;
 pub mod protocol;
-mod recovery;
+pub mod recovery;
 
 pub use graph::{DependencyGraph, ExecutedMarker};
 pub use keydeps::KeyDeps;
 pub use messages::{Ballot, Message};
 pub use protocol::Atlas;
+pub use recovery::{ballot_owner, highest_accepted, takeover_ballot, RecAck};

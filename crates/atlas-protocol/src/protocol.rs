@@ -5,6 +5,7 @@
 use crate::graph::DependencyGraph;
 use crate::keydeps::KeyDeps;
 use crate::messages::{Ballot, Message};
+use crate::recovery::RecAck;
 use atlas_core::protocol::Time;
 use atlas_core::{
     Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
@@ -27,16 +28,6 @@ pub(crate) enum Phase {
     Execute,
 }
 
-/// Everything a recovery acknowledgement carries (used by the new
-/// coordinator to compute its proposal).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub(crate) struct RecAck {
-    pub cmd: Command,
-    pub deps: HashSet<Dot>,
-    pub quorum: Vec<ProcessId>,
-    pub accepted_ballot: Ballot,
-}
-
 /// Per-identifier bookkeeping (the mappings at the bottom of Algorithm 1/4).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Info {
@@ -55,6 +46,12 @@ pub(crate) struct Info {
     pub consensus_acks: HashMap<Ballot, HashSet<ProcessId>>,
     /// Recovery coordinator side: `MRecAck` replies, per ballot.
     pub rec_acks: HashMap<Ballot, HashMap<ProcessId, RecAck>>,
+    /// Recovery coordinator side: the proposal computed for each ballot
+    /// this replica led. Replies beyond the recovery quorum re-send the
+    /// memoized proposal instead of re-deriving one — a straggling
+    /// `MRecAck` could otherwise grow the union and make the same ballot
+    /// carry two different values, which is unsound Paxos.
+    pub rec_proposed: HashMap<Ballot, (Command, HashSet<Dot>)>,
     /// Whether an `MCommit` has already been broadcast by this replica for
     /// this identifier (prevents duplicate commits by the same proposer).
     pub committed_sent: bool,
@@ -75,6 +72,7 @@ impl Info {
             collect_acks: HashMap::new(),
             consensus_acks: HashMap::new(),
             rec_acks: HashMap::new(),
+            rec_proposed: HashMap::new(),
             committed_sent: false,
             collect_decided: false,
         }

@@ -1,4 +1,6 @@
-//! Recovery path of the Atlas protocol (Algorithm 2 of the paper).
+//! Recovery path of the Atlas protocol (Algorithm 2 of the paper), plus the
+//! ballot machinery shared by every takeover-style recovery in this
+//! workspace.
 //!
 //! When a replica suspects that the initial coordinator of a command has
 //! failed, it takes over by running an analogue of Paxos phase 1 with a
@@ -13,12 +15,66 @@
 //!
 //! The chosen proposal then goes through the regular consensus phase 2
 //! (`MConsensus` / `MConsensusAck`) before being committed.
+//!
+//! The building blocks — process-owned takeover ballots
+//! ([`takeover_ballot`] / [`ballot_owner`]) and the phase-1 reply shape
+//! ([`RecAck`]) — are exported because EPaxos instance recovery and Mencius
+//! slot revocation run the same message flow with protocol-specific value
+//! selection; see the `epaxos` and `mencius` crates.
 
 use crate::messages::{Ballot, Message};
-use crate::protocol::{Atlas, Phase, RecAck};
+use crate::protocol::{Atlas, Phase};
 use atlas_core::protocol::Time;
 use atlas_core::{Action, Command, Dot, ProcessId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// The smallest ballot owned by process `id` that is strictly greater than
+/// both `seen` and `n`: `id + n·(⌊seen/n⌋ + 1)`. Ballots `1..=n` are
+/// reserved for initial coordinators (process `i` implicitly leads ballot
+/// `i`), so every takeover ballot is recognizably a recovery ballot, and
+/// ballots minted by different processes can never collide.
+pub fn takeover_ballot(id: ProcessId, n: usize, seen: Ballot) -> Ballot {
+    let n = n as Ballot;
+    id as Ballot + n * (seen / n + 1)
+}
+
+/// The process that owns `ballot` under the [`takeover_ballot`] scheme:
+/// `((ballot − 1) mod n) + 1`. Only meaningful for `ballot ≥ 1`.
+pub fn ballot_owner(n: usize, ballot: Ballot) -> ProcessId {
+    debug_assert!(ballot >= 1, "ballot 0 has no owner");
+    (((ballot - 1) % n as Ballot) + 1) as ProcessId
+}
+
+/// Everything a takeover phase-1 acknowledgement carries: the responder's
+/// view of the command, its dependency set, the fast quorum it observed
+/// (empty if it never saw the initial round) and the ballot at which it
+/// last accepted a consensus proposal (0 if never). The new coordinator
+/// computes its proposal from a quorum of these.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecAck {
+    /// The command as known by the responder (`noOp` if unknown).
+    pub cmd: Command,
+    /// The responder's current dependency set for the identifier.
+    pub deps: HashSet<Dot>,
+    /// The fast quorum as known by the responder (empty if it never saw
+    /// the initial fast-path round).
+    pub quorum: Vec<ProcessId>,
+    /// Ballot at which the responder last accepted a consensus proposal
+    /// (0 if none).
+    pub accepted_ballot: Ballot,
+}
+
+/// Selects the reply accepted at the highest ballot, if any — the standard
+/// Paxos phase-1 value rule, shared by every takeover recovery here.
+pub fn highest_accepted<'a, I>(acks: I) -> Option<&'a RecAck>
+where
+    I: IntoIterator<Item = &'a RecAck>,
+{
+    acks.into_iter()
+        .filter(|ack| ack.accepted_ballot != 0)
+        .max_by_key(|ack| ack.accepted_ballot)
+}
 
 impl Atlas {
     /// Starts recovery for every in-flight command coordinated by
@@ -64,14 +120,14 @@ impl Atlas {
             return Vec::new();
         }
         self.metrics.recoveries += 1;
-        let n = self.config.n as Ballot;
-        let id = self.id as Ballot;
+        let n = self.config.n;
+        let id = self.id;
         let info = self.info_mut(dot);
         if matches!(info.phase, Phase::Commit | Phase::Execute) {
             return Vec::new();
         }
         // Pick a ballot owned by this replica, higher than any it has seen.
-        let ballot = id + n * (info.bal / n + 1);
+        let ballot = takeover_ballot(id, n, info.bal);
         let cmd = info.cmd.clone().unwrap_or_else(Command::noop);
         vec![Action::broadcast(
             self.config.n,
@@ -177,14 +233,25 @@ impl Atlas {
         if acks.len() < recovery_quorum_size {
             return Vec::new();
         }
+        if let Some((cmd, deps)) = info.rec_proposed.get(&ballot) {
+            // A proposal was already derived for this ballot: a straggling
+            // ack (or a re-sent one) only re-sends it. Deriving again could
+            // produce a *larger* union — two values at one ballot.
+            let (cmd, deps) = (cmd.clone(), deps.clone());
+            return vec![Action::broadcast(
+                n,
+                Message::MConsensus {
+                    dot,
+                    cmd,
+                    deps,
+                    ballot,
+                },
+            )];
+        }
 
         // Compute the proposal from the n - f replies.
         let acks = acks.clone();
-        let (cmd, deps) = if let Some((_, highest)) = acks
-            .iter()
-            .filter(|(_, ack)| ack.accepted_ballot != 0)
-            .max_by_key(|(_, ack)| ack.accepted_ballot)
-        {
+        let (cmd, deps) = if let Some(highest) = highest_accepted(acks.values()) {
             // Case 1 (line 46-48): adopt the proposal accepted at the highest
             // ballot, by the standard Paxos rules.
             (highest.cmd.clone(), highest.deps.clone())
@@ -218,6 +285,9 @@ impl Atlas {
             (Command::noop(), HashSet::new())
         };
 
+        self.info_mut(dot)
+            .rec_proposed
+            .insert(ballot, (cmd.clone(), deps.clone()));
         vec![Action::broadcast(
             n,
             Message::MConsensus {
@@ -475,117 +545,6 @@ mod tests {
         assert_eq!(info.deps, deps);
     }
 
-    /// Like `Net`, but delivers queued messages in seeded-random order with
-    /// random duplication — the message schedule of a real network with
-    /// at-least-once links, instead of the lock-step FIFO above. Messages
-    /// to or from crashed processes are lost.
-    struct ChaosNet {
-        replicas: Vec<Atlas>,
-        crashed: HashSet<ProcessId>,
-        executed: std::collections::HashMap<ProcessId, Vec<Dot>>,
-        rng: rand::rngs::SmallRng,
-    }
-
-    impl ChaosNet {
-        fn new(n: usize, f: usize, seed: u64) -> Self {
-            use rand::SeedableRng;
-            let config = Config::new(n, f);
-            let replicas = (1..=n as ProcessId)
-                .map(|id| Atlas::new(id, config, Topology::identity(id, n)))
-                .collect();
-            Self {
-                replicas,
-                crashed: HashSet::new(),
-                executed: Default::default(),
-                rng: rand::rngs::SmallRng::seed_from_u64(seed),
-            }
-        }
-
-        fn replica(&mut self, id: ProcessId) -> &mut Atlas {
-            &mut self.replicas[(id - 1) as usize]
-        }
-
-        fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
-            use rand::Rng;
-            let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
-            self.enqueue(source, actions, &mut queue);
-            while !queue.is_empty() {
-                // Reordering: deliver a uniformly random queued message.
-                let idx = self.rng.gen_range(0..queue.len());
-                let (from, to, msg) = queue.swap_remove(idx);
-                if self.crashed.contains(&from) || self.crashed.contains(&to) {
-                    continue; // loss
-                }
-                // Duplication: an at-least-once link may deliver twice.
-                if queue.len() < 4096 && self.rng.gen_bool(0.2) {
-                    queue.push((from, to, msg.clone()));
-                }
-                let out = self.replica(to).handle(from, msg, 0);
-                self.enqueue(to, out, &mut queue);
-            }
-        }
-
-        /// Remote sends go into the chaotic queue; self-addressed messages
-        /// are delivered immediately to fixpoint, exactly like the runtime's
-        /// `perform` (the paper's zero-delay self-delivery assumption —
-        /// e.g. a coordinator always processes its own `MCollect` before
-        /// any of the acks it provokes).
-        fn enqueue(
-            &mut self,
-            source: ProcessId,
-            actions: Vec<Action<Message>>,
-            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
-        ) {
-            let mut local: Vec<Message> = Vec::new();
-            self.sort_actions(source, actions, &mut local, queue);
-            while let Some(msg) = local.pop() {
-                let out = self.replica(source).handle(source, msg, 0);
-                self.sort_actions(source, out, &mut local, queue);
-            }
-        }
-
-        fn sort_actions(
-            &mut self,
-            source: ProcessId,
-            actions: Vec<Action<Message>>,
-            local: &mut Vec<Message>,
-            queue: &mut Vec<(ProcessId, ProcessId, Message)>,
-        ) {
-            for action in actions {
-                match action {
-                    Action::Send { targets, msg } => {
-                        for to in targets {
-                            if to == source {
-                                local.push(msg.clone());
-                            } else {
-                                queue.push((source, to, msg.clone()));
-                            }
-                        }
-                    }
-                    Action::Execute { dot, .. } => {
-                        self.executed.entry(source).or_default().push(dot);
-                    }
-                    Action::Commit { .. } => {}
-                }
-            }
-        }
-
-        /// Submits at `at`, delivering the MCollect only to `reach` and
-        /// losing every reply — a command stranded mid-collect.
-        fn submit_reaching(&mut self, at: ProcessId, cmd: Command, reach: &[ProcessId]) {
-            let actions = self.replica(at).submit(cmd, 0);
-            for action in actions {
-                if let Action::Send { targets, msg } = action {
-                    for to in targets {
-                        if reach.contains(&to) {
-                            let _ = self.replica(to).handle(at, msg.clone(), 0);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Atlas recovery under realistic schedules: commands stranded at
     /// random propagation stages, the coordinator crashed, and the
     /// survivors' concurrent recoveries delivered with random reordering,
@@ -594,21 +553,22 @@ mod tests {
     /// identifier (Invariant 1) and execute in the same order.
     #[test]
     fn recovery_converges_under_reordering_and_duplication() {
+        use crate::chaos::ChaosNet;
         use rand::Rng;
         for seed in 0..25u64 {
-            let mut net = ChaosNet::new(5, 2, 0xC4A05 + seed);
+            let mut net = ChaosNet::<Atlas>::new(5, 2, 0xC4A05 + seed);
             // A few conflicting commands stranded at random subsets of the
             // fast quorum; coordinator 1 owns them all and then crashes.
             // The coordinator always processes its own MCollect (the
             // runtime delivers self-addressed messages immediately), so
             // `survivor_reach` tracks who *else* saw each command.
-            let stranded = net.rng.gen_range(1..=3u64);
+            let stranded = net.rng().gen_range(1..=3u64);
             let mut survivor_reach: Vec<Vec<ProcessId>> = Vec::new();
             for seq in 1..=stranded {
                 let reach_mask: [bool; 3] = [
-                    net.rng.gen_bool(0.6),
-                    net.rng.gen_bool(0.6),
-                    net.rng.gen_bool(0.6),
+                    net.rng().gen_bool(0.6),
+                    net.rng().gen_bool(0.6),
+                    net.rng().gen_bool(0.6),
                 ];
                 let survivors: Vec<ProcessId> = [2u32, 3, 4]
                     .into_iter()
@@ -637,7 +597,7 @@ mod tests {
             for _pass in 0..2 {
                 let mut suspecters = vec![2u32, 3, 4, 5];
                 while !suspecters.is_empty() {
-                    let idx = net.rng.gen_range(0..suspecters.len());
+                    let idx = net.rng().gen_range(0..suspecters.len());
                     let at = suspecters.swap_remove(idx);
                     let actions = net.replica(at).suspect(1, 0);
                     net.run(at, actions);

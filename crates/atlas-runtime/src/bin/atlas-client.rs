@@ -99,10 +99,17 @@ fn main() {
     rt.block_on(async {
         let started = Instant::now();
         let mut tasks = Vec::new();
-        for client_id in 1..=args.clients {
+        // Client identifiers are namespaced by process id: a `Rifl` must be
+        // globally unique (the runtime routes replies by it, and protocol
+        // retry deduplication relies on it), and two concurrent
+        // `atlas-client` invocations both numbering their clients `1..=n`
+        // would otherwise submit *different* commands under identical
+        // rifls.
+        let namespace = (std::process::id() as u64) << 20;
+        for client_idx in 1..=args.clients {
             tasks.push(tokio::spawn(drive(
                 args.addr,
-                client_id,
+                namespace | client_idx,
                 args.ops,
                 args.keys,
                 args.conflict_pct,

@@ -38,7 +38,7 @@
 //! between suspecting and trusting (each `Suspected` transition triggers a
 //! protocol recovery broadcast — safe to repeat, but not free). In failure
 //! detector terms this trades detection *speed* for *accuracy*: ◇P-style
-//! eventual accuracy is what Atlas recovery needs for liveness, and wrong
+//! eventual accuracy is what the protocols' recovery needs for liveness, and wrong
 //! suspicions, while safe (recovery is consensus-protected), can replace a
 //! live coordinator's uncommitted commands with `noOp`s.
 //!

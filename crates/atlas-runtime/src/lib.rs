@@ -80,10 +80,11 @@
 //! tick, any inbound frame counts as evidence its sender is alive, and a
 //! peer silent past the threshold is handed to
 //! [`Protocol::suspect`](atlas_core::Protocol::suspect) through the
-//! journaled input pipeline — for Atlas this runs the paper's Algorithm 2
-//! and replaces a dead coordinator's unseen in-flight commands with
-//! `noOp`s, so the commands that conflict with them stop stalling. See
-//! [`detector`] for the hysteresis state machine.
+//! journaled input pipeline — every hosted protocol turns this into real
+//! recovery (Atlas Algorithm-2 takeover, EPaxos explicit prepare, Mencius
+//! slot revocation, FPaxos leader election), so a dead coordinator's
+//! in-flight commands are resolved and the commands that conflict with
+//! them stop stalling. See [`detector`] for the hysteresis state machine.
 //!
 //! ## Pieces
 //!

@@ -72,9 +72,11 @@
 //! silence. A suspicion is journaled (as [`JournalRecord::Suspect`] — it is
 //! a protocol input like any other and can mint recovery ballots) and then
 //! dispatched to [`Protocol::suspect`], whose actions flow through the
-//! normal [`Action`] pipeline; for Atlas this takes over the suspected
-//! replica's in-flight commands and replaces the unseen ones with `noOp`s
-//! so conflicting commands stop stalling. Trust is restored with hysteresis
+//! normal [`Action`] pipeline; the protocol takes over the suspected
+//! replica's in-flight commands (Atlas/EPaxos ballot takeovers, Mencius
+//! slot revocation, FPaxos leader election) and resolves the unseen ones
+//! as `noOp`s/skips so conflicting commands stop stalling. Trust is
+//! restored with hysteresis
 //! ([`ReplicaConfig::trust_after`]) once the peer is heard again — a
 //! crashed replica that restarts (journal recovery) or rejoins wiped
 //! (`catch_up`) announces itself through its own heartbeats and catch-up

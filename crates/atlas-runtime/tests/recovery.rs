@@ -1,14 +1,18 @@
 //! End-to-end failure detection + recovery over real TCP.
 //!
 //! The headline scenario (the paper's availability claim, §5.6): a
-//! 3-replica Atlas cluster, the coordinator of in-flight conflicting
-//! commands is killed mid-workload and **never restarted**. Before the
-//! runtime grew a failure detector this deadlocked — survivors committed
-//! commands whose dependencies named the dead coordinator's in-flight
-//! identifiers, and nothing ever resolved them. Now the survivors suspect
-//! the coordinator after `suspect_after` of silence, run Algorithm 2
-//! recovery (replacing unseen commands with `noOp`s), and the rest of the
-//! workload completes with identical cross-replica digests.
+//! 3-replica cluster, the coordinator of in-flight conflicting commands is
+//! killed mid-workload and **never restarted** — and the drill runs for
+//! **every hosted protocol**. The survivors suspect the coordinator after
+//! `suspect_after` of silence and run the protocol's own recovery: Atlas
+//! Algorithm-2 `MRec` takeover, EPaxos explicit-prepare instance recovery,
+//! Mencius slot revocation, and (killing the *leader*) FPaxos leader
+//! election with proxy re-forwarding. The rest of the workload completes
+//! with identical cross-replica digests.
+//!
+//! Two negative drills prove the new recovery paths are load-bearing: with
+//! the failure detector disabled, the same EPaxos and Mencius scenarios
+//! stall and never complete.
 //!
 //! Also here: a suspected-then-restarted replica reconverges (all four
 //! protocols), and a suspected replica that rejoins *wiped* under its own
@@ -121,27 +125,34 @@ fn assert_same_conflict_order(logs: &[(Vec<(Dot, Rifl)>, u64)], key_of: &HashMap
     }
 }
 
-/// **The acceptance scenario.** Replica 3 coordinates a burst of
-/// conflicting commands and is killed mid-burst, never to return. The
-/// survivors' later conflicting commands pick the dead coordinator's
-/// in-flight identifiers up as dependencies — without a failure detector
-/// this stalls them forever (the pre-PR deadlock). With it, replicas 1 and
-/// 2 suspect replica 3 within `suspect_after`, recover its in-flight
-/// commands (committing the unseen ones as `noOp`s) and the remaining ~1k
-/// commands complete with identical cross-replica execution records.
-#[test]
-fn killed_coordinator_is_suspected_and_recovered() {
+/// **The acceptance scenario**, generic over the hosted protocol. The
+/// replica at `victim` coordinates a burst of conflicting commands and is
+/// killed mid-burst, never to return; clients keep writing against the two
+/// survivors. Without working suspicion + recovery this stalls forever:
+/// for Atlas/EPaxos the survivors' commands depend on the dead
+/// coordinator's unresolved identifiers, for Mencius every commit waits on
+/// the dead replica's acknowledgement (and the log has holes at its
+/// slots), for FPaxos (victim = the leader, with clients proxied through
+/// the survivors) every command funnels through the corpse.
+fn killed_coordinator_drill<P>(victim: ProcessId)
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
     const PHASE_A: u64 = 150;
     const BURST: u64 = 100;
     const PHASE_B: u64 = 350;
+    let survivors: Vec<ProcessId> = (1..=REPLICAS as ProcessId)
+        .filter(|id| *id != victim)
+        .collect();
     let rt = tokio::runtime::Runtime::new().unwrap();
     rt.block_on(async {
-        let mut cluster = Cluster::spawn_with::<Atlas>(Config::new(REPLICAS, 1), drill_options())
+        let mut cluster = Cluster::spawn_with::<P>(Config::new(REPLICAS, 1), drill_options())
             .await
             .expect("cluster boots");
         let drive = |cluster: &Cluster, seq_base: u64, ops: u64| {
-            let addr1 = cluster.addr(1);
-            let addr2 = cluster.addr(2);
+            let addr1 = cluster.addr(survivors[0]);
+            let addr2 = cluster.addr(survivors[1]);
             async move {
                 let c1 = tokio::spawn(run_writes(addr1, 1, seq_base, ops));
                 let c2 = tokio::spawn(run_writes(addr2, 2, seq_base, ops));
@@ -152,13 +163,13 @@ fn killed_coordinator_is_suspected_and_recovered() {
 
         drive(&cluster, 0, PHASE_A).await;
 
-        // Client 3 fires a burst of conflicting writes at replica 3
-        // open-loop (no waiting), and replica 3 dies mid-burst: some
+        // Client 3 fires a burst of conflicting writes at the victim
+        // open-loop (no waiting), and the victim dies mid-burst: some
         // commands are fully committed, some are in flight at arbitrary
-        // stages — MCollect sent to a survivor but never committed is the
-        // poisonous stage, because survivors now depend on an identifier
-        // only recovery can resolve.
-        let mut burst = OpenLoopClient::connect(cluster.addr(3), 3)
+        // stages — partially propagated but never committed is the
+        // poisonous stage, because survivors now hold state only recovery
+        // can resolve.
+        let mut burst = OpenLoopClient::connect(cluster.addr(victim), 3)
             .await
             .expect("burst client");
         let cmds: Vec<Command> = (0..BURST)
@@ -168,10 +179,10 @@ fn killed_coordinator_is_suspected_and_recovered() {
             })
             .collect();
         burst.submit_batch(cmds).await.expect("burst fired");
-        // Give the burst a moment to reach replica 3 and partially
-        // propagate, then kill the coordinator. No flush, no goodbye.
+        // Give the burst a moment to reach the victim and partially
+        // propagate, then kill it. No flush, no goodbye.
         tokio::time::sleep(Duration::from_millis(5)).await;
-        cluster.kill(3);
+        cluster.kill(victim);
 
         // The rest of the workload — ~1k conflicting commands against the
         // survivors. Deadlocks here (forever) if suspicion or recovery is
@@ -184,9 +195,9 @@ fn killed_coordinator_is_suspected_and_recovered() {
              its in-flight commands were never recovered"
         );
 
-        // Survivors must agree exactly — same executed set (client 3's
-        // committed commands included, its noOp-recovered ones excluded
-        // everywhere), same digests, same per-key conflict order.
+        // Survivors must agree exactly — same executed set (the burst
+        // client's committed commands included, its recovered-away ones
+        // excluded everywhere), same digests, same per-key conflict order.
         let total = PHASE_A + PHASE_B;
         let mut key_of: HashMap<Rifl, Key> = HashMap::new();
         let mut must_contain = HashSet::new();
@@ -197,7 +208,7 @@ fn killed_coordinator_is_suspected_and_recovered() {
                 must_contain.insert(rifl);
             }
         }
-        let logs = converge_on(&cluster, &[1, 2], &must_contain, Duration::from_secs(60)).await;
+        let logs = converge_on(&cluster, &survivors, &must_contain, Duration::from_secs(60)).await;
         for (entries, _) in &logs {
             let set: HashSet<(Dot, Rifl)> = entries.iter().copied().collect();
             assert_eq!(set.len(), entries.len(), "duplicate execution");
@@ -208,6 +219,130 @@ fn killed_coordinator_is_suspected_and_recovered() {
         assert_same_conflict_order(&logs, &key_of);
         cluster.shutdown();
     });
+}
+
+#[test]
+fn killed_coordinator_recovers_atlas() {
+    killed_coordinator_drill::<Atlas>(3);
+}
+
+#[test]
+fn killed_coordinator_recovers_epaxos() {
+    killed_coordinator_drill::<epaxos::EPaxos>(3);
+}
+
+#[test]
+fn killed_coordinator_recovers_mencius() {
+    killed_coordinator_drill::<mencius::Mencius>(3);
+}
+
+/// FPaxos funnels every command through the leader (replica 1 under the
+/// identity topology), so the drill kills *it* while clients write through
+/// the surviving proxies: the survivors must elect a new leader and
+/// re-forward their in-flight commands.
+#[test]
+fn killed_leader_recovers_fpaxos() {
+    killed_coordinator_drill::<fpaxos::FPaxos>(1);
+}
+
+/// The negative drill proving the recovery paths are load-bearing: the
+/// same scenario with the failure detector disabled must stall. For
+/// Mencius the stall is structural (every commit waits for the dead
+/// replica's acknowledgement); for EPaxos the survivors' conflicting
+/// commands wait on the dead coordinator's in-flight instances, so the
+/// kill is timed right after the burst demonstrably started propagating.
+fn killed_coordinator_stalls_without_recovery<P>()
+where
+    P: Protocol + Send + 'static,
+    P::Message: Serialize + Deserialize + Send + 'static,
+{
+    const PHASE_A: u64 = 30;
+    const BURST: u64 = 600;
+    // Killing "mid-burst" races the burst's propagation; if the whole burst
+    // happens to finish before the kill lands, nothing is left in flight
+    // and the workload legitimately completes. One observed stall proves
+    // the point; with recovery enabled a stall can *never* happen, so the
+    // retry loop cannot mask a regression.
+    const ATTEMPTS: u32 = 3;
+    let rt = tokio::runtime::Runtime::new().unwrap();
+    rt.block_on(async {
+        for attempt in 1..=ATTEMPTS {
+            let options = ClusterOptions {
+                tick_interval: Duration::from_millis(10),
+                suspect_after: None, // the recovery path under test, disabled
+                ..ClusterOptions::default()
+            };
+            let mut cluster = Cluster::spawn_with::<P>(Config::new(REPLICAS, 1), options)
+                .await
+                .expect("cluster boots");
+            run_writes(cluster.addr(1), 1, 0, PHASE_A)
+                .await
+                .expect("phase A");
+
+            let mut probe = Client::connect(cluster.addr(1), 901)
+                .await
+                .expect("probe client");
+            let mut burst = OpenLoopClient::connect(cluster.addr(3), 3)
+                .await
+                .expect("burst client");
+            let cmds: Vec<Command> = (0..BURST)
+                .map(|i| {
+                    let rifl = burst.next_rifl();
+                    Command::put(rifl, write_key(3, i), 3_000_000 + i, 64)
+                })
+                .collect();
+            burst.submit_batch(cmds).await.expect("burst fired");
+            // Kill the coordinator as soon as the burst demonstrably
+            // started propagating (its first command executed at a
+            // survivor), while the rest of it is still in flight.
+            let first_burst_rifl = Rifl::new(3, 1);
+            let started = Instant::now();
+            'wait: loop {
+                assert!(
+                    started.elapsed() < Duration::from_secs(20),
+                    "burst never started propagating"
+                );
+                if let Ok((entries, _)) = probe.execution_log().await {
+                    if entries.iter().any(|(_, rifl)| *rifl == first_burst_rifl) {
+                        break 'wait;
+                    }
+                }
+            }
+            cluster.kill(3);
+
+            // With no failure detector nothing ever resolves the dead
+            // coordinator's in-flight state: the conflicting workload below
+            // must hang until the timeout.
+            let stalled = tokio::time::timeout(
+                Duration::from_secs(8),
+                run_writes(cluster.addr(1), 1, PHASE_A, 30),
+            )
+            .await;
+            cluster.shutdown();
+            if stalled.is_err() {
+                return; // stall observed: the recovery path is load-bearing
+            }
+            eprintln!(
+                "attempt {attempt}: the burst fully propagated before the \
+                 kill landed; retrying"
+            );
+        }
+        panic!(
+            "the workload completed without {} recovery in {ATTEMPTS} \
+             attempts — the suspect path is not load-bearing",
+            P::name()
+        );
+    });
+}
+
+#[test]
+fn epaxos_stalls_without_recovery() {
+    killed_coordinator_stalls_without_recovery::<epaxos::EPaxos>();
+}
+
+#[test]
+fn mencius_stalls_without_recovery() {
+    killed_coordinator_stalls_without_recovery::<mencius::Mencius>();
 }
 
 /// A replica that is suspected (killed long enough for the detector to

@@ -15,18 +15,46 @@
 //!   concurrent conflicting commands usually force the slow path.
 //! * The slow path runs a Paxos accept round over a **majority** (not `f+1`).
 //!
-//! EPaxos' instance-recovery procedure is notoriously intricate (and the
-//! paper notes it contains a bug, §3.3); since none of the paper's
-//! experiments exercise EPaxos recovery, [`EPaxos::suspect`] is a no-op here.
-//! This substitution is deliberate (crash *recovery* of a restarting replica
-//! is handled by the runtime durability layer instead; see `ARCHITECTURE.md`).
+//! # Instance recovery
 //!
-//! The no-op is safe under the runtime's failure detector, which calls
-//! `suspect` (repeatedly) for any silent peer: nothing is recovered, so a
-//! dead replica's in-flight commands keep blocking whatever conflicts with
-//! them until the replica restarts and replays its journal — reduced
-//! availability, never inconsistency. Only Atlas (and, for leader failure,
-//! FPaxos) turn suspicions into actual recovery.
+//! EPaxos' instance-recovery procedure is notoriously intricate (the Atlas
+//! paper notes the published one contains a bug, §3.3; Bipartisan Paxos
+//! devotes a paper section to why). This crate implements a ballot-based
+//! **explicit prepare** ([`EPaxos::suspect`]) that is deliberately simpler
+//! than — and provably safe for — *this* crate's strict fast-path variant,
+//! where the coordinator commits on the fast path only when **every**
+//! fast-quorum member reported exactly the same dependency set:
+//!
+//! 1. A survivor takes over an in-flight instance of a suspected
+//!    coordinator with a takeover ballot it owns (shared machinery with
+//!    Atlas's `MRec`: `atlas_protocol::recovery`), broadcasting
+//!    `MPrepare` and collecting `MPrepareOk` from a majority.
+//! 2. If any reply carries a value accepted at a ballot > 0, the value
+//!    accepted at the **highest ballot** is adopted (standard Paxos). Such
+//!    a value always equals any fast-path commit (the coordinator decides
+//!    between the paths exactly once), so this rule is consistent with it.
+//! 3. Otherwise, if the replies show a pre-accepted instance: any majority
+//!    intersects the (≈3n/4-sized) fast quorum in at least
+//!    `⌈(f_max+1)/2⌉ ≥ 1` live members. If every responding fast-quorum
+//!    member pre-accepted the **same** dependency set, a fast-path commit
+//!    with exactly that set may have happened, and it is adopted verbatim.
+//!    If any responding fast-quorum member reports a different set — or
+//!    never saw the pre-accept at all — the strict matching condition
+//!    proves the fast path was **not** taken, and the union of every
+//!    reply's dependencies (responders that never saw the instance
+//!    contribute their current conflicts, exactly as in Atlas's `MRec`) is
+//!    proposed instead.
+//! 4. If no reply ever saw the command, it is replaced with a `noOp` so
+//!    dependants stop waiting (the dead coordinator's client retries).
+//!
+//! The chosen proposal then runs the regular accept phase at the takeover
+//! ballot before being committed — and the proposal computed for a ballot
+//! is memoized, so straggling `MPrepareOk`s can only re-send it, never
+//! re-derive a different value at the same ballot. Re-dispatched suspicions
+//! (the runtime repeats them while a peer stays dead) re-send the same
+//! prepare instead of opening a fresh ballot. A *crashed-and-restarted*
+//! replica is still handled by the runtime durability layer; `suspect`
+//! exists for the coordinator that never comes back.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +63,7 @@ use atlas_core::protocol::Time;
 use atlas_core::{
     Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
 };
+use atlas_protocol::recovery::{ballot_owner, highest_accepted, takeover_ballot, RecAck};
 use atlas_protocol::{DependencyGraph, KeyDeps};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -90,6 +119,33 @@ pub enum Message {
         /// Final dependencies.
         deps: HashSet<Dot>,
     },
+    /// Recovery phase-1: a survivor tries to take over an in-flight
+    /// instance of a suspected coordinator.
+    MPrepare {
+        /// Command identifier being recovered.
+        dot: Dot,
+        /// The command as known by the new coordinator (`noOp` if unknown).
+        cmd: Command,
+        /// Takeover ballot (always greater than `n`).
+        ballot: Ballot,
+    },
+    /// Recovery phase-1 acknowledgement carrying everything the sender
+    /// knows about the instance.
+    MPrepareOk {
+        /// Command identifier being recovered.
+        dot: Dot,
+        /// The command as known by the sender (`noOp` if unknown).
+        cmd: Command,
+        /// The sender's current dependency set for the instance.
+        deps: HashSet<Dot>,
+        /// The fast quorum as known by the sender (empty if the sender
+        /// never saw the initial `MPreAccept`).
+        quorum: Vec<ProcessId>,
+        /// Ballot at which the sender last accepted a proposal (0 if none).
+        accepted_ballot: Ballot,
+        /// Ballot being acknowledged.
+        ballot: Ballot,
+    },
 }
 
 impl Message {
@@ -105,6 +161,10 @@ impl Message {
             }
             Message::MPreAcceptAck { deps, .. } => HEADER + PER_DEP * deps.len(),
             Message::MAcceptAck { .. } => HEADER,
+            Message::MPrepare { cmd, .. } => HEADER + cmd.payload_size,
+            Message::MPrepareOk { cmd, deps, .. } => {
+                HEADER + cmd.payload_size + PER_DEP * deps.len()
+            }
         }
     }
 }
@@ -115,6 +175,9 @@ enum Phase {
     Start,
     PreAccept,
     Accept,
+    /// A recovery coordinator has taken over this instance; the original
+    /// fast path can no longer complete here.
+    Recover,
     Commit,
 }
 
@@ -123,11 +186,26 @@ struct Info {
     phase: Option<Phase>,
     cmd: Option<Command>,
     deps: HashSet<Dot>,
-    ballot: Ballot,
+    /// Highest ballot this replica has promised or accepted (`bal`); 0
+    /// until the slow path or a recovery touches the instance.
+    bal: Ballot,
+    /// Ballot at which `cmd`/`deps` were last accepted (`abal`; 0 = never).
+    abal: Ballot,
     quorum: Vec<ProcessId>,
     preaccept_acks: HashMap<ProcessId, HashSet<Dot>>,
-    accept_acks: HashSet<ProcessId>,
+    /// Proposer side: accept acknowledgements, per ballot.
+    accept_acks: HashMap<Ballot, HashSet<ProcessId>>,
+    /// Recovery-coordinator side: `MPrepareOk` replies, per ballot.
+    prepare_acks: HashMap<Ballot, HashMap<ProcessId, RecAck>>,
+    /// Recovery-coordinator side: the proposal computed for each ballot we
+    /// led. Straggling `MPrepareOk`s re-send the memoized proposal — two
+    /// different values at the same ballot would be unsound Paxos.
+    proposed: HashMap<Ballot, (Command, HashSet<Dot>)>,
+    /// Whether the initial coordinator already decided between the fast
+    /// and slow path (prevents reprocessing duplicate pre-accept acks).
     decided: bool,
+    /// Whether this replica already broadcast `MCommit` for the instance.
+    committed_sent: bool,
 }
 
 impl Info {
@@ -241,6 +319,7 @@ impl EPaxos {
         }
 
         if matching {
+            info.committed_sent = true;
             self.metrics.fast_paths += 1;
             let mut actions = vec![Action::broadcast(
                 n,
@@ -287,13 +366,14 @@ impl EPaxos {
             let deps = info.deps.clone();
             return vec![Action::send([from], Message::MCommit { dot, cmd, deps })];
         }
-        if info.ballot > ballot {
+        if info.bal > ballot {
             return Vec::new();
         }
         info.phase = Some(Phase::Accept);
         info.cmd = Some(cmd);
         info.deps = deps;
-        info.ballot = ballot;
+        info.bal = ballot;
+        info.abal = ballot;
         vec![Action::send([from], Message::MAcceptAck { dot, ballot })]
     }
 
@@ -310,13 +390,15 @@ impl EPaxos {
         let n = self.config.n;
         let majority = self.config.majority();
         let info = self.info_mut(dot);
-        if info.ballot != ballot || info.phase() == Phase::Commit {
+        if info.bal != ballot || info.phase() == Phase::Commit || info.committed_sent {
             return Vec::new();
         }
-        info.accept_acks.insert(from);
-        if info.accept_acks.len() < majority {
+        let acks = info.accept_acks.entry(ballot).or_default();
+        acks.insert(from);
+        if acks.len() < majority {
             return Vec::new();
         }
+        info.committed_sent = true;
         let cmd = info.cmd.clone().expect("accepted command is known");
         let deps = info.deps.clone();
         let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
@@ -371,6 +453,225 @@ impl EPaxos {
             actions.push(Action::Execute { dot, cmd });
         }
         actions
+    }
+
+    /// Starts (or re-drives) explicit-prepare recovery for every in-flight
+    /// instance coordinated by `suspected`, including instances this
+    /// replica only knows as missing dependencies of committed commands.
+    fn recover_suspected(&mut self, suspected: ProcessId) -> Vec<Action<Message>> {
+        if suspected == self.id {
+            return Vec::new();
+        }
+        let mut dots: HashSet<Dot> = self
+            .info
+            .iter()
+            .filter(|(dot, info)| dot.coordinator() == suspected && info.phase() != Phase::Commit)
+            .map(|(dot, _)| *dot)
+            .collect();
+        for dot in self.graph.missing_dependencies() {
+            if dot.coordinator() == suspected {
+                dots.insert(dot);
+            }
+        }
+        // Deterministic recovery order keeps runs reproducible.
+        let mut dots: Vec<Dot> = dots.into_iter().collect();
+        dots.sort_unstable();
+        let mut actions = Vec::new();
+        for dot in dots {
+            actions.extend(self.prepare(dot));
+        }
+        actions
+    }
+
+    /// Takes over as coordinator of `dot` with an explicit prepare. A
+    /// re-dispatched suspicion while this replica already leads the
+    /// instance's current ballot re-sends the *same* prepare (lost-message
+    /// recovery) instead of opening a second ballot.
+    fn prepare(&mut self, dot: Dot) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // Executed everywhere and garbage-collected; nothing can be
+            // blocked on it, so there is nothing to recover.
+            return Vec::new();
+        }
+        let n = self.config.n;
+        let id = self.id;
+        let info = self.info_mut(dot);
+        if info.phase() == Phase::Commit {
+            return Vec::new();
+        }
+        let resend = info.bal > n as Ballot && ballot_owner(n, info.bal) == id;
+        let ballot = if resend {
+            info.bal
+        } else {
+            takeover_ballot(id, n, info.bal)
+        };
+        let cmd = info.cmd.clone().unwrap_or_else(Command::noop);
+        if !resend {
+            self.metrics.recoveries += 1;
+        }
+        vec![Action::broadcast(n, Message::MPrepare { dot, cmd, ballot })]
+    }
+
+    /// Handles `MPrepare`: promise the takeover ballot and report everything
+    /// known about the instance (mirrors Atlas's `MRec` handler).
+    fn handle_prepare(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        cmd: Command,
+        ballot: Ballot,
+    ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // The instance executed at every replica before being collected
+            // here; a recovery probe for it is a straggler and must not
+            // resurrect bookkeeping (or panic) — nothing can be blocked on
+            // a collected instance.
+            return Vec::new();
+        }
+        {
+            let info = self.info_mut(dot);
+            if info.phase() == Phase::Commit {
+                // Already decided here: short-circuit the recovery.
+                let cmd = info.cmd.clone().expect("committed command is known");
+                let deps = info.deps.clone();
+                return vec![Action::send([from], Message::MCommit { dot, cmd, deps })];
+            }
+            if info.bal > ballot {
+                // Stale takeover attempt. A *re-sent* prepare at exactly the
+                // promised ballot is re-acknowledged (at-least-once links).
+                return Vec::new();
+            }
+        }
+        // If this replica has never seen the instance, its contribution is
+        // its current set of conflicts for the command — and the command is
+        // indexed so later conflicting commands observe it.
+        let seen_before = {
+            let info = self.info_mut(dot);
+            !(info.bal == 0 && info.phase() == Phase::Start)
+        };
+        if !seen_before {
+            let deps = self.key_deps.conflicts(&cmd);
+            self.key_deps.add(dot, &cmd);
+            let info = self.info_mut(dot);
+            info.deps = deps;
+            info.cmd = Some(cmd);
+        }
+        let info = self.info_mut(dot);
+        info.bal = ballot;
+        info.phase = Some(Phase::Recover);
+        let reply = Message::MPrepareOk {
+            dot,
+            cmd: info.cmd.clone().unwrap_or_else(Command::noop),
+            deps: info.deps.clone(),
+            quorum: info.quorum.clone(),
+            accepted_ballot: info.abal,
+            ballot,
+        };
+        vec![Action::send([from], reply)]
+    }
+
+    /// Handles `MPrepareOk` at the recovery coordinator: with a majority of
+    /// replies, select the proposal (see the crate docs for the safety
+    /// argument) and run the accept phase at the takeover ballot.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_prepare_ok(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        cmd: Command,
+        deps: HashSet<Dot>,
+        quorum: Vec<ProcessId>,
+        accepted_ballot: Ballot,
+        ballot: Ballot,
+    ) -> Vec<Action<Message>> {
+        if self.collected(&dot) {
+            // A straggling ack for a collected instance; `info_mut` below
+            // would resurrect an empty entry that GC could never drop.
+            return Vec::new();
+        }
+        let n = self.config.n;
+        let majority = self.config.majority();
+        let info = self.info_mut(dot);
+        if info.phase() == Phase::Commit || info.committed_sent || info.bal != ballot {
+            return Vec::new();
+        }
+        let acks = info.prepare_acks.entry(ballot).or_default();
+        acks.insert(
+            from,
+            RecAck {
+                cmd,
+                deps,
+                quorum,
+                accepted_ballot,
+            },
+        );
+        if acks.len() < majority {
+            return Vec::new();
+        }
+        // A proposal is computed at most once per ballot; replies beyond
+        // the majority (or re-sent ones) re-send the memoized proposal —
+        // proposing two different values at one ballot would be unsound.
+        let (cmd, deps) = if let Some((cmd, deps)) = info.proposed.get(&ballot) {
+            (cmd.clone(), deps.clone())
+        } else {
+            let acks = acks.clone();
+            let (cmd, deps) = if let Some(highest) = highest_accepted(acks.values()) {
+                // Case 1: adopt the value accepted at the highest ballot —
+                // standard Paxos. Accepted values always agree with any
+                // fast-path commit (the coordinator decides between the
+                // paths exactly once), so this rule is consistent with it.
+                (highest.cmd.clone(), highest.deps.clone())
+            } else if let Some(witness) = acks.values().find(|ack| !ack.quorum.is_empty()) {
+                // Case 2: some responder pre-accepted the instance at the
+                // original ballot. Only fast-quorum members ever receive
+                // MPreAccept, so the responders inside the witnessed quorum
+                // tell whether a fast-path commit is possible.
+                let fq: HashSet<ProcessId> = witness.quorum.iter().copied().collect();
+                let fq_replies: Vec<&RecAck> = acks
+                    .iter()
+                    .filter(|(p, _)| fq.contains(p))
+                    .map(|(_, ack)| ack)
+                    .collect();
+                // A fast-path commit required *every* fast-quorum member to
+                // pre-accept the same dependency set, so it is only
+                // indistinguishable from this side when every responding
+                // member pre-accepted (non-empty quorum) the same set.
+                let fast_possible = !fq_replies.is_empty()
+                    && fq_replies.iter().all(|ack| !ack.quorum.is_empty())
+                    && fq_replies.iter().all(|ack| ack.deps == fq_replies[0].deps);
+                if fast_possible {
+                    (witness.cmd.clone(), fq_replies[0].deps.clone())
+                } else {
+                    // The strict matching condition proves the fast path
+                    // was not taken: free choice. The union over every
+                    // reply keeps all conflicting commands ordered.
+                    let mut union: HashSet<Dot> = HashSet::new();
+                    for ack in acks.values() {
+                        union.extend(ack.deps.iter().copied());
+                    }
+                    union.remove(&dot);
+                    (witness.cmd.clone(), union)
+                }
+            } else {
+                // Case 3: nobody saw the command; replace it with a noOp so
+                // dependants stop waiting.
+                (Command::noop(), HashSet::new())
+            };
+            info.proposed.insert(ballot, (cmd.clone(), deps.clone()));
+            (cmd, deps)
+        };
+        // Accept phase at the takeover ballot, open to every replica (the
+        // suspected one included — a falsely suspected coordinator is a
+        // perfectly good acceptor); commit needs a majority of acks.
+        vec![Action::broadcast(
+            n,
+            Message::MAccept {
+                dot,
+                cmd,
+                deps,
+                ballot,
+            },
+        )]
     }
 }
 
@@ -442,6 +743,15 @@ impl Protocol for EPaxos {
             } => self.handle_accept(from, dot, cmd, deps, ballot),
             Message::MAcceptAck { dot, ballot } => self.handle_accept_ack(from, dot, ballot, time),
             Message::MCommit { dot, cmd, deps } => self.handle_commit(dot, cmd, deps, time),
+            Message::MPrepare { dot, cmd, ballot } => self.handle_prepare(from, dot, cmd, ballot),
+            Message::MPrepareOk {
+                dot,
+                cmd,
+                deps,
+                quorum,
+                accepted_ballot,
+                ballot,
+            } => self.handle_prepare_ok(from, dot, cmd, deps, quorum, accepted_ballot, ballot),
         }
     }
 
@@ -479,12 +789,16 @@ impl Protocol for EPaxos {
         commits.into_iter().map(|(_, msg)| msg).collect()
     }
 
-    /// Deliberate no-op (see the crate docs): EPaxos instance recovery is
-    /// not reproduced, so a suspected peer's in-flight commands stay
-    /// blocked until the peer itself returns. Safe under the runtime's
-    /// repeated suspicion dispatch — the call never touches state.
-    fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
-        Vec::new()
+    /// Ballot-based explicit-prepare instance recovery (see the crate
+    /// docs): takes over every in-flight instance of the suspected
+    /// coordinator, adopting accepted or possibly-fast-committed values and
+    /// replacing never-seen commands with `noOp`s. Idempotent under the
+    /// runtime's repeated suspicion dispatch — a re-dispatch while this
+    /// replica already leads an instance's ballot re-sends the same
+    /// prepare — and deterministic (state-only, no clock or randomness),
+    /// as the journal-replay contract requires.
+    fn suspect(&mut self, suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
+        self.recover_suspected(suspected)
     }
 
     fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
@@ -558,6 +872,7 @@ mod tests {
     struct Cluster {
         replicas: Vec<EPaxos>,
         executed: HashMap<ProcessId, Vec<Dot>>,
+        crashed: HashSet<ProcessId>,
     }
 
     impl Cluster {
@@ -569,6 +884,7 @@ mod tests {
             Self {
                 replicas,
                 executed: HashMap::new(),
+                crashed: HashSet::new(),
             }
         }
 
@@ -576,14 +892,41 @@ mod tests {
             &mut self.replicas[(id - 1) as usize]
         }
 
+        fn crash(&mut self, id: ProcessId) {
+            self.crashed.insert(id);
+        }
+
         fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
             let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
             self.enqueue(source, actions, &mut queue);
             while !queue.is_empty() {
                 let (from, to, msg) = queue.remove(0);
+                if self.crashed.contains(&from) || self.crashed.contains(&to) {
+                    continue;
+                }
                 let out = self.replica(to).handle(from, msg, 0);
                 self.enqueue(to, out, &mut queue);
             }
+        }
+
+        /// Submits at `at`, delivering the MPreAccept only to `reach` and
+        /// losing every reply — a command stranded mid-pre-accept.
+        fn submit_reaching(&mut self, at: ProcessId, cmd: Command, reach: &[ProcessId]) {
+            let actions = self.replica(at).submit(cmd, 0);
+            for action in actions {
+                if let Action::Send { targets, msg } = action {
+                    for to in targets {
+                        if reach.contains(&to) {
+                            let _ = self.replica(to).handle(at, msg.clone(), 0);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn suspect(&mut self, at: ProcessId, suspected: ProcessId) {
+            let actions = self.replica(at).suspect(suspected, 0);
+            self.run(at, actions);
         }
 
         fn enqueue(
@@ -695,5 +1038,282 @@ mod tests {
         let m = cluster.replicas[0].metrics();
         assert_eq!(m.commits, 1);
         assert_eq!(m.executions, 1);
+    }
+
+    #[test]
+    fn killed_coordinator_instance_is_recovered_as_the_real_command() {
+        // Coordinator 1 pre-accepts to part of its fast quorum {1,2,3,4}
+        // and dies before deciding. Recovery by a survivor must commit the
+        // *real* command (a fast-quorum member saw it), not a noOp.
+        let mut cluster = Cluster::new(5, 2);
+        let cmd = put(1, 1, 0);
+        cluster.submit_reaching(1, cmd.clone(), &[1, 2, 3]);
+        cluster.crash(1);
+        cluster.suspect(2, 1);
+        let dot = Dot::new(1, 1);
+        for id in 2..=5u32 {
+            let info = cluster.replicas[(id - 1) as usize].info.get(&dot).unwrap();
+            assert_eq!(info.phase(), Phase::Commit, "replica {id}");
+            let committed = info.cmd.as_ref().unwrap();
+            assert!(!committed.is_noop(), "replica {id} committed a noOp");
+            assert_eq!(committed.rifl, cmd.rifl);
+            assert_eq!(
+                cluster.executed.get(&id).map(Vec::len).unwrap_or(0),
+                1,
+                "replica {id} must execute the recovered command"
+            );
+        }
+        assert!(cluster.replicas[1].metrics().recoveries >= 1);
+    }
+
+    #[test]
+    fn recovery_noops_an_instance_nobody_saw() {
+        // Replica 3 commits a command that depends on ⟨1,1⟩, which no live
+        // replica ever saw (its coordinator died before the pre-accept went
+        // out). Recovery must commit ⟨1,1⟩ as a noOp so the dependant
+        // executes.
+        let mut cluster = Cluster::new(5, 2);
+        let missing = Dot::new(1, 1);
+        let blocked = Dot::new(2, 1);
+        let deps: HashSet<Dot> = [missing].into_iter().collect();
+        let _ = cluster.replica(3).handle(
+            2,
+            Message::MCommit {
+                dot: blocked,
+                cmd: put(2, 1, 0),
+                deps,
+            },
+            0,
+        );
+        assert!(!cluster.executed.contains_key(&3), "blocked on ⟨1,1⟩");
+        cluster.crash(1);
+        cluster.suspect(3, 1);
+        let info = cluster.replicas[2].info.get(&missing).unwrap();
+        assert_eq!(info.phase(), Phase::Commit);
+        assert!(info.cmd.as_ref().unwrap().is_noop());
+        // The dependant executed; the noOp itself is never applied.
+        assert_eq!(cluster.executed.get(&3).unwrap(), &vec![blocked]);
+    }
+
+    #[test]
+    fn suspect_redispatch_resends_the_same_ballot() {
+        // With the majority unreachable, recovery stalls mid-prepare. A
+        // re-dispatched suspicion (the runtime repeats them while the peer
+        // stays dead) must re-send the *same* prepare, not open a second
+        // recovery ballot for the instance.
+        let mut cluster = Cluster::new(5, 2);
+        cluster.submit_reaching(1, put(1, 1, 0), &[1, 2]);
+        cluster.crash(1);
+        cluster.crash(4);
+        cluster.crash(5);
+        let dot = Dot::new(1, 1);
+        cluster.suspect(2, 1);
+        let first_ballot = cluster.replicas[1].info.get(&dot).unwrap().bal;
+        assert!(first_ballot > 5, "a takeover ballot was opened");
+        assert_eq!(cluster.replicas[1].metrics().recoveries, 1);
+        cluster.suspect(2, 1);
+        let info = cluster.replicas[1].info.get(&dot).unwrap();
+        assert_eq!(info.bal, first_ballot, "re-dispatch opened a new ballot");
+        assert_ne!(info.phase(), Phase::Commit, "two replies cannot commit");
+        assert_eq!(
+            cluster.replicas[1].metrics().recoveries,
+            1,
+            "a re-sent prepare is not a new recovery"
+        );
+        // Once a third replica is reachable again, the re-sent prepare at
+        // the same ballot completes the recovery.
+        cluster.crashed.remove(&4);
+        cluster.suspect(2, 1);
+        let info = cluster.replicas[1].info.get(&dot).unwrap();
+        assert_eq!(info.phase(), Phase::Commit);
+        assert!(!info.cmd.as_ref().unwrap().is_noop());
+    }
+
+    #[test]
+    fn highest_accepted_ballot_wins_recovery() {
+        // A proposal accepted at a ballot (a slow path or an earlier
+        // recovery) must survive: the new coordinator adopts the value
+        // accepted at the highest ballot, never a smaller pre-accept view.
+        let mut cluster = Cluster::new(5, 2);
+        let dot = Dot::new(1, 1);
+        let cmd = put(1, 1, 3);
+        let deps: HashSet<Dot> = [Dot::new(2, 9)].into_iter().collect();
+        for id in [1u32, 2, 3] {
+            let out = cluster.replica(id).handle(
+                1,
+                Message::MAccept {
+                    dot,
+                    cmd: cmd.clone(),
+                    deps: deps.clone(),
+                    ballot: 1,
+                },
+                0,
+            );
+            drop(out); // acks are lost
+        }
+        cluster.crash(1);
+        // Replica 5 learns the identifier only as a missing dependency.
+        let _ = cluster.replica(5).handle(
+            2,
+            Message::MCommit {
+                dot: Dot::new(2, 5),
+                cmd: put(2, 5, 7),
+                deps: [dot].into_iter().collect(),
+            },
+            0,
+        );
+        cluster.suspect(5, 1);
+        for id in [2u32, 3, 4, 5] {
+            let info = cluster.replicas[(id - 1) as usize].info.get(&dot).unwrap();
+            assert_eq!(info.phase(), Phase::Commit, "replica {id}");
+            assert_eq!(info.cmd.as_ref().unwrap().rifl, cmd.rifl);
+            assert_eq!(info.deps, deps, "replica {id} lost the accepted deps");
+        }
+    }
+
+    #[test]
+    fn stale_recovery_messages_below_the_gc_floor_are_ignored() {
+        // Regression: a Prepare (or its ack) for an instance that executed
+        // at every replica and was garbage-collected must be ignored — not
+        // panic, and not resurrect an empty info entry GC can never drop.
+        let mut cluster = Cluster::new(3, 1);
+        for seq in 1..=4u64 {
+            cluster.submit(1, put(1, seq, 0));
+        }
+        let replica = cluster.replica(2);
+        let horizon = replica.executed_watermarks();
+        assert!(replica.gc_executed(&horizon) > 0);
+        let tracked = replica.tracked_entries();
+        let dot = Dot::new(1, 1);
+        let out = replica.handle(
+            3,
+            Message::MPrepare {
+                dot,
+                cmd: Command::noop(),
+                ballot: 99,
+            },
+            0,
+        );
+        assert!(out.is_empty(), "stale prepare must be dropped");
+        let out = replica.handle(
+            3,
+            Message::MPrepareOk {
+                dot,
+                cmd: Command::noop(),
+                deps: HashSet::new(),
+                quorum: vec![],
+                accepted_ballot: 0,
+                ballot: 99,
+            },
+            0,
+        );
+        assert!(out.is_empty(), "stale prepare ack must be dropped");
+        assert_eq!(
+            replica.tracked_entries(),
+            tracked,
+            "a collected instance was resurrected"
+        );
+    }
+
+    /// EPaxos recovery under realistic schedules, mirroring the Atlas
+    /// sweep: commands stranded at random propagation stages, the
+    /// coordinator crashed, and the survivors' concurrent recoveries
+    /// delivered with random reordering, duplication and loss-to-the-dead —
+    /// across many seeds, every survivor must commit the same
+    /// `(command, dependencies)` per instance and execute in the same
+    /// order.
+    #[test]
+    fn recovery_converges_under_reordering_and_duplication() {
+        use atlas_protocol::chaos::ChaosNet;
+        use rand::Rng;
+        for seed in 0..25u64 {
+            let mut net = ChaosNet::<EPaxos>::new(5, 2, 0xE9A05 + seed);
+            // A few conflicting commands stranded at random subsets of the
+            // fast quorum {1,2,3,4}; coordinator 1 owns them all and then
+            // crashes. The coordinator always processes its own MPreAccept
+            // (self-addressed messages are delivered immediately), so
+            // `survivor_reach` tracks who *else* saw each command.
+            let stranded = net.rng().gen_range(1..=3u64);
+            let mut survivor_reach: Vec<Vec<ProcessId>> = Vec::new();
+            for seq in 1..=stranded {
+                let reach_mask: [bool; 3] = [
+                    net.rng().gen_bool(0.6),
+                    net.rng().gen_bool(0.6),
+                    net.rng().gen_bool(0.6),
+                ];
+                let survivors: Vec<ProcessId> = [2u32, 3, 4]
+                    .into_iter()
+                    .zip(reach_mask)
+                    .filter(|(_, keep)| *keep)
+                    .map(|(id, _)| id)
+                    .collect();
+                let mut reach = vec![1u32];
+                reach.extend(&survivors);
+                net.submit_reaching(1, put(1, seq, 0), &reach);
+                survivor_reach.push(survivors);
+            }
+            // One fully propagated conflicting command from a survivor, so
+            // there is always something blocked behind the stranded ones.
+            net.submit(2, put(2, 1, 0));
+            net.crash(1);
+
+            // Every survivor suspects the coordinator, in random order,
+            // twice — mirroring the runtime's periodic re-dispatch, since
+            // recovering one command can surface further identifiers of
+            // the dead coordinator.
+            for _pass in 0..2 {
+                let mut suspecters = vec![2u32, 3, 4, 5];
+                while !suspecters.is_empty() {
+                    let idx = net.rng().gen_range(0..suspecters.len());
+                    let at = suspecters.swap_remove(idx);
+                    net.suspect(at, 1);
+                }
+            }
+
+            // Agreement: for every instance any survivor committed, all
+            // survivors that committed it agree on command + dependencies.
+            let mut by_dot: HashMap<Dot, (bool, HashSet<Dot>)> = HashMap::new();
+            for replica in &net.replicas[1..] {
+                for (dot, info) in &replica.info {
+                    if info.phase() != Phase::Commit {
+                        continue;
+                    }
+                    let noop = info.cmd.as_ref().unwrap().is_noop();
+                    let entry = by_dot
+                        .entry(*dot)
+                        .or_insert_with(|| (noop, info.deps.clone()));
+                    assert_eq!(entry.0, noop, "seed {seed}: {dot:?} noop-ness differs");
+                    assert_eq!(
+                        entry.1, info.deps,
+                        "seed {seed}: {dot:?} committed deps differ"
+                    );
+                }
+            }
+            // Every stranded instance that at least one survivor saw was
+            // resolved by recovery.
+            for seq in 1..=stranded {
+                if !survivor_reach[(seq - 1) as usize].is_empty() {
+                    assert!(
+                        by_dot.contains_key(&Dot::new(1, seq)),
+                        "seed {seed}: stranded dot ⟨1,{seq}⟩ (seen by {:?}) never committed",
+                        survivor_reach[(seq - 1) as usize]
+                    );
+                }
+            }
+            // And the survivor's blocked command executed everywhere alive,
+            // in the same order.
+            let reference = net.executed_at(2);
+            assert!(
+                !reference.is_empty(),
+                "seed {seed}: survivor 2 executed nothing"
+            );
+            for id in [3u32, 4, 5] {
+                assert_eq!(
+                    net.executed_at(id),
+                    reference,
+                    "seed {seed}: execution order diverges at {id}"
+                );
+            }
+        }
     }
 }

@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
-use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology};
+use atlas_core::{
+    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Rifl, Topology,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -44,6 +46,16 @@ pub type PromisedEntries = BTreeMap<Slot, (Ballot, Command)>;
 pub enum Message {
     /// Proxy → leader: please order this command.
     MForward {
+        /// The client command.
+        cmd: Command,
+    },
+    /// Proxy → new leader: re-forward of a command whose original forward
+    /// may have died with the previous leader. Unlike `MForward`, the
+    /// leader first checks its log for the command's request identifier —
+    /// the old leader may have proposed it before failing, in which case
+    /// the election's gap-filling already carries it and re-proposing
+    /// would execute it twice.
+    MForwardRetry {
         /// The client command.
         cmd: Command,
     },
@@ -97,6 +109,7 @@ impl Message {
         const HEADER: usize = 32;
         match self {
             Message::MForward { cmd }
+            | Message::MForwardRetry { cmd }
             | Message::MCommit { cmd, .. }
             | Message::MAccept { cmd, .. } => HEADER + cmd.payload_size,
             Message::MAccepted { .. } | Message::MPrepare { .. } | Message::MNewLeader { .. } => {
@@ -144,6 +157,12 @@ pub struct FPaxos {
     /// Commands waiting to be forwarded once a leader is known (buffered
     /// during leader changes).
     pending_forward: Vec<Command>,
+    /// Commands this replica forwarded to a leader and has not yet seen
+    /// executed, by request identifier. On a leader change they are
+    /// re-forwarded as [`Message::MForwardRetry`] — a forward in flight
+    /// when the leader died would otherwise be lost forever, leaving its
+    /// client waiting.
+    in_flight: BTreeMap<Rifl, Command>,
     /// Phase-1 promises received while campaigning, keyed by ballot.
     promises: HashMap<Ballot, HashMap<ProcessId, PromisedEntries>>,
     /// Commit times per slot (for commit→execute metrics).
@@ -242,6 +261,41 @@ impl FPaxos {
         }
     }
 
+    /// A proxy re-forwarded `cmd` after a leader change. The previous
+    /// leader may have proposed it before dying — and the election's
+    /// gap-filling would then carry it into this leader's log — so the log
+    /// is checked for the request identifier before proposing: a duplicate
+    /// retry must not order (and execute) the command twice.
+    fn handle_forward_retry(&mut self, cmd: Command) -> Vec<Action<Message>> {
+        if !self.is_leader() {
+            return vec![Action::send(
+                [self.current_leader()],
+                Message::MForwardRetry { cmd },
+            )];
+        }
+        let rifl = cmd.rifl;
+        let known = self.decided.values().any(|c| c.rifl == rifl)
+            || self.log.values().any(|s| s.cmd.rifl == rifl);
+        if known {
+            // Already in the log (or decided): the normal replication /
+            // commit flow answers the client; re-proposing would duplicate.
+            return Vec::new();
+        }
+        self.propose(cmd)
+    }
+
+    /// Re-forwards every not-yet-executed forwarded command to the current
+    /// leader, as retries. Called on leader change; until a command is seen
+    /// executed, only this replica can guarantee it reaches *some* leader.
+    fn reforward_in_flight(&mut self) -> Vec<Action<Message>> {
+        let leader = self.current_leader();
+        self.in_flight
+            .values()
+            .cloned()
+            .map(|cmd| Action::send([leader], Message::MForwardRetry { cmd }))
+            .collect()
+    }
+
     fn handle_accept(
         &mut self,
         from: ProcessId,
@@ -268,12 +322,15 @@ impl FPaxos {
     }
 
     /// Adopts `ballot` as the current leader ballot and re-routes any command
-    /// buffered while the previous leader was suspected.
+    /// buffered while the previous leader was suspected — plus, on an actual
+    /// leader *change*, every forwarded-but-not-yet-executed command, whose
+    /// original forward may have died with the old leader.
     fn learn_leader(&mut self, ballot: Ballot) -> Vec<Action<Message>> {
         self.ballot = self.ballot.max(ballot);
         if ballot < self.leader_ballot {
             return Vec::new();
         }
+        let leader_changed = ballot > self.leader_ballot;
         self.leader_ballot = ballot;
         let pending = std::mem::take(&mut self.pending_forward);
         let mut actions = Vec::new();
@@ -287,6 +344,9 @@ impl FPaxos {
                     Message::MForward { cmd },
                 ));
             }
+        }
+        if leader_changed {
+            actions.extend(self.reforward_in_flight());
         }
         actions
     }
@@ -341,6 +401,9 @@ impl FPaxos {
                     .record(time.saturating_sub(commit_time));
             }
             if !cmd.is_noop() {
+                // Executed: the forward provably reached a leader and was
+                // ordered; no retry will ever be needed.
+                self.in_flight.remove(&cmd.rifl);
                 // Leader-based protocols have no per-command identifiers;
                 // reuse the slot as a synthetic one for reporting purposes.
                 let dot = Dot::new(self.current_leader(), slot);
@@ -437,10 +500,17 @@ impl FPaxos {
                 Message::MAccept { slot, ballot, cmd },
             ));
         }
-        // Drain commands buffered while there was no leader.
+        // Drain commands buffered while there was no leader, and re-route
+        // this replica's own forwarded-but-unexecuted commands through the
+        // dedupe path (the old leader may have proposed them; they would
+        // then already sit in the rebuilt log above).
         let pending = std::mem::take(&mut self.pending_forward);
         for cmd in pending {
             actions.extend(self.propose(cmd));
+        }
+        let retries: Vec<Command> = self.in_flight.values().cloned().collect();
+        for cmd in retries {
+            actions.extend(self.handle_forward_retry(cmd));
         }
         let _ = time;
         actions
@@ -471,6 +541,7 @@ impl Protocol for FPaxos {
             execute_next: 1,
             suspected: HashSet::new(),
             pending_forward: Vec::new(),
+            in_flight: BTreeMap::new(),
             promises: HashMap::new(),
             commit_times: HashMap::new(),
             gc_floor: 0,
@@ -493,6 +564,9 @@ impl Protocol for FPaxos {
             Vec::new()
         } else {
             self.metrics.fast_paths += 1;
+            // Track the forward until it is seen executed, so a leader
+            // change re-forwards it instead of losing it with the leader.
+            self.in_flight.insert(cmd.rifl, cmd.clone());
             vec![Action::send(
                 [self.current_leader()],
                 Message::MForward { cmd },
@@ -507,6 +581,7 @@ impl Protocol for FPaxos {
     fn handle(&mut self, from: ProcessId, msg: Message, time: Time) -> Vec<Action<Message>> {
         match msg {
             Message::MForward { cmd } => self.handle_forward(cmd),
+            Message::MForwardRetry { cmd } => self.handle_forward_retry(cmd),
             Message::MAccept { slot, ballot, cmd } => self.handle_accept(from, slot, ballot, cmd),
             Message::MAccepted { slot, ballot } => self.handle_accepted(from, slot, ballot, time),
             Message::MCommit { slot, cmd } => self.handle_commit(slot, cmd, time),
@@ -832,6 +907,68 @@ mod tests {
                 .map(|c| c.rifl)
                 .collect();
             assert_eq!(order, reference, "process {id}");
+        }
+    }
+
+    #[test]
+    fn in_flight_forward_lost_with_the_leader_is_reforwarded() {
+        // Replica 3 forwards a command to leader 1, but the forward dies
+        // with the leader before being proposed. After failover the proxy
+        // must re-forward it to the new leader — before this existed, the
+        // command (and its client) hung forever.
+        let mut cluster = Cluster::new(3, 1, 1);
+        let cmd = put(3, 1, 0);
+        let actions = cluster.replica(3).submit(cmd.clone(), 0);
+        drop(actions); // the MForward is lost in flight
+        cluster.crash(1);
+        cluster.suspect_everywhere(1);
+        let executed: Vec<Rifl> = cluster
+            .executed
+            .get(&3)
+            .map(|cmds| cmds.iter().map(|c| c.rifl).collect())
+            .unwrap_or_default();
+        assert_eq!(
+            executed,
+            vec![cmd.rifl],
+            "the re-forwarded command must execute after failover"
+        );
+    }
+
+    #[test]
+    fn retry_of_a_command_the_old_leader_proposed_is_not_duplicated() {
+        // Leader 1 proposed the forwarded command and an acceptor stored
+        // it before 1 died; the election's gap-filling re-proposes it. The
+        // proxy's retry must then be deduplicated by rifl, or the command
+        // would be ordered (and executed) twice.
+        let mut cluster = Cluster::new(3, 1, 1);
+        let cmd = put(3, 1, 0);
+        let forward = cluster.replica(3).submit(cmd.clone(), 0);
+        // Deliver the forward to leader 1; its MAccept reaches acceptor 2,
+        // whose ack is lost.
+        let Action::Send { msg, .. } = &forward[0] else {
+            panic!("expected the forward send");
+        };
+        let accepts = cluster.replica(1).handle(3, msg.clone(), 0);
+        for action in accepts {
+            if let Action::Send { targets, msg } = action {
+                if targets.contains(&2) {
+                    let _ = cluster.replica(2).handle(1, msg, 0);
+                }
+            }
+        }
+        cluster.crash(1);
+        cluster.suspect_everywhere(1);
+        for id in 2..=3u32 {
+            let executed: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .map(|cmds| cmds.iter().map(|c| c.rifl).collect())
+                .unwrap_or_default();
+            assert_eq!(
+                executed,
+                vec![cmd.rifl],
+                "replica {id}: the command must execute exactly once"
+            );
         }
     }
 

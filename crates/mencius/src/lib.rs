@@ -7,56 +7,144 @@
 //! A replica orders a command by placing it in its next owned slot and
 //! broadcasting it. Other replicas acknowledge the proposal and *skip* their
 //! own owned slots that precede it (broadcasting the skip so everyone's log
-//! stays gap-free). A slot is decided once **all** replicas acknowledged it —
-//! which is why, as the paper's evaluation observes (§5.4), Mencius runs at
-//! the speed of its slowest (farthest) replica. Execution follows slot order.
+//! stays gap-free). A slot is decided once every live replica acknowledged
+//! it — which is why, as the paper's evaluation observes (§5.4), Mencius
+//! runs at the speed of its slowest (farthest) replica. Execution follows
+//! slot order.
 //!
-//! Failure handling in Mencius requires revoking the slots of a crashed
-//! replica; none of the reproduced experiments exercise it, so
-//! [`Mencius::suspect`] is a no-op (a deliberate substitution; a crashed
-//! replica *restarting* is handled by the runtime durability layer instead —
-//! see `ARCHITECTURE.md`). The runtime's failure detector still calls
-//! `suspect` for a silent peer; with the no-op, commands simply stall until
-//! the peer returns — the paper's observation that Mencius runs at the
-//! speed of its slowest replica, taken to its crashed extreme.
+//! # Slot revocation
+//!
+//! Failure handling in Mencius requires *revoking* the slots of a crashed
+//! replica, and [`Mencius::suspect`] implements it. Each slot is an
+//! implicit single-decree Paxos instance in which the owner holds ballot 0:
+//! `MPropose` is the owner's phase-2 accept at ballot 0, and an
+//! acknowledging replica records the command as accepted. When a replica is
+//! suspected, the survivors:
+//!
+//! * **Stop waiting for its acknowledgements.** A proposal commits once
+//!   every non-suspected replica acknowledged it *and* the acks reach a
+//!   majority. The majority floor is what keeps revocation sound (see
+//!   below); the everyone-alive part preserves Mencius's skip propagation.
+//! * **Revoke its unused slots.** For every undecided slot of the dead
+//!   owner up to the highest slot observed (new holes are revoked as new
+//!   proposals reveal them), survivors run a Paxos round with a takeover
+//!   ballot they own (`atlas_protocol::recovery` machinery, shared with
+//!   Atlas and EPaxos): `MRevoke` (phase 1) collects each acceptor's
+//!   promised/accepted state for the slots, `MRevokeAccept` (phase 2)
+//!   proposes the value accepted at the highest ballot — the owner's own
+//!   command, when any acceptor acknowledged it before promising — or a
+//!   *skip* when no acceptor saw one, and a majority of `MRevokeAccepted`
+//!   acks decides the slot (announced with the ordinary `MCommit`/`MSkip`).
+//!
+//! **Why this cannot contradict an owner commit:** an acceptor that has
+//! promised a revocation ballot refuses the owner's ballot-0 proposal, and
+//! one that acknowledged the proposal reports it during revocation. For a
+//! revocation to choose *skip*, a majority must have replied with nothing
+//! accepted — each of those replicas promised before the proposal reached
+//! it and will therefore never acknowledge it, leaving the owner short of
+//! the majority of acks its commit requires. Conversely, if the owner could
+//! still commit, every revocation majority overlaps its ack set in a
+//! replica that reports the accepted command, and revocation re-proposes
+//! the command itself rather than a skip. A revoked-to-skip slot that held
+//! a live proposal of *this* replica is re-proposed in a fresh slot, so a
+//! falsely-suspected replica's commands are delayed, never lost.
+//!
+//! Re-dispatched suspicions (the runtime repeats them while a peer stays
+//! dead) re-send the same prepares instead of opening new ballots, and the
+//! value proposed at a ballot is memoized — both required by the
+//! [`Protocol::suspect`] idempotence contract. A crashed replica that
+//! *restarts* is still handled by the runtime durability layer; revocation
+//! exists for the one that never comes back.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
 use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology};
+use atlas_protocol::recovery::takeover_ballot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Log slot index (1-based). Slot `s` is owned by process `((s − 1) mod n) + 1`.
 pub type Slot = u64;
 
+/// Ballot numbers of the per-slot revocation consensus. The slot owner
+/// implicitly holds ballot 0; takeover ballots are minted with
+/// [`takeover_ballot`] and are always greater than `n`.
+pub type Ballot = u64;
+
+/// What an acceptor knows about a slot, reported in `MRevokeOk`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlotReport {
+    /// The slot is already decided here (`None` = skip).
+    Decided(Option<Command>),
+    /// A value is accepted at the given ballot but not decided (`None` =
+    /// a skip proposed by an earlier revocation; `Some` at ballot 0 = the
+    /// owner's acknowledged proposal).
+    Accepted(Ballot, Option<Command>),
+    /// Nothing accepted for the slot.
+    Empty,
+}
+
 /// Wire messages of the Mencius protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
-    /// Slot owner → all: order `cmd` at `slot`.
+    /// Slot owner → all: order `cmd` at `slot` (phase-2 accept at the
+    /// owner's implicit ballot 0).
     MPropose {
         /// The slot, owned by the sender.
         slot: Slot,
         /// The command.
         cmd: Command,
     },
-    /// Replica → proposer: acknowledged.
+    /// Replica → proposer: acknowledged (and recorded as accepted).
     MProposeAck {
         /// The acknowledged slot.
         slot: Slot,
     },
-    /// Replica → all: the sender will never use these owned slots.
+    /// Slot decided as *skip*: either the owner declaring it will never use
+    /// these owned slots, or a revocation announcing a chosen skip.
     MSkip {
         /// The skipped slots.
         slots: Vec<Slot>,
     },
-    /// Proposer → all: `slot` is decided (all replicas acknowledged).
+    /// `slot` is decided with `cmd` (all-alive acks at the owner, or a
+    /// revocation that preserved the owner's acknowledged command).
     MCommit {
         /// The decided slot.
         slot: Slot,
         /// The decided command.
         cmd: Command,
+    },
+    /// Revocation phase 1: a survivor prepares a takeover ballot for
+    /// undecided slots of a suspected owner.
+    MRevoke {
+        /// The slots being revoked (all owned by the same suspected
+        /// process, all prepared at the same ballot).
+        slots: Vec<Slot>,
+        /// Takeover ballot, owned by the sender.
+        ballot: Ballot,
+    },
+    /// Revocation phase-1 acknowledgement: per-slot acceptor state.
+    MRevokeOk {
+        /// Ballot being acknowledged.
+        ballot: Ballot,
+        /// What the sender knows about each slot it promised.
+        reports: Vec<(Slot, SlotReport)>,
+    },
+    /// Revocation phase 2: propose a value per slot (`None` = skip).
+    MRevokeAccept {
+        /// Proposal ballot.
+        ballot: Ballot,
+        /// The proposed value per slot.
+        slots: Vec<(Slot, Option<Command>)>,
+    },
+    /// Revocation phase-2 acknowledgement.
+    MRevokeAccepted {
+        /// Ballot being acknowledged.
+        ballot: Ballot,
+        /// The accepted slots.
+        slots: Vec<Slot>,
     },
 }
 
@@ -64,12 +152,67 @@ impl Message {
     /// Approximate wire size in bytes, used by the simulator's CPU model.
     pub fn size_bytes(&self) -> usize {
         const HEADER: usize = 32;
+        const PER_SLOT: usize = 8;
+        let value_size = |value: &Option<Command>| -> usize {
+            PER_SLOT + value.as_ref().map(|cmd| cmd.payload_size).unwrap_or(0)
+        };
         match self {
             Message::MPropose { cmd, .. } | Message::MCommit { cmd, .. } => {
                 HEADER + cmd.payload_size
             }
             Message::MProposeAck { .. } => HEADER,
-            Message::MSkip { slots } => HEADER + 8 * slots.len(),
+            Message::MSkip { slots } => HEADER + PER_SLOT * slots.len(),
+            Message::MRevoke { slots, .. } => HEADER + PER_SLOT * slots.len(),
+            Message::MRevokeOk { reports, .. } => {
+                HEADER
+                    + reports
+                        .iter()
+                        .map(|(_, report)| match report {
+                            SlotReport::Decided(value) | SlotReport::Accepted(_, value) => {
+                                value_size(value)
+                            }
+                            SlotReport::Empty => PER_SLOT,
+                        })
+                        .sum::<usize>()
+            }
+            Message::MRevokeAccept { slots, .. } => {
+                HEADER
+                    + slots
+                        .iter()
+                        .map(|(_, value)| value_size(value))
+                        .sum::<usize>()
+            }
+            Message::MRevokeAccepted { slots, .. } => HEADER + PER_SLOT * slots.len(),
+        }
+    }
+}
+
+/// Revocation this replica is leading for one slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RevState {
+    /// The takeover ballot this replica minted for the slot.
+    ballot: Ballot,
+    /// Phase-1 replies received so far.
+    prepare_oks: HashMap<ProcessId, SlotReport>,
+    /// The value proposed at `ballot`, memoized once derived — straggling
+    /// phase-1 replies re-send it; deriving twice could pick a different
+    /// value for the same ballot, which is unsound Paxos.
+    proposal: Option<Option<Command>>,
+    /// Phase-2 acks received so far.
+    accept_oks: HashSet<ProcessId>,
+    /// Whether the decision was already announced (suppresses duplicate
+    /// commit broadcasts from straggling phase-2 acks).
+    done: bool,
+}
+
+impl RevState {
+    fn new(ballot: Ballot) -> Self {
+        Self {
+            ballot,
+            prepare_oks: HashMap::new(),
+            proposal: None,
+            accept_oks: HashSet::new(),
+            done: false,
         }
     }
 }
@@ -97,6 +240,27 @@ pub struct Mencius {
     /// Highest slot seen per owning process; kept separately from the
     /// (GC-trimmed) maps so the seen horizon survives garbage collection.
     max_seen: HashMap<ProcessId, Slot>,
+    /// Acceptor: highest revocation ballot promised per slot (absent = 0,
+    /// the owner's implicit ballot).
+    promised: HashMap<Slot, Ballot>,
+    /// Acceptor: accepted (ballot, value) per undecided slot. The owner's
+    /// acknowledged proposal is recorded as accepted at ballot 0 — that
+    /// record is what lets a revocation preserve a partially propagated
+    /// command instead of skipping it.
+    accepted: HashMap<Slot, (Ballot, Option<Command>)>,
+    /// Processes this replica believes have failed. Never unlearned (like
+    /// FPaxos's suspected set): a once-suspected replica's acks are simply
+    /// no longer waited for, which stays safe — commits keep their
+    /// majority floor — at the cost of occasionally revoking a slot the
+    /// returned replica re-proposes elsewhere.
+    suspected: HashSet<ProcessId>,
+    /// Revocations this replica is leading, by slot (ordered, so batches
+    /// and replay are deterministic).
+    revoking: BTreeMap<Slot, RevState>,
+    /// Per suspected owner, the highest owned slot already examined by
+    /// [`Mencius::revoke_suspected_below`]; the scan resumes past it, so
+    /// repeated calls stay linear overall.
+    revoke_scan: HashMap<ProcessId, Slot>,
     metrics: ProtocolMetrics,
 }
 
@@ -116,6 +280,19 @@ impl Mencius {
     /// First owned slot of this replica.
     fn first_owned(&self) -> Slot {
         self.id as Slot
+    }
+
+    /// Whether a proposal with this ack set may commit: every non-suspected
+    /// replica acknowledged it, and the acks reach a majority. The majority
+    /// floor is load-bearing for revocation safety — a revocation that
+    /// chooses *skip* proves a majority promised before seeing the
+    /// proposal, and those replicas never acknowledge it.
+    fn proposal_ready(&self, acks: &HashSet<ProcessId>) -> bool {
+        let n = self.config.n as ProcessId;
+        acks.len() >= self.config.majority()
+            && (1..=n)
+                .filter(|p| !self.suspected.contains(p))
+                .all(|p| acks.contains(&p))
     }
 
     /// Skips every owned slot smaller than `up_to` that has not been used,
@@ -141,8 +318,31 @@ impl Mencius {
     /// Executes decided slots in order, stopping at the first undecided slot.
     fn try_execute(&mut self, time: Time) -> Vec<Action<Message>> {
         let mut actions = Vec::new();
-        while let Some(entry) = self.decided.get(&self.execute_next).cloned() {
+        loop {
             let slot = self.execute_next;
+            let Some(entry) = self.decided.get(&slot).cloned() else {
+                // Self-healing: execution blocked on one of our *own* slots
+                // that we already passed over without a pending proposal —
+                // i.e. a slot we skipped whose announcement was lost before
+                // reaching anyone (including our own decided map, if the
+                // produced actions never performed). Only a skip can have
+                // been chosen for it (we never proposed a command there, so
+                // no acceptor holds one), so re-deciding and re-announcing
+                // it is safe and unsticks the log.
+                if self.owner(slot) == self.id
+                    && slot < self.next_owned
+                    && !self.proposals.contains_key(&slot)
+                {
+                    self.decided.insert(slot, None);
+                    self.slot_decided_cleanup(slot);
+                    actions.push(Action::broadcast(
+                        self.config.n,
+                        Message::MSkip { slots: vec![slot] },
+                    ));
+                    continue;
+                }
+                break;
+            };
             self.execute_next += 1;
             if let Some(cmd) = entry {
                 self.metrics.executions += 1;
@@ -160,6 +360,119 @@ impl Mencius {
         actions
     }
 
+    /// Assigns the next owned slot to `cmd` and broadcasts the proposal.
+    fn propose_in_next_slot(&mut self, cmd: Command) -> Vec<Action<Message>> {
+        let slot = self.next_owned;
+        self.next_owned += self.config.n as Slot;
+        self.note_slot(slot);
+        self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
+        vec![Action::broadcast(
+            self.config.n,
+            Message::MPropose { slot, cmd },
+        )]
+    }
+
+    /// Drops the per-slot consensus bookkeeping of a decided slot.
+    fn slot_decided_cleanup(&mut self, slot: Slot) {
+        self.promised.remove(&slot);
+        self.accepted.remove(&slot);
+        self.revoking.remove(&slot);
+    }
+
+    /// Announces a chosen decision for `slot` with the ordinary decision
+    /// messages (this replica learns it through its own broadcast).
+    fn announce_decision(&mut self, slot: Slot, value: Option<Command>) -> Vec<Action<Message>> {
+        let n = self.config.n;
+        match value {
+            Some(cmd) => vec![Action::broadcast(n, Message::MCommit { slot, cmd })],
+            None => vec![Action::broadcast(n, Message::MSkip { slots: vec![slot] })],
+        }
+    }
+
+    /// Opens (and optionally re-drives) revocations for every undecided
+    /// slot of every suspected owner up to the highest slot this replica
+    /// has observed. With `resend_all` (the suspicion re-dispatch path),
+    /// in-flight revocations re-send their prepare at the *same* ballot —
+    /// recovering lost messages without opening a second ballot per slot —
+    /// unless a competing revoker has out-promised it, in which case a
+    /// fresh higher ballot is minted (mirroring EPaxos's `prepare`):
+    /// without that, a superseding revoker that dies mid-takeover would
+    /// leave the slot blocked forever behind its promise.
+    fn revoke_suspected_below(&mut self, resend_all: bool) -> Vec<Action<Message>> {
+        if self.suspected.is_empty() {
+            return Vec::new();
+        }
+        let frontier = self.max_seen.values().copied().max().unwrap_or(0);
+        let n = self.config.n as Slot;
+        let mut fresh: Vec<Slot> = Vec::new();
+        let mut owners: Vec<ProcessId> = self.suspected.iter().copied().collect();
+        owners.sort_unstable();
+        // Every slot below `execute_next` is decided (execution is in
+        // order) and everything at or below the GC floor is long gone, so
+        // the scan never needs to revisit them — without this floor, the
+        // first suspicion of an owner would walk its entire executed
+        // history inside a message handler.
+        let floor = self.gc_floor.max(self.execute_next.saturating_sub(1));
+        for owner in owners {
+            if owner == self.id {
+                continue;
+            }
+            let first = owner as Slot;
+            let base = floor.max(self.revoke_scan.get(&owner).copied().unwrap_or(0));
+            // First owned slot of `owner` strictly above `base`.
+            let mut slot = if base < first {
+                first
+            } else {
+                first + ((base - first) / n + 1) * n
+            };
+            while slot <= frontier {
+                if !self.decided.contains_key(&slot) && !self.revoking.contains_key(&slot) {
+                    let promised = self.promised.get(&slot).copied().unwrap_or(0);
+                    let ballot = takeover_ballot(self.id, self.config.n, promised);
+                    self.revoking.insert(slot, RevState::new(ballot));
+                    self.metrics.recoveries += 1;
+                    fresh.push(slot);
+                }
+                slot += n;
+            }
+            if frontier >= first {
+                let examined = first + ((frontier - first) / n) * n;
+                let high = self.revoke_scan.entry(owner).or_insert(0);
+                *high = (*high).max(examined);
+            }
+        }
+        // Batch one MRevoke per ballot (per revoker they only differ when
+        // slots carry different promised ballots).
+        let mut batches: BTreeMap<Ballot, Vec<Slot>> = BTreeMap::new();
+        let in_flight: Vec<Slot> = self.revoking.keys().copied().collect();
+        for slot in in_flight {
+            let promised = self.promised.get(&slot).copied().unwrap_or(0);
+            let rev = self.revoking.get_mut(&slot).expect("in-flight revocation");
+            if rev.done {
+                continue;
+            }
+            if resend_all && promised > rev.ballot {
+                // Out-promised by a competing revoker. Its takeover decides
+                // the slot in the common case — but if it died, re-sending
+                // our stale ballot would be refused forever. Mint above the
+                // promise; idempotence holds, since while our ballot *is*
+                // the current one we only ever re-send it.
+                let ballot = takeover_ballot(self.id, self.config.n, promised);
+                *rev = RevState::new(ballot);
+                self.metrics.recoveries += 1;
+                batches.entry(ballot).or_default().push(slot);
+            } else if resend_all || fresh.contains(&slot) {
+                batches.entry(rev.ballot).or_default().push(slot);
+            }
+        }
+        batches
+            .into_iter()
+            .map(|(ballot, slots)| {
+                Action::broadcast(self.config.n, Message::MRevoke { slots, ballot })
+            })
+            .collect()
+    }
+
     fn handle_propose(
         &mut self,
         from: ProcessId,
@@ -175,12 +488,38 @@ impl Mencius {
         self.note_slot(slot);
         // Seeing a proposal for `slot` means every smaller owned slot of ours
         // that is still unused will never be needed before it: skip them so
-        // the log has no gaps.
+        // the log has no gaps — and if the frontier just advanced past
+        // undecided slots of a suspected owner, revoke those holes too.
         let mut actions = self.skip_owned_below(slot);
+        actions.extend(self.revoke_suspected_below(false));
+        match self.decided.get(&slot) {
+            Some(Some(decided)) => {
+                // Already decided (e.g. a revocation preserved the command
+                // while the owner's journal replay re-sends the proposal):
+                // tell the owner the outcome instead of acknowledging.
+                let decided = decided.clone();
+                actions.push(Action::send(
+                    [from],
+                    Message::MCommit { slot, cmd: decided },
+                ));
+                return actions;
+            }
+            Some(None) => {
+                // Revoked to a skip; the owner re-proposes elsewhere.
+                actions.push(Action::send([from], Message::MSkip { slots: vec![slot] }));
+                return actions;
+            }
+            None => {}
+        }
+        if self.promised.get(&slot).copied().unwrap_or(0) > 0 {
+            // A revocation ballot was promised for this slot: the owner's
+            // implicit ballot 0 can no longer be accepted here.
+            return actions;
+        }
+        // Record the proposal as accepted at ballot 0 — this is what a
+        // revocation's phase 1 discovers, letting it preserve the command.
+        self.accepted.insert(slot, (0, Some(cmd)));
         actions.push(Action::send([from], Message::MProposeAck { slot }));
-        // Remember the payload so the commit does not need to carry it again
-        // (it still does, for simplicity).
-        let _ = cmd;
         actions
     }
 
@@ -190,42 +529,254 @@ impl Mencius {
         slot: Slot,
         time: Time,
     ) -> Vec<Action<Message>> {
-        let n = self.config.n;
-        let Some((_, acks)) = self.proposals.get_mut(&slot) else {
-            return Vec::new();
+        let ready = {
+            let Some((_, acks)) = self.proposals.get_mut(&slot) else {
+                return Vec::new();
+            };
+            acks.insert(from);
+            let acks = &self.proposals[&slot].1;
+            self.proposal_ready(acks)
         };
-        acks.insert(from);
-        if acks.len() < n {
-            // Mencius needs an acknowledgement from every replica.
+        if !ready {
             return Vec::new();
         }
-        let (cmd, _) = self.proposals.remove(&slot).expect("proposal exists");
         self.metrics.fast_paths += 1;
-        let mut actions = vec![Action::broadcast(n, Message::MCommit { slot, cmd })];
+        let mut actions = self.commit_own_proposal(slot, time);
         actions.extend(self.try_execute(time));
         actions
     }
 
+    /// Commits one of this replica's own acknowledged proposals: decide
+    /// locally *first* (the self-addressed `MCommit` below would arrive
+    /// only after this handler returns, and the slot must not look
+    /// undecided in between), then announce.
+    fn commit_own_proposal(&mut self, slot: Slot, time: Time) -> Vec<Action<Message>> {
+        let (cmd, _) = self.proposals.remove(&slot).expect("proposal exists");
+        self.decided.insert(slot, Some(cmd.clone()));
+        self.slot_decided_cleanup(slot);
+        self.metrics.commits += 1;
+        self.commit_times.insert(slot, time);
+        vec![Action::broadcast(
+            self.config.n,
+            Message::MCommit { slot, cmd },
+        )]
+    }
+
     fn handle_skip(&mut self, slots: Vec<Slot>, time: Time) -> Vec<Action<Message>> {
+        let mut actions = Vec::new();
         for slot in slots {
             if slot <= self.gc_floor {
                 continue; // executed everywhere, collected here
             }
             self.note_slot(slot);
-            self.decided.entry(slot).or_insert(None);
+            if self.decided.contains_key(&slot) {
+                continue;
+            }
+            self.decided.insert(slot, None);
+            self.slot_decided_cleanup(slot);
+            if let Some((cmd, _)) = self.proposals.remove(&slot) {
+                // One of our own in-flight proposals was revoked to a skip:
+                // the command is provably not chosen at `slot` (the skip
+                // is), so re-propose it in a fresh slot — delayed, never
+                // lost or duplicated.
+                actions.extend(self.propose_in_next_slot(cmd));
+            }
         }
-        self.try_execute(time)
+        actions.extend(self.try_execute(time));
+        actions
     }
 
     fn handle_commit(&mut self, slot: Slot, cmd: Command, time: Time) -> Vec<Action<Message>> {
-        if matches!(self.decided.get(&slot), Some(Some(_))) || slot <= self.gc_floor {
+        if self.decided.contains_key(&slot) || slot <= self.gc_floor {
             return Vec::new();
         }
         self.note_slot(slot);
         self.decided.insert(slot, Some(cmd));
+        self.slot_decided_cleanup(slot);
+        // A revocation may decide one of our own slots with our command
+        // (it was acknowledged somewhere before the suspicion); the
+        // proposal is satisfied, the client is answered at execution.
+        self.proposals.remove(&slot);
         self.metrics.commits += 1;
         self.commit_times.insert(slot, time);
         self.try_execute(time)
+    }
+
+    /// Revocation phase 1 at an acceptor: promise the ballot per slot and
+    /// report what is known.
+    fn handle_revoke(
+        &mut self,
+        from: ProcessId,
+        slots: Vec<Slot>,
+        ballot: Ballot,
+    ) -> Vec<Action<Message>> {
+        let mut reports = Vec::new();
+        for slot in slots {
+            if slot <= self.gc_floor {
+                // Straggler guard: the slot executed at every replica and
+                // was collected here; it must not resurrect bookkeeping.
+                continue;
+            }
+            self.note_slot(slot);
+            if let Some(entry) = self.decided.get(&slot) {
+                reports.push((slot, SlotReport::Decided(entry.clone())));
+                continue;
+            }
+            let promised = self.promised.entry(slot).or_insert(0);
+            if *promised > ballot {
+                continue; // promised a higher revocation; no report
+            }
+            *promised = ballot;
+            match self.accepted.get(&slot) {
+                Some((accepted_ballot, value)) => {
+                    reports.push((slot, SlotReport::Accepted(*accepted_ballot, value.clone())));
+                }
+                None => reports.push((slot, SlotReport::Empty)),
+            }
+        }
+        if reports.is_empty() {
+            return Vec::new();
+        }
+        vec![Action::send([from], Message::MRevokeOk { ballot, reports })]
+    }
+
+    /// Revocation phase-1 replies at the revoker: with a majority per slot,
+    /// propose the value accepted at the highest ballot (else skip).
+    fn handle_revoke_ok(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        reports: Vec<(Slot, SlotReport)>,
+    ) -> Vec<Action<Message>> {
+        let majority = self.config.majority();
+        let mut accept_batch: Vec<(Slot, Option<Command>)> = Vec::new();
+        let mut decided_now: Vec<(Slot, Option<Command>)> = Vec::new();
+        for (slot, report) in reports {
+            if slot <= self.gc_floor {
+                continue;
+            }
+            if let SlotReport::Decided(value) = &report {
+                // Already chosen somewhere: adopt the decision as-is.
+                decided_now.push((slot, value.clone()));
+                continue;
+            }
+            let Some(rev) = self.revoking.get_mut(&slot) else {
+                continue;
+            };
+            if rev.ballot != ballot || rev.done {
+                continue;
+            }
+            rev.prepare_oks.insert(from, report);
+            if let Some(proposal) = &rev.proposal {
+                // Memoized: straggling replies only re-send the proposal.
+                accept_batch.push((slot, proposal.clone()));
+                continue;
+            }
+            if rev.prepare_oks.len() < majority {
+                continue;
+            }
+            let chosen: Option<Command> = rev
+                .prepare_oks
+                .values()
+                .filter_map(|r| match r {
+                    SlotReport::Accepted(b, value) => Some((*b, value.clone())),
+                    _ => None,
+                })
+                .max_by_key(|(b, _)| *b)
+                .map(|(_, value)| value)
+                .unwrap_or(None);
+            rev.proposal = Some(chosen.clone());
+            accept_batch.push((slot, chosen));
+        }
+        let mut actions = Vec::new();
+        for (slot, value) in decided_now {
+            if let Some(rev) = self.revoking.get_mut(&slot) {
+                rev.done = true;
+            }
+            actions.extend(self.announce_decision(slot, value));
+        }
+        if !accept_batch.is_empty() {
+            actions.push(Action::broadcast(
+                self.config.n,
+                Message::MRevokeAccept {
+                    ballot,
+                    slots: accept_batch,
+                },
+            ));
+        }
+        actions
+    }
+
+    /// Revocation phase 2 at an acceptor.
+    fn handle_revoke_accept(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        slots: Vec<(Slot, Option<Command>)>,
+    ) -> Vec<Action<Message>> {
+        let mut acked = Vec::new();
+        for (slot, value) in slots {
+            if slot <= self.gc_floor {
+                continue;
+            }
+            self.note_slot(slot);
+            if self.decided.contains_key(&slot) {
+                continue; // the revoker's decision broadcast covers us
+            }
+            let promised = self.promised.entry(slot).or_insert(0);
+            if *promised > ballot {
+                continue;
+            }
+            *promised = ballot;
+            self.accepted.insert(slot, (ballot, value));
+            acked.push(slot);
+        }
+        if acked.is_empty() {
+            return Vec::new();
+        }
+        vec![Action::send(
+            [from],
+            Message::MRevokeAccepted {
+                ballot,
+                slots: acked,
+            },
+        )]
+    }
+
+    /// Revocation phase-2 acks at the revoker: a majority decides the slot.
+    fn handle_revoke_accepted(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        slots: Vec<Slot>,
+    ) -> Vec<Action<Message>> {
+        let majority = self.config.majority();
+        let mut chosen: Vec<(Slot, Option<Command>)> = Vec::new();
+        for slot in slots {
+            if slot <= self.gc_floor {
+                continue;
+            }
+            let Some(rev) = self.revoking.get_mut(&slot) else {
+                continue;
+            };
+            if rev.ballot != ballot || rev.done {
+                continue;
+            }
+            let Some(proposal) = rev.proposal.clone() else {
+                continue;
+            };
+            rev.accept_oks.insert(from);
+            if rev.accept_oks.len() < majority {
+                continue;
+            }
+            rev.done = true;
+            chosen.push((slot, proposal));
+        }
+        let mut actions = Vec::new();
+        for (slot, value) in chosen {
+            actions.extend(self.announce_decision(slot, value));
+        }
+        actions
     }
 }
 
@@ -247,6 +798,11 @@ impl Protocol for Mencius {
             commit_times: HashMap::new(),
             gc_floor: 0,
             max_seen: HashMap::new(),
+            promised: HashMap::new(),
+            accepted: HashMap::new(),
+            suspected: HashSet::new(),
+            revoking: BTreeMap::new(),
+            revoke_scan: HashMap::new(),
             metrics: ProtocolMetrics::new(),
         };
         mencius.next_owned = mencius.first_owned();
@@ -258,14 +814,12 @@ impl Protocol for Mencius {
     }
 
     fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
-        let slot = self.next_owned;
-        self.next_owned += self.config.n as Slot;
-        self.note_slot(slot);
-        self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
-        vec![Action::broadcast(
-            self.config.n,
-            Message::MPropose { slot, cmd },
-        )]
+        let mut actions = self.propose_in_next_slot(cmd);
+        // The new proposal extends the log past any unused slots of
+        // suspected owners; revoke those holes right away so execution
+        // does not wait for the next suspicion re-dispatch.
+        actions.extend(self.revoke_suspected_below(false));
+        actions
     }
 
     fn message_size(msg: &Message) -> usize {
@@ -278,6 +832,14 @@ impl Protocol for Mencius {
             Message::MProposeAck { slot } => self.handle_propose_ack(from, slot, time),
             Message::MSkip { slots } => self.handle_skip(slots, time),
             Message::MCommit { slot, cmd } => self.handle_commit(slot, cmd, time),
+            Message::MRevoke { slots, ballot } => self.handle_revoke(from, slots, ballot),
+            Message::MRevokeOk { ballot, reports } => self.handle_revoke_ok(from, ballot, reports),
+            Message::MRevokeAccept { ballot, slots } => {
+                self.handle_revoke_accept(from, ballot, slots)
+            }
+            Message::MRevokeAccepted { ballot, slots } => {
+                self.handle_revoke_accepted(from, ballot, slots)
+            }
         }
     }
 
@@ -318,14 +880,38 @@ impl Protocol for Mencius {
         log
     }
 
-    /// Deliberate no-op (see the crate docs): slot revocation is not
-    /// reproduced, so while a replica is down the log stops growing past
-    /// its unacknowledged slots — Mencius runs at the speed of its slowest
-    /// replica, and a crashed one has speed zero until it restarts and
-    /// replays its journal. Safe under the runtime's repeated suspicion
-    /// dispatch — the call never touches state.
-    fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Message>> {
-        Vec::new()
+    /// Slot revocation (see the crate docs): stop waiting for the
+    /// suspected replica's acknowledgements — committing any proposal that
+    /// now has every live ack — and run Paxos takeovers that fill its
+    /// unused slots with skips (preserving any command an acceptor already
+    /// acknowledged). Idempotent under the runtime's repeated suspicion
+    /// dispatch — re-dispatch re-sends in-flight prepares at their
+    /// existing ballots — and deterministic (state-only), as the
+    /// journal-replay contract requires.
+    fn suspect(&mut self, suspected: ProcessId, time: Time) -> Vec<Action<Message>> {
+        if suspected == self.id {
+            return Vec::new();
+        }
+        self.suspected.insert(suspected);
+        let mut actions = Vec::new();
+        // Proposals that were only waiting for the suspected replica's ack
+        // can commit now (deterministic slot order for journal replay).
+        let mut ready: Vec<Slot> = self
+            .proposals
+            .iter()
+            .filter(|(_, (_, acks))| self.proposal_ready(acks))
+            .map(|(&slot, _)| slot)
+            .collect();
+        ready.sort_unstable();
+        for slot in ready {
+            self.metrics.fast_paths += 1;
+            actions.extend(self.commit_own_proposal(slot, time));
+        }
+        actions.extend(self.try_execute(time));
+        // Revoke every undecided slot of the suspected owners up to the
+        // observed frontier, re-driving in-flight revocations.
+        actions.extend(self.revoke_suspected_below(true));
+        actions
     }
 
     fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
@@ -347,6 +933,10 @@ impl Protocol for Mencius {
         let dropped = self.decided.len() as u64;
         self.decided = keep;
         self.commit_times.retain(|&slot, _| slot > eff);
+        self.promised.retain(|&slot, _| slot > eff);
+        self.accepted.retain(|&slot, _| slot > eff);
+        let keep = self.revoking.split_off(&(eff + 1));
+        self.revoking = keep;
         dropped
     }
 
@@ -403,6 +993,7 @@ mod tests {
     struct Cluster {
         replicas: Vec<Mencius>,
         executed: HashMap<ProcessId, Vec<Command>>,
+        crashed: HashSet<ProcessId>,
     }
 
     impl Cluster {
@@ -414,6 +1005,7 @@ mod tests {
             Self {
                 replicas,
                 executed: HashMap::new(),
+                crashed: HashSet::new(),
             }
         }
 
@@ -421,11 +1013,18 @@ mod tests {
             &mut self.replicas[(id - 1) as usize]
         }
 
+        fn crash(&mut self, id: ProcessId) {
+            self.crashed.insert(id);
+        }
+
         fn run(&mut self, source: ProcessId, actions: Vec<Action<Message>>) {
             let mut queue: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
             self.enqueue(source, actions, &mut queue);
             while !queue.is_empty() {
                 let (from, to, msg) = queue.remove(0);
+                if self.crashed.contains(&from) || self.crashed.contains(&to) {
+                    continue;
+                }
                 let out = self.replica(to).handle(from, msg, 0);
                 self.enqueue(to, out, &mut queue);
             }
@@ -456,6 +1055,26 @@ mod tests {
 
         fn submit(&mut self, at: ProcessId, cmd: Command) {
             let actions = self.replica(at).submit(cmd, 0);
+            self.run(at, actions);
+        }
+
+        /// Submits at `at`, delivering the MPropose only to `reach` and
+        /// losing every reply — a proposal stranded mid-propagation.
+        fn submit_reaching(&mut self, at: ProcessId, cmd: Command, reach: &[ProcessId]) {
+            let actions = self.replica(at).submit(cmd, 0);
+            for action in actions {
+                if let Action::Send { targets, msg } = action {
+                    for to in targets {
+                        if reach.contains(&to) {
+                            let _ = self.replica(to).handle(at, msg.clone(), 0);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn suspect(&mut self, at: ProcessId, suspected: ProcessId) {
+            let actions = self.replica(at).suspect(suspected, 0);
             self.run(at, actions);
         }
     }
@@ -567,5 +1186,279 @@ mod tests {
         let m = cluster.replicas[0].metrics();
         assert_eq!(m.commits, 2);
         assert_eq!(m.executions, 2);
+    }
+
+    #[test]
+    fn dead_owner_slots_are_revoked_and_log_executes_past_the_hole() {
+        // Replica 3's proposal reaches nobody and 3 dies. Survivors 1 and 2
+        // suspect it; their later commands must commit without 3's acks,
+        // and 3's unused slots must be revoked to skips so execution
+        // proceeds past the holes.
+        let mut cluster = Cluster::new(3);
+        cluster.submit_reaching(3, put(3, 1, 0), &[]);
+        cluster.crash(3);
+        cluster.suspect(1, 3);
+        cluster.suspect(2, 3);
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(2, put(2, 1, 0));
+        // This proposal lands in slot 4, past the dead owner's unused slot
+        // 3 — committing it is only half the story, *executing* it needs
+        // the hole revoked.
+        cluster.submit(1, put(1, 2, 0));
+        for id in 1..=2u32 {
+            let executed: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
+            assert_eq!(
+                executed,
+                vec![Rifl::new(1, 1), Rifl::new(2, 1), Rifl::new(1, 2)],
+                "replica {id} stalled or diverged"
+            );
+        }
+        // The dead owner's slot 3 was decided as a skip at the survivors.
+        assert_eq!(cluster.replicas[0].decided.get(&3), Some(&None));
+        assert_eq!(cluster.replicas[1].decided.get(&3), Some(&None));
+    }
+
+    #[test]
+    fn revocation_preserves_a_partially_acknowledged_command() {
+        // Replica 3's proposal reached replica 1 (which acknowledged it,
+        // recording it as accepted at ballot 0) before 3 died. Revocation
+        // must discover and preserve the command, not skip it.
+        let mut cluster = Cluster::new(3);
+        let cmd = put(3, 1, 0);
+        cluster.submit_reaching(3, cmd.clone(), &[1]);
+        cluster.crash(3);
+        cluster.suspect(1, 3);
+        cluster.suspect(2, 3);
+        // Replica 1 skipped its slot 1 on seeing the stranded proposal for
+        // slot 3, so its own writes land in slots 4 and 7 — both *after*
+        // the recovered slot, forcing the hole to resolve first.
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(1, put(1, 2, 0));
+        for id in 1..=2u32 {
+            let executed: Vec<Rifl> = cluster
+                .executed
+                .get(&id)
+                .unwrap()
+                .iter()
+                .map(|c| c.rifl)
+                .collect();
+            assert_eq!(
+                executed,
+                vec![cmd.rifl, Rifl::new(1, 1), Rifl::new(1, 2)],
+                "replica {id}: the acknowledged command was lost"
+            );
+        }
+        assert_eq!(
+            cluster.replicas[0]
+                .decided
+                .get(&3)
+                .unwrap()
+                .as_ref()
+                .map(|c| c.rifl),
+            Some(cmd.rifl),
+            "slot 3 must carry the preserved command"
+        );
+    }
+
+    #[test]
+    fn suspect_redispatch_reuses_the_revocation_ballot() {
+        // n = 5, majority 3: with only two replicas reachable, the
+        // revocation stalls mid-prepare. A re-dispatched suspicion must
+        // re-send the same ballot, not open a second one per slot.
+        let mut cluster = Cluster::new(5);
+        cluster.submit_reaching(3, put(3, 1, 0), &[]);
+        cluster.crash(3);
+        cluster.crash(4);
+        cluster.crash(5);
+        // Replica 1's own proposals (slots 1 and 6) push the observed
+        // frontier past the dead owner's slot 3.
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(1, put(1, 2, 0));
+        cluster.suspect(1, 3);
+        let first = cluster.replicas[0].revoking.get(&3).expect("revoking 3");
+        let first_ballot = first.ballot;
+        assert_eq!(cluster.replicas[0].metrics().recoveries, 1);
+        cluster.suspect(1, 3);
+        let rev = cluster.replicas[0].revoking.get(&3).unwrap();
+        assert_eq!(rev.ballot, first_ballot, "re-dispatch opened a new ballot");
+        assert_eq!(
+            cluster.replicas[0].metrics().recoveries,
+            1,
+            "a re-sent prepare is not a new recovery"
+        );
+        // Once a third replica is reachable, the re-sent prepare at the
+        // same ballot completes the revocation.
+        cluster.crashed.remove(&4);
+        cluster.suspect(1, 3);
+        assert_eq!(cluster.replicas[0].decided.get(&3), Some(&None));
+    }
+
+    #[test]
+    fn outpromised_revocation_is_reminted_on_redispatch() {
+        // A competing revoker's higher ballot supersedes ours. If that
+        // revoker dies too, re-dispatch must mint a fresh ballot above the
+        // promise instead of re-sending the refused one forever.
+        let mut cluster = Cluster::new(5);
+        cluster.submit_reaching(3, put(3, 1, 0), &[]);
+        cluster.crash(3);
+        cluster.crash(4);
+        cluster.crash(5);
+        cluster.submit(1, put(1, 1, 0));
+        cluster.submit(1, put(1, 2, 0)); // frontier past slot 3
+        cluster.suspect(1, 3);
+        let ours = cluster.replicas[0].revoking.get(&3).unwrap().ballot;
+        // A (now-dead) competitor out-promises replica 1 for slot 3.
+        let competitor = ours + 4; // a ballot owned by replica 5
+        let _ = cluster.replica(1).handle(
+            5,
+            Message::MRevoke {
+                slots: vec![3],
+                ballot: competitor,
+            },
+            0,
+        );
+        cluster.suspect(1, 3);
+        let rev = cluster.replicas[0].revoking.get(&3).unwrap();
+        assert!(
+            rev.ballot > competitor,
+            "re-dispatch must out-ballot the dead competitor ({} <= {competitor})",
+            rev.ballot
+        );
+    }
+
+    #[test]
+    fn stale_revocation_messages_below_the_gc_floor_are_ignored() {
+        // Regression: a revocation message for a slot that executed at
+        // every replica and was garbage-collected must be ignored — not
+        // panic, and not resurrect per-slot bookkeeping.
+        let mut cluster = Cluster::new(3);
+        for seq in 1..=3u64 {
+            cluster.submit(1, put(1, seq, 0));
+        }
+        let replica = cluster.replica(2);
+        let horizon = replica.executed_watermarks();
+        assert!(replica.gc_executed(&horizon) > 0);
+        let floor = replica.gc_floor;
+        assert!(floor >= 1);
+        let tracked = replica.tracked_entries();
+        let out = replica.handle(
+            3,
+            Message::MRevoke {
+                slots: vec![1],
+                ballot: 99,
+            },
+            0,
+        );
+        assert!(out.is_empty(), "stale revoke must be dropped");
+        let out = replica.handle(
+            3,
+            Message::MRevokeAccept {
+                ballot: 99,
+                slots: vec![(1, None)],
+            },
+            0,
+        );
+        assert!(out.is_empty(), "stale revoke-accept must be dropped");
+        assert!(replica.promised.is_empty() && replica.accepted.is_empty());
+        assert_eq!(replica.tracked_entries(), tracked);
+    }
+
+    #[test]
+    fn own_revoked_proposal_is_reproposed_in_a_fresh_slot() {
+        // A falsely suspected replica whose slot was revoked to a skip
+        // re-proposes the command in a fresh slot: delayed, never lost.
+        let mut cluster = Cluster::new(3);
+        let cmd = put(3, 1, 0);
+        // Replica 3 proposes into slot 3, but nobody hears it.
+        cluster.submit_reaching(3, cmd.clone(), &[]);
+        // Survivors revoke slot 3 (3 is falsely suspected — still alive).
+        cluster.suspect(1, 3);
+        cluster.suspect(2, 3);
+        cluster.submit(1, put(1, 1, 0));
+        // Replica 3 learns its slot was skipped and re-proposes.
+        let skip = Message::MSkip { slots: vec![3] };
+        let actions = cluster.replica(3).handle(1, skip, 0);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: Message::MPropose { slot, .. },
+                    ..
+                } if *slot > 3
+            )),
+            "the revoked command was not re-proposed"
+        );
+        assert!(!cluster.replica(3).proposals.contains_key(&3));
+    }
+
+    /// Mencius revocation under realistic schedules: proposals stranded at
+    /// random reach, the owner crashed, and the survivors' concurrent
+    /// revocations delivered with random reordering and duplication —
+    /// across many seeds every survivor must decide every slot the same
+    /// way and execute identically.
+    #[test]
+    fn revocation_converges_under_reordering_and_duplication() {
+        use atlas_protocol::chaos::ChaosNet;
+        use rand::Rng;
+        for seed in 0..25u64 {
+            let mut net = ChaosNet::<Mencius>::new(5, 2, 0x3E9C1 + seed);
+            // A few commands from owner 1, each reaching a random subset of
+            // the other replicas, then owner 1 crashes.
+            let stranded = net.rng().gen_range(1..=3u64);
+            for seq in 1..=stranded {
+                let reach: Vec<ProcessId> = [2u32, 3, 4, 5]
+                    .into_iter()
+                    .filter(|_| net.rng().gen_bool(0.5))
+                    .collect();
+                net.submit_reaching(1, put(1, seq, 0), &reach);
+            }
+            net.crash(1);
+            // A fully propagated command from a survivor... which cannot
+            // commit yet (it needs the dead owner's ack), making the
+            // suspicion below load-bearing for it too.
+            net.submit(2, put(2, 1, 0));
+
+            for _pass in 0..2 {
+                let mut suspecters = vec![2u32, 3, 4, 5];
+                while !suspecters.is_empty() {
+                    let idx = net.rng().gen_range(0..suspecters.len());
+                    let at = suspecters.swap_remove(idx);
+                    net.suspect(at, 1);
+                }
+            }
+
+            // Every survivor decided the same prefix and executed the same
+            // commands in the same order; survivor 2's command made it.
+            let reference = net.executed_at(2);
+            assert!(
+                !reference.is_empty(),
+                "seed {seed}: survivor 2 executed nothing"
+            );
+            for id in [3u32, 4, 5] {
+                assert_eq!(
+                    net.executed_at(id),
+                    reference,
+                    "seed {seed}: execution diverges at {id}"
+                );
+            }
+            // Slot-level agreement among survivors on every decided slot.
+            let mut by_slot: HashMap<Slot, Option<Rifl>> = HashMap::new();
+            for replica in &net.replicas[1..] {
+                for (&slot, entry) in &replica.decided {
+                    let rifl = entry.as_ref().map(|cmd| cmd.rifl);
+                    let agreed = by_slot.entry(slot).or_insert(rifl);
+                    assert_eq!(
+                        *agreed, rifl,
+                        "seed {seed}: slot {slot} decided differently"
+                    );
+                }
+            }
+        }
     }
 }
