@@ -2,6 +2,7 @@
 """Gate the bench-smoke CI job on a checked-in latency baseline.
 
 Usage: bench_guard.py <current.json> <baseline.json> [--max-ratio 3.0]
+           [--metrics <file>] [--min-fast-path-ratio 0.9]
 
 Both files carry ``{"benches": {"<name>": {"mean_ns": <int>, ...}}}`` — the
 current file is emitted by the vendored criterion stub via
@@ -15,6 +16,14 @@ ratio absorbs runner jitter; it exists to catch order-of-magnitude
 regressions (an accidental sync call on the hot path, an O(n^2) slip), not
 single-digit percentages — those need a quiet machine and the full bench
 suite.
+
+``--metrics`` adds a semantic gate on top of the latency one: the file is
+the ``{"snapshots": [...]}`` dump the loopback bench writes when
+``ATLAS_BENCH_METRICS`` is set (one replica metrics snapshot per benchmark).
+Fast and slow path commits are summed across all snapshots and the job
+fails when the fast-path share drops below ``--min-fast-path-ratio`` — a
+cheap canary for protocol changes that keep the bench fast on the runner
+but silently push the conflict-free workload onto the slow path.
 """
 
 import argparse
@@ -31,11 +40,38 @@ def load_benches(path: str) -> dict:
     return benches
 
 
+def check_fast_path(path: str, floor: float, failures: list) -> None:
+    """Sums fast/slow path commits across the snapshots in ``path`` and
+    records a failure when the fast-path share is below ``floor``."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    snapshots = doc.get("snapshots")
+    if not isinstance(snapshots, list) or not snapshots:
+        failures.append(f"{path}: no snapshots captured")
+        return
+    fast = sum(s["protocol_stats"]["fast_paths"] for s in snapshots)
+    slow = sum(s["protocol_stats"]["slow_paths"] for s in snapshots)
+    total = fast + slow
+    if total == 0:
+        failures.append(f"{path}: snapshots saw no commits at all")
+        return
+    ratio = fast / total
+    verdict = "FAIL" if ratio < floor else "ok"
+    print(
+        f"{verdict:4} fast-path ratio: {ratio:.3f} "
+        f"({fast} fast / {slow} slow, floor {floor:.2f})"
+    )
+    if ratio < floor:
+        failures.append(f"fast-path ratio {ratio:.3f} below floor {floor:.2f}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
     parser.add_argument("baseline")
     parser.add_argument("--max-ratio", type=float, default=3.0)
+    parser.add_argument("--metrics", default=None)
+    parser.add_argument("--min-fast-path-ratio", type=float, default=0.9)
     args = parser.parse_args()
 
     current = load_benches(args.current)
@@ -58,8 +94,11 @@ def main() -> int:
         if ratio > args.max_ratio:
             failures.append(f"{name}: {ratio:.2f}x over baseline")
 
+    if args.metrics is not None:
+        check_fast_path(args.metrics, args.min_fast_path_ratio, failures)
+
     if failures:
-        print("\nbench_guard: latency regression gate FAILED:", file=sys.stderr)
+        print("\nbench_guard: bench-smoke gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1

@@ -35,5 +35,5 @@ pub mod util;
 pub use command::{Command, Key, KvOp, Value};
 pub use config::Config;
 pub use id::{ClientId, Dot, DotGen, ProcessId, Rifl};
-pub use metrics::{Histogram, ProtocolMetrics};
+pub use metrics::{Histogram, ProtocolMetrics, ProtocolStats};
 pub use protocol::{Action, Protocol, Topology};

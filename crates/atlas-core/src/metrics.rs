@@ -10,8 +10,15 @@ use serde::{Deserialize, Serialize};
 /// A simple exact histogram of `u64` samples (latencies in microseconds,
 /// batch sizes, …).
 ///
-/// Samples are kept in full, which is fine for the simulator's scale (at most
-/// a few million samples per run) and gives exact percentiles.
+/// **Simulator-only.** Samples are kept in full, which is fine for the
+/// simulator's scale (at most a few million samples per run) and gives exact
+/// percentiles — but memory grows linearly with the sample count forever. A
+/// replica that stays up for weeks must not record into one of these on its
+/// command path; the runtime uses `atlas_metrics::BoundedHistogram` instead,
+/// which mirrors this API (`record`/`count`/`sum`/`mean`/`min`/`max`/
+/// `percentile`/`merge`/`clear`) at constant memory with a 6.25% quantile
+/// error bound. `atlas-metrics` ships a conversion (`From<&Histogram>`) and
+/// a test pinning the error bound between the two.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Histogram {
     samples: Vec<u64>,
@@ -105,6 +112,12 @@ impl Histogram {
         self.sorted = false;
     }
 
+    /// Drops all samples, releasing their memory.
+    pub fn clear(&mut self) {
+        self.samples = Vec::new();
+        self.sorted = false;
+    }
+
     /// Immutable view of the raw samples.
     pub fn samples(&self) -> &[u64] {
         &self.samples
@@ -159,6 +172,118 @@ impl ProtocolMetrics {
         self.commit_to_execute.merge(&other.commit_to_execute);
         self.batch_sizes.merge(&other.batch_sizes);
         self.dependency_counts.merge(&other.dependency_counts);
+    }
+}
+
+/// A flat, integer-only digest of [`ProtocolMetrics`] suitable for the wire:
+/// every scalar counter plus constant-size moments of the histograms, no
+/// retained samples. This is what [`Protocol::protocol_stats`]
+/// (the default metrics hook) returns for any protocol, and what the
+/// runtime embeds in its `MetricsSnapshot`.
+///
+/// [`Protocol::protocol_stats`]: crate::Protocol::protocol_stats
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Commands committed via the fast path at this replica (as coordinator).
+    pub fast_paths: u64,
+    /// Commands committed via the slow path at this replica (as coordinator).
+    pub slow_paths: u64,
+    /// Commands committed locally (any coordinator).
+    pub commits: u64,
+    /// Commands executed locally.
+    pub executions: u64,
+    /// Recoveries this replica initiated (took over as coordinator).
+    pub recoveries: u64,
+    /// `noOp` commands this replica committed during recovery.
+    pub noops: u64,
+    /// Samples in the commit-to-execute delay histogram.
+    pub commit_to_execute_count: u64,
+    /// Sum of commit-to-execute delays (µs).
+    pub commit_to_execute_sum_us: u128,
+    /// Largest commit-to-execute delay (µs).
+    pub commit_to_execute_max_us: u64,
+    /// Execution batches recorded.
+    pub batch_count: u64,
+    /// Sum of execution batch sizes.
+    pub batch_sum: u128,
+    /// Committed commands with a recorded dependency count.
+    pub dependency_count: u64,
+    /// Sum of per-command dependency counts.
+    pub dependency_sum: u128,
+}
+
+impl ProtocolStats {
+    /// Fraction of coordinator commits that took the fast path, in `[0, 1]`.
+    /// Returns `None` if this replica coordinated no commands.
+    pub fn fast_path_ratio(&self) -> Option<f64> {
+        let total = self.fast_paths + self.slow_paths;
+        (total > 0).then(|| self.fast_paths as f64 / total as f64)
+    }
+
+    /// Mean commit-to-execute delay in µs, or 0 if none recorded.
+    pub fn commit_to_execute_mean_us(&self) -> f64 {
+        if self.commit_to_execute_count == 0 {
+            0.0
+        } else {
+            self.commit_to_execute_sum_us as f64 / self.commit_to_execute_count as f64
+        }
+    }
+
+    /// Mean execution batch size, or 0 if none recorded.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_count == 0 {
+            0.0
+        } else {
+            self.batch_sum as f64 / self.batch_count as f64
+        }
+    }
+
+    /// Mean dependencies per committed command, or 0 if none recorded.
+    pub fn mean_dependencies(&self) -> f64 {
+        if self.dependency_count == 0 {
+            0.0
+        } else {
+            self.dependency_sum as f64 / self.dependency_count as f64
+        }
+    }
+
+    /// Accumulates another replica's stats (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.fast_paths += other.fast_paths;
+        self.slow_paths += other.slow_paths;
+        self.commits += other.commits;
+        self.executions += other.executions;
+        self.recoveries += other.recoveries;
+        self.noops += other.noops;
+        self.commit_to_execute_count += other.commit_to_execute_count;
+        self.commit_to_execute_sum_us += other.commit_to_execute_sum_us;
+        self.commit_to_execute_max_us = self
+            .commit_to_execute_max_us
+            .max(other.commit_to_execute_max_us);
+        self.batch_count += other.batch_count;
+        self.batch_sum += other.batch_sum;
+        self.dependency_count += other.dependency_count;
+        self.dependency_sum += other.dependency_sum;
+    }
+}
+
+impl From<&ProtocolMetrics> for ProtocolStats {
+    fn from(m: &ProtocolMetrics) -> Self {
+        Self {
+            fast_paths: m.fast_paths,
+            slow_paths: m.slow_paths,
+            commits: m.commits,
+            executions: m.executions,
+            recoveries: m.recoveries,
+            noops: m.noops,
+            commit_to_execute_count: m.commit_to_execute.count() as u64,
+            commit_to_execute_sum_us: m.commit_to_execute.sum(),
+            commit_to_execute_max_us: m.commit_to_execute.max(),
+            batch_count: m.batch_sizes.count() as u64,
+            batch_sum: m.batch_sizes.sum(),
+            dependency_count: m.dependency_counts.count() as u64,
+            dependency_sum: m.dependency_counts.sum(),
+        }
     }
 }
 
@@ -231,6 +356,43 @@ mod tests {
         m.fast_paths = 3;
         m.slow_paths = 1;
         assert_eq!(m.fast_path_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn clear_resets_a_histogram() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(10);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        h.record(3);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn protocol_stats_digest_matches_metrics() {
+        let mut m = ProtocolMetrics::new();
+        m.fast_paths = 8;
+        m.slow_paths = 2;
+        m.commits = 10;
+        m.commit_to_execute.record(100);
+        m.commit_to_execute.record(300);
+        m.dependency_counts.record(1);
+        m.dependency_counts.record(3);
+        let s = crate::ProtocolStats::from(&m);
+        assert_eq!(s.fast_path_ratio(), m.fast_path_ratio());
+        assert_eq!(s.commit_to_execute_count, 2);
+        assert_eq!(s.commit_to_execute_mean_us(), 200.0);
+        assert_eq!(s.commit_to_execute_max_us, 300);
+        assert_eq!(s.mean_dependencies(), 2.0);
+        let mut agg = s.clone();
+        agg.merge(&s);
+        assert_eq!(agg.fast_paths, 16);
+        assert_eq!(agg.commit_to_execute_count, 4);
+        assert_eq!(agg.commit_to_execute_max_us, 300);
     }
 
     #[test]

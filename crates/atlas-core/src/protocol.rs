@@ -360,6 +360,16 @@ pub trait Protocol: Sized {
 
     /// Protocol metrics accumulated so far.
     fn metrics(&self) -> &ProtocolMetrics;
+
+    /// Constant-size digest of [`metrics`](Protocol::metrics) for export
+    /// over the stats plane: scalar counters (fast/slow paths, commits,
+    /// recoveries, …) plus histogram moments, no retained samples. The
+    /// default derives it from `metrics()`, so every protocol — including
+    /// ones outside this workspace — reports a fast-path ratio for free;
+    /// override only to export counters `ProtocolMetrics` does not carry.
+    fn protocol_stats(&self) -> crate::metrics::ProtocolStats {
+        crate::metrics::ProtocolStats::from(self.metrics())
+    }
 }
 
 #[cfg(test)]

@@ -300,11 +300,22 @@ impl Wal {
     /// acknowledgement, without issuing redundant syncs. Under
     /// [`FlushPolicy::OsBuffered`] the unsynced counter is not maintained
     /// (the policy promises no fsyncs), so this is a no-op there.
-    pub fn sync_pending(&mut self) -> io::Result<()> {
+    ///
+    /// Returns whether an fsync was actually issued, so callers can meter
+    /// fsync count and latency without false samples from the no-op path.
+    pub fn sync_pending(&mut self) -> io::Result<bool> {
         if self.unsynced > 0 {
             self.sync()?;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
+    }
+
+    /// Number of live segment files (including the active one). Grows with
+    /// appends, shrinks when [`truncate_below`](Wal::truncate_below)
+    /// reclaims snapshotted history.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
     }
 
     /// The flush policy the log was opened with.

@@ -1,0 +1,36 @@
+//! # atlas-metrics
+//!
+//! The runtime observability toolkit: constant-memory histograms, atomic
+//! counter/gauge cells, and the [`MetricsSnapshot`] a replica exports over
+//! the stats plane.
+//!
+//! The simulator measures with the exact, sample-retaining
+//! [`atlas_core::Histogram`]; a long-lived replica cannot afford that, so
+//! the runtime records into [`BoundedHistogram`] (plain, for export) and
+//! [`AtomicHistogram`] (shared, for the hot path) — log-bucketed at 16
+//! sub-buckets per octave, 6.25% worst-case quantile error, ~8 KiB each,
+//! forever.
+//!
+//! Three consumers read the same [`MetricsSnapshot`]:
+//!
+//! 1. `ClientRequest::Stats` → `ClientReply::Stats` over any client socket
+//!    (binary serde; histograms ship whole so they can be merged across
+//!    replicas before taking percentiles);
+//! 2. the `--metrics-every <ticks>` JSONL dump in the replica data dir
+//!    ([`MetricsSnapshot::to_json`], one line per dump);
+//! 3. the `atlas-top` binary, which polls every replica and renders a
+//!    one-screen cluster summary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use histogram::{BoundedHistogram, BUCKETS, SUBBUCKETS};
+pub use registry::{AtomicHistogram, Counter, Gauge};
+pub use snapshot::{
+    DetectorStats, DurabilityStats, GcStats, HistogramSummary, LifecycleStats, LinkSnapshot,
+    MetricsSnapshot,
+};

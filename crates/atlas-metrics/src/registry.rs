@@ -1,0 +1,186 @@
+//! Lock-free metric cells shared between the replica core and its helper
+//! tasks (link writers, pollers) via `Arc`.
+//!
+//! All cells use relaxed atomics: metrics never synchronize protocol state,
+//! they only have to be individually coherent. Recording is a handful of
+//! `fetch_add`s — cheap enough to leave enabled unconditionally on the
+//! command hot path.
+
+use crate::histogram::{bucket_index, BoundedHistogram, BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (queue depths, segment counts, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// The atomic twin of [`BoundedHistogram`]: same buckets, recordable from
+/// any thread without locking, snapshotted into the plain histogram for
+/// export.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, sample: u64) {
+        self.buckets[bucket_index(sample)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(sample, Relaxed);
+        self.min.fetch_min(sample, Relaxed);
+        self.max.fetch_max(sample, Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Copies the current contents into an exportable [`BoundedHistogram`].
+    ///
+    /// The copy is not an atomic cut across cells — a sample recorded
+    /// concurrently may appear in `count` but not yet in its bucket — which
+    /// is fine for observability and irrelevant on the single-threaded
+    /// recording paths that dominate.
+    pub fn load(&self) -> BoundedHistogram {
+        let mut h = BoundedHistogram::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                // Re-record through the bucket representative: count/sum/
+                // min/max are then overwritten from the exact cells below.
+                h.record_n(crate::histogram::bucket_value(i), n);
+            }
+        }
+        h.overwrite_moments(
+            self.count.load(Relaxed),
+            self.sum.load(Relaxed) as u128,
+            self.min.load(Relaxed),
+            self.max.load(Relaxed),
+        );
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = BoundedHistogram::new();
+        for v in [1u64, 1, 17, 900, 1_000_000] {
+            a.record(v);
+            p.record(v);
+        }
+        let loaded = a.load();
+        assert_eq!(loaded.count(), p.count());
+        assert_eq!(loaded.sum(), p.sum());
+        assert_eq!(loaded.min(), p.min());
+        assert_eq!(loaded.max(), p.max());
+        for q in [0.5, 0.95, 1.0] {
+            assert_eq!(loaded.percentile(q), p.percentile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+        assert_eq!(h.load().count(), 4000);
+    }
+}

@@ -1,0 +1,73 @@
+//! Conversion contract between the simulator's exact `Histogram` and the
+//! runtime's `BoundedHistogram`: folding the retained samples into log
+//! buckets must preserve count/sum/min/max exactly and every quantile to
+//! within the documented 6.25% bucket error.
+
+use atlas_core::Histogram;
+use atlas_metrics::BoundedHistogram;
+
+fn exact_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+#[test]
+fn conversion_preserves_moments_exactly() {
+    let samples: Vec<u64> = (0..5_000u64).map(|i| (i * i) % 777_777 + 1).collect();
+    let exact = exact_of(&samples);
+    let bounded = BoundedHistogram::from(&exact);
+    assert_eq!(bounded.count(), exact.count() as u64);
+    assert_eq!(bounded.sum(), exact.sum());
+    assert_eq!(bounded.min(), exact.min());
+    assert_eq!(bounded.max(), exact.max());
+    assert_eq!(bounded.mean(), exact.mean());
+}
+
+#[test]
+fn conversion_bounds_quantile_error() {
+    // Latency-shaped data spanning several orders of magnitude.
+    let samples: Vec<u64> = (1..=20_000u64).map(|i| 50 + (i * i) / 300).collect();
+    let mut exact = exact_of(&samples);
+    let bounded = BoundedHistogram::from(&exact);
+    for p in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        let e = exact.percentile(p);
+        let b = bounded.percentile(p);
+        // The bounded answer is a bucket upper bound: never below the exact
+        // nearest-rank sample, and at most one bucket width (v/16) above.
+        assert!(b >= e, "p={p}: bounded {b} under-reports exact {e}");
+        assert!(
+            b - e <= e / 16 + 1,
+            "p={p}: bounded {b} beyond error bound of exact {e}"
+        );
+    }
+}
+
+#[test]
+fn merge_then_convert_equals_convert_then_merge() {
+    let a: Vec<u64> = (1..1_000u64).collect();
+    let b: Vec<u64> = (500..5_000u64).map(|v| v * 3).collect();
+    let mut exact_merged = exact_of(&a);
+    exact_merged.merge(&exact_of(&b));
+    let converted_after = BoundedHistogram::from(&exact_merged);
+
+    let mut merged_converted = BoundedHistogram::from(&exact_of(&a));
+    merged_converted.merge(&BoundedHistogram::from(&exact_of(&b)));
+
+    assert_eq!(converted_after, merged_converted);
+}
+
+#[test]
+fn clear_mirrors_between_both_histograms() {
+    let mut exact = exact_of(&[5, 10, 20]);
+    let mut bounded = BoundedHistogram::from(&exact);
+    exact.clear();
+    bounded.clear();
+    assert!(exact.is_empty());
+    assert!(bounded.is_empty());
+    assert_eq!(exact.count(), 0);
+    assert_eq!(bounded.count(), 0);
+    assert_eq!(exact.max(), bounded.max());
+}

@@ -4,9 +4,12 @@
 //! Spawns `--clients` concurrent closed-loop clients against one replica;
 //! each client issues `--ops` single-key PUTs, picking the shared key 0 with
 //! probability `--conflict`% and a client-private key otherwise (the paper's
-//! §5.2 microbenchmark shape). Prints throughput and latency percentiles.
+//! §5.2 microbenchmark shape). Prints throughput, client-observed latency
+//! percentiles (via the shared bounded histogram, not ad-hoc sorting), and
+//! the replica's own view of the run from its metrics snapshot.
 
 use atlas_core::{Command, Rifl};
+use atlas_metrics::{BoundedHistogram, HistogramSummary};
 use atlas_runtime::Client;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -88,9 +91,14 @@ async fn drive(
     Ok(latencies_us)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
+fn print_latency(label: &str, s: &HistogramSummary) {
+    println!(
+        "{label}  p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms   max {:>7.2} ms",
+        s.p50_us as f64 / 1_000.0,
+        s.p95_us as f64 / 1_000.0,
+        s.p99_us as f64 / 1_000.0,
+        s.max_us as f64 / 1_000.0,
+    );
 }
 
 fn main() {
@@ -116,25 +124,45 @@ fn main() {
                 args.payload,
             )));
         }
-        let mut latencies: Vec<u64> = Vec::new();
+        let mut hist = BoundedHistogram::new();
         for task in tasks {
-            latencies.extend(task.await.expect("client task").expect("client run"));
+            for latency_us in task.await.expect("client task").expect("client run") {
+                hist.record(latency_us);
+            }
         }
         let elapsed = started.elapsed();
-        latencies.sort_unstable();
-        let total = latencies.len() as f64;
         println!(
             "{} commands in {:.2?}  ->  {:.0} ops/s",
-            latencies.len(),
+            hist.count(),
             elapsed,
-            total / elapsed.as_secs_f64()
+            hist.count() as f64 / elapsed.as_secs_f64()
         );
-        println!(
-            "latency  p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms   max {:>7.2} ms",
-            percentile(&latencies, 0.50) as f64 / 1_000.0,
-            percentile(&latencies, 0.95) as f64 / 1_000.0,
-            percentile(&latencies, 0.99) as f64 / 1_000.0,
-            latencies.last().copied().unwrap_or(0) as f64 / 1_000.0,
+        print_latency("client latency ", &HistogramSummary::of(&hist));
+
+        // The replica's own view of the run: lifecycle stage latency and
+        // the protocol path split, straight from the stats plane.
+        let mut probe = Client::connect(args.addr, namespace | (args.clients + 1))
+            .await
+            .expect("stats probe connects");
+        let snapshot = probe.stats().await.expect("stats");
+        print_latency(
+            "replica reply  ",
+            &HistogramSummary::of(&snapshot.lifecycle.submit_to_replied),
         );
+        match snapshot.protocol_stats.fast_path_ratio() {
+            Some(ratio) => println!(
+                "replica {} ({}): fast-path {:.1}% ({} fast / {} slow), {} tracked entries",
+                snapshot.replica,
+                snapshot.protocol,
+                ratio * 100.0,
+                snapshot.protocol_stats.fast_paths,
+                snapshot.protocol_stats.slow_paths,
+                snapshot.tracked_entries,
+            ),
+            None => println!(
+                "replica {} ({}): no commits observed, {} tracked entries",
+                snapshot.replica, snapshot.protocol, snapshot.tracked_entries,
+            ),
+        }
     });
 }

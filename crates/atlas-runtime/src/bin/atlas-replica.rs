@@ -24,6 +24,12 @@
 //! keeping protocol maps, the journal and the snapshots bounded.
 //! `--catch-up-chunk-bytes <bytes>` bounds each frame of the streamed
 //! catch-up a recovering replica receives (default 4 MiB).
+//!
+//! `--metrics-every <ticks>` appends one JSON line of the replica's full
+//! metrics snapshot (lifecycle latencies, fast/slow path counters,
+//! fsync/detector/GC/link telemetry) to `metrics.jsonl` in the data
+//! directory on that cadence. The live stats plane — `atlas-top`, or any
+//! client sending a `Stats` request — works without this flag.
 
 use atlas_core::{Config, ProcessId, Protocol};
 use atlas_log::FlushPolicy;
@@ -41,7 +47,8 @@ fn usage() -> ! {
          [--data-dir <path>] [--flush always|every:<n>|os] \
          [--snapshot-every <records>] [--catch-up] \
          [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector] \
-         [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>]"
+         [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>] \
+         [--metrics-every <ticks>]"
     );
     exit(2);
 }
@@ -61,6 +68,7 @@ struct Args {
     failure_detector: bool,
     gc_every: u64,
     catch_up_chunk_bytes: Option<usize>,
+    metrics_every: u64,
 }
 
 fn parse_args() -> Args {
@@ -79,6 +87,7 @@ fn parse_args() -> Args {
         failure_detector: true,
         gc_every: 0,
         catch_up_chunk_bytes: None,
+        metrics_every: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -124,6 +133,9 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage()),
                 )
             }
+            "--metrics-every" => {
+                args.metrics_every = value("--metrics-every").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -163,6 +175,7 @@ where
     if let Some(bytes) = args.catch_up_chunk_bytes {
         cfg.catch_up_chunk_bytes = bytes;
     }
+    cfg.metrics_every = args.metrics_every;
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {
         let handle = replica::spawn::<P>(cfg).await.expect("replica spawn");

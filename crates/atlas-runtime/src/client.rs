@@ -14,6 +14,7 @@
 
 use crate::wire::{read_frame, write_frame, ClientReply, ClientRequest, Hello};
 use atlas_core::{ClientId, Command, Dot, Key, Rifl, Value};
+use atlas_metrics::MetricsSnapshot;
 use kvstore::Output;
 use std::collections::HashMap;
 use std::io;
@@ -162,15 +163,16 @@ impl Client {
         }
     }
 
-    /// Fetches the replica's bookkeeping statistics: `(tracked, executed)`
-    /// — how many per-command entries the protocol currently holds (the
-    /// number garbage collection keeps bounded) and how many commands the
-    /// store has executed.
-    pub async fn stats(&mut self) -> io::Result<(u64, u64)> {
+    /// Fetches the replica's full [`MetricsSnapshot`]: command-lifecycle
+    /// stage latencies, protocol path counters, durability/detector/GC
+    /// telemetry and per-link health, plus the bookkeeping numbers garbage
+    /// collection keeps bounded ([`MetricsSnapshot::tracked_entries`],
+    /// [`MetricsSnapshot::store_executed`]).
+    pub async fn stats(&mut self) -> io::Result<MetricsSnapshot> {
         write_frame(&mut self.writer, &ClientRequest::Stats).await?;
         loop {
             match read_frame::<_, ClientReply>(&mut self.reader).await? {
-                ClientReply::Stats { tracked, executed } => return Ok((tracked, executed)),
+                ClientReply::Stats { snapshot } => return Ok(*snapshot),
                 _ => continue,
             }
         }

@@ -38,6 +38,11 @@ pub struct ClusterOptions {
     /// ([`ReplicaConfig::catch_up_chunk_bytes`]); tests force tiny values
     /// to exercise many-chunk streams.
     pub catch_up_chunk_bytes: usize,
+    /// Metrics JSONL dump cadence in ticks
+    /// ([`ReplicaConfig::metrics_every`]); 0 disables the dump. Each
+    /// replica appends to `metrics.jsonl` in its data directory
+    /// ([`Cluster::data_dir`]).
+    pub metrics_every: u64,
 }
 
 impl Default for ClusterOptions {
@@ -51,6 +56,7 @@ impl Default for ClusterOptions {
             trust_after: Duration::from_millis(250),
             gc_every: 0,
             catch_up_chunk_bytes: replica::DEFAULT_CATCH_UP_CHUNK_BYTES,
+            metrics_every: 0,
         }
     }
 }
@@ -204,6 +210,7 @@ impl Cluster {
         cfg.trust_after = self.options.trust_after;
         cfg.gc_every = self.options.gc_every;
         cfg.catch_up_chunk_bytes = self.options.catch_up_chunk_bytes;
+        cfg.metrics_every = self.options.metrics_every;
         cfg
     }
 

@@ -172,8 +172,16 @@ impl Journal {
     /// Under [`FlushPolicy::OsBuffered`] this is a no-op — that policy
     /// explicitly trades host-power-loss durability away (process crashes
     /// are still covered by the page cache).
-    pub fn make_durable(&mut self) -> io::Result<()> {
+    ///
+    /// Returns whether an fsync was actually issued, so the caller can meter
+    /// real disk syncs without timing no-ops.
+    pub fn make_durable(&mut self) -> io::Result<bool> {
         self.wal.sync_pending()
+    }
+
+    /// Number of live WAL segment files (compaction health metric).
+    pub fn wal_segments(&self) -> usize {
+        self.wal.segment_count()
     }
 
     /// Persists `snapshot` as covering every record journaled so far and

@@ -98,6 +98,10 @@
 //!   calls](atlas_core::Protocol::suspect);
 //! * [`journal`] — what goes into the write-ahead log and snapshots, and
 //!   how recovery replays them;
+//! * [`metrics`] — the replica's runtime metric registry
+//!   ([`ReplicaMetrics`]): command-lifecycle stage latencies, durability,
+//!   detector and GC counters, exported as a
+//!   [`MetricsSnapshot`] over the stats plane;
 //! * [`replica`] — the event loop, acceptor, peer readers, client sessions
 //!   and ticker;
 //! * [`client`] — closed-loop ([`Client`]) and open-loop
@@ -131,6 +135,7 @@ pub mod client;
 pub mod cluster;
 pub mod detector;
 pub mod journal;
+pub mod metrics;
 pub mod replica;
 pub mod transport;
 pub mod wire;
@@ -138,4 +143,9 @@ pub mod wire;
 pub use client::{Client, OpenLoopClient};
 pub use cluster::{Cluster, ClusterOptions};
 pub use detector::{DetectorEvent, FailureDetector};
+pub use metrics::ReplicaMetrics;
 pub use replica::{ReplicaConfig, ReplicaHandle};
+
+// Re-exported so downstream code can consume `Client::stats()` / the
+// `--metrics-every` JSONL without naming the metrics crate directly.
+pub use atlas_metrics::{HistogramSummary, MetricsSnapshot};

@@ -84,6 +84,7 @@
 
 use crate::detector::{DetectorEvent, FailureDetector};
 use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
+use crate::metrics::ReplicaMetrics;
 use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
     read_frame, write_frame, write_raw_frame, CatchUpChunk, CatchUpPayload, ClientReply,
@@ -93,6 +94,7 @@ use atlas_core::{
     Action, ClientId, Command, Config, Dot, Key, ProcessId, Protocol, Rifl, Topology, Value,
 };
 use atlas_log::FlushPolicy;
+use atlas_metrics::MetricsSnapshot;
 use kvstore::KVStore;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -188,6 +190,11 @@ pub struct ReplicaConfig {
     /// works no matter how far the served history has outgrown a single
     /// frame.
     pub catch_up_chunk_bytes: usize,
+    /// Append one [`MetricsSnapshot`] line to `<data_dir>/metrics.jsonl`
+    /// every this many ticks (0 disables the dump; it also needs a data
+    /// directory). The live stats plane (`ClientRequest::Stats`,
+    /// `atlas-top`) works regardless of this knob.
+    pub metrics_every: u64,
 }
 
 impl ReplicaConfig {
@@ -209,6 +216,7 @@ impl ReplicaConfig {
             resend_buffer_cap: DEFAULT_RESEND_BUFFER_CAP,
             gc_every: 0,
             catch_up_chunk_bytes: DEFAULT_CATCH_UP_CHUNK_BYTES,
+            metrics_every: 0,
         }
     }
 }
@@ -351,7 +359,13 @@ where
         if peer != id {
             links.insert(
                 peer,
-                PeerLink::spawn(id, peer_addr, Arc::clone(&stop), cfg.resend_buffer_cap),
+                PeerLink::spawn(
+                    id,
+                    peer,
+                    peer_addr,
+                    Arc::clone(&stop),
+                    cfg.resend_buffer_cap,
+                ),
             );
         }
     }
@@ -576,9 +590,33 @@ struct Core<P: Protocol> {
     /// The last horizon handed to [`Protocol::gc_executed`], to skip (and
     /// not journal) rounds where nothing advanced.
     last_gc_horizon: HashMap<ProcessId, u64>,
+    /// Runtime metric registry (`Arc` so the export plane could share it;
+    /// all hot recording happens on this event loop).
+    metrics: Arc<ReplicaMetrics>,
+    /// Submission time (µs since start) of each locally submitted command
+    /// still in flight — inserted before the protocol sees the command,
+    /// removed at execution, so it is bounded by in-flight commands and
+    /// empty during journal replay (replay contributes no latency samples).
+    pending: HashMap<Rifl, u64>,
+    /// Commit-observation time per identifier, recorded at `Action::Commit`
+    /// for every command (only at execution do we know whether this replica
+    /// owns its lifecycle) and removed at `Action::Execute` — bounded by
+    /// the committed-but-unexecuted window.
+    commit_times: HashMap<Dot, u64>,
+    /// JSONL dump cadence in ticks (0 = disabled).
+    metrics_every: u64,
+    /// Where the JSONL dump appends; `None` after a write error (the dump
+    /// self-disables rather than spamming a broken disk).
+    metrics_path: Option<PathBuf>,
 }
 
 use crate::journal::corrupt;
+
+/// Lifecycle stage latency in µs, clamped to ≥ 1 so a stage completing
+/// within the clock's resolution still registers as a non-zero sample.
+fn stage_us(t0: u64, t1: u64) -> u64 {
+    t1.saturating_sub(t0).max(1)
+}
 
 impl<P> Core<P>
 where
@@ -617,6 +655,13 @@ where
             ticks: 0,
             peer_watermarks: HashMap::new(),
             last_gc_horizon: HashMap::new(),
+            metrics: Arc::new(ReplicaMetrics::new()),
+            pending: HashMap::new(),
+            commit_times: HashMap::new(),
+            metrics_every: cfg.metrics_every,
+            metrics_path: (cfg.metrics_every > 0)
+                .then(|| cfg.data_dir.as_ref().map(|dir| dir.join("metrics.jsonl")))
+                .flatten(),
         };
         let Some(dir) = &cfg.data_dir else {
             return Ok(core);
@@ -645,9 +690,30 @@ where
 
     fn journal_append(&mut self, record: &JournalRecord) -> io::Result<()> {
         match &mut self.journal {
-            Some(journal) => journal.append(record),
+            Some(journal) => {
+                journal.append(record)?;
+                self.metrics.journal_records.inc();
+                Ok(())
+            }
             None => Ok(()),
         }
+    }
+
+    /// [`Journal::make_durable`] with fsync metering: only syncs that
+    /// actually reached the disk are counted and timed (batched-away and
+    /// `OsBuffered` no-op syncs would otherwise flood the histogram with
+    /// zeros).
+    fn make_durable(&mut self) -> io::Result<()> {
+        if let Some(journal) = &mut self.journal {
+            let t0 = Instant::now();
+            if journal.make_durable()? {
+                self.metrics.fsyncs.inc();
+                self.metrics
+                    .fsync_us
+                    .record((t0.elapsed().as_micros() as u64).max(1));
+            }
+        }
+        Ok(())
     }
 
     /// Re-applies one journaled input during recovery. Replay passes time 0:
@@ -716,17 +782,21 @@ where
             self.id
         );
         self.journal_append(&JournalRecord::Suspect { peer })?;
-        if let Some(journal) = &mut self.journal {
-            journal.make_durable()?;
-        }
+        self.make_durable()?;
+        self.metrics.takeovers.inc();
         let now = self.now();
         let actions = self.protocol.suspect(peer, now);
         self.perform(actions, now);
         self.maybe_snapshot()
     }
 
-    /// A local client submitted `cmd`.
+    /// A local client submitted `cmd`. This replica owns the command's
+    /// lifecycle from here: each stage below timestamps against `t0`, and
+    /// the commit/execute/reply stages complete in [`Self::do_actions`]
+    /// via the `pending` entry inserted before the protocol runs.
     fn submit(&mut self, cmd: Command, session: UnboundedSender<ClientReply>) -> io::Result<()> {
+        let t0 = self.now();
+        self.metrics.submitted.inc();
         self.journal_append(&JournalRecord::Submit { cmd: cmd.clone() })?;
         // A submission mints a *new* command identifier that is about to
         // reach peers; if the journal record behind it were lost to a host
@@ -735,12 +805,25 @@ where
         // journal durable before the identifier is externalized (no-op
         // under `Always`, already synced; deliberate no-op under
         // `OsBuffered`, which opts out of power-loss safety entirely).
-        if let Some(journal) = &mut self.journal {
-            journal.make_durable()?;
+        self.make_durable()?;
+        if self.journal.is_some() {
+            self.metrics.journaled.inc();
+            self.metrics
+                .submit_to_journaled
+                .record(stage_us(t0, self.now()));
         }
         // Route all of this client's replies through its session (a client
         // that reconnects simply re-registers here).
         self.sessions.insert(cmd.rifl.client, session);
+        self.pending.insert(cmd.rifl, t0);
+        // "Proposed" is the hand-off to the protocol — recorded *before*
+        // `submit` runs so the stage series stays monotone even when the
+        // self-addressed message cascade commits (or executes) the command
+        // within this very call.
+        self.metrics.proposed.inc();
+        self.metrics
+            .submit_to_proposed
+            .record(stage_us(t0, self.now()));
         let now = self.now();
         let actions = self.protocol.submit(cmd, now);
         self.perform(actions, now);
@@ -779,9 +862,7 @@ where
     /// `FlushPolicy::OsBuffered` the sync is a deliberate no-op and the
     /// durability caveat is the policy's, not the ack's).
     fn send_ack(&mut self, peer: ProcessId) -> io::Result<()> {
-        if let Some(journal) = &mut self.journal {
-            journal.make_durable()?;
-        }
+        self.make_durable()?;
         if let (Some(link), Some(state)) = (self.links.get(&peer), self.acks.get_mut(&peer)) {
             link.send_ack(state.last_seen);
             state.unacked = 0;
@@ -821,15 +902,49 @@ where
         if let Some(detector) = &mut self.detector {
             for event in detector.tick(Instant::now()) {
                 match event {
-                    DetectorEvent::Suspect(peer) => self.dispatch_suspect(peer)?,
-                    DetectorEvent::Trust(peer) => eprintln!(
-                        "replica {}: replica {peer} is audible again; trust restored",
-                        self.id
-                    ),
+                    DetectorEvent::Suspect(peer) => {
+                        self.metrics.suspicions.inc();
+                        self.dispatch_suspect(peer)?;
+                    }
+                    DetectorEvent::Trust(peer) => {
+                        self.metrics.trusts.inc();
+                        eprintln!(
+                            "replica {}: replica {peer} is audible again; trust restored",
+                            self.id
+                        );
+                    }
                 }
             }
         }
+        if self.metrics_every > 0 && self.ticks.is_multiple_of(self.metrics_every) {
+            self.dump_metrics();
+        }
         Ok(())
+    }
+
+    /// Appends one snapshot line to `<data_dir>/metrics.jsonl`. A write
+    /// error disables the dump for the rest of the replica's life — losing
+    /// telemetry is acceptable, failing the replica (or logging every tick)
+    /// over it is not.
+    fn dump_metrics(&mut self) {
+        let Some(path) = &self.metrics_path else {
+            return;
+        };
+        let line = self.metrics_snapshot().to_json();
+        use std::io::Write as _;
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut file| writeln!(file, "{line}"));
+        if let Err(e) = written {
+            eprintln!(
+                "replica {}: disabling metrics dump to {}: {e}",
+                self.id,
+                path.display()
+            );
+            self.metrics_path = None;
+        }
     }
 
     /// One garbage-collection round: broadcast this replica's executed
@@ -876,6 +991,8 @@ where
             horizon: horizon.clone(),
         })?;
         let dropped = self.protocol.gc_executed(&horizon);
+        self.metrics.gc_rounds.inc();
+        self.metrics.gc_entries_dropped.add(dropped);
         for (space, h) in horizon {
             self.last_gc_horizon.insert(space, h);
         }
@@ -1020,12 +1137,44 @@ where
         });
     }
 
-    /// Answers a bookkeeping-statistics query.
+    /// Answers a stats query with the full metrics snapshot.
     fn stats(&self, session: UnboundedSender<ClientReply>) {
         let _ = session.send(ClientReply::Stats {
-            tracked: self.protocol.tracked_entries() as u64,
-            executed: self.store.executed(),
+            snapshot: Box::new(self.metrics_snapshot()),
         });
+    }
+
+    /// Assembles the export snapshot: the registry's counters/histograms,
+    /// the hosted protocol's own digest, and the event-loop state that is
+    /// not a metric cell (GC horizon, link health, bookkeeping sizes).
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut horizon: Vec<(ProcessId, u64)> = self
+            .last_gc_horizon
+            .iter()
+            .map(|(&space, &h)| (space, h))
+            .collect();
+        horizon.sort_unstable();
+        let mut links: Vec<_> = self
+            .links
+            .values()
+            .map(|link| link.status().snapshot())
+            .collect();
+        links.sort_by_key(|link| link.peer);
+        MetricsSnapshot {
+            replica: self.id,
+            protocol: P::name().to_string(),
+            uptime_us: self.now(),
+            lifecycle: self.metrics.lifecycle_stats(),
+            protocol_stats: self.protocol.protocol_stats(),
+            durability: self
+                .metrics
+                .durability_stats(self.journal.as_ref().map_or(0, |j| j.wal_segments() as u64)),
+            detector: self.metrics.detector_stats(),
+            gc: self.metrics.gc_stats(horizon),
+            links,
+            tracked_entries: self.protocol.tracked_entries() as u64,
+            store_executed: self.store.executed(),
+        }
     }
 
     /// Snapshots and truncates the journal when due (and supported by the
@@ -1051,7 +1200,9 @@ where
             store: self.store.clone(),
             log: self.log.clone(),
         };
-        journal.save_snapshot(&snapshot)
+        journal.save_snapshot(&snapshot)?;
+        self.metrics.snapshots_saved.inc();
+        Ok(())
     }
 
     /// Maps protocol [`Action`]s onto the runtime and drains self-addressed
@@ -1075,7 +1226,8 @@ where
     /// * `Send` to self → queue for immediate local handling;
     /// * `Execute` → apply to the store, append to the execution record and
     ///   answer the submitting client if its session lives here;
-    /// * `Commit` → bookkeeping only (clients are answered at execution).
+    /// * `Commit` → remember the commit time for the lifecycle latency
+    ///   histograms (clients are answered at execution).
     fn do_actions(
         &mut self,
         actions: Vec<Action<P::Message>>,
@@ -1105,6 +1257,23 @@ where
                     let mut outputs: Vec<_> = self.store.execute(&cmd).into_iter().collect();
                     outputs.sort_by_key(|(key, _)| *key);
                     self.log.push((dot, rifl));
+                    // Lifecycle: a commit time was remembered for every
+                    // dot; the sample only counts when this replica owns
+                    // the command's lifecycle (it was submitted here). A
+                    // protocol that skips `Action::Commit` still yields a
+                    // committed sample — execution implies commit, so "now"
+                    // is a sound upper bound.
+                    let commit_t = self.commit_times.remove(&dot);
+                    let submit_t = self.pending.remove(&rifl);
+                    if let Some(t0) = submit_t {
+                        let now = self.now();
+                        self.metrics.committed.inc();
+                        self.metrics
+                            .submit_to_committed
+                            .record(stage_us(t0, commit_t.unwrap_or(now)));
+                        self.metrics.executed.inc();
+                        self.metrics.submit_to_executed.record(stage_us(t0, now));
+                    }
                     if let Some(session) = self.sessions.get(&rifl.client) {
                         // A dead session (client gone) is fine; the command
                         // still executed, only the notification is dropped.
@@ -1116,10 +1285,17 @@ where
                             .is_err()
                         {
                             self.sessions.remove(&rifl.client);
+                        } else if let Some(t0) = submit_t {
+                            self.metrics.replied.inc();
+                            self.metrics
+                                .submit_to_replied
+                                .record(stage_us(t0, self.now()));
                         }
                     }
                 }
-                Action::Commit { .. } => {}
+                Action::Commit { dot } => {
+                    self.commit_times.insert(dot, self.now());
+                }
             }
         }
     }

@@ -67,6 +67,7 @@ use tokio::net::TcpStream;
 use tokio::sync::mpsc::{self, UnboundedSender};
 
 use atlas_core::ProcessId;
+use atlas_metrics::LinkSnapshot;
 
 /// Initial reconnect backoff; doubles up to [`MAX_BACKOFF`].
 const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
@@ -95,6 +96,8 @@ mod state {
 /// flooding a reconnecting link with probes.
 #[derive(Debug, Default)]
 pub struct LinkStatus {
+    /// The peer this link leads to (plain data, set at spawn).
+    peer: ProcessId,
     /// One of the [`state`] constants.
     state: AtomicU8,
     /// Message frames handed to the link and not yet acknowledged by the
@@ -102,9 +105,18 @@ pub struct LinkStatus {
     buffered: AtomicU64,
     /// Message frames dropped because the buffer was at its cap.
     dropped: AtomicU64,
+    /// Message frames rewritten after a reconnect (retransmissions).
+    resent: AtomicU64,
 }
 
 impl LinkStatus {
+    fn new(peer: ProcessId) -> Self {
+        Self {
+            peer,
+            ..Self::default()
+        }
+    }
+
     /// Whether the link currently has an established connection.
     pub fn is_connected(&self) -> bool {
         self.state.load(Ordering::Relaxed) == state::CONNECTED
@@ -126,6 +138,27 @@ impl LinkStatus {
     /// catch-up means that peer may be missing frames forever.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Message frames rewritten on a fresh connection after a reconnect —
+    /// the at-least-once delivery machinery doing its job. A steadily
+    /// climbing value means the link keeps dying mid-traffic.
+    pub fn resent(&self) -> u64 {
+        self.resent.load(Ordering::Relaxed)
+    }
+
+    /// One coherent-enough export of the whole status: the connection state
+    /// plus all three frame counters, read once each, instead of callers
+    /// assembling their own view field by field.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            peer: self.peer,
+            connected: self.is_connected(),
+            reconnecting: self.is_reconnecting(),
+            buffered: self.buffered(),
+            dropped: self.dropped(),
+            resent: self.resent(),
+        }
     }
 
     fn set_state(&self, s: u8) {
@@ -197,12 +230,13 @@ impl PeerLink {
     /// terminates when the owning replica drops its `PeerLink` handles.
     pub fn spawn(
         self_id: ProcessId,
+        peer: ProcessId,
         addr: SocketAddr,
         stop: Arc<AtomicBool>,
         resend_buffer_cap: usize,
     ) -> Self {
         let (tx, rx) = mpsc::unbounded_channel();
-        let status = Arc::new(LinkStatus::default());
+        let status = Arc::new(LinkStatus::new(peer));
         tokio::spawn(writer_task(self_id, addr, rx, stop, Arc::clone(&status)));
         Self {
             tx,
@@ -230,9 +264,10 @@ impl PeerLink {
                 // and only a wiped rejoin (catch-up) restores completeness.
                 // Say so once, loudly, for the operator's post-mortem.
                 eprintln!(
-                    "link {self_id} -> {addr}: resend buffer full ({cap} frames); dropping \
-                     frames — if this peer ever rejoins, it must use --catch-up",
+                    "link {self_id} -> {peer} ({addr}): resend buffer full ({cap} frames); \
+                     dropping frames — if this peer ever rejoins, it must use --catch-up",
                     self_id = self.self_id,
+                    peer = self.status.peer,
                     addr = self.addr,
                     cap = self.cap,
                 );
@@ -302,6 +337,9 @@ async fn writer_task(
     // How many frames at the front of `unacked` were already written on the
     // *current* connection; reset on reconnect so the whole buffer replays.
     let mut written: usize = 0;
+    // Highest sequence ever written on *any* connection: a write at or below
+    // it is a replay of the resend buffer, counted in `LinkStatus::resent`.
+    let mut max_written_seq: u64 = 0;
 
     while let Some(cmd) = rx.recv().await {
         match cmd {
@@ -401,7 +439,15 @@ async fn writer_task(
                 }
             };
             match write_raw_frame(writer, &unacked[written].1).await {
-                Ok(()) => written += 1,
+                Ok(()) => {
+                    let seq = unacked[written].0;
+                    if seq <= max_written_seq {
+                        status.resent.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        max_written_seq = seq;
+                    }
+                    written += 1;
+                }
                 Err(_) => {
                     // Connection broke mid-frame: the receiver discards the
                     // partial frame with the dead connection; replay on a
@@ -476,7 +522,7 @@ mod tests {
             };
             let stop = Arc::new(AtomicBool::new(false));
             let cap = 32;
-            let link = PeerLink::spawn(1, dead, Arc::clone(&stop), cap);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap);
             for i in 0..(cap as u64 + 50) {
                 link.send(vec![i as u8; 16]);
             }
@@ -501,7 +547,7 @@ mod tests {
                 probe.local_addr().unwrap()
             };
             let stop = Arc::new(AtomicBool::new(false));
-            let link = PeerLink::spawn(1, dead, Arc::clone(&stop), 8);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8);
             // A message forces the writer into its dial/backoff loop.
             link.send(vec![1, 2, 3]);
             let deadline = std::time::Instant::now() + Duration::from_secs(5);

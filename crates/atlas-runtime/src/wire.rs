@@ -39,6 +39,7 @@
 //! still receives everything peers sent while it was down.
 
 use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl, Value};
+use atlas_metrics::MetricsSnapshot;
 use kvstore::Output;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -165,10 +166,11 @@ pub enum ClientRequest {
     },
     /// Ask for the replica's execution record (testing/inspection).
     ExecutionLog,
-    /// Ask for replica bookkeeping statistics (testing/inspection): how
-    /// many per-command entries the protocol currently tracks — the number
-    /// garbage collection keeps bounded — and how many commands the store
-    /// executed.
+    /// Ask for the replica's full [`MetricsSnapshot`] — command-lifecycle
+    /// latencies, protocol path counters, durability/detector/GC/link
+    /// telemetry plus the bookkeeping numbers garbage collection keeps
+    /// bounded. Served by `atlas-top`, tests and anything else that wants a
+    /// live view without touching the replica's data directory.
     Stats,
 }
 
@@ -189,13 +191,14 @@ pub enum ClientReply {
         /// Digest of the replica's key–value store state.
         digest: u64,
     },
-    /// Replica bookkeeping statistics.
+    /// The replica's metrics snapshot. Histograms ship in full (bounded,
+    /// ~8 KiB each) so consumers can merge across replicas *before* taking
+    /// percentiles; the bookkeeping numbers the old reply carried live in
+    /// [`MetricsSnapshot::tracked_entries`] and
+    /// [`MetricsSnapshot::store_executed`].
     Stats {
-        /// Per-command entries currently held by the protocol
-        /// ([`tracked_entries`](atlas_core::Protocol::tracked_entries)).
-        tracked: u64,
-        /// Commands the store has executed.
-        executed: u64,
+        /// Everything the replica measures, in one coherent-enough cut.
+        snapshot: Box<MetricsSnapshot>,
     },
 }
 
@@ -335,9 +338,19 @@ mod tests {
         let bytes = bincode::serialize(&reply).unwrap();
         assert_eq!(bincode::deserialize::<ClientReply>(&bytes).unwrap(), reply);
 
+        let mut snapshot = MetricsSnapshot {
+            replica: 2,
+            protocol: "atlas".to_string(),
+            uptime_us: 123_456,
+            tracked_entries: 7,
+            store_executed: 99,
+            ..MetricsSnapshot::default()
+        };
+        snapshot.lifecycle.submitted = 5;
+        snapshot.lifecycle.submit_to_replied.record(1_500);
+        snapshot.gc.horizon = vec![(1, 10), (2, 7)];
         let stats = ClientReply::Stats {
-            tracked: 7,
-            executed: 99,
+            snapshot: Box::new(snapshot),
         };
         let bytes = bincode::serialize(&stats).unwrap();
         assert_eq!(bincode::deserialize::<ClientReply>(&bytes).unwrap(), stats);

@@ -79,9 +79,12 @@ fn run(gc_every: u64) -> (u64, Vec<u64>) {
                 let mut probe = Client::connect(cluster.addr(id), 800 + id as u64)
                     .await
                     .expect("stats probe connects");
-                let (t, executed) = probe.stats().await.expect("stats");
-                assert_eq!(executed, TOTAL, "replica {id} executed count");
-                tracked.push(t);
+                let snapshot = probe.stats().await.expect("stats");
+                assert_eq!(
+                    snapshot.store_executed, TOTAL,
+                    "replica {id} executed count"
+                );
+                tracked.push(snapshot.tracked_entries);
             }
             if tracked.iter().all(|&t| t <= bound) {
                 break tracked;

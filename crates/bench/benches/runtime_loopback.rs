@@ -2,11 +2,22 @@
 //! cluster on localhost, measured at a closed-loop client. Later transport
 //! optimizations (frame coalescing, zero-copy encode, connection pooling)
 //! are judged against these numbers.
+//!
+//! After each benchmark the serving replica's [`MetricsSnapshot`] is
+//! captured over the stats plane; with `ATLAS_BENCH_METRICS=<path>` set the
+//! snapshots are written as `{"snapshots": [...]}` so CI can assert the
+//! benchmark ran on the protocol's fast path (`ci/bench_guard.py
+//! --metrics`), not just that it was fast.
 
 use atlas_core::{Command, Config, Rifl};
+use atlas_metrics::MetricsSnapshot;
 use atlas_protocol::Atlas;
 use atlas_runtime::{Client, Cluster};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use std::sync::Mutex;
+
+/// Replica snapshots captured at the end of each benchmark, in run order.
+static SNAPSHOTS: Mutex<Vec<MetricsSnapshot>> = Mutex::new(Vec::new());
 
 struct Harness {
     rt: tokio::runtime::Runtime,
@@ -37,6 +48,32 @@ impl Harness {
         self.seq += 1;
         Rifl::new(1, self.seq)
     }
+
+    /// Fetches the serving replica's view of the run and stashes it for
+    /// [`capture_metrics`].
+    fn capture_snapshot(&mut self) {
+        let snapshot = self
+            .rt
+            .block_on(async {
+                let mut probe = Client::connect(self._cluster.addr(1), 900).await?;
+                probe.stats().await
+            })
+            .expect("stats probe");
+        SNAPSHOTS.lock().unwrap().push(snapshot);
+    }
+}
+
+/// Writes the captured snapshots to `$ATLAS_BENCH_METRICS` (JSON, one
+/// `snapshots` array of [`MetricsSnapshot::to_json`] objects). No-op when
+/// the variable is unset, so local `cargo bench` runs stay file-free.
+fn capture_metrics() {
+    let Some(path) = std::env::var_os("ATLAS_BENCH_METRICS") else {
+        return;
+    };
+    let snapshots = SNAPSHOTS.lock().unwrap();
+    let body: Vec<String> = snapshots.iter().map(|s| s.to_json()).collect();
+    let json = format!("{{\"snapshots\":[{}]}}\n", body.join(","));
+    std::fs::write(&path, json).expect("write ATLAS_BENCH_METRICS");
 }
 
 /// One conflicting PUT per iteration: full submit → commit → execute →
@@ -51,6 +88,7 @@ fn put_round_trip(c: &mut Criterion) {
                 .expect("command executes")
         });
     });
+    h.capture_snapshot();
 }
 
 /// A 16-command batch per iteration (single submit frame, 16 executions
@@ -70,6 +108,7 @@ fn put_batch_16(c: &mut Criterion) {
                 .expect("batch executes")
         });
     });
+    h.capture_snapshot();
 }
 
 criterion_group! {
@@ -77,4 +116,11 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = put_round_trip, put_batch_16
 }
-criterion_main!(benches);
+
+// Expanded `criterion_main!(benches)` plus the metrics capture: the
+// snapshot file must be written after every group has run.
+fn main() {
+    benches();
+    criterion::emit_json();
+    capture_metrics();
+}

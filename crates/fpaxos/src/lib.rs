@@ -335,10 +335,12 @@ impl FPaxos {
         let pending = std::mem::take(&mut self.pending_forward);
         let mut actions = Vec::new();
         for cmd in pending {
+            // Slow path: these commands stalled behind a leader election
+            // and only proceed under the new ballot.
+            self.metrics.slow_paths += 1;
             if self.is_leader() {
                 actions.extend(self.propose(cmd));
             } else {
-                self.metrics.fast_paths += 1;
                 actions.push(Action::send(
                     [self.current_leader()],
                     Message::MForward { cmd },
@@ -554,6 +556,10 @@ impl Protocol for FPaxos {
         self.id
     }
 
+    // Path classification: FPaxos has no per-command fast quorum — "fast"
+    // here means the command rode the steady-state leader (phase 2 only),
+    // "slow" means it was caught by a leader change and waited for a
+    // prepare phase (see `learn_leader`).
     fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
         if self.is_leader() {
             self.metrics.fast_paths += 1;

@@ -595,8 +595,11 @@ impl Mencius {
         self.slot_decided_cleanup(slot);
         // A revocation may decide one of our own slots with our command
         // (it was acknowledged somewhere before the suspicion); the
-        // proposal is satisfied, the client is answered at execution.
-        self.proposals.remove(&slot);
+        // proposal is satisfied, the client is answered at execution —
+        // but it took a revocation to get there, so count it slow.
+        if self.proposals.remove(&slot).is_some() {
+            self.metrics.slow_paths += 1;
+        }
         self.metrics.commits += 1;
         self.commit_times.insert(slot, time);
         self.try_execute(time)
@@ -904,7 +907,9 @@ impl Protocol for Mencius {
             .collect();
         ready.sort_unstable();
         for slot in ready {
-            self.metrics.fast_paths += 1;
+            // Slow path: the proposal only commits because the detector
+            // shrank the expected ack set — it waited out a failure.
+            self.metrics.slow_paths += 1;
             actions.extend(self.commit_own_proposal(slot, time));
         }
         actions.extend(self.try_execute(time));

@@ -1,0 +1,143 @@
+//! Open-loop load against a real TCP cluster, read back through the
+//! **observability plane**: three Atlas replicas each absorb a stream of
+//! batched writes fired without waiting for replies, and the run is then
+//! described twice — once from the clients' reply latencies, once from the
+//! replicas' own metrics snapshots, stage by stage.
+//!
+//! ```text
+//! cargo run --release --example open_loop
+//! ```
+//!
+//! The second view is the point of this example: the snapshot breaks the
+//! submit → reply interval into the journaled / proposed / committed /
+//! executed / replied waterfall (each histogram cumulative from
+//! submission), shows the fast/slow path split, and is fetched with a plain
+//! `Stats` request — the same bytes `atlas-top` renders live.
+
+use atlas::core::{Command, Config, ProcessId};
+use atlas::metrics::{BoundedHistogram, HistogramSummary, MetricsSnapshot};
+use atlas::protocol::Atlas;
+use atlas::runtime::{Client, Cluster, OpenLoopClient};
+use std::time::Instant;
+
+const BATCHES: u64 = 50;
+const BATCH: u64 = 20;
+const KEYS: u64 = 64;
+
+/// One open-loop client pinned to `replica`: fires `BATCHES` batches of
+/// `BATCH` writes over its private key range, then waits for the stragglers
+/// and returns every command's reply latency (µs).
+async fn drive(addr: std::net::SocketAddr, client_id: u64) -> std::io::Result<Vec<u64>> {
+    let mut client = OpenLoopClient::connect(addr, client_id).await?;
+    for _ in 0..BATCHES {
+        let cmds: Vec<Command> = (0..BATCH)
+            .map(|i| {
+                let rifl = client.next_rifl();
+                Command::put(
+                    rifl,
+                    client_id * 10_000 + (rifl.seq + i) % KEYS,
+                    rifl.seq,
+                    64,
+                )
+            })
+            .collect();
+        client.submit_batch(cmds).await?;
+        // Open loop with a breather: keep many commands in flight without
+        // drowning the loopback in an unbounded backlog.
+        tokio::time::sleep(std::time::Duration::from_millis(2)).await;
+    }
+    client.finish().await
+}
+
+fn stage_row(name: &str, h: &BoundedHistogram) {
+    let s = HistogramSummary::of(h);
+    println!(
+        "    {name:<12} p50 {:>7.2} ms   p99 {:>7.2} ms   max {:>7.2} ms",
+        s.p50_us as f64 / 1_000.0,
+        s.p99_us as f64 / 1_000.0,
+        s.max_us as f64 / 1_000.0,
+    );
+}
+
+fn describe(snapshot: &MetricsSnapshot) {
+    let l = &snapshot.lifecycle;
+    println!(
+        "  replica {} ({}): {} submitted, {} replied — lifecycle waterfall:",
+        snapshot.replica, snapshot.protocol, l.submitted, l.replied
+    );
+    stage_row("journaled", &l.submit_to_journaled);
+    stage_row("proposed", &l.submit_to_proposed);
+    stage_row("committed", &l.submit_to_committed);
+    stage_row("executed", &l.submit_to_executed);
+    stage_row("replied", &l.submit_to_replied);
+    match snapshot.protocol_stats.fast_path_ratio() {
+        Some(ratio) => println!(
+            "    fast path    {:.1}% ({} fast / {} slow), {} fsyncs, {} tracked entries",
+            ratio * 100.0,
+            snapshot.protocol_stats.fast_paths,
+            snapshot.protocol_stats.slow_paths,
+            snapshot.durability.fsyncs,
+            snapshot.tracked_entries,
+        ),
+        None => println!("    no commits coordinated here"),
+    }
+}
+
+fn main() {
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async {
+        let cluster = Cluster::spawn::<Atlas>(Config::new(3, 1))
+            .await
+            .expect("cluster boots");
+        println!(
+            "3-replica Atlas on 127.0.0.1 — one open-loop client per replica, \
+             {BATCHES} batches x {BATCH} writes each"
+        );
+        let started = Instant::now();
+        let mut tasks = Vec::new();
+        for id in 1..=cluster.n() as u64 {
+            tasks.push(tokio::spawn(drive(cluster.addr(id as ProcessId), id)));
+        }
+        let mut hist = BoundedHistogram::new();
+        for task in tasks {
+            for latency_us in task.await.expect("client task").expect("client run") {
+                hist.record(latency_us);
+            }
+        }
+        let elapsed = started.elapsed();
+        let s = HistogramSummary::of(&hist);
+        println!(
+            "\nclient view: {} replies in {:.2?}  ->  {:.0} ops/s,  p50 {:.2} ms  \
+             p95 {:.2} ms  p99 {:.2} ms",
+            s.count,
+            elapsed,
+            s.count as f64 / elapsed.as_secs_f64(),
+            s.p50_us as f64 / 1_000.0,
+            s.p95_us as f64 / 1_000.0,
+            s.p99_us as f64 / 1_000.0,
+        );
+
+        println!("\nreplica view (stats plane):");
+        let mut merged = BoundedHistogram::new();
+        for id in 1..=cluster.n() as ProcessId {
+            let mut probe = Client::connect(cluster.addr(id), 900 + id as u64)
+                .await
+                .expect("stats probe connects");
+            let snapshot = probe.stats().await.expect("stats");
+            merged.merge(&snapshot.lifecycle.submit_to_replied);
+            describe(&snapshot);
+        }
+        // Merge the replicas' histograms *before* taking percentiles —
+        // averaging per-replica percentiles would be statistically wrong.
+        let cluster_wide = HistogramSummary::of(&merged);
+        println!(
+            "\ncluster-wide replica-side reply latency ({} cmds): p50 {:.2} ms  \
+             p99 {:.2} ms  max {:.2} ms",
+            cluster_wide.count,
+            cluster_wide.p50_us as f64 / 1_000.0,
+            cluster_wide.p99_us as f64 / 1_000.0,
+            cluster_wide.max_us as f64 / 1_000.0,
+        );
+        cluster.shutdown();
+    });
+}

@@ -13,7 +13,8 @@
 //! planet simulator (`examples/quickstart.rs`) for geo-latency questions and
 //! this runtime for real-deployment plumbing and throughput questions.
 
-use atlas::core::{Command, Config, Protocol, Rifl};
+use atlas::core::{Command, Config, ProcessId, Protocol, Rifl};
+use atlas::metrics::{BoundedHistogram, HistogramSummary};
 use atlas::protocol::Atlas;
 use atlas::runtime::{Client, Cluster};
 use serde::{Deserialize, Serialize};
@@ -42,10 +43,6 @@ async fn drive(addr: std::net::SocketAddr, client_id: u64) -> std::io::Result<Ve
     Ok(latencies_us)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> f64 {
-    sorted[((sorted.len() as f64 - 1.0) * p).round() as usize] as f64 / 1_000.0
-}
-
 fn run_cluster<P>(label: &str, config: Config)
 where
     P: Protocol + Send + 'static,
@@ -61,20 +58,40 @@ where
             let replica = ((client_id - 1) % cluster.n() as u64) as u32 + 1;
             tasks.push(tokio::spawn(drive(cluster.addr(replica), client_id)));
         }
-        let mut latencies: Vec<u64> = Vec::new();
+        let mut hist = BoundedHistogram::new();
         for task in tasks {
-            latencies.extend(task.await.expect("client task").expect("client run"));
+            for latency_us in task.await.expect("client task").expect("client run") {
+                hist.record(latency_us);
+            }
         }
         let elapsed = started.elapsed();
-        latencies.sort_unstable();
+
+        // The cluster's own view of the run, via the stats plane: sum the
+        // fast/slow path split over every replica (each command is
+        // classified once, at its coordinator).
+        let (mut fast, mut slow) = (0u64, 0u64);
+        for id in 1..=cluster.n() as ProcessId {
+            let mut probe = Client::connect(cluster.addr(id), 900 + id as u64)
+                .await
+                .expect("stats probe connects");
+            let snapshot = probe.stats().await.expect("stats");
+            fast += snapshot.protocol_stats.fast_paths;
+            slow += snapshot.protocol_stats.slow_paths;
+        }
+        let fast_pct = if fast + slow > 0 {
+            format!("{:>5.1}%", fast as f64 / (fast + slow) as f64 * 100.0)
+        } else {
+            "    -".to_string()
+        };
+        let s = HistogramSummary::of(&hist);
         println!(
-            "{label}  {:>5} cmds in {:>8.2?}   {:>6.0} ops/s   p50 {:>6.2} ms   p95 {:>6.2} ms   p99 {:>6.2} ms",
-            latencies.len(),
+            "{label}  {:>5} cmds in {:>8.2?}   {:>6.0} ops/s   p50 {:>6.2} ms   p95 {:>6.2} ms   p99 {:>6.2} ms   fast {fast_pct}",
+            s.count,
             elapsed,
-            latencies.len() as f64 / elapsed.as_secs_f64(),
-            percentile(&latencies, 0.50),
-            percentile(&latencies, 0.95),
-            percentile(&latencies, 0.99),
+            s.count as f64 / elapsed.as_secs_f64(),
+            s.p50_us as f64 / 1_000.0,
+            s.p95_us as f64 / 1_000.0,
+            s.p99_us as f64 / 1_000.0,
         );
         cluster.shutdown();
     });

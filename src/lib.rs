@@ -11,6 +11,8 @@
 //!
 //! * [`core`] (`atlas-core`) — identifiers, commands, configuration, the
 //!   [`Protocol`](core::Protocol) trait and metrics.
+//! * [`metrics`] (`atlas-metrics`) — bounded histograms, atomic counters
+//!   and the replica [`MetricsSnapshot`](metrics::MetricsSnapshot).
 //! * [`protocol`] (`atlas-protocol`) — the Atlas protocol and its
 //!   dependency-graph executor.
 //! * [`epaxos`], [`fpaxos`], [`mencius`] — the baseline protocols.
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use atlas_core as core;
+pub use atlas_metrics as metrics;
 pub use atlas_protocol as protocol;
 pub use atlas_runtime as runtime;
 pub use epaxos;
