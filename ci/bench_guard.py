@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Gate the bench-smoke CI job on a checked-in latency baseline.
+"""Gate CI bench and WAN-figure jobs on checked-in budgets.
 
-Usage: bench_guard.py <current.json> <baseline.json> [--max-ratio 3.0]
+Usage: bench_guard.py [<current.json> <baseline.json>] [--max-ratio 3.0]
            [--metrics <file>] [--min-fast-path-ratio 0.9]
+           [--fig <BENCH_fig*.json> ...]
 
-Both files carry ``{"benches": {"<name>": {"mean_ns": <int>, ...}}}`` — the
-current file is emitted by the vendored criterion stub via
+Both positional files carry ``{"benches": {"<name>": {"mean_ns": <int>,
+...}}}`` — the current file is emitted by the vendored criterion stub via
 ``CRITERION_JSON``; the baseline is checked in at
 ``ci/BENCH_runtime_baseline.json``.
 
@@ -24,9 +25,19 @@ Fast and slow path commits are summed across all snapshots and the job
 fails when the fast-path share drops below ``--min-fast-path-ratio`` — a
 cheap canary for protocol changes that keep the bench fast on the runner
 but silently push the conflict-free workload onto the slow path.
+
+``--fig`` ingests the ``BENCH_fig*.json`` artifacts the WAN scenario
+harness (``crates/atlas-runtime/tests/wan_scenarios.rs``) emits: each file
+is ``{"figure": "...", "checks": [{"name", "value", "min"?, "max"?}]}``
+with the bounds the scenario asserted in-process. The guard re-validates
+every bounded check — so a stale or hand-edited artifact can never pass CI
+claiming bounds its run did not meet — and fails when an argument matches
+no files (a scenario that silently stopped emitting must not pass).
+Positional benchmark files are optional when ``--fig`` is given.
 """
 
 import argparse
+import glob
 import json
 import sys
 
@@ -65,44 +76,90 @@ def check_fast_path(path: str, floor: float, failures: list) -> None:
         failures.append(f"fast-path ratio {ratio:.3f} below floor {floor:.2f}")
 
 
+def check_figure(path: str, failures: list) -> None:
+    """Validates one WAN-figure artifact and re-enforces its bounds."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    figure = doc.get("figure")
+    checks = doc.get("checks")
+    if not isinstance(figure, str) or not isinstance(checks, list) or not checks:
+        failures.append(f"{path}: not a figure report (need figure + checks)")
+        return
+    for check in checks:
+        name = check.get("name")
+        value = check.get("value")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            failures.append(f"{figure}: malformed check {check!r}")
+            continue
+        lo = check.get("min")
+        hi = check.get("max")
+        bad = (lo is not None and value < lo) or (hi is not None and value > hi)
+        bounds = f"[{'-inf' if lo is None else lo}, {'inf' if hi is None else hi}]"
+        verdict = "FAIL" if bad else "ok"
+        print(f"{verdict:4} {figure}.{name}: {value:.3f} within {bounds}")
+        if bad:
+            failures.append(f"{figure}.{name}: {value:.3f} outside {bounds}")
+
+
+def expand_figs(patterns: list) -> list:
+    """Expands ``--fig`` arguments (paths or globs), failing on empties."""
+    paths = []
+    for pattern in patterns:
+        matched = sorted(glob.glob(pattern)) if ("*" in pattern or "?" in pattern) else [pattern]
+        if not matched:
+            sys.exit(f"bench_guard: --fig {pattern!r} matched no files")
+        paths.extend(matched)
+    return paths
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current")
-    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="?", default=None)
+    parser.add_argument("baseline", nargs="?", default=None)
     parser.add_argument("--max-ratio", type=float, default=3.0)
     parser.add_argument("--metrics", default=None)
     parser.add_argument("--min-fast-path-ratio", type=float, default=0.9)
+    parser.add_argument("--fig", nargs="+", default=None)
     args = parser.parse_args()
 
-    current = load_benches(args.current)
-    baseline = load_benches(args.baseline)
+    if (args.current is None) != (args.baseline is None):
+        parser.error("current and baseline go together")
+    if args.current is None and args.fig is None:
+        parser.error("nothing to gate: give current+baseline and/or --fig")
 
     failures = []
-    for name, base in baseline.items():
-        base_ns = base["mean_ns"]
-        got = current.get(name)
-        if got is None:
-            failures.append(f"{name}: missing from the current run")
-            continue
-        got_ns = got["mean_ns"]
-        ratio = got_ns / base_ns
-        verdict = "FAIL" if ratio > args.max_ratio else "ok"
-        print(
-            f"{verdict:4} {name}: {got_ns} ns vs baseline {base_ns} ns "
-            f"({ratio:.2f}x, limit {args.max_ratio:.1f}x)"
-        )
-        if ratio > args.max_ratio:
-            failures.append(f"{name}: {ratio:.2f}x over baseline")
+    if args.current is not None:
+        current = load_benches(args.current)
+        baseline = load_benches(args.baseline)
+        for name, base in baseline.items():
+            base_ns = base["mean_ns"]
+            got = current.get(name)
+            if got is None:
+                failures.append(f"{name}: missing from the current run")
+                continue
+            got_ns = got["mean_ns"]
+            ratio = got_ns / base_ns
+            verdict = "FAIL" if ratio > args.max_ratio else "ok"
+            print(
+                f"{verdict:4} {name}: {got_ns} ns vs baseline {base_ns} ns "
+                f"({ratio:.2f}x, limit {args.max_ratio:.1f}x)"
+            )
+            if ratio > args.max_ratio:
+                failures.append(f"{name}: {ratio:.2f}x over baseline")
 
     if args.metrics is not None:
         check_fast_path(args.metrics, args.min_fast_path_ratio, failures)
 
+    if args.fig is not None:
+        for path in expand_figs(args.fig):
+            check_figure(path, failures)
+
     if failures:
-        print("\nbench_guard: bench-smoke gate FAILED:", file=sys.stderr)
+        print("\nbench_guard: gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("bench_guard: all benchmarks within the regression budget")
+    print("bench_guard: all gates within budget")
     return 0
 
 

@@ -311,6 +311,15 @@ impl Wal {
         Ok(false)
     }
 
+    /// Records appended since the last fsync. Zero right after an append
+    /// means that append itself issued the sync (always the case under
+    /// [`FlushPolicy::Always`], every `n`-th append under
+    /// [`FlushPolicy::EveryN`]). Not maintained under
+    /// [`FlushPolicy::OsBuffered`], which never syncs.
+    pub fn pending(&self) -> u32 {
+        self.unsynced
+    }
+
     /// Number of live segment files (including the active one). Grows with
     /// appends, shrinks when [`truncate_below`](Wal::truncate_below)
     /// reclaims snapshotted history.

@@ -24,6 +24,27 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
+/// Runs `body` once per seed in `base + offsets`, naming the scenario and
+/// the exact failing seed before re-raising any panic. A bare seeded sweep
+/// fails with an assert message that does not say *which* seed's schedule
+/// broke — so the one piece of information needed to reproduce (and to pin
+/// the schedule in-tree as a regression test) is lost. Every chaos sweep
+/// goes through here instead of a bare `for seed in ...` loop.
+pub fn sweep(scenario: &str, base: u64, offsets: std::ops::Range<u64>, mut body: impl FnMut(u64)) {
+    for offset in offsets {
+        let seed = base + offset;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(seed)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "chaos sweep {scenario:?} failed at seed {seed:#x} \
+                 (base {base:#x} + offset {offset}); \
+                 pin it by calling the sweep body with {seed:#x}"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
 /// Probability that a delivered message is also re-enqueued (an
 /// at-least-once link delivering twice).
 const DUPLICATION_PROBABILITY: f64 = 0.2;

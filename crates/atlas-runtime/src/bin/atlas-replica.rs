@@ -30,10 +30,21 @@
 //! fsync/detector/GC/link telemetry) to `metrics.jsonl` in the data
 //! directory on that cadence. The live stats plane — `atlas-top`, or any
 //! client sending a `Stats` request — works without this flag.
+//!
+//! `--net-profile <spec>` injects WAN conditions on this replica's
+//! **outbound** peer links — per-directed-link delay/jitter/bandwidth,
+//! scheduled cuts (symmetric when both sides carry the rule, asymmetric
+//! otherwise) and probabilistic connection resets. The spec is a
+//! semicolon-separated rule list, e.g.
+//! `delay=25ms,jitter=2ms;1->3:cut=10s+2s;seed=7` — see
+//! `atlas_runtime::NetProfile::parse` for the grammar. Run every replica
+//! with its own profile (rules select links by `<from>-><to>` identifiers,
+//! so the same spec can be shared cluster-wide).
 
 use atlas_core::{Config, ProcessId, Protocol};
 use atlas_log::FlushPolicy;
 use atlas_runtime::replica::{self, ReplicaConfig};
+use atlas_runtime::NetProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -48,7 +59,7 @@ fn usage() -> ! {
          [--snapshot-every <records>] [--catch-up] \
          [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector] \
          [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>] \
-         [--metrics-every <ticks>]"
+         [--metrics-every <ticks>] [--net-profile <spec>]"
     );
     exit(2);
 }
@@ -69,6 +80,7 @@ struct Args {
     gc_every: u64,
     catch_up_chunk_bytes: Option<usize>,
     metrics_every: u64,
+    net: Option<NetProfile>,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +100,7 @@ fn parse_args() -> Args {
         gc_every: 0,
         catch_up_chunk_bytes: None,
         metrics_every: 0,
+        net: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -136,6 +149,14 @@ fn parse_args() -> Args {
             "--metrics-every" => {
                 args.metrics_every = value("--metrics-every").parse().unwrap_or_else(|_| usage())
             }
+            "--net-profile" => {
+                args.net = Some(
+                    NetProfile::parse(&value("--net-profile")).unwrap_or_else(|e| {
+                        eprintln!("bad --net-profile: {e}");
+                        usage()
+                    }),
+                )
+            }
             _ => usage(),
         }
     }
@@ -176,6 +197,7 @@ where
         cfg.catch_up_chunk_bytes = bytes;
     }
     cfg.metrics_every = args.metrics_every;
+    cfg.net = args.net.clone();
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {
         let handle = replica::spawn::<P>(cfg).await.expect("replica spawn");

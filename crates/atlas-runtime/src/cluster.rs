@@ -3,6 +3,7 @@
 //! and supports crash/restart fault injection for tests, examples and
 //! benches.
 
+use crate::netem::NetProfile;
 use crate::replica::{self, ReplicaConfig, ReplicaHandle};
 use atlas_core::{Config, ProcessId, Protocol};
 use atlas_log::{FlushPolicy, TempDir};
@@ -43,6 +44,17 @@ pub struct ClusterOptions {
     /// replica appends to `metrics.jsonl` in its data directory
     /// ([`Cluster::data_dir`]).
     pub metrics_every: u64,
+    /// Injected network conditions, handed to every replica
+    /// ([`ReplicaConfig::net`]): rules select **directed** links by the
+    /// sending and receiving replica identifiers, so one profile describes
+    /// the whole cluster's geo topology (and its scheduled partitions).
+    /// `None` runs every link at native localhost speed. Client
+    /// connections are never shaped — only the peer links are.
+    pub net: Option<NetProfile>,
+    /// Injected per-fsync stall for selected replicas
+    /// ([`ReplicaConfig::fsync_stall`]): the WAN harness's slow-disk
+    /// drill. Replicas absent from the map run unstalled.
+    pub fsync_stall: HashMap<ProcessId, Duration>,
 }
 
 impl Default for ClusterOptions {
@@ -57,6 +69,8 @@ impl Default for ClusterOptions {
             gc_every: 0,
             catch_up_chunk_bytes: replica::DEFAULT_CATCH_UP_CHUNK_BYTES,
             metrics_every: 0,
+            net: None,
+            fsync_stall: HashMap::new(),
         }
     }
 }
@@ -70,6 +84,13 @@ impl ClusterOptions {
     pub fn with_suspicion(mut self, suspect_after: Duration) -> Self {
         self.suspect_after = Some(suspect_after);
         self.trust_after = suspect_after / 2;
+        self
+    }
+
+    /// Returns a copy with the given injected network conditions on every
+    /// replica's peer links (see [`NetProfile`]).
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = Some(net);
         self
     }
 }
@@ -211,6 +232,13 @@ impl Cluster {
         cfg.gc_every = self.options.gc_every;
         cfg.catch_up_chunk_bytes = self.options.catch_up_chunk_bytes;
         cfg.metrics_every = self.options.metrics_every;
+        cfg.net = self.options.net.clone();
+        cfg.fsync_stall = self
+            .options
+            .fsync_stall
+            .get(&id)
+            .copied()
+            .unwrap_or(Duration::ZERO);
         cfg
     }
 

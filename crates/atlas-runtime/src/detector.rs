@@ -344,6 +344,72 @@ mod tests {
         );
     }
 
+    /// The WAN harness's flapping-link drill, as a pure state-machine test:
+    /// a peer audible once per flap cycle — with each cycle's silence
+    /// exceeding `suspect_after` while `trust_after` is longer than a whole
+    /// cycle — must be suspected and then **park**: every probation window
+    /// is re-suspected before the hysteresis can complete, so the detector
+    /// never oscillates Trusted↔Suspected (each oscillation would re-enter
+    /// the full recovery-broadcast cycle from Trusted). Trust returns, and
+    /// returns exactly once, only after the peer holds steady.
+    #[test]
+    fn flapping_faster_than_trust_after_parks_in_probation() {
+        const SUSPECT_AFTER: Duration = Duration::from_millis(100);
+        const TRUST_AFTER: Duration = Duration::from_millis(150);
+        const CYCLE: Duration = Duration::from_millis(120); // > suspect, < trust
+        const TICK: Duration = Duration::from_millis(10);
+        let t0 = Instant::now();
+        let mut d = FailureDetector::new(1, 1..=3, SUSPECT_AFTER, TRUST_AFTER, t0);
+
+        let mut suspects = 0;
+        let mut trusts = 0;
+        let mut now = t0;
+        for cycle in 0..10 {
+            // One frame at the top of each flap cycle (the link's brief
+            // "up" blip), then silence for the rest of it.
+            if cycle > 0 {
+                d.heard(2, now);
+            }
+            let cycle_end = now + CYCLE;
+            while now < cycle_end {
+                now += TICK;
+                d.heard(3, now); // peer 3 stays healthy throughout
+                for event in d.tick(now) {
+                    match event {
+                        DetectorEvent::Suspect(2) => suspects += 1,
+                        DetectorEvent::Trust(2) => trusts += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if cycle > 0 {
+                assert!(
+                    d.is_suspected(2),
+                    "cycle {cycle}: flapping peer escaped suspicion"
+                );
+            }
+        }
+        assert!(suspects >= 5, "flap never re-suspected: {suspects}");
+        assert_eq!(trusts, 0, "detector oscillated back to Trusted mid-flap");
+        assert!(!d.is_suspected(3), "healthy peer got suspected");
+
+        // The link holds: steady frames promote the peer exactly once.
+        for _ in 0..(4 * TRUST_AFTER.as_millis() / TICK.as_millis()) {
+            now += TICK;
+            d.heard(2, now);
+            d.heard(3, now);
+            for event in d.tick(now) {
+                match event {
+                    DetectorEvent::Suspect(2) => panic!("re-suspected a steady peer"),
+                    DetectorEvent::Trust(2) => trusts += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(trusts, 1, "steady peer must be trusted exactly once");
+        assert!(!d.is_suspected(2));
+    }
+
     #[test]
     fn hearing_from_unknown_ids_is_ignored() {
         let t0 = Instant::now();

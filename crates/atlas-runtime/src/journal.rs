@@ -152,12 +152,19 @@ impl Journal {
     }
 
     /// Appends one input record (write-ahead: call this *before* handing the
-    /// input to the protocol).
-    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+    /// input to the protocol). Returns whether the append itself issued an
+    /// fsync — every append under [`FlushPolicy::Always`], every `n`-th
+    /// under [`FlushPolicy::EveryN`] — so the caller can meter real disk
+    /// syncs that [`Journal::make_durable`] will never see as pending.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<bool> {
         let bytes = bincode::serialize(record).expect("journal records always encode");
         self.wal.append(&bytes)?;
         self.since_snapshot += 1;
-        Ok(())
+        let synced = match self.wal.policy() {
+            FlushPolicy::OsBuffered => false,
+            _ => self.wal.pending() == 0,
+        };
+        Ok(synced)
     }
 
     /// Whether enough records accumulated since the last snapshot.

@@ -96,6 +96,11 @@
 //! * [`detector`] — the per-peer suspicion state machine with hysteresis
 //!   that turns link silence into [`Protocol::suspect`
 //!   calls](atlas_core::Protocol::suspect);
+//! * [`netem`] — transport-level network-condition injection
+//!   ([`NetProfile`]): per-directed-link delay/jitter/bandwidth schedules,
+//!   scheduled symmetric and asymmetric cuts, and injected connection
+//!   resets, enforced by the link writer below the resend buffer so every
+//!   frame kind (heartbeats included) feels the imposed WAN;
 //! * [`journal`] — what goes into the write-ahead log and snapshots, and
 //!   how recovery replays them;
 //! * [`metrics`] — the replica's runtime metric registry
@@ -136,6 +141,7 @@ pub mod cluster;
 pub mod detector;
 pub mod journal;
 pub mod metrics;
+pub mod netem;
 pub mod replica;
 pub mod transport;
 pub mod wire;
@@ -144,6 +150,7 @@ pub use client::{Client, OpenLoopClient};
 pub use cluster::{Cluster, ClusterOptions};
 pub use detector::{DetectorEvent, FailureDetector};
 pub use metrics::ReplicaMetrics;
+pub use netem::{Cut, LinkRule, LinkShaper, NetProfile};
 pub use replica::{ReplicaConfig, ReplicaHandle};
 
 // Re-exported so downstream code can consume `Client::stats()` / the

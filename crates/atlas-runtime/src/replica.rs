@@ -85,6 +85,7 @@
 use crate::detector::{DetectorEvent, FailureDetector};
 use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
 use crate::metrics::ReplicaMetrics;
+use crate::netem::NetProfile;
 use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
     read_frame, write_frame, write_raw_frame, CatchUpChunk, CatchUpPayload, ClientReply,
@@ -195,6 +196,16 @@ pub struct ReplicaConfig {
     /// directory). The live stats plane (`ClientRequest::Stats`,
     /// `atlas-top`) works regardless of this knob.
     pub metrics_every: u64,
+    /// Injected network conditions for this replica's **outbound** peer
+    /// links (delay/jitter/bandwidth, scheduled cuts, connection resets —
+    /// see [`crate::netem`]). `None` runs every link unshaped. Cut
+    /// schedules are measured from replica boot.
+    pub net: Option<NetProfile>,
+    /// Injected storage latency: stall this long inside every journal
+    /// fsync (zero disables). A WAN-harness knob for drilling slow-disk
+    /// replicas against the failure detector — the stall happens on the
+    /// event-loop thread, exactly like a real fsync that takes this long.
+    pub fsync_stall: Duration,
 }
 
 impl ReplicaConfig {
@@ -217,6 +228,8 @@ impl ReplicaConfig {
             gc_every: 0,
             catch_up_chunk_bytes: DEFAULT_CATCH_UP_CHUNK_BYTES,
             metrics_every: 0,
+            net: None,
+            fsync_stall: Duration::ZERO,
         }
     }
 }
@@ -353,10 +366,13 @@ where
     let (event_tx, event_rx) = mpsc::unbounded_channel::<Event<P::Message>>();
 
     // Outbound links to every other replica (self-sends short-circuit inside
-    // the event loop and never touch the network).
+    // the event loop and never touch the network). Boot is the epoch the
+    // injected cut schedules (if any) are measured from.
+    let epoch = Instant::now();
     let mut links = HashMap::new();
     for (&peer, &peer_addr) in &cfg.addrs {
         if peer != id {
+            let shaper = cfg.net.as_ref().and_then(|p| p.shaper(id, peer, epoch));
             links.insert(
                 peer,
                 PeerLink::spawn(
@@ -365,6 +381,7 @@ where
                     peer_addr,
                     Arc::clone(&stop),
                     cfg.resend_buffer_cap,
+                    shaper,
                 ),
             );
         }
@@ -608,6 +625,9 @@ struct Core<P: Protocol> {
     /// Where the JSONL dump appends; `None` after a write error (the dump
     /// self-disables rather than spamming a broken disk).
     metrics_path: Option<PathBuf>,
+    /// Injected storage latency per fsync (zero = none); see
+    /// [`ReplicaConfig::fsync_stall`].
+    fsync_stall: Duration,
 }
 
 use crate::journal::corrupt;
@@ -662,6 +682,7 @@ where
             metrics_path: (cfg.metrics_every > 0)
                 .then(|| cfg.data_dir.as_ref().map(|dir| dir.join("metrics.jsonl")))
                 .flatten(),
+            fsync_stall: cfg.fsync_stall,
         };
         let Some(dir) = &cfg.data_dir else {
             return Ok(core);
@@ -691,8 +712,16 @@ where
     fn journal_append(&mut self, record: &JournalRecord) -> io::Result<()> {
         match &mut self.journal {
             Some(journal) => {
-                journal.append(record)?;
+                let t0 = Instant::now();
+                let synced = journal.append(record)?;
                 self.metrics.journal_records.inc();
+                if synced {
+                    // Appends sync inline under `FlushPolicy::Always` (and
+                    // on every n-th record under `EveryN`); those syncs
+                    // never show up as pending in `make_durable`, so they
+                    // are metered — and slow-disk-stalled — here.
+                    self.meter_fsync(t0);
+                }
                 Ok(())
             }
             None => Ok(()),
@@ -707,13 +736,26 @@ where
         if let Some(journal) = &mut self.journal {
             let t0 = Instant::now();
             if journal.make_durable()? {
-                self.metrics.fsyncs.inc();
-                self.metrics
-                    .fsync_us
-                    .record((t0.elapsed().as_micros() as u64).max(1));
+                self.meter_fsync(t0);
             }
         }
         Ok(())
+    }
+
+    /// Accounts one real fsync that started at `t0`: applies the injected
+    /// slow-disk stall right where a slow device would stall — on the
+    /// event-loop thread, inside the timed sync window, so the stall lands
+    /// in `fsync_us` and delays exactly what a real slow fsync delays
+    /// (including outbound heartbeats, which is what the WAN harness
+    /// drills against the failure detector).
+    fn meter_fsync(&mut self, t0: Instant) {
+        if !self.fsync_stall.is_zero() {
+            std::thread::sleep(self.fsync_stall);
+        }
+        self.metrics.fsyncs.inc();
+        self.metrics
+            .fsync_us
+            .record((t0.elapsed().as_micros() as u64).max(1));
     }
 
     /// Re-applies one journaled input during recovery. Replay passes time 0:

@@ -55,13 +55,29 @@
 //! Outgoing [`PeerBody::Ack`](crate::wire::PeerBody) control frames are
 //! fire-and-forget: they are never buffered or resent (a lost ack merely
 //! delays trimming of the peer's resend buffer until the next ack).
+//!
+//! ## Network-condition injection
+//!
+//! A link may carry a [`LinkShaper`] (resolved
+//! from the replica's [`NetProfile`](crate::netem::NetProfile)). Shaping
+//! sits **below the resend buffer**: release deadlines are stamped when a
+//! frame is handed to the link (so delays pipeline instead of serializing)
+//! and enforced by the writer task just before the bytes hit the socket,
+//! while scheduled cuts make dials fail and sever live connections, and
+//! injected resets tear the connection down mid-stream. Every frame kind —
+//! protocol messages, acks, watermark reports and heartbeat probes — passes
+//! through the same gate, so the failure detector on the far side and the
+//! reconnect/replay machinery on this side experience injected WAN
+//! conditions exactly as they would real ones. See [`crate::netem`] for the
+//! model.
 
+use crate::netem::LinkShaper;
 use crate::wire::{write_frame, write_raw_frame, Hello, PeerBody, PeerFrame};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tokio::net::tcp::OwnedWriteHalf;
 use tokio::net::TcpStream;
 use tokio::sync::mpsc::{self, UnboundedSender};
@@ -166,16 +182,21 @@ impl LinkStatus {
     }
 }
 
-/// What the event loop asks the link writer to do.
+/// What the event loop asks the link writer to do. The `Option<Instant>`
+/// riding on every frame-producing command is the shaped **release
+/// deadline**, stamped at enqueue time by the [`PeerLink`] handle (`None`
+/// on unshaped links): computing it when the frame is handed over — not
+/// when the writer gets to it — is what makes injected delays pipeline
+/// like real propagation delay instead of serializing per frame.
 enum LinkCmd {
     /// Deliver a protocol message payload (pre-encoded `Message` bytes);
     /// sequenced, buffered and resent until acknowledged.
-    Msg(Vec<u8>),
+    Msg(Vec<u8>, Option<Instant>),
     /// Send a cumulative delivery ack for the reverse link; best-effort.
-    SendAck(u64),
+    SendAck(u64, Option<Instant>),
     /// Send an executed-watermark report (GC cadence); best-effort like an
     /// ack — a lost report only delays the receiver's next GC round.
-    SendWatermarks(Vec<(ProcessId, u64)>),
+    SendWatermarks(Vec<(ProcessId, u64)>, Option<Instant>),
     /// The peer acknowledged every sequence `<= .0`: trim the resend buffer.
     Acked(u64),
     /// Tick-driven heartbeat: dial the peer if the link is down, then write
@@ -185,7 +206,7 @@ enum LinkCmd {
     /// gone — the heartbeat forces a write, and a failing write triggers
     /// reconnect + resend. On the peer's side the heartbeat is the liveness
     /// signal its failure detector listens for.
-    Probe,
+    Probe(Option<Instant>),
 }
 
 /// Handle to the outbound link to one peer.
@@ -194,6 +215,10 @@ pub struct PeerLink {
     tx: UnboundedSender<LinkCmd>,
     status: Arc<LinkStatus>,
     cap: u64,
+    /// Injected network conditions; shared with the writer task (which
+    /// checks cuts and rolls resets). The replica event loop is the only
+    /// handle-side caller, so the mutex is effectively uncontended.
+    shaper: Option<Arc<Mutex<LinkShaper>>>,
     /// Who owns this link and where it points — only for log messages.
     self_id: ProcessId,
     addr: SocketAddr,
@@ -211,11 +236,11 @@ impl std::fmt::Debug for PeerLink {
 impl std::fmt::Debug for LinkCmd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LinkCmd::Msg(payload) => write!(f, "Msg({} bytes)", payload.len()),
-            LinkCmd::SendAck(upto) => write!(f, "SendAck({upto})"),
-            LinkCmd::SendWatermarks(wm) => write!(f, "SendWatermarks({} spaces)", wm.len()),
+            LinkCmd::Msg(payload, _) => write!(f, "Msg({} bytes)", payload.len()),
+            LinkCmd::SendAck(upto, _) => write!(f, "SendAck({upto})"),
+            LinkCmd::SendWatermarks(wm, _) => write!(f, "SendWatermarks({} spaces)", wm.len()),
             LinkCmd::Acked(upto) => write!(f, "Acked({upto})"),
-            LinkCmd::Probe => write!(f, "Probe"),
+            LinkCmd::Probe(_) => write!(f, "Probe"),
         }
     }
 }
@@ -228,23 +253,47 @@ impl PeerLink {
     ///
     /// `stop` aborts reconnect loops at shutdown; an established idle link
     /// terminates when the owning replica drops its `PeerLink` handles.
+    ///
+    /// `shaper` carries the injected network conditions for this directed
+    /// link (`None` = unshaped, native speed); see [`crate::netem`].
     pub fn spawn(
         self_id: ProcessId,
         peer: ProcessId,
         addr: SocketAddr,
         stop: Arc<AtomicBool>,
         resend_buffer_cap: usize,
+        shaper: Option<LinkShaper>,
     ) -> Self {
         let (tx, rx) = mpsc::unbounded_channel();
         let status = Arc::new(LinkStatus::new(peer));
-        tokio::spawn(writer_task(self_id, addr, rx, stop, Arc::clone(&status)));
+        let shaper = shaper.map(|s| Arc::new(Mutex::new(s)));
+        tokio::spawn(writer_task(
+            self_id,
+            addr,
+            rx,
+            stop,
+            Arc::clone(&status),
+            shaper.clone(),
+        ));
         Self {
             tx,
             status,
             cap: resend_buffer_cap.max(1) as u64,
+            shaper,
             self_id,
             addr,
         }
+    }
+
+    /// Stamps the shaped release deadline for a frame of roughly `bytes`
+    /// handed to the link right now; `None` on an unshaped link.
+    fn stamp(&self, bytes: usize) -> Option<Instant> {
+        self.shaper.as_ref().map(|shaper| {
+            shaper
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .release_deadline(Instant::now(), bytes)
+        })
     }
 
     /// This link's shared health/metric view.
@@ -275,23 +324,26 @@ impl PeerLink {
             return;
         }
         self.status.buffered.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.stamp(payload.len() + FRAME_OVERHEAD_BYTES);
         // Send failure means the writer task exited (shutdown); dropping the
         // frame is then correct.
-        let _ = self.tx.send(LinkCmd::Msg(payload));
+        let _ = self.tx.send(LinkCmd::Msg(payload, deadline));
     }
 
     /// Sends a cumulative delivery ack for frames received *from* this peer
     /// (the ack travels on this link, in the opposite direction of the
     /// frames it acknowledges). Best-effort.
     pub fn send_ack(&self, upto: u64) {
-        let _ = self.tx.send(LinkCmd::SendAck(upto));
+        let deadline = self.stamp(FRAME_OVERHEAD_BYTES);
+        let _ = self.tx.send(LinkCmd::SendAck(upto, deadline));
     }
 
     /// Sends this replica's executed-watermark report (the GC cadence
     /// piggybacks on the peer links rather than opening new connections).
     /// Best-effort, like an ack.
     pub fn send_watermarks(&self, watermarks: Vec<(ProcessId, u64)>) {
-        let _ = self.tx.send(LinkCmd::SendWatermarks(watermarks));
+        let deadline = self.stamp(FRAME_OVERHEAD_BYTES + 16 * watermarks.len());
+        let _ = self.tx.send(LinkCmd::SendWatermarks(watermarks, deadline));
     }
 
     /// Records that the peer acknowledged every frame with `seq <= upto`,
@@ -309,8 +361,40 @@ impl PeerLink {
         if self.status.is_reconnecting() {
             return;
         }
-        let _ = self.tx.send(LinkCmd::Probe);
+        let deadline = self.stamp(FRAME_OVERHEAD_BYTES);
+        let _ = self.tx.send(LinkCmd::Probe(deadline));
     }
+}
+
+/// Approximate envelope cost of a peer frame (length prefix + `PeerFrame`
+/// fields) for bandwidth accounting; exactness is irrelevant, only that
+/// frame cost scales with payload size.
+const FRAME_OVERHEAD_BYTES: usize = 24;
+
+/// Sleeps until a shaped release deadline (no-op if it already passed —
+/// e.g. resend-buffer frames replayed after a reconnect, which burst out
+/// like a healed TCP connection's retransmission window).
+async fn wait_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        tokio::time::sleep(deadline - now).await;
+    }
+}
+
+/// Whether the link's injected schedule has it cut right now.
+fn shaper_cut(shaper: &Option<Arc<Mutex<LinkShaper>>>) -> bool {
+    shaper.as_ref().is_some_and(|s| {
+        s.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_cut(Instant::now())
+    })
+}
+
+/// Rolls the link's injected connection-reset die.
+fn shaper_reset(shaper: &Option<Arc<Mutex<LinkShaper>>>) -> bool {
+    shaper
+        .as_ref()
+        .is_some_and(|s| s.lock().unwrap_or_else(|e| e.into_inner()).should_reset())
 }
 
 /// Dials `addr` and sends the peer hello, returning the write half.
@@ -328,12 +412,15 @@ async fn writer_task(
     mut rx: mpsc::UnboundedReceiver<LinkCmd>,
     stop: Arc<AtomicBool>,
     status: Arc<LinkStatus>,
+    shaper: Option<Arc<Mutex<LinkShaper>>>,
 ) {
     let mut conn: Option<OwnedWriteHalf> = None;
     let mut backoff = INITIAL_BACKOFF;
     let mut next_seq: u64 = 1;
-    // Frames not yet acknowledged: `(seq, encoded PeerFrame)`.
-    let mut unacked: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+    // Frames not yet acknowledged: `(seq, encoded PeerFrame, release
+    // deadline)`. Deadlines were stamped at enqueue; a replay after a
+    // reconnect finds them long past and bursts.
+    let mut unacked: VecDeque<(u64, Vec<u8>, Option<Instant>)> = VecDeque::new();
     // How many frames at the front of `unacked` were already written on the
     // *current* connection; reset on reconnect so the whole buffer replays.
     let mut written: usize = 0;
@@ -345,7 +432,7 @@ async fn writer_task(
         match cmd {
             LinkCmd::Acked(upto) => {
                 let mut trimmed: u64 = 0;
-                while unacked.front().is_some_and(|(seq, _)| *seq <= upto) {
+                while unacked.front().is_some_and(|(seq, _, _)| *seq <= upto) {
                     unacked.pop_front();
                     written = written.saturating_sub(1);
                     trimmed += 1;
@@ -358,35 +445,39 @@ async fn writer_task(
             // The control frames share the dial-once-then-write shape: an
             // ack, watermark report or heartbeat alone is not worth
             // stalling the queue with a backoff loop.
-            LinkCmd::SendAck(upto) => {
+            LinkCmd::SendAck(upto, deadline) => {
                 let frame = encode_frame(self_id, 0, PeerBody::Ack(upto));
                 dial_once_and_write(
                     self_id,
                     addr,
                     &stop,
                     &status,
+                    &shaper,
                     &mut conn,
                     &mut written,
                     &mut backoff,
+                    deadline,
                     &frame,
                 )
                 .await;
             }
-            LinkCmd::SendWatermarks(watermarks) => {
+            LinkCmd::SendWatermarks(watermarks, deadline) => {
                 let frame = encode_frame(self_id, 0, PeerBody::Watermarks(watermarks));
                 dial_once_and_write(
                     self_id,
                     addr,
                     &stop,
                     &status,
+                    &shaper,
                     &mut conn,
                     &mut written,
                     &mut backoff,
+                    deadline,
                     &frame,
                 )
                 .await;
             }
-            LinkCmd::Probe => {
+            LinkCmd::Probe(deadline) => {
                 // Heartbeat: `Ack(0)` acknowledges nothing, so the frame is
                 // pure signal — it forces a write (surfacing a silently
                 // dead connection) and tells the peer's detector we live.
@@ -396,17 +487,23 @@ async fn writer_task(
                     addr,
                     &stop,
                     &status,
+                    &shaper,
                     &mut conn,
                     &mut written,
                     &mut backoff,
+                    deadline,
                     &frame,
                 )
                 .await;
             }
-            LinkCmd::Msg(payload) => {
+            LinkCmd::Msg(payload, deadline) => {
                 let seq = next_seq;
                 next_seq += 1;
-                unacked.push_back((seq, encode_frame(self_id, seq, PeerBody::Msg(payload))));
+                unacked.push_back((
+                    seq,
+                    encode_frame(self_id, seq, PeerBody::Msg(payload)),
+                    deadline,
+                ));
             }
         }
 
@@ -418,6 +515,17 @@ async fn writer_task(
         while written < unacked.len() || (conn.is_none() && !unacked.is_empty()) {
             if stop.load(Ordering::Relaxed) {
                 return;
+            }
+            // A scheduled cut makes the link unusable: sever any live
+            // connection and behave exactly like a failed dial (backoff,
+            // stay RECONNECTING) until the schedule heals; the eventual
+            // reconnect then replays the buffer like any real outage.
+            if shaper_cut(&shaper) {
+                conn = None;
+                status.set_state(state::RECONNECTING);
+                tokio::time::sleep(backoff).await;
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
             }
             let writer = match &mut conn {
                 Some(writer) => writer,
@@ -438,6 +546,16 @@ async fn writer_task(
                     }
                 }
             };
+            // Honor the frame's shaped release deadline, then roll the
+            // injected connection-reset die (TCP's rendition of frame
+            // loss: the frame stays buffered and replays after reconnect).
+            if let Some(deadline) = unacked[written].2 {
+                wait_until(deadline).await;
+            }
+            if shaper_reset(&shaper) {
+                conn = None;
+                continue;
+            }
             match write_raw_frame(writer, &unacked[written].1).await {
                 Ok(()) => {
                     let seq = unacked[written].0;
@@ -472,17 +590,37 @@ async fn writer_task(
 /// while newer frames flow). A successful dial also resets the reconnect
 /// `backoff`, so a later disconnect retries briskly instead of inheriting
 /// a stale 1 s ceiling from an earlier outage.
+///
+/// Under a scheduled cut the control frame is simply dropped (severing any
+/// live connection first): heartbeats stop crossing the cut — which is the
+/// whole point, the peer's failure detector must see silence — and a lost
+/// ack or watermark report is best-effort by design. The link state is
+/// left alone so tick-driven probes keep arriving and re-dial the moment
+/// the schedule heals.
 #[allow(clippy::too_many_arguments)]
 async fn dial_once_and_write(
     self_id: ProcessId,
     addr: SocketAddr,
     stop: &AtomicBool,
     status: &LinkStatus,
+    shaper: &Option<Arc<Mutex<LinkShaper>>>,
     conn: &mut Option<OwnedWriteHalf>,
     written: &mut usize,
     backoff: &mut Duration,
+    deadline: Option<Instant>,
     frame: &[u8],
 ) {
+    if shaper_cut(shaper) {
+        *conn = None;
+        return;
+    }
+    if let Some(deadline) = deadline {
+        wait_until(deadline).await;
+    }
+    if shaper_reset(shaper) {
+        *conn = None;
+        return;
+    }
     if conn.is_none() && !stop.load(Ordering::Relaxed) {
         status.set_state(state::RECONNECTING);
         if let Ok(writer) = connect(self_id, addr).await {
@@ -522,7 +660,7 @@ mod tests {
             };
             let stop = Arc::new(AtomicBool::new(false));
             let cap = 32;
-            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap, None);
             for i in 0..(cap as u64 + 50) {
                 link.send(vec![i as u8; 16]);
             }
@@ -547,7 +685,7 @@ mod tests {
                 probe.local_addr().unwrap()
             };
             let stop = Arc::new(AtomicBool::new(false));
-            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8, None);
             // A message forces the writer into its dial/backoff loop.
             link.send(vec![1, 2, 3]);
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -561,6 +699,108 @@ mod tests {
             // While reconnecting, probe() is a no-op at the handle level.
             link.probe();
             assert!(link.status().is_reconnecting());
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    use crate::netem::{Cut, LinkRule, NetProfile};
+    use crate::wire::read_frame;
+    use std::time::Instant;
+
+    /// Accepts one peer connection and returns the instants at which the
+    /// hello and the first `count` peer frames arrived.
+    async fn accept_and_time(
+        listener: tokio::net::TcpListener,
+        count: usize,
+    ) -> (Hello, Vec<(PeerFrame, Instant)>) {
+        let (stream, _) = listener.accept().await.unwrap();
+        let (mut read_half, _write_half) = stream.into_split();
+        let hello: Hello = read_frame(&mut read_half).await.unwrap();
+        let mut frames = Vec::new();
+        for _ in 0..count {
+            let frame: PeerFrame = read_frame(&mut read_half).await.unwrap();
+            frames.push((frame, Instant::now()));
+        }
+        (hello, frames)
+    }
+
+    /// A shaped link imposes (at least) its configured one-way delay on
+    /// every frame, and a burst handed over together pipelines — it does
+    /// not pay the delay once per frame.
+    #[test]
+    fn shaped_link_delays_but_pipelines_frames() {
+        const DELAY: Duration = Duration::from_millis(150);
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let reader = tokio::spawn(accept_and_time(listener, 8));
+
+            let profile = NetProfile::new(1).rule(LinkRule::any().delay(DELAY));
+            let shaper = profile.shaper(1, 2, Instant::now());
+            let stop = Arc::new(AtomicBool::new(false));
+            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper);
+
+            let sent_at = Instant::now();
+            for i in 0..8u8 {
+                link.send(vec![i; 8]);
+            }
+            let (hello, frames) = reader.await.unwrap();
+            assert_eq!(hello, Hello::Peer { from: 1 });
+            let first = frames.first().unwrap().1;
+            let last = frames.last().unwrap().1;
+            assert!(
+                first >= sent_at + DELAY,
+                "first frame arrived {:?} after send — before the {DELAY:?} delay",
+                first - sent_at
+            );
+            assert!(
+                last < sent_at + 8 * DELAY,
+                "burst serialized the delay per frame instead of pipelining"
+            );
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    /// A scheduled cut starves the peer of frames — heartbeat probes
+    /// included — and the link resumes delivery once the window closes.
+    #[test]
+    fn a_cut_severs_the_link_until_it_heals() {
+        const CUT: Duration = Duration::from_millis(400);
+        let rt = tokio::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let reader = tokio::spawn(accept_and_time(listener, 1));
+
+            // Cut from the epoch: nothing crosses for the first CUT window.
+            let profile =
+                NetProfile::new(1).rule(LinkRule::any().cut(Cut::window(Duration::ZERO, CUT)));
+            let epoch = Instant::now();
+            let shaper = profile.shaper(1, 2, epoch);
+            let stop = Arc::new(AtomicBool::new(false));
+            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper);
+
+            // Probes during the cut are dropped without dialing; a message
+            // parks in the resend buffer behind the cut.
+            link.probe();
+            link.send(vec![7; 8]);
+            tokio::time::sleep(CUT / 4).await;
+            link.probe();
+            assert!(
+                !link.status().is_connected(),
+                "link connected across an open cut"
+            );
+
+            // Once the window closes, the buffered frame replays.
+            let (_, frames) = reader.await.unwrap();
+            let (frame, arrived) = &frames[0];
+            assert!(
+                *arrived >= epoch + CUT,
+                "frame crossed {:?} into the cut window",
+                epoch + CUT - *arrived
+            );
+            assert!(matches!(frame.body, PeerBody::Msg(_)));
             stop.store(true, Ordering::Relaxed);
         });
     }

@@ -290,3 +290,53 @@ fn detector_counters_record_the_takeover() {
         cluster.shutdown();
     });
 }
+
+/// The `--metrics-every` dump must fail open: when the JSONL append stops
+/// working (here `metrics.jsonl` is replaced by a directory, so every
+/// append-open fails), the replica disables the dump and keeps serving —
+/// losing telemetry is acceptable, failing the replica over it is not.
+#[test]
+fn metrics_dump_self_disables_on_write_error_and_replica_keeps_serving() {
+    let options = ClusterOptions {
+        tick_interval: Duration::from_millis(10),
+        metrics_every: 2,
+        ..ClusterOptions::default()
+    };
+    let rt = tokio::runtime::Runtime::new().unwrap();
+    rt.block_on(async {
+        let mut cluster = Cluster::spawn_with::<Atlas>(Config::new(REPLICAS, 1), options)
+            .await
+            .expect("cluster boots");
+        run_writes(cluster.addr(2), 2, 20).await.expect("phase A");
+
+        // Sabotage the dump target while the replica is down: a directory
+        // at the file's path makes every future append-open fail.
+        cluster.kill(2);
+        let path = cluster.data_dir(2).join("metrics.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::fs::create_dir(&path).expect("plant directory at the dump path");
+        cluster.restart::<Atlas>(2).await.expect("replica restarts");
+
+        // The replica recovered, hit the broken dump on its first cadence
+        // tick, and must still serve commands and the live stats plane.
+        run_writes(cluster.addr(2), 20, 20).await.expect("phase B");
+        tokio::time::sleep(Duration::from_millis(100)).await; // several dump cadences
+        let mut probe = Client::connect(cluster.addr(2), 902).await.expect("probe");
+        let s = probe
+            .stats()
+            .await
+            .expect("live stats survive the dead dump");
+        assert!(
+            s.store_executed >= 20,
+            "restarted replica is not executing: {}",
+            s.store_executed
+        );
+
+        // The dump self-disabled instead of retrying: nothing was written
+        // into (or beside) the directory squatting on its path.
+        assert!(path.is_dir(), "dump path was replaced: {}", path.display());
+        let planted = std::fs::read_dir(&path).expect("read planted dir").count();
+        assert_eq!(planted, 0, "the disabled dump kept writing");
+        cluster.shutdown();
+    });
+}

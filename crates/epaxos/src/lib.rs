@@ -1224,10 +1224,27 @@ mod tests {
     /// order.
     #[test]
     fn recovery_converges_under_reordering_and_duplication() {
+        atlas_protocol::chaos::sweep(
+            "epaxos-recovery-convergence",
+            0xE9A05,
+            0..25,
+            recovery_chaos_at,
+        );
+    }
+
+    /// One exact schedule from the sweep above, pinned in-tree so a chaos
+    /// regression reproduces without re-sweeping.
+    #[test]
+    fn recovery_converges_at_pinned_seed() {
+        recovery_chaos_at(0xE9A05 + 13);
+    }
+
+    /// The per-seed body of the EPaxos recovery chaos sweep.
+    fn recovery_chaos_at(seed: u64) {
         use atlas_protocol::chaos::ChaosNet;
         use rand::Rng;
-        for seed in 0..25u64 {
-            let mut net = ChaosNet::<EPaxos>::new(5, 2, 0xE9A05 + seed);
+        {
+            let mut net = ChaosNet::<EPaxos>::new(5, 2, seed);
             // A few conflicting commands stranded at random subsets of the
             // fast quorum {1,2,3,4}; coordinator 1 owns them all and then
             // crashes. The coordinator always processes its own MPreAccept

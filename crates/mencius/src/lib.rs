@@ -1409,10 +1409,27 @@ mod tests {
     /// way and execute identically.
     #[test]
     fn revocation_converges_under_reordering_and_duplication() {
+        atlas_protocol::chaos::sweep(
+            "mencius-revocation-convergence",
+            0x3E9C1,
+            0..25,
+            revocation_chaos_at,
+        );
+    }
+
+    /// One exact schedule from the sweep above, pinned in-tree so a chaos
+    /// regression reproduces without re-sweeping.
+    #[test]
+    fn revocation_converges_at_pinned_seed() {
+        revocation_chaos_at(0x3E9C1 + 13);
+    }
+
+    /// The per-seed body of the Mencius revocation chaos sweep.
+    fn revocation_chaos_at(seed: u64) {
         use atlas_protocol::chaos::ChaosNet;
         use rand::Rng;
-        for seed in 0..25u64 {
-            let mut net = ChaosNet::<Mencius>::new(5, 2, 0x3E9C1 + seed);
+        {
+            let mut net = ChaosNet::<Mencius>::new(5, 2, seed);
             // A few commands from owner 1, each reaching a random subset of
             // the other replicas, then owner 1 crashes.
             let stranded = net.rng().gen_range(1..=3u64);
