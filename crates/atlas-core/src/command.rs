@@ -9,9 +9,35 @@
 //! do not). The microbenchmark of §5.2 uses single-key write commands, for
 //! which "conflict ⇔ same key".
 
-use crate::id::Rifl;
+use crate::id::{ProcessId, Rifl};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// A membership-change request carried by a [`Command`] (see
+/// [`Command::reconfigure`]). Reconfiguration commands are sequenced through
+/// the replicated log like any client command; because they conflict with
+/// every other command they act as total-order barriers, so every replica
+/// applies the change at the same position of its execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigOp {
+    /// Enter the joint window towards a new configuration: `members` is the
+    /// full target member list with the address each member serves on, and
+    /// `f` the failure budget of the target configuration. Until the
+    /// matching [`ReconfigOp::Finalize`] executes, proposals must gather
+    /// quorums in both the old and the new configuration.
+    Enter {
+        /// Target members as `(id, address)` pairs. Addresses are strings
+        /// (`"host:port"`) so the command stays serializable with the
+        /// offline codec set.
+        members: Vec<(ProcessId, String)>,
+        /// Failures tolerated by the target configuration.
+        f: usize,
+    },
+    /// Close the joint window: the target configuration stands alone from
+    /// the next epoch on. Executes as a no-op outside a joint window, which
+    /// makes duplicate submissions harmless.
+    Finalize,
+}
 
 /// A key of the replicated key–value store.
 pub type Key = u64;
@@ -59,6 +85,10 @@ pub struct Command {
     /// Marks the recovery `noOp` command, which conflicts with everything and
     /// is never applied to the state machine.
     noop: bool,
+    /// A membership change riding in the log. Like `noOp` it conflicts with
+    /// every command (the total-order barrier), but unlike `noOp` it **is**
+    /// executed — the runtime intercepts the execution and switches epochs.
+    reconfig: Option<ReconfigOp>,
 }
 
 impl Command {
@@ -73,6 +103,7 @@ impl Command {
             ops: ops.into_iter().collect(),
             payload_size,
             noop: false,
+            reconfig: None,
         }
     }
 
@@ -94,12 +125,37 @@ impl Command {
             ops: BTreeMap::new(),
             payload_size: 0,
             noop: true,
+            reconfig: None,
         }
     }
 
     /// Whether this is the recovery `noOp` command.
     pub fn is_noop(&self) -> bool {
         self.noop
+    }
+
+    /// Creates a membership-change command (see [`ReconfigOp`]). It carries
+    /// no key–value operations, conflicts with every command so the log
+    /// totally orders the switch against all traffic, and executes as the
+    /// runtime's signal to change epochs.
+    pub fn reconfigure(rifl: Rifl, op: ReconfigOp) -> Self {
+        Self {
+            rifl,
+            ops: BTreeMap::new(),
+            payload_size: 0,
+            noop: false,
+            reconfig: Some(op),
+        }
+    }
+
+    /// The membership change this command carries, if it is one.
+    pub fn reconfig_op(&self) -> Option<&ReconfigOp> {
+        self.reconfig.as_ref()
+    }
+
+    /// Whether this command carries a membership change.
+    pub fn is_reconfig(&self) -> bool {
+        self.reconfig.is_some()
     }
 
     /// Whether every operation in the command is a read.
@@ -136,7 +192,7 @@ impl Command {
     /// * Otherwise, commands conflict iff they access a common key and at
     ///   least one of the two accesses is a write.
     pub fn conflicts_with(&self, other: &Command) -> bool {
-        if self.noop || other.noop {
+        if self.noop || other.noop || self.reconfig.is_some() || other.reconfig.is_some() {
             return true;
         }
         // Iterate over the smaller op map for efficiency.
@@ -155,7 +211,7 @@ impl Command {
     /// optimization is enabled: reads are excluded from dependency
     /// computation (§4, "Non-fault-tolerant reads").
     pub fn conflicts_with_write(&self, other: &Command) -> bool {
-        if self.noop || other.noop {
+        if self.noop || other.noop || self.reconfig.is_some() || other.reconfig.is_some() {
             return true;
         }
         if other.is_read_only() {
@@ -215,6 +271,23 @@ mod tests {
         assert!(noop.conflicts_with(&Command::noop()));
         assert!(noop.is_noop());
         assert!(!noop.is_read_only());
+    }
+
+    #[test]
+    fn reconfigure_is_a_total_order_barrier() {
+        let barrier = Command::reconfigure(rifl(9), ReconfigOp::Finalize);
+        let read = Command::get(rifl(1), 42);
+        let write = Command::put(rifl(2), 43, 1, 100);
+        assert!(barrier.is_reconfig());
+        assert!(!barrier.is_noop());
+        assert!(!barrier.is_read_only());
+        assert!(barrier.conflicts_with(&read));
+        assert!(read.conflicts_with(&barrier));
+        assert!(barrier.conflicts_with(&write));
+        assert!(barrier.conflicts_with(&Command::reconfigure(rifl(10), ReconfigOp::Finalize)));
+        // NFR's write-only relation must also see the barrier.
+        assert!(read.conflicts_with_write(&barrier));
+        assert!(barrier.conflicts_with_write(&read));
     }
 
     #[test]

@@ -31,9 +31,11 @@ pub mod id;
 pub mod metrics;
 pub mod protocol;
 pub mod util;
+pub mod view;
 
-pub use command::{Command, Key, KvOp, Value};
+pub use command::{Command, Key, KvOp, ReconfigOp, Value};
 pub use config::Config;
 pub use id::{ClientId, Dot, DotGen, ProcessId, Rifl};
 pub use metrics::{Histogram, ProtocolMetrics, ProtocolStats};
 pub use protocol::{Action, Protocol, Topology};
+pub use view::ClusterView;

@@ -13,6 +13,7 @@ use crate::command::Command;
 use crate::config::Config;
 use crate::id::{Dot, ProcessId};
 use crate::metrics::ProtocolMetrics;
+use crate::view::ClusterView;
 use serde::{Deserialize, Serialize};
 
 /// Simulated (or wall-clock) time, in microseconds.
@@ -102,6 +103,26 @@ impl Topology {
             processes,
             by_distance,
             leader: Some(1),
+        }
+    }
+
+    /// Builds a topology over an explicit, possibly non-contiguous member
+    /// list (identifier order doubles as distance order). Used after a
+    /// reconfiguration, where a replacement replica's identifier need not be
+    /// `<= n`, and for a joiner that is not (yet) part of `members` — the
+    /// joiner still puts itself first in `by_distance` but does not appear
+    /// in `processes`.
+    pub fn from_members(id: ProcessId, members: &[ProcessId]) -> Self {
+        let mut processes: Vec<ProcessId> = members.to_vec();
+        processes.sort_unstable();
+        processes.dedup();
+        let mut by_distance = vec![id];
+        by_distance.extend(processes.iter().copied().filter(|p| *p != id));
+        let leader = processes.first().copied();
+        Self {
+            processes,
+            by_distance,
+            leader,
         }
     }
 
@@ -201,6 +222,62 @@ pub trait Protocol: Sized {
     /// free: the paper only requires the detector to be eventually accurate
     /// for liveness.
     fn suspect(&mut self, _suspected: ProcessId, _time: Time) -> Vec<Action<Self::Message>> {
+        Vec::new()
+    }
+
+    /// The configuration epoch this replica currently operates in (see
+    /// [`ClusterView`]). Protocols without reconfiguration support stay at
+    /// the default `0` forever.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// The full [`ClusterView`] this replica currently operates in, when
+    /// the protocol supports reconfiguration (`None`, the default,
+    /// otherwise). The runtime derives the target of a `Reconfigure`
+    /// barrier from **this** view — `enter`/`finalize` applied to the
+    /// protocol's own configuration, which may lag the runtime's
+    /// announcement-fed view — so it must advance exactly and only at
+    /// [`Protocol::reconfigure`] calls (and marker/state restores).
+    fn cluster_view(&self) -> Option<ClusterView> {
+        None
+    }
+
+    /// Installs a new [`ClusterView`]: the replica switches to gathering
+    /// quorums from `view.members` (and, while `view.is_joint()`, from the
+    /// outgoing members too), and re-drives any of its own in-flight
+    /// proposals under the new view so they cannot strand waiting for
+    /// quorums that no longer form. Default: no-op (no reconfiguration
+    /// support — the runtime then never changes the member set).
+    ///
+    /// The runtime calls this when a `Reconfigure` barrier command executes
+    /// (the same position of the execution order on every replica) or when
+    /// a journaled/peer-announced epoch switch is applied. Implementations
+    /// must uphold the same contracts as [`Protocol::suspect`] and
+    /// [`Protocol::gc_executed`]:
+    ///
+    /// * **Idempotent.** Applying a view whose `epoch` is not newer than
+    ///   [`Protocol::epoch`] must change nothing and return no actions —
+    ///   the runtime may deliver the same switch twice (once from the
+    ///   barrier's execution, once from a journal record or a peer's epoch
+    ///   announcement).
+    /// * **Deterministic for replay.** Epoch switches are protocol inputs:
+    ///   they are journaled (or re-derived by re-executing the barrier)
+    ///   and replayed in order after a crash. The result must depend only
+    ///   on protocol state and `view`, never on a clock or randomness
+    ///   (`time` may be 0 during replay).
+    /// * **GC-floor respecting.** Re-driven proposals must skip entries at
+    ///   or below the compaction floor, exactly like recovery traffic; the
+    ///   switch must never resurrect a collected entry. Watermarks keep the
+    ///   [`executed_watermarks`](Protocol::executed_watermarks) contract
+    ///   (monotone, truthful) across the switch — identifier spaces of
+    ///   removed members must still be reported until fully collected, so
+    ///   the GC horizon can keep advancing over their leftover entries.
+    /// * **Ballot hygiene.** Ballots minted after the switch must exceed
+    ///   [`ClusterView::ballot_floor`], so ballot-to-owner arithmetic
+    ///   (which is modular in the member count) can never collide across
+    ///   epochs.
+    fn reconfigure(&mut self, _view: &ClusterView, _time: Time) -> Vec<Action<Self::Message>> {
         Vec::new()
     }
 

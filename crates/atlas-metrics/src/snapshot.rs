@@ -161,6 +161,10 @@ pub struct MetricsSnapshot {
     pub tracked_entries: u64,
     /// Commands executed against the store (any coordinator).
     pub store_executed: u64,
+    /// Configuration epoch this replica operates in (0 until the first
+    /// reconfiguration; odd epochs are joint windows in the two-phase
+    /// lifecycle).
+    pub epoch: u64,
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -284,8 +288,8 @@ impl MetricsSnapshot {
         o.push(']');
 
         o.push_str(&format!(
-            ",\"tracked_entries\":{},\"store_executed\":{}}}",
-            self.tracked_entries, self.store_executed
+            ",\"tracked_entries\":{},\"store_executed\":{},\"epoch\":{}}}",
+            self.tracked_entries, self.store_executed, self.epoch
         ));
         o
     }
@@ -315,6 +319,7 @@ mod tests {
             connected: true,
             ..Default::default()
         });
+        s.epoch = 2;
         s
     }
 
@@ -346,6 +351,7 @@ mod tests {
             "\"submit_to_replied\":{\"count\":3",
             "\"horizon\":[[1,5],[2,3]]",
             "\"peer\":2",
+            "\"epoch\":2",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

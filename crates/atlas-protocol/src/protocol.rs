@@ -8,7 +8,8 @@ use crate::messages::{Ballot, Message};
 use crate::recovery::RecAck;
 use atlas_core::protocol::Time;
 use atlas_core::{
-    Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
+    Action, ClusterView, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics,
+    Topology,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -105,6 +106,10 @@ pub struct Atlas {
     /// collection of executed entries — the horizon protects identifier
     /// reissue, not replay, so it must never shrink.
     pub(crate) seen: HashMap<ProcessId, u64>,
+    /// The configuration epoch this replica operates in. `config` and
+    /// `topology` always mirror it (in the joint window `topology` spans
+    /// the union of both member sets).
+    pub(crate) view: ClusterView,
 }
 
 impl Atlas {
@@ -139,6 +144,19 @@ impl Atlas {
     /// coordinator (paper §3.2.3).
     fn slow_quorum(&self) -> Vec<ProcessId> {
         self.topology.closest_quorum(self.config.slow_quorum_size())
+    }
+
+    /// Every process this replica talks to (the current members — in the
+    /// joint window, of both configurations — plus itself). Replaces
+    /// `Action::broadcast(n, ..)`, whose `1..=n` targets are wrong once a
+    /// reconfiguration makes identifiers non-contiguous.
+    pub(crate) fn everyone(&self) -> Vec<ProcessId> {
+        let mut all = self.topology.processes.clone();
+        if !all.contains(&self.id) {
+            all.push(self.id);
+            all.sort_unstable();
+        }
+        all
     }
 
     /// Threshold union `⋃_f Q dep`: the identifiers reported by at least `f`
@@ -212,9 +230,20 @@ impl Atlas {
         time: Time,
     ) -> Vec<Action<Message>> {
         let f = self.config.f;
-        let n = self.config.n;
         let slow_path_pruning = self.config.slow_path_pruning;
         let nfr = self.config.nfr;
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
+        let slow_quorum = if view.is_joint() {
+            // Joint window: the accept phase needs `f + 1` in *both*
+            // configurations, and the closest-quorum prefix cannot know
+            // which subset satisfies that — send to everyone and let
+            // `handle_consensus_ack`'s dual count decide.
+            everyone.clone()
+        } else {
+            self.slow_quorum()
+        };
         let Some(info) = self.info.get_mut(&dot) else {
             return Vec::new();
         };
@@ -228,7 +257,17 @@ impl Atlas {
             return Vec::new();
         }
         info.collect_acks.insert(from, deps);
-        if info.collect_acks.len() < info.quorum.len() {
+        let ready = if view.is_joint() {
+            // Joint window: a majority of each configuration — any two
+            // collect quorums still intersect in both, which is what keeps
+            // conflicting commands visible to each other. Waiting for the
+            // full union would deadlock on the dead member a swap removes.
+            let have: HashSet<ProcessId> = info.collect_acks.keys().copied().collect();
+            view.quorum_met(&have, base, Config::majority)
+        } else {
+            info.collect_acks.len() >= info.quorum.len()
+        };
+        if !ready {
             return Vec::new();
         }
         // Mark the collect phase as decided so duplicate acks are ignored.
@@ -237,25 +276,34 @@ impl Atlas {
         // All fast-quorum members replied: decide between fast and slow path.
         let union = Self::union(&info.collect_acks);
         let cmd = info.cmd.clone().expect("collect phase stores the command");
-        let is_nfr_read = nfr && cmd.is_read_only();
+        // The fast path is disabled inside the joint window: its recovery
+        // argument (threshold union over the fast quorum) holds per
+        // configuration, not across two of them, so every joint-window
+        // command runs consensus at dual quorums instead.
+        let is_nfr_read = nfr && cmd.is_read_only() && !view.is_joint();
         let threshold = Self::threshold_union(&info.collect_acks, f);
-        let fast_path = is_nfr_read || union == threshold;
+        let fast_path = !view.is_joint() && (is_nfr_read || union == threshold);
 
         if fast_path {
             // Fast path (line 16): commit after a single round trip.
             self.metrics.fast_paths += 1;
             let deps = union;
-            let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
+            let mut actions = vec![Action::send(everyone, Message::MCommit { dot, cmd, deps })];
             actions.extend(self.noop_actions(time));
             actions
         } else {
             // Slow path (lines 17-19): run consensus on the dependencies.
             // With the pruning optimization (§4) the proposal is ⋃_f instead
             // of ⋃, dropping dependencies reported by fewer than f members.
+            // The pruning argument is fast-quorum-shaped, so the joint
+            // window always proposes the plain union.
             self.metrics.slow_paths += 1;
-            let proposal = if slow_path_pruning { threshold } else { union };
+            let proposal = if slow_path_pruning && !view.is_joint() {
+                threshold
+            } else {
+                union
+            };
             let ballot = self.id as Ballot;
-            let slow_quorum = self.slow_quorum();
             vec![Action::send(
                 slow_quorum,
                 Message::MConsensus {
@@ -308,8 +356,9 @@ impl Atlas {
         ballot: Ballot,
         time: Time,
     ) -> Vec<Action<Message>> {
-        let n = self.config.n;
-        let slow_quorum_size = self.config.slow_quorum_size();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
         let Some(info) = self.info.get_mut(&dot) else {
             return Vec::new();
         };
@@ -319,7 +368,9 @@ impl Atlas {
         }
         let acks = info.consensus_acks.entry(ballot).or_default();
         acks.insert(from);
-        if acks.len() < slow_quorum_size {
+        // `f + 1` accepts in the current configuration — and, during the
+        // joint window, in the outgoing one too.
+        if !view.quorum_met(acks, base, Config::slow_quorum_size) {
             return Vec::new();
         }
         // The proposal survives f failures: commit it.
@@ -329,7 +380,7 @@ impl Atlas {
             .clone()
             .expect("accepted proposal stores the command");
         let deps = info.deps.clone();
-        let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
+        let mut actions = vec![Action::send(everyone, Message::MCommit { dot, cmd, deps })];
         actions.extend(self.noop_actions(time));
         actions
     }
@@ -417,6 +468,7 @@ impl Protocol for Atlas {
             topology.processes.len(),
             config.n
         );
+        let view = ClusterView::at(0, topology.processes.clone(), config.f);
         Self {
             id,
             config,
@@ -428,6 +480,7 @@ impl Protocol for Atlas {
             metrics: ProtocolMetrics::new(),
             commit_times: HashMap::new(),
             seen: HashMap::new(),
+            view,
         }
     }
 
@@ -442,7 +495,12 @@ impl Protocol for Atlas {
         // here is what the paper calls conflicts(c) at submission time.
         let dot = self.dot_gen.next_dot();
         let past = self.key_deps.conflicts(&cmd);
-        let quorum = if self.config.nfr && cmd.is_read_only() {
+        let quorum = if self.view.is_joint() {
+            // Joint window: collect from everyone and decide on a dual
+            // majority (see `handle_collect_ack`); the closest-quorum draw
+            // below cannot name a set that is safe in both configurations.
+            self.everyone()
+        } else if self.config.nfr && cmd.is_read_only() {
             self.read_quorum()
         } else {
             self.fast_quorum()
@@ -508,7 +566,10 @@ impl Protocol for Atlas {
         state: &[u8],
     ) -> Option<Self> {
         let state: Atlas = bincode::deserialize(state).ok()?;
-        (state.id == id && state.config == config).then_some(state)
+        // Past epoch 0 the authoritative configuration is the one the
+        // snapshot's view carries — the caller can only know the boot-time
+        // configuration, which a reconfiguration may have replaced.
+        (state.id == id && (state.view.epoch > 0 || state.config == config)).then_some(state)
     }
 
     fn committed_log(&self) -> Vec<Message> {
@@ -535,11 +596,16 @@ impl Protocol for Atlas {
         // Dense over every process so the runtime's pointwise minimum can
         // tell "nothing executed from this source yet" (watermark 0) apart
         // from "this replica never reported".
-        let mut watermarks: Vec<(ProcessId, u64)> = self
-            .topology
-            .processes
-            .iter()
-            .map(|&p| (p, self.graph.executed_frontier(p)))
+        // The union with `seen` keeps reporting the identifier spaces of
+        // members a reconfiguration removed, so their leftover entries can
+        // still be collected once every current replica has executed them.
+        let mut spaces: Vec<ProcessId> = self.topology.processes.clone();
+        spaces.extend(self.seen.keys().copied());
+        spaces.sort_unstable();
+        spaces.dedup();
+        let mut watermarks: Vec<(ProcessId, u64)> = spaces
+            .into_iter()
+            .map(|p| (p, self.graph.executed_frontier(p)))
             .collect();
         watermarks.sort_unstable();
         watermarks
@@ -563,15 +629,27 @@ impl Protocol for Atlas {
     }
 
     fn save_executed(&self) -> Option<Vec<u8>> {
-        Some(bincode::serialize(&self.graph.executed_marker()).expect("markers always encode"))
+        // The view rides along so a bootstrap base that covers an executed
+        // `Reconfigure` barrier still hands the joiner the configuration it
+        // must gather quorums in (the message tail only replays what the
+        // base does not cover).
+        let marker = (self.graph.executed_marker(), self.view.clone());
+        Some(bincode::serialize(&marker).expect("markers always encode"))
     }
 
     fn restore_executed(&mut self, marker: &[u8]) -> bool {
-        let Ok(marker) = bincode::deserialize::<crate::graph::ExecutedMarker>(marker) else {
+        let Ok((marker, view)) =
+            bincode::deserialize::<(crate::graph::ExecutedMarker, ClusterView)>(marker)
+        else {
             return false;
         };
         if !self.graph.restore_marker(&marker) {
             return false;
+        }
+        if view.epoch > self.view.epoch {
+            self.config = view.config(self.config);
+            self.topology = Topology::from_members(self.id, &view.all_members());
+            self.view = view;
         }
         // The marked identifiers were seen (they executed); fold them into
         // the seen horizon so this replica's reports protect them too.
@@ -600,6 +678,52 @@ impl Protocol for Atlas {
 
     fn metrics(&self) -> &ProtocolMetrics {
         &self.metrics
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    fn cluster_view(&self) -> Option<ClusterView> {
+        Some(self.view.clone())
+    }
+
+    fn reconfigure(&mut self, view: &ClusterView, time: Time) -> Vec<Action<Message>> {
+        // Idempotence: apply only strictly newer views (the runtime may
+        // deliver the same epoch both via the log barrier and a journaled
+        // epoch record on replay).
+        if view.epoch <= self.view.epoch {
+            return Vec::new();
+        }
+        self.view = view.clone();
+        self.config = view.config(self.config);
+        self.topology = Topology::from_members(self.id, &view.all_members());
+        if !view.all_members().contains(&self.id) {
+            // Removed replicas stop driving proposals; the runtime retires
+            // them shortly after.
+            return Vec::new();
+        }
+        // Liveness across the switch: re-drive every in-flight proposal this
+        // replica coordinates, plus any whose coordinator the new view
+        // dropped (nobody else will finish those), through the recovery
+        // path — its consensus gathers quorums under the *new* view. Sorted
+        // for replay determinism.
+        let members = self.view.all_members();
+        let mut stuck: Vec<Dot> = self
+            .info
+            .iter()
+            .filter(|(_, info)| !matches!(info.phase, Phase::Commit | Phase::Execute))
+            .filter(|(dot, _)| {
+                dot.coordinator() == self.id || !members.contains(&dot.coordinator())
+            })
+            .map(|(dot, _)| *dot)
+            .collect();
+        stuck.sort_unstable();
+        let mut actions = Vec::new();
+        for dot in stuck {
+            actions.extend(self.recover(dot, time));
+        }
+        actions
     }
 }
 

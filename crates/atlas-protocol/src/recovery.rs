@@ -25,7 +25,7 @@
 use crate::messages::{Ballot, Message};
 use crate::protocol::{Atlas, Phase};
 use atlas_core::protocol::Time;
-use atlas_core::{Action, Command, Dot, ProcessId};
+use atlas_core::{Action, ClusterView, Command, Config, Dot, ProcessId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -44,6 +44,41 @@ pub fn takeover_ballot(id: ProcessId, n: usize, seen: Ballot) -> Ballot {
 pub fn ballot_owner(n: usize, ballot: Ballot) -> ProcessId {
     debug_assert!(ballot >= 1, "ballot 0 has no owner");
     (((ballot - 1) % n as Ballot) + 1) as ProcessId
+}
+
+/// View-aware [`takeover_ballot`]: the smallest ballot owned by `id` under
+/// `view` that is strictly greater than both `seen` and the view's
+/// [`ballot floor`](ClusterView::ballot_floor). Ownership positions are
+/// drawn from the view's member list (old and new members during the joint
+/// window), so takeover ballots work with non-contiguous identifiers; the
+/// epoch floor keeps ballots minted under different member counts from
+/// colliding (the owner arithmetic is modular in the member count).
+pub fn takeover_ballot_in(view: &ClusterView, id: ProcessId, seen: Ballot) -> Ballot {
+    let members = view.all_members();
+    let n = members.len() as Ballot;
+    // A non-member never recovers; fall back to the identifier itself so the
+    // result is still monotone if it somehow does.
+    let pos = members
+        .iter()
+        .position(|&m| m == id)
+        .map(|i| i as Ballot + 1)
+        .unwrap_or(id as Ballot);
+    let floor = seen.max(view.ballot_floor());
+    pos + n * (floor / n + 1)
+}
+
+/// View-aware [`ballot_owner`]: decodes the member that minted `ballot`
+/// under `view`, or `None` when the ballot predates the view's epoch (or is
+/// an initial-coordinator ballot) — the caller should then mint a fresh
+/// ballot instead of trusting cross-epoch owner arithmetic.
+pub fn ballot_owner_in(view: &ClusterView, ballot: Ballot) -> Option<ProcessId> {
+    let members = view.all_members();
+    let max_id = members.last().copied().unwrap_or(0) as Ballot;
+    if ballot <= view.ballot_floor().max(max_id) {
+        return None;
+    }
+    let n = members.len() as Ballot;
+    members.get(((ballot - 1) % n) as usize).copied()
 }
 
 /// Everything a takeover phase-1 acknowledgement carries: the responder's
@@ -120,19 +155,18 @@ impl Atlas {
             return Vec::new();
         }
         self.metrics.recoveries += 1;
-        let n = self.config.n;
         let id = self.id;
+        let view = self.view.clone();
+        let everyone = self.everyone();
         let info = self.info_mut(dot);
         if matches!(info.phase, Phase::Commit | Phase::Execute) {
             return Vec::new();
         }
-        // Pick a ballot owned by this replica, higher than any it has seen.
-        let ballot = takeover_ballot(id, n, info.bal);
+        // Pick a ballot owned by this replica under the current view,
+        // higher than any it has seen.
+        let ballot = takeover_ballot_in(&view, id, info.bal);
         let cmd = info.cmd.clone().unwrap_or_else(Command::noop);
-        vec![Action::broadcast(
-            self.config.n,
-            Message::MRec { dot, cmd, ballot },
-        )]
+        vec![Action::send(everyone, Message::MRec { dot, cmd, ballot })]
     }
 
     /// Handles `MRec` (Algorithm 2, lines 34-43).
@@ -210,8 +244,9 @@ impl Atlas {
             // would resurrect an empty entry that GC could never drop.
             return Vec::new();
         }
-        let n = self.config.n;
-        let recovery_quorum_size = self.config.recovery_quorum_size();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
         let info = self.info_mut(dot);
         if matches!(info.phase, Phase::Commit | Phase::Execute) || info.committed_sent {
             return Vec::new();
@@ -230,7 +265,11 @@ impl Atlas {
                 accepted_ballot,
             },
         );
-        if acks.len() < recovery_quorum_size {
+        // `n − f` replies in the current configuration — and, during the
+        // joint window, in the outgoing one too, so a proposal accepted
+        // under either configuration is guaranteed to be visible here.
+        let responder_set: HashSet<ProcessId> = acks.keys().copied().collect();
+        if !view.quorum_met(&responder_set, base, Config::recovery_quorum_size) {
             return Vec::new();
         }
         if let Some((cmd, deps)) = info.rec_proposed.get(&ballot) {
@@ -238,8 +277,8 @@ impl Atlas {
             // ack (or a re-sent one) only re-sends it. Deriving again could
             // produce a *larger* union — two values at one ballot.
             let (cmd, deps) = (cmd.clone(), deps.clone());
-            return vec![Action::broadcast(
-                n,
+            return vec![Action::send(
+                everyone,
                 Message::MConsensus {
                     dot,
                     cmd,
@@ -288,8 +327,8 @@ impl Atlas {
         self.info_mut(dot)
             .rec_proposed
             .insert(ballot, (cmd.clone(), deps.clone()));
-        vec![Action::broadcast(
-            n,
+        vec![Action::send(
+            everyone,
             Message::MConsensus {
                 dot,
                 cmd,

@@ -7,8 +7,18 @@
 //! §5.2 microbenchmark shape). Prints throughput, client-observed latency
 //! percentiles (via the shared bounded histogram, not ad-hoc sorting), and
 //! the replica's own view of the run from its metrics snapshot.
+//!
+//! The driver doubles as the membership-change admin tool. `--enter
+//! <id=addr,...>` submits an `Enter` barrier naming the **target** member
+//! set (with `--f <f>` overriding the failure budget, default 1): the
+//! cluster moves to a joint configuration, and once every incoming member
+//! has bootstrapped, the designated member finalizes the window
+//! automatically. `--finalize` submits the cut-over barrier manually for
+//! the rare case where automatic finalization is not wanted. Both are
+//! one-shot: the command is sequenced through the replica at `--addr` like
+//! any client command, and the tool exits once it executes.
 
-use atlas_core::{Command, Rifl};
+use atlas_core::{Command, ProcessId, ReconfigOp, Rifl};
 use atlas_metrics::{BoundedHistogram, HistogramSummary};
 use atlas_runtime::Client;
 use rand::rngs::SmallRng;
@@ -24,12 +34,17 @@ struct Args {
     keys: u64,
     conflict_pct: u64,
     payload: usize,
+    f: usize,
+    enter: Option<Vec<(ProcessId, String)>>,
+    finalize: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: atlas-client --addr <host:port> [--clients <n>] [--ops <n>] \
-         [--keys <n>] [--conflict <pct>] [--payload <bytes>]"
+         [--keys <n>] [--conflict <pct>] [--payload <bytes>]\n\
+         \x20      atlas-client --addr <host:port> --enter <id=addr,...> [--f <f>]\n\
+         \x20      atlas-client --addr <host:port> --finalize"
     );
     exit(2);
 }
@@ -42,25 +57,41 @@ fn parse_args() -> Args {
         keys: 100,
         conflict_pct: 10,
         payload: 64,
+        f: 1,
+        enter: None,
+        finalize: false,
     };
     let mut iter = std::env::args().skip(1);
     let mut saw_addr = false;
     while let Some(flag) = iter.next() {
-        let value = iter.next().unwrap_or_else(|| usage());
+        let mut value = || iter.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--addr" => {
-                args.addr = value.parse().unwrap_or_else(|_| usage());
+                args.addr = value().parse().unwrap_or_else(|_| usage());
                 saw_addr = true;
             }
-            "--clients" => args.clients = value.parse().unwrap_or_else(|_| usage()),
-            "--ops" => args.ops = value.parse().unwrap_or_else(|_| usage()),
-            "--keys" => args.keys = value.parse().unwrap_or_else(|_| usage()),
-            "--conflict" => args.conflict_pct = value.parse().unwrap_or_else(|_| usage()),
-            "--payload" => args.payload = value.parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = value().parse().unwrap_or_else(|_| usage()),
+            "--keys" => args.keys = value().parse().unwrap_or_else(|_| usage()),
+            "--conflict" => args.conflict_pct = value().parse().unwrap_or_else(|_| usage()),
+            "--payload" => args.payload = value().parse().unwrap_or_else(|_| usage()),
+            "--f" => args.f = value().parse().unwrap_or_else(|_| usage()),
+            "--enter" => {
+                args.enter = Some(
+                    value()
+                        .split(',')
+                        .map(|entry| {
+                            let (id, addr) = entry.split_once('=').unwrap_or_else(|| usage());
+                            (id.parse().unwrap_or_else(|_| usage()), addr.to_string())
+                        })
+                        .collect(),
+                )
+            }
+            "--finalize" => args.finalize = true,
             _ => usage(),
         }
     }
-    if !saw_addr {
+    if !saw_addr || (args.enter.is_some() && args.finalize) {
         usage();
     }
     args
@@ -101,9 +132,41 @@ fn print_latency(label: &str, s: &HistogramSummary) {
     );
 }
 
+/// Submits one membership-change barrier and reports the acknowledged
+/// epoch from the replica's stats plane.
+async fn admin(addr: SocketAddr, op: ReconfigOp) -> std::io::Result<()> {
+    let namespace = (std::process::id() as u64) << 20;
+    let describe = match &op {
+        ReconfigOp::Enter { members, f } => {
+            let ids: Vec<ProcessId> = members.iter().map(|&(id, _)| id).collect();
+            format!("enter barrier: target members {ids:?}, f={f}")
+        }
+        ReconfigOp::Finalize => "finalize barrier".to_string(),
+    };
+    let mut client = Client::connect(addr, namespace | 1).await?;
+    client.reconfigure(op).await?;
+    let snapshot = client.stats().await?;
+    println!(
+        "{describe} executed; replica {} now at epoch {}",
+        snapshot.replica, snapshot.epoch
+    );
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
     let rt = tokio::runtime::Runtime::new().expect("runtime");
+    if let Some(members) = args.enter.clone() {
+        let f = args.f;
+        rt.block_on(admin(args.addr, ReconfigOp::Enter { members, f }))
+            .expect("enter barrier");
+        return;
+    }
+    if args.finalize {
+        rt.block_on(admin(args.addr, ReconfigOp::Finalize))
+            .expect("finalize barrier");
+        return;
+    }
     rt.block_on(async {
         let started = Instant::now();
         let mut tasks = Vec::new();

@@ -4,7 +4,18 @@
 //!
 //! The `--addrs` list is the full cluster membership in identifier order;
 //! replica `--id i` binds the `i`-th address and dials the others with
-//! reconnecting links, so start order does not matter.
+//! reconnecting links, so start order does not matter. After membership
+//! changes identifiers are no longer contiguous, so each entry may also be
+//! written `id=addr` (`--addrs 1=127.0.0.1:4001,2=127.0.0.1:4002,5=...`);
+//! the two syntaxes cannot be mixed.
+//!
+//! `--join` starts the replica as an **incoming member**: its address book
+//! must list the current members plus itself, it boots as a non-voting
+//! learner of the existing configuration (peer-assisted catch-up is
+//! implied) and starts voting only once the `Enter` barrier that admits it
+//! executes. Submit that barrier through any current member (e.g.
+//! `atlas-client --enter`) *before* starting the joiner — see the
+//! membership-change runbook in the README.
 //!
 //! With `--data-dir` the replica journals every input and snapshots its
 //! state there; after a crash (SIGKILL included), rerunning the same command
@@ -53,10 +64,10 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: atlas-replica --id <1..n> --addrs <a1,a2,...> [--f <f>] \
+        "usage: atlas-replica --id <id> --addrs <a1,a2,...|id=addr,...> [--f <f>] \
          [--protocol atlas|epaxos|fpaxos|mencius] [--nfr] \
          [--data-dir <path>] [--flush always|every:<n>|os] \
-         [--snapshot-every <records>] [--catch-up] \
+         [--snapshot-every <records>] [--catch-up] [--join] \
          [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector] \
          [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>] \
          [--metrics-every <ticks>] [--net-profile <spec>]"
@@ -66,7 +77,7 @@ fn usage() -> ! {
 
 struct Args {
     id: ProcessId,
-    addrs: Vec<SocketAddr>,
+    addrs: Vec<(ProcessId, SocketAddr)>,
     f: usize,
     protocol: String,
     nfr: bool,
@@ -74,6 +85,7 @@ struct Args {
     flush: FlushPolicy,
     snapshot_every: u64,
     catch_up: bool,
+    join: bool,
     suspect_after: Option<u64>,
     trust_after: Option<u64>,
     failure_detector: bool,
@@ -94,6 +106,7 @@ fn parse_args() -> Args {
         flush: FlushPolicy::default(),
         snapshot_every: 4096,
         catch_up: false,
+        join: false,
         suspect_after: None,
         trust_after: None,
         failure_detector: true,
@@ -117,7 +130,20 @@ fn parse_args() -> Args {
             "--addrs" => {
                 args.addrs = value("--addrs")
                     .split(',')
-                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .enumerate()
+                    .map(|(i, entry)| match entry.split_once('=') {
+                        // Explicit `id=addr` — the post-reconfiguration
+                        // form, where identifiers are not contiguous.
+                        Some((id, addr)) => (
+                            id.parse().unwrap_or_else(|_| usage()),
+                            addr.parse().unwrap_or_else(|_| usage()),
+                        ),
+                        // Bare `addr` — positional, identifier `i + 1`.
+                        None => (
+                            i as ProcessId + 1,
+                            entry.parse().unwrap_or_else(|_| usage()),
+                        ),
+                    })
                     .collect()
             }
             "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir"))),
@@ -130,6 +156,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--catch-up" => args.catch_up = true,
+            "--join" => args.join = true,
             "--suspect-after" => {
                 args.suspect_after =
                     Some(value("--suspect-after").parse().unwrap_or_else(|_| usage()))
@@ -160,7 +187,10 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.id == 0 || args.addrs.is_empty() || args.id as usize > args.addrs.len() {
+    let mut ids: Vec<ProcessId> = args.addrs.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    let unique = ids.windows(2).all(|w| w[0] != w[1]);
+    if args.id == 0 || args.addrs.is_empty() || !unique || !ids.contains(&args.id) {
         usage();
     }
     args
@@ -173,17 +203,15 @@ where
 {
     let n = args.addrs.len();
     let config = Config::new(n, args.f).with_nfr(args.nfr);
-    let addrs: HashMap<ProcessId, SocketAddr> = args
-        .addrs
-        .iter()
-        .enumerate()
-        .map(|(i, addr)| (i as ProcessId + 1, *addr))
-        .collect();
+    let addrs: HashMap<ProcessId, SocketAddr> = args.addrs.iter().copied().collect();
     let mut cfg = ReplicaConfig::new(args.id, config, addrs);
     cfg.data_dir = args.data_dir.clone();
     cfg.flush_policy = args.flush;
     cfg.snapshot_every = args.snapshot_every;
-    cfg.catch_up = args.catch_up;
+    // A joiner has no configuration prefix of its own: peer-assisted
+    // catch-up is how it reaches the `Enter` barrier that admits it.
+    cfg.catch_up = args.catch_up || args.join;
+    cfg.join = args.join;
     if !args.failure_detector {
         cfg.suspect_after = None;
     } else if let Some(ms) = args.suspect_after {

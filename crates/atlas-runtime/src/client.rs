@@ -13,7 +13,7 @@
 //! this client so the proxy can route executions back.
 
 use crate::wire::{read_frame, write_frame, ClientReply, ClientRequest, Hello};
-use atlas_core::{ClientId, Command, Dot, Key, Rifl, Value};
+use atlas_core::{ClientId, Command, Dot, Key, ReconfigOp, Rifl, Value};
 use atlas_metrics::MetricsSnapshot;
 use kvstore::Output;
 use std::collections::HashMap;
@@ -147,6 +147,17 @@ impl Client {
                 "get produced no value output",
             )),
         }
+    }
+
+    /// Submits a reconfiguration command (an `Enter` or `Finalize`
+    /// barrier) and waits for it to execute — i.e. for the epoch switch to
+    /// have happened at least at the proxy replica. The barrier conflicts
+    /// with every other command, so on return every command this client
+    /// submitted earlier is ordered before the configuration change.
+    pub async fn reconfigure(&mut self, op: ReconfigOp) -> io::Result<()> {
+        let rifl = self.next_rifl();
+        self.submit(Command::reconfigure(rifl, op)).await?;
+        Ok(())
     }
 
     /// Fetches the replica's execution record: `(dot, rifl)` pairs in local

@@ -3,9 +3,10 @@
 //! and supports crash/restart fault injection for tests, examples and
 //! benches.
 
+use crate::client::Client;
 use crate::netem::NetProfile;
 use crate::replica::{self, ReplicaConfig, ReplicaHandle};
-use atlas_core::{Config, ProcessId, Protocol};
+use atlas_core::{Config, ProcessId, Protocol, ReconfigOp};
 use atlas_log::{FlushPolicy, TempDir};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -14,6 +15,10 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use tokio::net::TcpListener;
+
+/// Client-identity space for the cluster harness's own membership
+/// barriers, far above anything workloads use.
+const ADMIN_CLIENT_BASE: u64 = 0xAD31_0000;
 
 /// Tunables of a [`Cluster`]; the defaults match what tests want (fast
 /// ticks are still explicit, journaling on, OS-buffered flushing — a
@@ -155,6 +160,18 @@ pub struct Cluster {
     config: Config,
     options: ClusterOptions,
     dirs: HashMap<ProcessId, PathBuf>,
+    /// The current **target** member set (updated the moment a membership
+    /// op submits its `Enter` barrier; the joint window dissolves
+    /// asynchronously) and its failure budget.
+    members: Vec<ProcessId>,
+    f: usize,
+    /// Per-replica boot parameters, reused verbatim on restart: a replica
+    /// added later boots with the address book and `join` flag of its
+    /// *first* spawn — its snapshot/journal then re-derives the current
+    /// membership, whatever the cluster looks like by now.
+    boot: HashMap<ProcessId, (Config, HashMap<ProcessId, SocketAddr>, bool)>,
+    /// Mints unique admin client identities for membership barriers.
+    admin_clients: u64,
     /// Owns the on-disk tree of every replica's data dir.
     _data_root: DataRoot,
 }
@@ -204,12 +221,21 @@ impl Cluster {
         let dirs: HashMap<ProcessId, PathBuf> = (1..=config.n as ProcessId)
             .map(|id| (id, data_root.path().join(format!("r{id}"))))
             .collect();
+        let members: Vec<ProcessId> = (1..=config.n as ProcessId).collect();
+        let boot = members
+            .iter()
+            .map(|&id| (id, (config, addrs.clone(), false)))
+            .collect();
         let mut cluster = Self {
             handles: HashMap::new(),
             addrs,
             config,
             options,
             dirs,
+            members,
+            f: config.f,
+            boot,
+            admin_clients: 0,
             _data_root: data_root,
         };
         for (id, listener) in listeners {
@@ -221,7 +247,9 @@ impl Cluster {
     }
 
     fn replica_config(&self, id: ProcessId, catch_up: bool) -> ReplicaConfig {
-        let mut cfg = ReplicaConfig::new(id, self.config, self.addrs.clone());
+        let (config, boot_addrs, join) = self.boot[&id].clone();
+        let mut cfg = ReplicaConfig::new(id, config, boot_addrs);
+        cfg.join = join;
         cfg.tick_interval = self.options.tick_interval;
         cfg.data_dir = Some(self.dirs[&id].clone());
         cfg.flush_policy = self.options.flush_policy;
@@ -333,6 +361,154 @@ impl Cluster {
         let handle = replica::spawn_on_listener::<P>(cfg, listener)?;
         self.handles.insert(id, Some(handle));
         Ok(())
+    }
+
+    /// The current target member set (sorted).
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
+    }
+
+    /// The address of some live member — the admin proxy membership
+    /// barriers go through.
+    fn live_member_addr(&self) -> io::Result<SocketAddr> {
+        self.members
+            .iter()
+            .find(|id| self.handles.get(id).is_some_and(|h| h.is_some()))
+            .map(|id| self.addrs[id])
+            .ok_or_else(|| io::Error::other("no live member to submit the barrier through"))
+    }
+
+    /// The target member list in barrier form: `(id, address)` pairs.
+    fn member_list(&self, members: &[ProcessId]) -> Vec<(ProcessId, String)> {
+        members
+            .iter()
+            .map(|id| (*id, self.addrs[id].to_string()))
+            .collect()
+    }
+
+    /// Submits the `Enter` barrier towards `target` through a live member
+    /// and waits for it to execute there. The joint window dissolves on its
+    /// own: the designated member auto-submits `Finalize` once every target
+    /// member is connected, caught up and trusted.
+    async fn submit_enter(&mut self, target: &[ProcessId], f: usize) -> io::Result<()> {
+        let proxy = self.live_member_addr()?;
+        self.admin_clients += 1;
+        let mut admin = Client::connect(proxy, ADMIN_CLIENT_BASE + self.admin_clients).await?;
+        admin
+            .reconfigure(ReconfigOp::Enter {
+                members: self.member_list(target),
+                f,
+            })
+            .await?;
+        self.members = target.to_vec();
+        self.f = f;
+        Ok(())
+    }
+
+    /// Expands the cluster by `count` fresh replicas (target failure budget
+    /// `f`), returning their identifiers. Order of operations is the
+    /// documented operator flow: the `Enter` barrier is sequenced through
+    /// the log **first**, then each joiner boots with `join` + catch-up —
+    /// its bootstrap stream therefore contains the barrier, either inside
+    /// the served executed base (whose marker carries the view) or in the
+    /// replayed message tail. The joiners arrive as non-voting learners;
+    /// the joint window auto-finalizes once they are connected and drained.
+    pub async fn add_replicas<P>(&mut self, count: usize, f: usize) -> io::Result<Vec<ProcessId>>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        let mut new_ids = Vec::with_capacity(count);
+        let mut listeners = Vec::with_capacity(count);
+        let next = self.dirs.keys().copied().max().unwrap_or(0) + 1;
+        for id in next..next + count as ProcessId {
+            let listener = TcpListener::bind("127.0.0.1:0").await?;
+            self.addrs.insert(id, listener.local_addr()?);
+            self.dirs
+                .insert(id, self._data_root.path().join(format!("r{id}")));
+            new_ids.push(id);
+            listeners.push((id, listener));
+        }
+        let mut target = self.members.clone();
+        target.extend(&new_ids);
+        target.sort_unstable();
+        self.submit_enter(&target, f).await?;
+        // Each joiner's address book is the target member set (itself
+        // included); `join` makes it derive the pre-join configuration from
+        // it and bootstrap before voting.
+        let joiner_addrs: HashMap<ProcessId, SocketAddr> =
+            target.iter().map(|id| (*id, self.addrs[id])).collect();
+        for (id, listener) in listeners {
+            self.boot
+                .insert(id, (self.config, joiner_addrs.clone(), true));
+            let cfg = self.replica_config(id, true);
+            let handle = replica::spawn_on_listener::<P>(cfg, listener)?;
+            self.handles.insert(id, Some(handle));
+        }
+        Ok(new_ids)
+    }
+
+    /// Expands the cluster by one replica (failure budget unchanged).
+    pub async fn add_replica<P>(&mut self) -> io::Result<ProcessId>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        let f = self.f;
+        Ok(self.add_replicas::<P>(1, f).await?[0])
+    }
+
+    /// Replaces `dead` (a crashed member — kill it first) with a fresh
+    /// replica: one `Enter` barrier removes the dead replica and admits the
+    /// replacement, which bootstraps from the survivors. Once the window
+    /// finalizes, the survivors stop keying the GC horizon on the dead
+    /// replica's reports — the compaction horizon advances again.
+    pub async fn swap_replica<P>(&mut self, dead: ProcessId) -> io::Result<ProcessId>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Serialize + Deserialize + Send + 'static,
+    {
+        assert!(
+            self.handles.get(&dead).is_none_or(|h| h.is_none()),
+            "replica {dead} is still running; kill it before swapping it out"
+        );
+        let new_id = self.dirs.keys().copied().max().unwrap_or(0) + 1;
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        self.addrs.insert(new_id, listener.local_addr()?);
+        self.dirs
+            .insert(new_id, self._data_root.path().join(format!("r{new_id}")));
+        let mut target: Vec<ProcessId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&id| id != dead)
+            .collect();
+        target.push(new_id);
+        target.sort_unstable();
+        let f = self.f;
+        self.submit_enter(&target, f).await?;
+        // The joiner's address book must cover the *pre-join*
+        // configuration — including the dead member it replaces — so the
+        // learner configuration it boots into (everyone but itself) is the
+        // outgoing member set, not a sub-quorum fragment of it.
+        let joiner_addrs: HashMap<ProcessId, SocketAddr> = target
+            .iter()
+            .chain(std::iter::once(&dead))
+            .map(|id| (*id, self.addrs[id]))
+            .collect();
+        self.boot.insert(new_id, (self.config, joiner_addrs, true));
+        let cfg = self.replica_config(new_id, true);
+        let handle = replica::spawn_on_listener::<P>(cfg, listener)?;
+        self.handles.insert(new_id, Some(handle));
+        Ok(new_id)
+    }
+
+    /// Removes `id` from the configuration (it retires itself once the
+    /// barrier reaches it). The target member set must keep a usable size
+    /// for the failure budget; the caller picks a sound `f`.
+    pub async fn remove_replica(&mut self, id: ProcessId, f: usize) -> io::Result<()> {
+        let target: Vec<ProcessId> = self.members.iter().copied().filter(|&m| m != id).collect();
+        self.submit_enter(&target, f).await
     }
 
     /// Stops every replica.

@@ -214,6 +214,32 @@ impl FailureDetector {
         events
     }
 
+    /// Starts tracking `peer` (a replica added by reconfiguration), trusted
+    /// with a full `suspect_after` of grace from `now`. A no-op for peers
+    /// already tracked (their silence clocks and trust states keep running)
+    /// and for the own identifier.
+    pub fn add_peer(&mut self, peer: ProcessId, now: Instant) {
+        if peer == self.self_id {
+            return;
+        }
+        self.peers.entry(peer).or_insert(PeerState {
+            last_heard: now,
+            trust: Trust::Trusted,
+        });
+    }
+
+    /// Stops tracking `peer` (a replica removed by reconfiguration): its
+    /// silence is expected from now on and must not keep generating
+    /// `Suspect` events against a member that no longer exists.
+    pub fn remove_peer(&mut self, peer: ProcessId) {
+        self.peers.remove(&peer);
+    }
+
+    /// The peers currently tracked, in ascending order.
+    pub fn peers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.peers.keys().copied()
+    }
+
     /// Whether `peer` is currently suspected (probation counts as still
     /// suspected: trust has not been restored yet).
     pub fn is_suspected(&self, peer: ProcessId) -> bool {
@@ -408,6 +434,29 @@ mod tests {
         }
         assert_eq!(trusts, 1, "steady peer must be trusted exactly once");
         assert!(!d.is_suspected(2));
+    }
+
+    #[test]
+    fn membership_changes_retarget_the_detector() {
+        let t0 = Instant::now();
+        let mut d = detector(t0);
+        // Replica 4 joins: full grace from now, then suspectable like any
+        // other peer.
+        d.add_peer(4, t0);
+        assert!(!d.is_suspected(4));
+        d.heard(2, t0 + SUSPECT / 2);
+        d.heard(3, t0 + SUSPECT / 2);
+        let events = d.tick(t0 + SUSPECT);
+        assert_eq!(events, vec![DetectorEvent::Suspect(4)]);
+        // Re-adding a tracked (suspected) peer must not reset its state.
+        d.add_peer(4, t0 + SUSPECT);
+        assert!(d.is_suspected(4));
+        // Replica 3 leaves: its silence stops producing events.
+        d.remove_peer(3);
+        d.remove_peer(4);
+        d.heard(2, t0 + SUSPECT * 2);
+        assert!(d.tick(t0 + SUSPECT * 2 + SUSPECT / 2).is_empty());
+        assert_eq!(d.peers().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

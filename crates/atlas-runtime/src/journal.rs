@@ -22,7 +22,7 @@
 //! additionally performs peer-assisted catch-up (see
 //! [`crate::replica`]).
 
-use atlas_core::{Command, Dot, ProcessId, Rifl};
+use atlas_core::{ClusterView, Command, Dot, ProcessId, Rifl};
 use atlas_log::{FlushPolicy, SnapshotStore, Wal};
 use kvstore::KVStore;
 use serde::{Deserialize, Serialize};
@@ -68,12 +68,26 @@ pub enum JournalRecord {
     /// called with this all-executed horizon. Journaled so replay
     /// reconstructs the exact post-GC state — the compaction floor changes
     /// which straggler messages the protocol ignores, and replaying the
-    /// suffix against an uncompacted replica would diverge. Kept as the
-    /// last variant so journals written before GC existed still decode.
+    /// suffix against an uncompacted replica would diverge.
     Gc {
         /// Per identifier space, the horizon below which every replica had
         /// executed (sorted by space).
         horizon: Vec<(ProcessId, u64)>,
+    },
+    /// The runtime adopted a configuration view it learned *off the log* —
+    /// from a peer's epoch announcement frame — rather than by executing a
+    /// `Reconfigure` barrier itself (barrier-driven switches are **not**
+    /// journaled: replaying the journaled `Submit`/`Peer` inputs re-executes
+    /// the barrier and re-derives the same view deterministically).
+    /// Journaled so a restarting replica rebuilds the same peer set, failure
+    /// detector membership and GC watermark keying it had before crashing.
+    /// Appended last so journals written before reconfiguration existed
+    /// still decode (records encode positionally).
+    Epoch {
+        /// The adopted view.
+        view: ClusterView,
+        /// Address of every process in the view (current and outgoing).
+        addrs: Vec<(ProcessId, String)>,
     },
 }
 
@@ -87,6 +101,12 @@ pub struct ReplicaSnapshot {
     pub store: KVStore,
     /// The execution record: `(dot, rifl)` in local execution order.
     pub log: Vec<(Dot, Rifl)>,
+    /// The runtime's configuration view when the snapshot was taken, so a
+    /// restart resumes with the post-reconfiguration peer set instead of
+    /// the boot-time one.
+    pub view: ClusterView,
+    /// Address of every process in `view` (current and outgoing members).
+    pub addrs: Vec<(ProcessId, String)>,
 }
 
 /// The open durable state of a running replica.
@@ -270,6 +290,8 @@ mod tests {
             protocol: vec![9, 9],
             store: KVStore::new(),
             log: vec![(Dot::new(1, 1), Rifl::new(1, 1))],
+            view: ClusterView::at(2, [1, 2, 4], 1),
+            addrs: vec![(1, "a:1".into()), (2, "a:2".into()), (4, "a:4".into())],
         };
         journal.save_snapshot(&snapshot).unwrap();
         assert!(!journal.snapshot_due());
@@ -280,6 +302,23 @@ mod tests {
         let snap = snap.expect("snapshot restored");
         assert_eq!(snap.protocol, vec![9, 9]);
         assert_eq!(snap.log.len(), 1);
+        assert_eq!(snap.view, ClusterView::at(2, [1, 2, 4], 1));
+        assert_eq!(snap.addrs.len(), 3);
         assert_eq!(records, vec![submit(7)], "only the suffix replays");
+    }
+
+    #[test]
+    fn epoch_records_round_trip_across_reopen() {
+        let dir = TempDir::new("journal-epoch").unwrap();
+        let (mut journal, _, _) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
+        let record = JournalRecord::Epoch {
+            view: ClusterView::at(4, [1, 2, 4, 5, 6], 2),
+            addrs: (1..=6).map(|i| (i, format!("h:{i}"))).collect(),
+        };
+        journal.append(&record).unwrap();
+        drop(journal);
+
+        let (_, _, records) = Journal::open(dir.path(), FlushPolicy::OsBuffered, 0).unwrap();
+        assert_eq!(records, vec![record]);
     }
 }

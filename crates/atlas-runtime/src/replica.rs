@@ -89,10 +89,11 @@ use crate::netem::NetProfile;
 use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
     read_frame, write_frame, write_raw_frame, CatchUpChunk, CatchUpPayload, ClientReply,
-    ClientRequest, Hello, PeerBody, PeerFrame, MAX_FRAME_BYTES,
+    ClientRequest, EpochUpdate, Hello, PeerBody, PeerFrame, MAX_FRAME_BYTES,
 };
 use atlas_core::{
-    Action, ClientId, Command, Config, Dot, Key, ProcessId, Protocol, Rifl, Topology, Value,
+    Action, ClientId, ClusterView, Command, Config, Dot, Key, ProcessId, Protocol, ReconfigOp,
+    Rifl, Topology, Value,
 };
 use atlas_log::FlushPolicy;
 use atlas_metrics::MetricsSnapshot;
@@ -102,7 +103,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
@@ -112,6 +113,27 @@ use tokio::sync::mpsc::{self, UnboundedReceiver, UnboundedSender};
 /// Send a cumulative delivery ack at latest after this many received
 /// message frames (ticks flush earlier).
 const ACK_EVERY: u64 = 64;
+
+/// Re-announce the configuration epoch to peers whose frames still carry an
+/// older one every this many ticks — the repair path for a replica (or
+/// joiner) that missed the `Reconfigure` barrier's commit traffic.
+const EPOCH_ANNOUNCE_EVERY: u64 = 40;
+
+/// Ticks a joint window must dwell — with every target member connected,
+/// caught up (empty resend buffers) and trusted — before the designated
+/// member auto-submits the `Finalize` barrier. The dwell is the
+/// bootstrap-before-voting rule's safety margin: a joiner that only just
+/// connected gets a few heartbeat rounds to drain before the old
+/// configuration is dissolved.
+const AUTO_FINALIZE_DWELL_TICKS: u64 = 10;
+
+/// Re-submit a lost auto-`Finalize` after this many ticks still joint.
+const AUTO_FINALIZE_RETRY_TICKS: u64 = 400;
+
+/// Client-id space for internally minted reconfiguration commands (the
+/// auto-`Finalize`), disjoint per replica so concurrent submitters never
+/// collide on a rifl.
+const RECONFIG_CLIENT_BASE: u64 = 0xEC0_0000;
 
 /// How many rounds of peer polling a catch-up attempt makes before giving
 /// up on peers that never answered (all unreachable = a fresh cluster
@@ -150,6 +172,14 @@ pub struct ReplicaConfig {
     /// On startup, fetch committed state from peers before serving — for a
     /// replica rejoining under its old identifier with a lost data dir.
     pub catch_up: bool,
+    /// Boot as a **joiner**: this replica is not (yet) a member of the
+    /// configuration in `addrs` — it bootstraps from the listed members
+    /// (set `catch_up` too), stays a non-voting learner until a
+    /// `Reconfigure::Enter` naming it executes, and starts voting only
+    /// once it has replayed that barrier. With `join`, `addrs` holds the
+    /// *current members plus this replica*, and `config` describes the
+    /// current (pre-join) configuration.
+    pub join: bool,
     /// Suspect a peer after this much silence and hand it to
     /// [`Protocol::suspect`]. `None` disables failure detection (the
     /// pre-detector behaviour: a dead coordinator's in-flight commands
@@ -181,8 +211,11 @@ pub struct ReplicaConfig {
     /// trims the WAL and prunes older snapshots). 0 disables GC — the
     /// protocol's per-command maps then grow with the full history, the
     /// pre-compaction behaviour. GC only ever collects entries executed at
-    /// **every** replica, so while any peer is down (or has never
-    /// reported) the horizon simply stops advancing.
+    /// **every** replica, so while any current member is down (or has
+    /// never reported) the horizon stops advancing past that member's last
+    /// report. The fold is keyed on the current configuration: replacing a
+    /// dead member (`Reconfigure` barrier, see [`ReconfigOp`]) drops its
+    /// stale report and the horizon resumes once the replacement reports.
     pub gc_every: u64,
     /// Budget for one catch-up chunk's payload, in bytes (clamped to half
     /// of [`MAX_FRAME_BYTES`]); smaller values force more, smaller frames.
@@ -222,6 +255,7 @@ impl ReplicaConfig {
             flush_policy: FlushPolicy::default(),
             snapshot_every: 4096,
             catch_up: false,
+            join: false,
             suspect_after: Some(Duration::from_millis(1_500)),
             trust_after: Duration::from_millis(250),
             resend_buffer_cap: DEFAULT_RESEND_BUFFER_CAP,
@@ -243,6 +277,8 @@ enum Event<M> {
         from: ProcessId,
         /// Link sequence number of the frame (0 = unsequenced).
         seq: u64,
+        /// The sender's configuration epoch when the frame was queued.
+        epoch: u64,
         /// The encoded message, exactly as received (journaled verbatim).
         payload: Vec<u8>,
         /// The decoded protocol message.
@@ -252,6 +288,8 @@ enum Event<M> {
     PeerAck {
         /// The acknowledging replica.
         from: ProcessId,
+        /// The sender's configuration epoch.
+        epoch: u64,
         /// Highest acknowledged sequence on our link to it.
         upto: u64,
     },
@@ -259,8 +297,17 @@ enum Event<M> {
     PeerWatermarks {
         /// The reporting replica.
         from: ProcessId,
+        /// The sender's configuration epoch.
+        epoch: u64,
         /// Its executed watermarks, per identifier space.
         watermarks: Vec<(ProcessId, u64)>,
+    },
+    /// Peer `from` announced a configuration epoch.
+    PeerEpoch {
+        /// The announcing replica.
+        from: ProcessId,
+        /// The announced view and member addresses.
+        update: EpochUpdate,
     },
     /// A local client submitted a command.
     Submit {
@@ -355,24 +402,29 @@ where
     let addr = listener.local_addr()?;
     let id = cfg.id;
     let n = cfg.config.n;
-    assert_eq!(
-        cfg.addrs.len(),
-        n,
-        "replica {id}: {} addresses configured for n={n}",
-        cfg.addrs.len()
-    );
+    if !cfg.join {
+        assert_eq!(
+            cfg.addrs.len(),
+            n,
+            "replica {id}: {} addresses configured for n={n}",
+            cfg.addrs.len()
+        );
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let (event_tx, event_rx) = mpsc::unbounded_channel::<Event<P::Message>>();
 
     // Outbound links to every other replica (self-sends short-circuit inside
-    // the event loop and never touch the network). Boot is the epoch the
-    // injected cut schedules (if any) are measured from.
-    let epoch = Instant::now();
+    // the event loop and never touch the network). Boot is the reference
+    // instant the injected cut schedules (if any) are measured from, and
+    // `epoch_ctr` the shared configuration-epoch counter the link writers
+    // stamp on every outgoing frame.
+    let boot = Instant::now();
+    let epoch_ctr = Arc::new(AtomicU64::new(0));
     let mut links = HashMap::new();
     for (&peer, &peer_addr) in &cfg.addrs {
         if peer != id {
-            let shaper = cfg.net.as_ref().and_then(|p| p.shaper(id, peer, epoch));
+            let shaper = cfg.net.as_ref().and_then(|p| p.shaper(id, peer, boot));
             links.insert(
                 peer,
                 PeerLink::spawn(
@@ -382,6 +434,7 @@ where
                     Arc::clone(&stop),
                     cfg.resend_buffer_cap,
                     shaper,
+                    Arc::clone(&epoch_ctr),
                 ),
             );
         }
@@ -389,7 +442,7 @@ where
 
     // Recover durable state before accepting any input. Blocking file IO is
     // fine here: the runtime is thread-per-task.
-    let core = Core::<P>::recover(&cfg, links)?;
+    let core = Core::<P>::recover(&cfg, links, Arc::clone(&stop), epoch_ctr, boot, addr)?;
 
     tokio::spawn(acceptor(listener, event_tx.clone(), Arc::clone(&stop)));
     tokio::spawn(ticker(
@@ -487,6 +540,7 @@ async fn peer_reader<M>(
                 Ok(msg) => Event::Peer {
                     from,
                     seq: frame.seq,
+                    epoch: frame.epoch,
                     payload,
                     msg,
                 },
@@ -494,8 +548,17 @@ async fn peer_reader<M>(
                 // frame rather than poisoning the event loop.
                 Err(_) => continue,
             },
-            PeerBody::Ack(upto) => Event::PeerAck { from, upto },
-            PeerBody::Watermarks(watermarks) => Event::PeerWatermarks { from, watermarks },
+            PeerBody::Ack(upto) => Event::PeerAck {
+                from,
+                epoch: frame.epoch,
+                upto,
+            },
+            PeerBody::Watermarks(watermarks) => Event::PeerWatermarks {
+                from,
+                epoch: frame.epoch,
+                watermarks,
+            },
+            PeerBody::Epoch(update) => Event::PeerEpoch { from, update },
         };
         if event_tx.send(event).is_err() {
             return; // event loop gone: replica is shutting down
@@ -628,6 +691,35 @@ struct Core<P: Protocol> {
     /// Injected storage latency per fsync (zero = none); see
     /// [`ReplicaConfig::fsync_stall`].
     fsync_stall: Duration,
+    /// The runtime's configuration view: which replicas are members, which
+    /// are on their way out (joint window), and the current epoch. Advances
+    /// from **both** executed `Reconfigure` barriers and peer epoch
+    /// announcements; the hosted protocol's own view advances only at
+    /// barrier execution (see [`Core::apply_reconfig_barrier`]).
+    view: ClusterView,
+    /// Current dial addresses of every known process (own id included);
+    /// grows from `Enter` barriers and epoch announcements.
+    addrs: HashMap<ProcessId, SocketAddr>,
+    /// Shared epoch counter stamped on outgoing frames by the link writers.
+    epoch_ctr: Arc<AtomicU64>,
+    /// Highest configuration epoch observed in frames from each peer —
+    /// drives targeted re-announcements to lagging peers.
+    peer_epochs: HashMap<ProcessId, u64>,
+    /// Tick at which the current joint window was entered (drives the
+    /// auto-`Finalize` dwell). `None` outside a joint window.
+    joint_since: Option<u64>,
+    /// `(epoch, tick)` of the last auto-`Finalize` submission, so the
+    /// designated member submits once per joint epoch (with a slow retry)
+    /// instead of once per tick.
+    finalize_sent: Option<(u64, u64)>,
+    /// Shared stop flag (also handed to spawned links) and the own listen
+    /// address — needed to retire the replica when a `Finalize` removes it.
+    stop: Arc<AtomicBool>,
+    self_addr: SocketAddr,
+    /// Link-spawning parameters for members added at runtime.
+    resend_buffer_cap: usize,
+    net: Option<NetProfile>,
+    boot: Instant,
 }
 
 use crate::journal::corrupt;
@@ -648,8 +740,30 @@ where
     /// produce — outbound sends included, which doubles as at-least-once
     /// redelivery of anything the previous incarnation may never have put
     /// on the wire.
-    fn recover(cfg: &ReplicaConfig, links: HashMap<ProcessId, PeerLink>) -> io::Result<Self> {
-        let topology = Topology::identity(cfg.id, cfg.config.n);
+    fn recover(
+        cfg: &ReplicaConfig,
+        links: HashMap<ProcessId, PeerLink>,
+        stop: Arc<AtomicBool>,
+        epoch_ctr: Arc<AtomicU64>,
+        boot: Instant,
+        self_addr: SocketAddr,
+    ) -> io::Result<Self> {
+        // A joiner is not (yet) a member: the configuration it boots into
+        // is everyone in the address book *except* itself, and it stays a
+        // non-voting learner until an `Enter` barrier naming it replays.
+        let (config, view) = if cfg.join {
+            let members: Vec<ProcessId> =
+                cfg.addrs.keys().copied().filter(|&p| p != cfg.id).collect();
+            let view = ClusterView::at(0, members, cfg.config.f);
+            (view.config(cfg.config), view)
+        } else {
+            (cfg.config, ClusterView::initial(cfg.config))
+        };
+        let topology = if cfg.join {
+            Topology::from_members(cfg.id, &view.all_members())
+        } else {
+            Topology::identity(cfg.id, cfg.config.n)
+        };
         let detector = cfg.suspect_after.map(|suspect_after| {
             FailureDetector::new(
                 cfg.id,
@@ -661,7 +775,7 @@ where
         });
         let mut core = Self {
             id: cfg.id,
-            protocol: P::new(cfg.id, cfg.config, topology.clone()),
+            protocol: P::new(cfg.id, config, topology.clone()),
             links,
             store: KVStore::new(),
             log: Vec::new(),
@@ -683,6 +797,17 @@ where
                 .then(|| cfg.data_dir.as_ref().map(|dir| dir.join("metrics.jsonl")))
                 .flatten(),
             fsync_stall: cfg.fsync_stall,
+            view,
+            addrs: cfg.addrs.clone(),
+            epoch_ctr,
+            peer_epochs: HashMap::new(),
+            joint_since: None,
+            finalize_sent: None,
+            stop,
+            self_addr,
+            resend_buffer_cap: cfg.resend_buffer_cap,
+            net: cfg.net.clone(),
+            boot,
         };
         let Some(dir) = &cfg.data_dir else {
             return Ok(core);
@@ -690,12 +815,19 @@ where
         let (journal, snapshot, records) =
             Journal::open(dir, cfg.flush_policy, cfg.snapshot_every)?;
         if let Some(snapshot) = snapshot {
-            core.protocol = P::restore_state(cfg.id, cfg.config, topology, &snapshot.protocol)
+            core.protocol = P::restore_state(cfg.id, config, topology, &snapshot.protocol)
                 .ok_or_else(|| {
                     corrupt(format!("replica {}: snapshot failed to restore", cfg.id))
                 })?;
             core.store = snapshot.store;
             core.log = snapshot.log;
+            // The snapshot's view may name members the boot address book
+            // does not (a restart after an expand): install it before
+            // replay so links exist and Epoch records replay idempotently.
+            if snapshot.view.epoch > core.view.epoch {
+                let view = snapshot.view.clone();
+                core.install_view(&view, &snapshot.addrs);
+            }
         }
         for record in records {
             core.replay(record)?;
@@ -780,6 +912,14 @@ where
                 // live run exactly.
                 let _ = self.protocol.gc_executed(&horizon);
                 self.last_gc_horizon = horizon.into_iter().collect();
+            }
+            JournalRecord::Epoch { view, addrs } => {
+                // Journaled only for off-log adoptions (epoch announcements
+                // and catch-up preambles); barrier-driven switches are not
+                // journaled — re-executing the barrier re-derives them.
+                if view.epoch > self.view.epoch {
+                    self.install_view(&view, &addrs);
+                }
             }
             JournalRecord::Suspect { peer } => {
                 // The journal replays inputs in their original order, so the
@@ -877,9 +1017,20 @@ where
         &mut self,
         from: ProcessId,
         seq: u64,
+        epoch: u64,
         payload: Vec<u8>,
         msg: P::Message,
     ) -> io::Result<()> {
+        // Straggler drop: a frame from a process that is no longer a member,
+        // stamped with an epoch older than ours, is pre-removal traffic from
+        // a configuration that no longer exists — drop it before it reaches
+        // the journal or the protocol. Frames from *members* pass whatever
+        // their epoch (the protocols handle cross-epoch messages; Paxos
+        // ring history decodes old-epoch ballots).
+        if epoch < self.view.epoch && !self.view.all_members().contains(&from) {
+            return Ok(());
+        }
+        self.note_peer_epoch(from, epoch);
         self.heard(from);
         // Write-ahead: once we ack this frame the peer may drop it forever,
         // so it must hit the journal before the protocol (and the ack).
@@ -958,6 +1109,8 @@ where
                 }
             }
         }
+        self.announce_epoch();
+        self.maybe_auto_finalize()?;
         if self.metrics_every > 0 && self.ticks.is_multiple_of(self.metrics_every) {
             self.dump_metrics();
         }
@@ -1004,10 +1157,17 @@ where
         for link in self.links.values() {
             link.send_watermarks(mine.clone());
         }
-        if self.peer_watermarks.len() < self.links.len() {
-            // Some peer has never reported (down, or GC disabled there):
-            // its executed set is unknown, so nothing is provably
-            // all-executed yet.
+        if self
+            .links
+            .keys()
+            .any(|peer| !self.peer_watermarks.contains_key(peer))
+        {
+            // Some *current member* has never reported (down, or GC
+            // disabled there): its executed set is unknown, so nothing is
+            // provably all-executed yet. Keyed by the current view's links
+            // — a member removed by reconfiguration no longer holds the
+            // horizon hostage, which is how GC resumes after a dead
+            // replica is swapped out.
             return Ok(());
         }
         let mut horizon: HashMap<ProcessId, u64> = mine.into_iter().collect();
@@ -1101,6 +1261,8 @@ where
             horizon: self.protocol.seen_horizon(from),
             executed,
             store_executed: if base { self.store.executed() } else { 0 },
+            view: self.view.clone(),
+            addrs: self.addrs_wire(),
         });
         if base {
             // Fixed-size records: chunk by count against the byte budget,
@@ -1161,7 +1323,8 @@ where
                 continue; // peer speaking another protocol version
             };
             if journal_msgs {
-                self.peer_msg(peer, 0, payload, msg)?;
+                let epoch = self.view.epoch;
+                self.peer_msg(peer, 0, epoch, payload, msg)?;
             } else {
                 let now = self.now();
                 let actions = self.protocol.handle(peer, msg, now);
@@ -1216,6 +1379,7 @@ where
             links,
             tracked_entries: self.protocol.tracked_entries() as u64,
             store_executed: self.store.executed(),
+            epoch: self.view.epoch,
         }
     }
 
@@ -1234,17 +1398,314 @@ where
         let Some(protocol) = self.protocol.save_state() else {
             return Ok(());
         };
-        let Some(journal) = &mut self.journal else {
-            return Ok(());
-        };
         let snapshot = ReplicaSnapshot {
             protocol,
             store: self.store.clone(),
             log: self.log.clone(),
+            view: self.view.clone(),
+            addrs: self.addrs_wire(),
+        };
+        let Some(journal) = &mut self.journal else {
+            return Ok(());
         };
         journal.save_snapshot(&snapshot)?;
         self.metrics.snapshots_saved.inc();
         Ok(())
+    }
+
+    /// Remembers the highest configuration epoch seen in frames from `from`
+    /// (drives targeted re-announcements to lagging peers).
+    fn note_peer_epoch(&mut self, from: ProcessId, epoch: u64) {
+        let seen = self.peer_epochs.entry(from).or_insert(0);
+        *seen = (*seen).max(epoch);
+    }
+
+    /// The address book in wire form (sorted for determinism).
+    fn addrs_wire(&self) -> Vec<(ProcessId, String)> {
+        let mut addrs: Vec<(ProcessId, String)> = self
+            .addrs
+            .iter()
+            .map(|(&id, addr)| (id, addr.to_string()))
+            .collect();
+        addrs.sort_unstable_by_key(|&(id, _)| id);
+        addrs
+    }
+
+    /// The current view plus address book as an announcement payload.
+    fn epoch_update(&self) -> EpochUpdate {
+        EpochUpdate {
+            view: self.view.clone(),
+            addrs: self.addrs_wire(),
+        }
+    }
+
+    /// Installs `view` as the runtime's configuration: stamps the epoch on
+    /// outgoing frames, merges addresses, retargets links and the failure
+    /// detector, purges per-peer bookkeeping of departed processes and
+    /// retires this replica when the new configuration drops it. Callers
+    /// guard that `view.epoch` is strictly newer.
+    fn install_view(&mut self, view: &ClusterView, addrs: &[(ProcessId, String)]) {
+        for (id, addr) in addrs {
+            match addr.parse() {
+                Ok(parsed) => {
+                    self.addrs.insert(*id, parsed);
+                }
+                Err(_) => eprintln!(
+                    "replica {}: ignoring unparsable address {addr:?} for replica {id}",
+                    self.id
+                ),
+            }
+        }
+        let was_member = self.view.all_members().contains(&self.id);
+        self.view = view.clone();
+        self.epoch_ctr.store(view.epoch, Ordering::Relaxed);
+        self.joint_since = view.is_joint().then_some(self.ticks);
+        if !view.is_joint() {
+            self.finalize_sent = None;
+        }
+        self.sync_links_to_view();
+        if was_member && !view.all_members().contains(&self.id) {
+            eprintln!(
+                "replica {}: epoch {} configuration no longer includes this \
+                 replica; retiring",
+                self.id, view.epoch
+            );
+            // Same teardown as `ReplicaHandle::shutdown`: set the flag, then
+            // unblock the acceptor with a dummy connection so it observes it.
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = std::net::TcpStream::connect(self.self_addr);
+        }
+    }
+
+    /// Aligns outbound links, the failure detector and per-peer bookkeeping
+    /// with the current view: spawns links to new members whose address is
+    /// known, tears down links (and purges bookkeeping) of processes that
+    /// left the configuration.
+    fn sync_links_to_view(&mut self) {
+        let members = self.view.all_members();
+        let now = Instant::now();
+        for &peer in &members {
+            if peer == self.id || self.links.contains_key(&peer) {
+                continue;
+            }
+            let Some(&addr) = self.addrs.get(&peer) else {
+                eprintln!(
+                    "replica {}: no address for new member {peer}; it stays \
+                     unreachable until an announcement supplies one",
+                    self.id
+                );
+                continue;
+            };
+            let shaper = self
+                .net
+                .as_ref()
+                .and_then(|profile| profile.shaper(self.id, peer, self.boot));
+            self.links.insert(
+                peer,
+                PeerLink::spawn(
+                    self.id,
+                    peer,
+                    addr,
+                    Arc::clone(&self.stop),
+                    self.resend_buffer_cap,
+                    shaper,
+                    Arc::clone(&self.epoch_ctr),
+                ),
+            );
+            if let Some(detector) = &mut self.detector {
+                detector.add_peer(peer, now);
+            }
+        }
+        let departed: Vec<ProcessId> = self
+            .links
+            .keys()
+            .copied()
+            .filter(|peer| !members.contains(peer))
+            .collect();
+        for peer in departed {
+            self.links.remove(&peer);
+            self.peer_watermarks.remove(&peer);
+            self.peer_epochs.remove(&peer);
+            self.acks.remove(&peer);
+            if let Some(detector) = &mut self.detector {
+                detector.remove_peer(peer);
+            }
+        }
+    }
+
+    /// Adopts a newer view learned **off the log** (an epoch announcement
+    /// or a catch-up preamble): journaled as [`JournalRecord::Epoch`] so a
+    /// restart reaches the same configuration without needing the barrier's
+    /// commit traffic again. A view that is not newer is ignored.
+    fn adopt_runtime_view(
+        &mut self,
+        view: &ClusterView,
+        addrs: &[(ProcessId, String)],
+    ) -> io::Result<()> {
+        if view.epoch <= self.view.epoch {
+            return Ok(());
+        }
+        self.journal_append(&JournalRecord::Epoch {
+            view: view.clone(),
+            addrs: addrs.to_vec(),
+        })?;
+        self.install_view(view, addrs);
+        Ok(())
+    }
+
+    /// A peer announced a configuration epoch: remember its stamp and adopt
+    /// the view if newer.
+    fn handle_epoch_frame(&mut self, from: ProcessId, update: EpochUpdate) -> io::Result<()> {
+        self.note_peer_epoch(from, update.view.epoch);
+        self.heard(from);
+        self.adopt_runtime_view(&update.view, &update.addrs)
+    }
+
+    /// An executed `Reconfigure` barrier — the **only** place the hosted
+    /// protocol's membership moves. The target is derived from the
+    /// protocol's own view ([`Protocol::cluster_view`]), not the runtime's:
+    /// epoch announcements can race the log and push the runtime view
+    /// ahead, but the protocol must walk the exact joint-then-final
+    /// progression the barrier sequence spells out (Mencius derives its
+    /// ring cut from the execution frontier at each barrier). Not
+    /// journaled: replay re-executes the barrier and re-derives the switch.
+    fn apply_reconfig_barrier(
+        &mut self,
+        op: &ReconfigOp,
+        local: &mut VecDeque<(ProcessId, P::Message)>,
+        now: u64,
+    ) {
+        let Some(current) = self.protocol.cluster_view() else {
+            return; // protocol without reconfiguration support
+        };
+        let next = match op {
+            ReconfigOp::Enter { members, f } => {
+                for (id, addr) in members {
+                    if let Ok(parsed) = addr.parse() {
+                        self.addrs.insert(*id, parsed);
+                    }
+                }
+                let ids: Vec<ProcessId> = members.iter().map(|&(id, _)| id).collect();
+                current.enter(&ids, *f)
+            }
+            ReconfigOp::Finalize => current.finalize(),
+        };
+        let Some(next) = next else {
+            return; // idempotent replay of an already-applied barrier
+        };
+        eprintln!(
+            "replica {}: reconfigure barrier executed; epoch {} members {:?}{}",
+            self.id,
+            next.epoch,
+            next.members,
+            if next.is_joint() { " (joint)" } else { "" }
+        );
+        if next.epoch > self.view.epoch {
+            self.install_view(&next, &[]);
+        } else {
+            // The runtime view already adopted this (or a later) epoch from
+            // an announcement; still make sure links exist for the targets.
+            self.sync_links_to_view();
+        }
+        let actions = self.protocol.reconfigure(&next, now);
+        self.do_actions(actions, local, now);
+    }
+
+    /// Re-announces the configuration epoch to peers still stamping older
+    /// ones — the repair path for a replica (or joiner) that missed the
+    /// `Reconfigure` barrier's commit traffic.
+    fn announce_epoch(&mut self) {
+        if self.view.epoch == 0 || !self.ticks.is_multiple_of(EPOCH_ANNOUNCE_EVERY) {
+            return;
+        }
+        let lagging: Vec<ProcessId> = self
+            .links
+            .keys()
+            .copied()
+            .filter(|peer| self.peer_epochs.get(peer).copied().unwrap_or(0) < self.view.epoch)
+            .collect();
+        if lagging.is_empty() {
+            return;
+        }
+        let update = self.epoch_update();
+        for peer in lagging {
+            if let Some(link) = self.links.get(&peer) {
+                link.send_epoch(update.clone());
+            }
+        }
+    }
+
+    /// Auto-submits the `Finalize` barrier once a joint window is stable.
+    /// Exactly one member is designated (the smallest target-member id) so
+    /// the cluster does not flood itself with finalizes. Every gate below
+    /// is a liveness precaution, not a safety requirement — `Finalize` is
+    /// sequenced through the log like any command; a premature one would
+    /// merely dissolve the old configuration before stragglers drained.
+    fn maybe_auto_finalize(&mut self) -> io::Result<()> {
+        if !self.view.is_joint() || self.view.members.first() != Some(&self.id) {
+            return Ok(());
+        }
+        let Some(since) = self.joint_since else {
+            return Ok(());
+        };
+        if self.ticks.saturating_sub(since) < AUTO_FINALIZE_DWELL_TICKS {
+            return Ok(());
+        }
+        // The protocol itself must have executed the `Enter` barrier.
+        if self.protocol.epoch() < self.view.epoch {
+            return Ok(());
+        }
+        for &peer in &self.view.members {
+            if peer == self.id {
+                continue;
+            }
+            // Every target member must have stamped the joint epoch, be
+            // connected with a drained resend buffer, and not be suspected
+            // — i.e. bootstrapped-before-voting, per the joiner rule.
+            if self.peer_epochs.get(&peer).copied().unwrap_or(0) < self.view.epoch {
+                return Ok(());
+            }
+            let Some(link) = self.links.get(&peer) else {
+                return Ok(());
+            };
+            let status = link.status();
+            if !status.is_connected() || status.buffered() > 0 {
+                return Ok(());
+            }
+            if self
+                .detector
+                .as_ref()
+                .is_some_and(|detector| detector.is_suspected(peer))
+            {
+                return Ok(());
+            }
+        }
+        if let Some((epoch, tick)) = self.finalize_sent {
+            if epoch == self.view.epoch
+                && self.ticks.saturating_sub(tick) < AUTO_FINALIZE_RETRY_TICKS
+            {
+                return Ok(());
+            }
+        }
+        self.finalize_sent = Some((self.view.epoch, self.ticks));
+        eprintln!(
+            "replica {}: joint epoch {} stable; submitting finalize barrier",
+            self.id, self.view.epoch
+        );
+        let rifl = Rifl::new(RECONFIG_CLIENT_BASE + u64::from(self.id), self.view.epoch);
+        self.submit_internal(Command::reconfigure(rifl, ReconfigOp::Finalize))
+    }
+
+    /// Submits an internally minted command (no client session): journaled
+    /// and made durable exactly like a client submission.
+    fn submit_internal(&mut self, cmd: Command) -> io::Result<()> {
+        self.metrics.submitted.inc();
+        self.journal_append(&JournalRecord::Submit { cmd: cmd.clone() })?;
+        self.make_durable()?;
+        let now = self.now();
+        let actions = self.protocol.submit(cmd, now);
+        self.perform(actions, now);
+        self.maybe_snapshot()
     }
 
     /// Maps protocol [`Action`]s onto the runtime and drains self-addressed
@@ -1254,10 +1715,10 @@ where
     /// of the journaled input that produced them.
     fn perform(&mut self, actions: Vec<Action<P::Message>>, now: u64) {
         let mut local: VecDeque<(ProcessId, P::Message)> = VecDeque::new();
-        self.do_actions(actions, &mut local);
+        self.do_actions(actions, &mut local, now);
         while let Some((from, msg)) = local.pop_front() {
             let actions = self.protocol.handle(from, msg, now);
-            self.do_actions(actions, &mut local);
+            self.do_actions(actions, &mut local, now);
         }
     }
 
@@ -1274,6 +1735,7 @@ where
         &mut self,
         actions: Vec<Action<P::Message>>,
         local: &mut VecDeque<(ProcessId, P::Message)>,
+        now: u64,
     ) {
         for action in actions {
             match action {
@@ -1285,7 +1747,9 @@ where
                             continue;
                         }
                         let Some(link) = self.links.get(&target) else {
-                            debug_assert!(false, "send to unknown replica {target}");
+                            // A removed member (or a joiner not linked yet)
+                            // can legitimately be targeted across an epoch
+                            // switch; the frame is simply not deliverable.
                             continue;
                         };
                         let payload = payload.get_or_insert_with(|| {
@@ -1295,6 +1759,7 @@ where
                     }
                 }
                 Action::Execute { dot, cmd } => {
+                    let reconfig = cmd.reconfig_op().cloned();
                     let rifl = cmd.rifl;
                     let mut outputs: Vec<_> = self.store.execute(&cmd).into_iter().collect();
                     outputs.sort_by_key(|(key, _)| *key);
@@ -1333,6 +1798,9 @@ where
                                 .submit_to_replied
                                 .record(stage_us(t0, self.now()));
                         }
+                    }
+                    if let Some(op) = reconfig {
+                        self.apply_reconfig_barrier(&op, local, now);
                     }
                 }
                 Action::Commit { dot } => {
@@ -1472,7 +1940,13 @@ where
                 horizon,
                 executed,
                 store_executed,
+                view,
+                addrs,
             } => {
+                // The server's configuration first: a joiner must know the
+                // real member set (and its addresses) before it interprets
+                // the rest of the stream.
+                core.adopt_runtime_view(&view, &addrs)?;
                 if horizon > 0 {
                     core.journal_append(&JournalRecord::Advance { past: horizon })?;
                     core.protocol.advance_identifiers(horizon);
@@ -1620,21 +2094,33 @@ async fn event_loop<P>(
             Event::Peer {
                 from,
                 seq,
+                epoch,
                 payload,
                 msg,
-            } => core.peer_msg(from, seq, payload, msg),
-            Event::PeerAck { from, upto } => {
+            } => core.peer_msg(from, seq, epoch, payload, msg),
+            Event::PeerAck { from, epoch, upto } => {
+                core.note_peer_epoch(from, epoch);
                 core.heard(from);
                 if let Some(link) = core.links.get(&from) {
                     link.acked(upto);
                 }
                 Ok(())
             }
-            Event::PeerWatermarks { from, watermarks } => {
+            Event::PeerWatermarks {
+                from,
+                epoch,
+                watermarks,
+            } => {
+                core.note_peer_epoch(from, epoch);
                 core.heard(from);
-                core.peer_watermarks.insert(from, watermarks);
+                // A report from a non-member (just removed, or an epoch
+                // straggler) must not re-enter the horizon computation.
+                if core.view.all_members().contains(&from) {
+                    core.peer_watermarks.insert(from, watermarks);
+                }
                 Ok(())
             }
+            Event::PeerEpoch { from, update } => core.handle_epoch_frame(from, update),
             Event::Submit { cmd, session } => core.submit(cmd, session),
             Event::Query { session } => {
                 core.query(session);

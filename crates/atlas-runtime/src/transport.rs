@@ -72,7 +72,7 @@
 //! model.
 
 use crate::netem::LinkShaper;
-use crate::wire::{write_frame, write_raw_frame, Hello, PeerBody, PeerFrame};
+use crate::wire::{write_frame, write_raw_frame, EpochUpdate, Hello, PeerBody, PeerFrame};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -197,6 +197,10 @@ enum LinkCmd {
     /// Send an executed-watermark report (GC cadence); best-effort like an
     /// ack — a lost report only delays the receiver's next GC round.
     SendWatermarks(Vec<(ProcessId, u64)>, Option<Instant>),
+    /// Send a configuration-epoch announcement; best-effort like an ack —
+    /// the authoritative switch travels in the replicated log, this frame
+    /// only nudges lagging runtime plumbing.
+    SendEpoch(Box<EpochUpdate>, Option<Instant>),
     /// The peer acknowledged every sequence `<= .0`: trim the resend buffer.
     Acked(u64),
     /// Tick-driven heartbeat: dial the peer if the link is down, then write
@@ -239,6 +243,7 @@ impl std::fmt::Debug for LinkCmd {
             LinkCmd::Msg(payload, _) => write!(f, "Msg({} bytes)", payload.len()),
             LinkCmd::SendAck(upto, _) => write!(f, "SendAck({upto})"),
             LinkCmd::SendWatermarks(wm, _) => write!(f, "SendWatermarks({} spaces)", wm.len()),
+            LinkCmd::SendEpoch(update, _) => write!(f, "SendEpoch({})", update.view.epoch),
             LinkCmd::Acked(upto) => write!(f, "Acked({upto})"),
             LinkCmd::Probe(_) => write!(f, "Probe"),
         }
@@ -256,6 +261,11 @@ impl PeerLink {
     ///
     /// `shaper` carries the injected network conditions for this directed
     /// link (`None` = unshaped, native speed); see [`crate::netem`].
+    ///
+    /// `epoch` is the replica's shared configuration-epoch counter; the
+    /// writer stamps its current value on every outgoing frame, so a
+    /// receiver can tell a pre-reconfiguration straggler from current
+    /// traffic without the sender's event loop on the critical path.
     pub fn spawn(
         self_id: ProcessId,
         peer: ProcessId,
@@ -263,6 +273,7 @@ impl PeerLink {
         stop: Arc<AtomicBool>,
         resend_buffer_cap: usize,
         shaper: Option<LinkShaper>,
+        epoch: Arc<AtomicU64>,
     ) -> Self {
         let (tx, rx) = mpsc::unbounded_channel();
         let status = Arc::new(LinkStatus::new(peer));
@@ -274,6 +285,7 @@ impl PeerLink {
             stop,
             Arc::clone(&status),
             shaper.clone(),
+            epoch,
         ));
         Self {
             tx,
@@ -346,6 +358,16 @@ impl PeerLink {
         let _ = self.tx.send(LinkCmd::SendWatermarks(watermarks, deadline));
     }
 
+    /// Sends a configuration-epoch announcement to the peer (best-effort,
+    /// like an ack): the receiver uses it to update runtime plumbing —
+    /// links, detector and GC membership — ahead of executing the
+    /// `Reconfigure` barrier itself, and a joiner uses it to learn
+    /// addresses of members it has never met.
+    pub fn send_epoch(&self, update: EpochUpdate) {
+        let deadline = self.stamp(FRAME_OVERHEAD_BYTES + 32 * update.addrs.len());
+        let _ = self.tx.send(LinkCmd::SendEpoch(Box::new(update), deadline));
+    }
+
     /// Records that the peer acknowledged every frame with `seq <= upto`,
     /// releasing them from the resend buffer.
     pub fn acked(&self, upto: u64) {
@@ -413,6 +435,7 @@ async fn writer_task(
     stop: Arc<AtomicBool>,
     status: Arc<LinkStatus>,
     shaper: Option<Arc<Mutex<LinkShaper>>>,
+    epoch: Arc<AtomicU64>,
 ) {
     let mut conn: Option<OwnedWriteHalf> = None;
     let mut backoff = INITIAL_BACKOFF;
@@ -446,7 +469,12 @@ async fn writer_task(
             // ack, watermark report or heartbeat alone is not worth
             // stalling the queue with a backoff loop.
             LinkCmd::SendAck(upto, deadline) => {
-                let frame = encode_frame(self_id, 0, PeerBody::Ack(upto));
+                let frame = encode_frame(
+                    self_id,
+                    0,
+                    epoch.load(Ordering::Relaxed),
+                    PeerBody::Ack(upto),
+                );
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -462,7 +490,33 @@ async fn writer_task(
                 .await;
             }
             LinkCmd::SendWatermarks(watermarks, deadline) => {
-                let frame = encode_frame(self_id, 0, PeerBody::Watermarks(watermarks));
+                let frame = encode_frame(
+                    self_id,
+                    0,
+                    epoch.load(Ordering::Relaxed),
+                    PeerBody::Watermarks(watermarks),
+                );
+                dial_once_and_write(
+                    self_id,
+                    addr,
+                    &stop,
+                    &status,
+                    &shaper,
+                    &mut conn,
+                    &mut written,
+                    &mut backoff,
+                    deadline,
+                    &frame,
+                )
+                .await;
+            }
+            LinkCmd::SendEpoch(update, deadline) => {
+                let frame = encode_frame(
+                    self_id,
+                    0,
+                    epoch.load(Ordering::Relaxed),
+                    PeerBody::Epoch(*update),
+                );
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -481,7 +535,8 @@ async fn writer_task(
                 // Heartbeat: `Ack(0)` acknowledges nothing, so the frame is
                 // pure signal — it forces a write (surfacing a silently
                 // dead connection) and tells the peer's detector we live.
-                let frame = encode_frame(self_id, 0, PeerBody::Ack(0));
+                let frame =
+                    encode_frame(self_id, 0, epoch.load(Ordering::Relaxed), PeerBody::Ack(0));
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -501,7 +556,12 @@ async fn writer_task(
                 next_seq += 1;
                 unacked.push_back((
                     seq,
-                    encode_frame(self_id, seq, PeerBody::Msg(payload)),
+                    encode_frame(
+                        self_id,
+                        seq,
+                        epoch.load(Ordering::Relaxed),
+                        PeerBody::Msg(payload),
+                    ),
                     deadline,
                 ));
             }
@@ -636,8 +696,14 @@ async fn dial_once_and_write(
     }
 }
 
-fn encode_frame(from: ProcessId, seq: u64, body: PeerBody) -> Vec<u8> {
-    bincode::serialize(&PeerFrame { from, seq, body }).expect("peer frames always encode")
+fn encode_frame(from: ProcessId, seq: u64, epoch: u64, body: PeerBody) -> Vec<u8> {
+    bincode::serialize(&PeerFrame {
+        from,
+        seq,
+        epoch,
+        body,
+    })
+    .expect("peer frames always encode")
 }
 
 #[cfg(test)]
@@ -660,7 +726,7 @@ mod tests {
             };
             let stop = Arc::new(AtomicBool::new(false));
             let cap = 32;
-            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap, None);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap, None, Arc::default());
             for i in 0..(cap as u64 + 50) {
                 link.send(vec![i as u8; 16]);
             }
@@ -685,7 +751,7 @@ mod tests {
                 probe.local_addr().unwrap()
             };
             let stop = Arc::new(AtomicBool::new(false));
-            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8, None);
+            let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8, None, Arc::default());
             // A message forces the writer into its dial/backoff loop.
             link.send(vec![1, 2, 3]);
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -739,7 +805,7 @@ mod tests {
             let profile = NetProfile::new(1).rule(LinkRule::any().delay(DELAY));
             let shaper = profile.shaper(1, 2, Instant::now());
             let stop = Arc::new(AtomicBool::new(false));
-            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper);
+            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper, Arc::default());
 
             let sent_at = Instant::now();
             for i in 0..8u8 {
@@ -779,7 +845,7 @@ mod tests {
             let epoch = Instant::now();
             let shaper = profile.shaper(1, 2, epoch);
             let stop = Arc::new(AtomicBool::new(false));
-            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper);
+            let link = PeerLink::spawn(1, 2, addr, Arc::clone(&stop), 64, shaper, Arc::default());
 
             // Probes during the cut are dropped without dialing; a message
             // parks in the resend buffer behind the cut.

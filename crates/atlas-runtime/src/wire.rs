@@ -38,7 +38,7 @@
 //! durability subsystem needs so that a replica restarting from its journal
 //! still receives everything peers sent while it was down.
 
-use atlas_core::{ClientId, Command, Dot, Key, ProcessId, Rifl, Value};
+use atlas_core::{ClientId, ClusterView, Command, Dot, Key, ProcessId, Rifl, Value};
 use atlas_metrics::MetricsSnapshot;
 use kvstore::Output;
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,11 @@ pub struct PeerFrame {
     /// assigned by the sender's link writer); 0 for unsequenced control
     /// frames such as acks.
     pub seq: u64,
+    /// Configuration epoch of the sender when the frame was queued. Lets a
+    /// receiver drop `Msg` stragglers from replicas that are no longer
+    /// members *and* whose frames predate the receiver's epoch, and tells
+    /// it when a peer lags behind (prompting a [`PeerBody::Epoch`]).
+    pub epoch: u64,
     /// What the frame carries.
     pub body: PeerBody,
 }
@@ -100,6 +105,24 @@ pub enum PeerBody {
     /// pointwise minimum over *last known* reports is always a safe
     /// horizon — watermarks only rise on a live replica).
     Watermarks(Vec<(ProcessId, u64)>),
+    /// A configuration-epoch announcement, sent to peers whose frames show
+    /// an older epoch. Best-effort and unsequenced: the authoritative
+    /// switch is the `Reconfigure` barrier in the log; this frame only
+    /// updates *runtime* plumbing (links, detector, GC peer set) of
+    /// replicas that have not executed the barrier yet — e.g. a joiner
+    /// that must dial members it has never met.
+    Epoch(EpochUpdate),
+}
+
+/// Payload of a [`PeerBody::Epoch`] announcement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochUpdate {
+    /// The announced view.
+    pub view: ClusterView,
+    /// Address of every process in [`ClusterView::all_members`] (current
+    /// and, during a joint window, outgoing members), so a receiver can
+    /// dial members it has never met.
+    pub addrs: Vec<(ProcessId, String)>,
 }
 
 /// One frame of the streamed answer to a [`Hello::CatchUp`] request.
@@ -142,6 +165,12 @@ pub enum CatchUpPayload {
         /// The serving store's executed-command counter (meaningful only
         /// with an executed marker).
         store_executed: u64,
+        /// The serving replica's runtime configuration view, so a joiner
+        /// bootstrapping into a reconfigured cluster learns the current
+        /// member set before its first epoch announcement arrives.
+        view: ClusterView,
+        /// Address of every process in `view` (current and outgoing).
+        addrs: Vec<(ProcessId, String)>,
     },
     /// A slice of the serving replica's store records, in key order.
     Store(Vec<(Key, Value)>),
@@ -361,6 +390,25 @@ mod tests {
             bincode::deserialize::<PeerBody>(&bytes).unwrap(),
             watermarks
         );
+
+        let mut view = atlas_core::ClusterView::initial(Config::new(3, 1));
+        view = view.enter(&[1, 2, 4], 1).unwrap();
+        let epoch = PeerFrame {
+            from: 2,
+            seq: 0,
+            epoch: 1,
+            body: PeerBody::Epoch(EpochUpdate {
+                view,
+                addrs: vec![
+                    (1, "127.0.0.1:7001".to_string()),
+                    (2, "127.0.0.1:7002".to_string()),
+                    (3, "127.0.0.1:7003".to_string()),
+                    (4, "127.0.0.1:7004".to_string()),
+                ],
+            }),
+        };
+        let bytes = bincode::serialize(&epoch).unwrap();
+        assert_eq!(bincode::deserialize::<PeerFrame>(&bytes).unwrap(), epoch);
     }
 
     #[test]
@@ -373,6 +421,8 @@ mod tests {
                     horizon: 42,
                     executed: Some(vec![1, 2, 3]),
                     store_executed: 17,
+                    view: atlas_core::ClusterView::initial(Config::new(3, 1)),
+                    addrs: vec![(1, "127.0.0.1:7001".to_string())],
                 },
             },
             CatchUpChunk {

@@ -15,7 +15,7 @@
 //!   all.
 
 use atlas_core::{
-    Action, ClientId, Command, Config, Dot, Key, ProcessId, Protocol, Rifl, Topology,
+    Action, ClientId, ClusterView, Command, Config, Dot, Key, ProcessId, Protocol, Rifl, Topology,
 };
 use atlas_protocol::Atlas;
 use atlas_runtime::replica::{self, ReplicaConfig};
@@ -331,6 +331,8 @@ fn mid_stream_disconnect_leaves_rejoiner_able_to_retry() {
                                 horizon,
                                 executed: Some(marker.clone()),
                                 store_executed,
+                                view: ClusterView::initial(Config::new(3, 1)),
+                                addrs: Vec::new(),
                             },
                         );
                         if write_raw_frame(&mut writer, &start).await.is_err() {

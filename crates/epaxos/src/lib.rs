@@ -61,9 +61,10 @@
 
 use atlas_core::protocol::Time;
 use atlas_core::{
-    Action, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics, Topology,
+    Action, ClusterView, Command, Config, Dot, DotGen, ProcessId, Protocol, ProtocolMetrics,
+    Topology,
 };
-use atlas_protocol::recovery::{ballot_owner, highest_accepted, takeover_ballot, RecAck};
+use atlas_protocol::recovery::{ballot_owner_in, highest_accepted, takeover_ballot_in, RecAck};
 use atlas_protocol::{DependencyGraph, KeyDeps};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -229,6 +230,10 @@ pub struct EPaxos {
     /// Highest identifier sequence seen per source; kept separately from
     /// the `info` keys so the seen horizon survives garbage collection.
     seen: HashMap<ProcessId, u64>,
+    /// The configuration epoch this replica operates in; `config` and
+    /// `topology` always mirror it (spanning the union of both member sets
+    /// during the joint window).
+    view: ClusterView,
 }
 
 impl EPaxos {
@@ -253,6 +258,18 @@ impl EPaxos {
     /// Slow-path (accept) quorum: a plain majority.
     fn slow_quorum(&self) -> Vec<ProcessId> {
         self.topology.closest_quorum(self.config.majority())
+    }
+
+    /// Every process this replica talks to (all current members plus
+    /// itself). Replaces `Action::broadcast(n, ..)`, whose `1..=n` targets
+    /// are wrong once a reconfiguration makes identifiers non-contiguous.
+    fn everyone(&self) -> Vec<ProcessId> {
+        let mut all = self.topology.processes.clone();
+        if !all.contains(&self.id) {
+            all.push(self.id);
+            all.sort_unstable();
+        }
+        all
     }
 
     fn handle_preaccept(
@@ -293,8 +310,17 @@ impl EPaxos {
             // would resurrect an empty entry that GC could never drop.
             return Vec::new();
         }
-        let n = self.config.n;
-        let slow_quorum = self.slow_quorum();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
+        let slow_quorum = if view.is_joint() {
+            // Joint window: the accept phase needs a majority of *both*
+            // configurations — send to everyone and let the dual count in
+            // `handle_accept_ack` decide.
+            everyone.clone()
+        } else {
+            self.slow_quorum()
+        };
         let info = self.info_mut(dot);
         if info.phase() != Phase::PreAccept || info.decided {
             return Vec::new();
@@ -303,15 +329,26 @@ impl EPaxos {
             return Vec::new();
         }
         info.preaccept_acks.insert(from, deps);
-        if info.preaccept_acks.len() < info.quorum.len() {
+        let ready = if view.is_joint() {
+            // A majority of each configuration keeps conflicting commands
+            // visible to each other across the membership change; waiting
+            // for the full union would deadlock on a dead outgoing member.
+            let have: HashSet<ProcessId> = info.preaccept_acks.keys().copied().collect();
+            view.quorum_met(&have, base, Config::majority)
+        } else {
+            info.preaccept_acks.len() >= info.quorum.len()
+        };
+        if !ready {
             return Vec::new();
         }
         info.decided = true;
 
-        // Fast path only when every fast-quorum reply matches exactly.
+        // Fast path only when every fast-quorum reply matches exactly —
+        // and never in the joint window, whose recovery rule is per
+        // configuration, not across two of them.
         let mut replies = info.preaccept_acks.values();
         let first = replies.next().cloned().unwrap_or_default();
-        let matching = replies.all(|deps| *deps == first);
+        let matching = !view.is_joint() && replies.all(|deps| *deps == first);
         let cmd = info.cmd.clone().expect("pre-accepted command is known");
         let mut union = HashSet::new();
         for deps in info.preaccept_acks.values() {
@@ -321,8 +358,8 @@ impl EPaxos {
         if matching {
             info.committed_sent = true;
             self.metrics.fast_paths += 1;
-            let mut actions = vec![Action::broadcast(
-                n,
+            let mut actions = vec![Action::send(
+                everyone,
                 Message::MCommit {
                     dot,
                     cmd,
@@ -387,21 +424,24 @@ impl EPaxos {
         if self.collected(&dot) {
             return Vec::new(); // straggling ack for a collected instance
         }
-        let n = self.config.n;
-        let majority = self.config.majority();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
         let info = self.info_mut(dot);
         if info.bal != ballot || info.phase() == Phase::Commit || info.committed_sent {
             return Vec::new();
         }
         let acks = info.accept_acks.entry(ballot).or_default();
         acks.insert(from);
-        if acks.len() < majority {
+        // A majority of the current configuration — and, during the joint
+        // window, of the outgoing one too.
+        if !view.quorum_met(acks, base, Config::majority) {
             return Vec::new();
         }
         info.committed_sent = true;
         let cmd = info.cmd.clone().expect("accepted command is known");
         let deps = info.deps.clone();
-        let mut actions = vec![Action::broadcast(n, Message::MCommit { dot, cmd, deps })];
+        let mut actions = vec![Action::send(everyone, Message::MCommit { dot, cmd, deps })];
         actions.extend(self.drain_executions(Vec::new(), time));
         actions
     }
@@ -493,23 +533,31 @@ impl EPaxos {
             // blocked on it, so there is nothing to recover.
             return Vec::new();
         }
-        let n = self.config.n;
         let id = self.id;
+        let view = self.view.clone();
+        let everyone = self.everyone();
         let info = self.info_mut(dot);
         if info.phase() == Phase::Commit {
             return Vec::new();
         }
-        let resend = info.bal > n as Ballot && ballot_owner(n, info.bal) == id;
+        // A ballot this replica minted in the *current* epoch is re-sent as
+        // is; anything else (older epoch included — `ballot_owner_in`
+        // refuses cross-epoch owner arithmetic) gets a fresh takeover
+        // ballot above the epoch floor.
+        let resend = ballot_owner_in(&view, info.bal) == Some(id);
         let ballot = if resend {
             info.bal
         } else {
-            takeover_ballot(id, n, info.bal)
+            takeover_ballot_in(&view, id, info.bal)
         };
         let cmd = info.cmd.clone().unwrap_or_else(Command::noop);
         if !resend {
             self.metrics.recoveries += 1;
         }
-        vec![Action::broadcast(n, Message::MPrepare { dot, cmd, ballot })]
+        vec![Action::send(
+            everyone,
+            Message::MPrepare { dot, cmd, ballot },
+        )]
     }
 
     /// Handles `MPrepare`: promise the takeover ballot and report everything
@@ -589,8 +637,9 @@ impl EPaxos {
             // would resurrect an empty entry that GC could never drop.
             return Vec::new();
         }
-        let n = self.config.n;
-        let majority = self.config.majority();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
         let info = self.info_mut(dot);
         if info.phase() == Phase::Commit || info.committed_sent || info.bal != ballot {
             return Vec::new();
@@ -605,7 +654,11 @@ impl EPaxos {
                 accepted_ballot,
             },
         );
-        if acks.len() < majority {
+        // A majority of promises in the current configuration — and of the
+        // outgoing one during the joint window, so any value accepted under
+        // either configuration is visible here.
+        let responder_set: HashSet<ProcessId> = acks.keys().copied().collect();
+        if !view.quorum_met(&responder_set, base, Config::majority) {
             return Vec::new();
         }
         // A proposal is computed at most once per ballot; replies beyond
@@ -663,8 +716,8 @@ impl EPaxos {
         // Accept phase at the takeover ballot, open to every replica (the
         // suspected one included — a falsely suspected coordinator is a
         // perfectly good acceptor); commit needs a majority of acks.
-        vec![Action::broadcast(
-            n,
+        vec![Action::send(
+            everyone,
             Message::MAccept {
                 dot,
                 cmd,
@@ -683,6 +736,7 @@ impl Protocol for EPaxos {
     }
 
     fn new(id: ProcessId, config: Config, topology: Topology) -> Self {
+        let view = ClusterView::at(0, topology.processes.clone(), config.f);
         Self {
             id,
             config,
@@ -694,6 +748,7 @@ impl Protocol for EPaxos {
             metrics: ProtocolMetrics::new(),
             commit_times: HashMap::new(),
             seen: HashMap::new(),
+            view,
         }
     }
 
@@ -704,7 +759,11 @@ impl Protocol for EPaxos {
     fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
         let dot = self.dot_gen.next_dot();
         let deps = self.key_deps.conflicts(&cmd);
-        let quorum = if self.config.nfr && cmd.is_read_only() {
+        let quorum = if self.view.is_joint() {
+            // Joint window: pre-accept at everyone and decide on a dual
+            // majority (see `handle_preaccept_ack`).
+            self.everyone()
+        } else if self.config.nfr && cmd.is_read_only() {
             self.topology.closest_quorum(self.config.majority())
         } else {
             self.fast_quorum()
@@ -766,7 +825,9 @@ impl Protocol for EPaxos {
         state: &[u8],
     ) -> Option<Self> {
         let state: EPaxos = bincode::deserialize(state).ok()?;
-        (state.id == id && state.config == config).then_some(state)
+        // Past epoch 0 the snapshot's view carries the authoritative
+        // configuration; the caller can only know the boot-time one.
+        (state.id == id && (state.view.epoch > 0 || state.config == config)).then_some(state)
     }
 
     fn committed_log(&self) -> Vec<Message> {
@@ -802,11 +863,16 @@ impl Protocol for EPaxos {
     }
 
     fn executed_watermarks(&self) -> Vec<(ProcessId, u64)> {
-        let mut watermarks: Vec<(ProcessId, u64)> = self
-            .topology
-            .processes
-            .iter()
-            .map(|&p| (p, self.graph.executed_frontier(p)))
+        // The union with `seen` keeps reporting the identifier spaces of
+        // members a reconfiguration removed, so their leftover entries can
+        // still be collected once every current replica has executed them.
+        let mut spaces: Vec<ProcessId> = self.topology.processes.clone();
+        spaces.extend(self.seen.keys().copied());
+        spaces.sort_unstable();
+        spaces.dedup();
+        let mut watermarks: Vec<(ProcessId, u64)> = spaces
+            .into_iter()
+            .map(|p| (p, self.graph.executed_frontier(p)))
             .collect();
         watermarks.sort_unstable();
         watermarks
@@ -826,15 +892,25 @@ impl Protocol for EPaxos {
     }
 
     fn save_executed(&self) -> Option<Vec<u8>> {
-        Some(bincode::serialize(&self.graph.executed_marker()).expect("markers always encode"))
+        // The view rides along so a bootstrap base covering an executed
+        // `Reconfigure` barrier still hands the joiner its configuration.
+        let marker = (self.graph.executed_marker(), self.view.clone());
+        Some(bincode::serialize(&marker).expect("markers always encode"))
     }
 
     fn restore_executed(&mut self, marker: &[u8]) -> bool {
-        let Ok(marker) = bincode::deserialize::<atlas_protocol::ExecutedMarker>(marker) else {
+        let Ok((marker, view)) =
+            bincode::deserialize::<(atlas_protocol::ExecutedMarker, ClusterView)>(marker)
+        else {
             return false;
         };
         if !self.graph.restore_marker(&marker) {
             return false;
+        }
+        if view.epoch > self.view.epoch {
+            self.config = view.config(self.config);
+            self.topology = Topology::from_members(self.id, &view.all_members());
+            self.view = view;
         }
         for &(source, frontier) in &marker.frontiers {
             let seen = self.seen.entry(source).or_insert(0);
@@ -861,6 +937,51 @@ impl Protocol for EPaxos {
 
     fn metrics(&self) -> &ProtocolMetrics {
         &self.metrics
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    fn cluster_view(&self) -> Option<ClusterView> {
+        Some(self.view.clone())
+    }
+
+    fn reconfigure(&mut self, view: &ClusterView, _time: Time) -> Vec<Action<Message>> {
+        // Idempotence: apply only strictly newer views (the runtime may
+        // deliver the same epoch both via the log barrier and a journaled
+        // epoch record on replay).
+        if view.epoch <= self.view.epoch {
+            return Vec::new();
+        }
+        self.view = view.clone();
+        self.config = view.config(self.config);
+        self.topology = Topology::from_members(self.id, &view.all_members());
+        if !view.all_members().contains(&self.id) {
+            // Removed replicas stop driving instances; the runtime retires
+            // them shortly after.
+            return Vec::new();
+        }
+        // Liveness across the switch: re-drive every in-flight instance
+        // this replica coordinates, plus any whose coordinator the new view
+        // dropped, through explicit prepare — its accept phase gathers
+        // quorums under the *new* view. Sorted for replay determinism.
+        let members = self.view.all_members();
+        let mut stuck: Vec<Dot> = self
+            .info
+            .iter()
+            .filter(|(_, info)| info.phase() != Phase::Commit)
+            .filter(|(dot, _)| {
+                dot.coordinator() == self.id || !members.contains(&dot.coordinator())
+            })
+            .map(|(dot, _)| *dot)
+            .collect();
+        stuck.sort_unstable();
+        let mut actions = Vec::new();
+        for dot in stuck {
+            actions.extend(self.prepare(dot));
+        }
+        actions
     }
 }
 

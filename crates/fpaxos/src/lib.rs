@@ -25,8 +25,9 @@
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
+use atlas_core::view::EPOCH_BALLOT_STRIDE;
 use atlas_core::{
-    Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Rifl, Topology,
+    Action, ClusterView, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Rifl, Topology,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -174,6 +175,14 @@ pub struct FPaxos {
     /// Highest slot seen in any role; kept separately from the trimmed maps
     /// so the seen horizon survives garbage collection.
     max_seen_slot: Slot,
+    /// The configuration epoch this replica operates in.
+    view: ClusterView,
+    /// Member rings of recent epochs, oldest first. Ballots encode the
+    /// leader by position in the ring of the epoch that minted them
+    /// (`ballot / EPOCH_BALLOT_STRIDE`), so decoding a ballot adopted
+    /// before a reconfiguration needs that epoch's ring — a leader that
+    /// survives a membership change keeps riding its old ballot.
+    rings: Vec<(u64, Vec<ProcessId>)>,
     metrics: ProtocolMetrics,
 }
 
@@ -182,24 +191,55 @@ impl FPaxos {
     fn note_slot(&mut self, slot: Slot) {
         self.max_seen_slot = self.max_seen_slot.max(slot);
     }
-    /// The leader encoded by a ballot.
+    /// The member ring of `epoch` (falls back to the current member set for
+    /// epochs whose ring has been forgotten).
+    fn ring_of(&self, epoch: u64) -> Vec<ProcessId> {
+        self.rings
+            .iter()
+            .rev()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, ring)| ring.clone())
+            .unwrap_or_else(|| self.view.all_members())
+    }
+
+    /// The leader encoded by a ballot: its position in the ring of the
+    /// epoch that minted the ballot. At epoch 0 with members `1..=n` this
+    /// is the classic `(ballot % n) + 1`.
     fn ballot_leader(&self, ballot: Ballot) -> ProcessId {
-        (ballot % self.config.n as Ballot) as ProcessId + 1
+        let epoch = ballot / EPOCH_BALLOT_STRIDE;
+        let ring = self.ring_of(epoch);
+        let off = (ballot % EPOCH_BALLOT_STRIDE) as usize % ring.len();
+        ring[off]
     }
 
     /// The smallest ballot owned by `leader` that is strictly greater than
-    /// `at_least`.
+    /// `at_least`, minted in the **current** epoch (above its ballot floor,
+    /// so cross-epoch ballots decode with the right ring).
     fn next_ballot_for(&self, leader: ProcessId, at_least: Ballot) -> Ballot {
-        let n = self.config.n as Ballot;
-        let base = (leader - 1) as Ballot;
-        let mut round = at_least / n;
+        let ring = self.view.all_members();
+        let len = ring.len() as Ballot;
+        let base = ring.iter().position(|&p| p == leader).unwrap_or(0) as Ballot;
+        let floor = self.view.ballot_floor();
+        let mut round = at_least.saturating_sub(floor) / len;
         loop {
-            let candidate = round * n + base;
+            let candidate = floor + round * len + base;
             if candidate > at_least {
                 return candidate;
             }
             round += 1;
         }
+    }
+
+    /// Every process this replica talks to (all current members plus
+    /// itself). Replaces `Action::broadcast(n, ..)`, whose `1..=n` targets
+    /// are wrong once a reconfiguration makes identifiers non-contiguous.
+    fn everyone(&self) -> Vec<ProcessId> {
+        let mut all = self.topology.processes.clone();
+        if !all.contains(&self.id) {
+            all.push(self.id);
+            all.sort_unstable();
+        }
+        all
     }
 
     /// Current leader according to this replica.
@@ -215,6 +255,11 @@ impl FPaxos {
     /// The phase-2 quorum: the `f + 1` closest replicas (leader included),
     /// restricted to replicas not suspected of having failed.
     fn phase2_quorum(&self) -> Vec<ProcessId> {
+        if self.view.is_joint() {
+            // Joint window: the accept needs `f + 1` in both configurations;
+            // send to everyone and let `handle_accepted`'s dual count decide.
+            return self.everyone();
+        }
         let alive: Vec<ProcessId> = self
             .topology
             .processes
@@ -360,8 +405,9 @@ impl FPaxos {
         ballot: Ballot,
         time: Time,
     ) -> Vec<Action<Message>> {
-        let n = self.config.n;
-        let quorum_size = self.config.slow_quorum_size();
+        let view = self.view.clone();
+        let base = self.config;
+        let everyone = self.everyone();
         let Some(state) = self.log.get_mut(&slot) else {
             return Vec::new();
         };
@@ -369,12 +415,14 @@ impl FPaxos {
             return Vec::new();
         }
         state.acks.insert(from);
-        if state.acks.len() < quorum_size {
+        // `f + 1` accepts in the current configuration — and, during the
+        // joint window, in the outgoing one too.
+        if !view.quorum_met(&state.acks, base, Config::slow_quorum_size) {
             return Vec::new();
         }
         state.committed = true;
         let cmd = state.cmd.clone();
-        let mut actions = vec![Action::broadcast(n, Message::MCommit { slot, cmd })];
+        let mut actions = vec![Action::send(everyone, Message::MCommit { slot, cmd })];
         actions.extend(self.try_execute(time));
         actions
     }
@@ -420,10 +468,7 @@ impl FPaxos {
         let ballot = self.next_ballot_for(self.id, self.ballot.max(self.leader_ballot));
         self.ballot = ballot;
         self.metrics.recoveries += 1;
-        vec![Action::broadcast(
-            self.config.n,
-            Message::MPrepare { ballot },
-        )]
+        vec![Action::send(self.everyone(), Message::MPrepare { ballot })]
     }
 
     fn handle_prepare(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<Message>> {
@@ -449,18 +494,23 @@ impl FPaxos {
         if ballot != self.ballot || self.leader_ballot == ballot {
             return Vec::new();
         }
-        let needed = self.config.recovery_quorum_size();
+        let view = self.view.clone();
+        let base = self.config;
         let promises = self.promises.entry(ballot).or_default();
         promises.insert(from, accepted);
-        if promises.len() < needed {
+        // `n − f` promises in the current configuration — and, during the
+        // joint window, in the outgoing one too, so every value accepted
+        // under either configuration is visible to the new leader.
+        let responder_set: HashSet<ProcessId> = promises.keys().copied().collect();
+        if !view.quorum_met(&responder_set, base, Config::recovery_quorum_size) {
             return Vec::new();
         }
         // Elected: adopt the highest accepted value per slot, fill gaps with
         // noOps, and resume normal operation.
         let promises = promises.clone();
         self.leader_ballot = ballot;
-        let mut actions = vec![Action::broadcast(
-            self.config.n,
+        let mut actions = vec![Action::send(
+            self.everyone(),
             Message::MNewLeader { ballot },
         )];
         let mut chosen: BTreeMap<Slot, (Ballot, Command)> = BTreeMap::new();
@@ -528,9 +578,11 @@ impl Protocol for FPaxos {
 
     fn new(id: ProcessId, config: Config, topology: Topology) -> Self {
         let leader = topology.leader.unwrap_or(1);
-        let n = config.n as Ballot;
+        let view = ClusterView::at(0, topology.processes.clone(), config.f);
+        let ring = view.all_members();
         // The initial leader's first ballot is the smallest ballot it owns.
-        let leader_ballot = (leader - 1) as Ballot % n;
+        let leader_ballot = ring.iter().position(|&p| p == leader).unwrap_or(0) as Ballot;
+        let rings = vec![(0, ring)];
         Self {
             id,
             config,
@@ -548,6 +600,8 @@ impl Protocol for FPaxos {
             commit_times: HashMap::new(),
             gc_floor: 0,
             max_seen_slot: 0,
+            view,
+            rings,
             metrics: ProtocolMetrics::new(),
         }
     }
@@ -616,7 +670,9 @@ impl Protocol for FPaxos {
         state: &[u8],
     ) -> Option<Self> {
         let state: FPaxos = bincode::deserialize(state).ok()?;
-        (state.id == id && state.config == config).then_some(state)
+        // Past epoch 0 the snapshot's view carries the authoritative
+        // configuration; the caller can only know the boot-time one.
+        (state.id == id && (state.view.epoch > 0 || state.config == config)).then_some(state)
     }
 
     fn committed_log(&self) -> Vec<Message> {
@@ -660,11 +716,23 @@ impl Protocol for FPaxos {
     }
 
     fn save_executed(&self) -> Option<Vec<u8>> {
-        Some(bincode::serialize(&(self.execute_next - 1)).expect("markers always encode"))
+        // Watermark plus configuration: the view and ring history let a
+        // joiner whose bootstrap base covers an executed `Reconfigure`
+        // barrier decode old-epoch leader ballots, and the observed leader
+        // ballot points its submissions at the current leader immediately.
+        let marker = (
+            self.execute_next - 1,
+            self.view.clone(),
+            self.rings.clone(),
+            self.leader_ballot,
+        );
+        Some(bincode::serialize(&marker).expect("markers always encode"))
     }
 
     fn restore_executed(&mut self, marker: &[u8]) -> bool {
-        let Ok(watermark) = bincode::deserialize::<Slot>(marker) else {
+        type FpMarker = (Slot, ClusterView, Vec<(u64, Vec<ProcessId>)>, Ballot);
+        let Ok((watermark, view, rings, leader_ballot)) = bincode::deserialize::<FpMarker>(marker)
+        else {
             return false;
         };
         if self.execute_next != 1 {
@@ -674,6 +742,16 @@ impl Protocol for FPaxos {
         self.gc_floor = watermark;
         self.next_slot = self.next_slot.max(watermark + 1);
         self.note_slot(watermark);
+        if view.epoch > self.view.epoch {
+            self.config = view.config(self.config);
+            self.topology = Topology::from_members(self.id, &view.all_members());
+            self.rings = rings;
+            self.view = view;
+        }
+        // Adopting the peer's *observed* leader ballot is pure learning —
+        // no promise is made — and keeps a fresh joiner from forwarding
+        // submissions to a long-deposed boot leader.
+        self.leader_ballot = self.leader_ballot.max(leader_ballot);
         true
     }
 
@@ -723,6 +801,59 @@ impl Protocol for FPaxos {
 
     fn metrics(&self) -> &ProtocolMetrics {
         &self.metrics
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    fn cluster_view(&self) -> Option<ClusterView> {
+        Some(self.view.clone())
+    }
+
+    fn reconfigure(&mut self, view: &ClusterView, _time: Time) -> Vec<Action<Message>> {
+        // Idempotence: apply only strictly newer views.
+        if view.epoch <= self.view.epoch {
+            return Vec::new();
+        }
+        let old_leader = self.current_leader();
+        self.view = view.clone();
+        self.config = view.config(self.config);
+        self.topology = Topology::from_members(self.id, &view.all_members());
+        self.rings.push((view.epoch, view.all_members()));
+        if self.rings.len() > 4 {
+            self.rings.remove(0);
+        }
+        let members = view.all_members();
+        if !members.contains(&self.id) {
+            // Removed replicas stop participating; the runtime retires them.
+            return Vec::new();
+        }
+        self.suspected.retain(|p| members.contains(p));
+        if members.contains(&old_leader) {
+            // The leader survives the change and keeps riding its ballot
+            // (the ring history decodes it); nothing to re-drive — accepts
+            // in flight gather dual quorums via `handle_accepted`.
+            return Vec::new();
+        }
+        // The leader was removed: mark it deposed so submissions buffer
+        // until the election completes, then let the deterministic
+        // successor (smallest live member) campaign above the new epoch's
+        // ballot floor. Phase 1 re-proposes every undecided slot, which is
+        // what re-drives the old leader's in-flight proposals.
+        self.suspected.insert(old_leader);
+        let successor = self
+            .topology
+            .processes
+            .iter()
+            .copied()
+            .filter(|p| !self.suspected.contains(p))
+            .min();
+        if successor == Some(self.id) {
+            self.campaign()
+        } else {
+            Vec::new()
+        }
     }
 }
 

@@ -55,23 +55,78 @@
 //! [`Protocol::suspect`] idempotence contract. A crashed replica that
 //! *restarts* is still handled by the runtime durability layer; revocation
 //! exists for the one that never comes back.
+//!
+//! # Reconfiguration
+//!
+//! Membership changes re-partition slot ownership. Each configuration epoch
+//! installs a new ownership *ring* governing slots from a cut point on: the
+//! barrier slot at which the `Reconfigure` command executed plus
+//! [`RECONFIG_ALPHA`]. Proposals are gated to at most `RECONFIG_ALPHA` slots
+//! past the proposer's contiguous executed frontier, so nobody can propose
+//! into a slot whose ring it has not yet learned — slots before the cut keep
+//! the old round-robin layout, slots at or after it follow the new one.
+//! Commit and revocation quorums for a slot are majorities of *its ring*,
+//! which keeps the slot's implicit Paxos instance on one acceptor set across
+//! the change. A joiner owns no slot until the first ring that includes it;
+//! a removed replica owns none after its last.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use atlas_core::protocol::Time;
-use atlas_core::{Action, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology};
-use atlas_protocol::recovery::takeover_ballot;
+use atlas_core::{
+    Action, ClusterView, Command, Config, Dot, ProcessId, Protocol, ProtocolMetrics, Topology,
+};
+use atlas_protocol::recovery::takeover_ballot_in;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Log slot index (1-based). Slot `s` is owned by process `((s − 1) mod n) + 1`.
+/// Log slot index (1-based). Ownership is round-robin over the ring of the
+/// slot's configuration epoch; in the initial configuration slot `s` is
+/// owned by process `((s − 1) mod n) + 1`.
 pub type Slot = u64;
 
 /// Ballot numbers of the per-slot revocation consensus. The slot owner
 /// implicitly holds ballot 0; takeover ballots are minted with
-/// [`takeover_ballot`] and are always greater than `n`.
+/// [`takeover_ballot_in`] and always exceed both every member identifier
+/// and the epoch's ballot floor.
 pub type Ballot = u64;
+
+/// Guard band between the contiguous executed frontier and the highest slot
+/// a replica may open a proposal in. A reconfiguration executed at barrier
+/// slot `s` re-partitions ownership only from slot `s + RECONFIG_ALPHA` on
+/// (the *cut*); since no proposal may target a slot more than
+/// `RECONFIG_ALPHA` past its proposer's executed frontier, a proposer of
+/// slot `t ≥ s + RECONFIG_ALPHA` had already executed past `s` — the
+/// barrier included — and therefore knows the ring governing `t`.
+pub const RECONFIG_ALPHA: Slot = 64;
+
+/// One ownership ring: from `start` on (until the next ring's `start`),
+/// slots belong round-robin to `members`. Installed by
+/// [`Protocol::reconfigure`] at the epoch's cut; the initial configuration
+/// rings from slot 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RingSeg {
+    /// Configuration epoch that installed this ring.
+    epoch: u64,
+    /// First slot governed by this ring.
+    start: Slot,
+    /// Ring members, sorted; slot `start + k` belongs to member `k mod len`.
+    members: Vec<ProcessId>,
+}
+
+/// Catch-up base marker: the executed prefix plus state a joiner cannot
+/// re-derive from log it never saw — the ownership rings and the donor's
+/// configuration view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RingMarker {
+    /// Highest contiguously executed slot at the donor.
+    watermark: Slot,
+    /// The donor's ownership rings.
+    rings: Vec<RingSeg>,
+    /// The donor's configuration view.
+    view: ClusterView,
+}
 
 /// What an acceptor knows about a slot, reported in `MRevokeOk`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -222,7 +277,17 @@ impl RevState {
 pub struct Mencius {
     id: ProcessId,
     config: Config,
-    /// Next owned slot this replica will assign to a command.
+    /// The configuration epoch this replica operates in; `config` mirrors
+    /// it. Advanced by [`Protocol::reconfigure`] at barrier execution.
+    view: ClusterView,
+    /// Ownership rings, ordered by `start`. Never empty.
+    rings: Vec<RingSeg>,
+    /// Commands gated behind the proposal window (see [`RECONFIG_ALPHA`]):
+    /// proposed in arrival order as the executed frontier advances.
+    pending: Vec<Command>,
+    /// Next owned slot this replica will assign to a command (`Slot::MAX`
+    /// when it owns none — a joiner before its cut, or a replica on its
+    /// way out of the configuration).
     next_owned: Slot,
     /// Proposals this replica is waiting to have acknowledged: slot →
     /// (command, acks received).
@@ -265,9 +330,59 @@ pub struct Mencius {
 }
 
 impl Mencius {
-    /// The owner of `slot`.
+    /// The ring governing `slot`.
+    fn ring_of_slot(&self, slot: Slot) -> &RingSeg {
+        self.rings
+            .iter()
+            .rev()
+            .find(|seg| seg.start <= slot)
+            .unwrap_or(&self.rings[0])
+    }
+
+    /// The owner of `slot` under its ring.
     fn owner(&self, slot: Slot) -> ProcessId {
-        (((slot - 1) % self.config.n as Slot) + 1) as ProcessId
+        let seg = self.ring_of_slot(slot);
+        seg.members[(slot.saturating_sub(seg.start) % seg.members.len() as Slot) as usize]
+    }
+
+    /// Everyone this replica talks to: the view's members (old and new
+    /// during the joint window) plus itself, so self-delivery keeps working
+    /// while this replica is on its way in or out.
+    fn everyone(&self) -> Vec<ProcessId> {
+        let mut all = self.view.all_members();
+        if !all.contains(&self.id) {
+            all.push(self.id);
+            all.sort_unstable();
+        }
+        all
+    }
+
+    /// The first slot strictly above `after` owned by this replica, or
+    /// `Slot::MAX` when it owns none from there on.
+    fn next_owned_after(&self, after: Slot) -> Slot {
+        for (i, seg) in self.rings.iter().enumerate() {
+            let end = self.rings.get(i + 1).map(|next| next.start);
+            let lo = (after + 1).max(seg.start);
+            if end.is_some_and(|end| lo >= end) {
+                continue;
+            }
+            let Some(pos) = seg.members.iter().position(|&p| p == self.id) else {
+                continue;
+            };
+            let len = seg.members.len() as Slot;
+            let offset = (lo - seg.start) % len;
+            let pos = pos as Slot;
+            let slot = if offset <= pos {
+                lo + (pos - offset)
+            } else {
+                lo + (len - offset) + pos
+            };
+            match end {
+                Some(end) if slot >= end => continue,
+                _ => return slot,
+            }
+        }
+        Slot::MAX
     }
 
     /// Records that `slot` exists (for the GC-surviving seen horizon).
@@ -277,39 +392,71 @@ impl Mencius {
         *seen = (*seen).max(slot);
     }
 
-    /// First owned slot of this replica.
+    /// First owned slot of this replica (`Slot::MAX` when it owns none).
     fn first_owned(&self) -> Slot {
-        self.id as Slot
+        self.next_owned_after(0)
+    }
+
+    /// Whether this replica may open a proposal in its next owned slot:
+    /// the slot must lie within [`RECONFIG_ALPHA`] slots of the contiguous
+    /// executed frontier (see the constant's docs for why this bound is
+    /// load-bearing for reconfiguration).
+    fn gate_open(&self) -> bool {
+        self.next_owned != Slot::MAX && self.next_owned < self.execute_next + RECONFIG_ALPHA
+    }
+
+    /// Proposes `cmd` in the next owned slot, or parks it in `pending`
+    /// while the proposal window is closed.
+    fn enqueue_proposal(&mut self, cmd: Command) -> Vec<Action<Message>> {
+        if self.gate_open() {
+            self.propose_in_next_slot(cmd)
+        } else {
+            self.pending.push(cmd);
+            Vec::new()
+        }
+    }
+
+    /// Proposes parked commands for as long as the window allows.
+    fn drain_pending(&mut self) -> Vec<Action<Message>> {
+        let mut actions = Vec::new();
+        while !self.pending.is_empty() && self.gate_open() {
+            let cmd = self.pending.remove(0);
+            actions.extend(self.propose_in_next_slot(cmd));
+        }
+        actions
     }
 
     /// Whether a proposal with this ack set may commit: every non-suspected
-    /// replica acknowledged it, and the acks reach a majority. The majority
-    /// floor is load-bearing for revocation safety — a revocation that
-    /// chooses *skip* proves a majority promised before seeing the
-    /// proposal, and those replicas never acknowledge it.
-    fn proposal_ready(&self, acks: &HashSet<ProcessId>) -> bool {
-        let n = self.config.n as ProcessId;
-        acks.len() >= self.config.majority()
-            && (1..=n)
+    /// member acknowledged it, and the acks reach a majority of the slot's
+    /// ring. The ring-majority floor is load-bearing for revocation safety —
+    /// a revocation that chooses *skip* proves a ring majority promised
+    /// before seeing the proposal, and those replicas never acknowledge it.
+    fn proposal_ready(&self, slot: Slot, acks: &HashSet<ProcessId>) -> bool {
+        let seg = self.ring_of_slot(slot);
+        let in_ring = acks.iter().filter(|p| seg.members.contains(p)).count();
+        in_ring > seg.members.len() / 2
+            && self
+                .view
+                .all_members()
+                .iter()
                 .filter(|p| !self.suspected.contains(p))
-                .all(|p| acks.contains(&p))
+                .all(|p| acks.contains(p))
     }
 
     /// Skips every owned slot smaller than `up_to` that has not been used,
     /// returning the actions that announce the skips.
     fn skip_owned_below(&mut self, up_to: Slot) -> Vec<Action<Message>> {
-        let n = self.config.n as Slot;
         let mut skipped = Vec::new();
         while self.next_owned < up_to {
             skipped.push(self.next_owned);
             self.note_slot(self.next_owned);
-            self.next_owned += n;
+            self.next_owned = self.next_owned_after(self.next_owned);
         }
         if skipped.is_empty() {
             Vec::new()
         } else {
-            vec![Action::broadcast(
-                self.config.n,
+            vec![Action::send(
+                self.everyone(),
                 Message::MSkip { slots: skipped },
             )]
         }
@@ -335,8 +482,8 @@ impl Mencius {
                 {
                     self.decided.insert(slot, None);
                     self.slot_decided_cleanup(slot);
-                    actions.push(Action::broadcast(
-                        self.config.n,
+                    actions.push(Action::send(
+                        self.everyone(),
                         Message::MSkip { slots: vec![slot] },
                     ));
                     continue;
@@ -357,17 +504,20 @@ impl Mencius {
                 }
             }
         }
+        // The frontier may have advanced, re-opening the proposal window.
+        let drained = self.drain_pending();
+        actions.extend(drained);
         actions
     }
 
     /// Assigns the next owned slot to `cmd` and broadcasts the proposal.
     fn propose_in_next_slot(&mut self, cmd: Command) -> Vec<Action<Message>> {
         let slot = self.next_owned;
-        self.next_owned += self.config.n as Slot;
+        self.next_owned = self.next_owned_after(slot);
         self.note_slot(slot);
         self.proposals.insert(slot, (cmd.clone(), HashSet::new()));
-        vec![Action::broadcast(
-            self.config.n,
+        vec![Action::send(
+            self.everyone(),
             Message::MPropose { slot, cmd },
         )]
     }
@@ -382,10 +532,10 @@ impl Mencius {
     /// Announces a chosen decision for `slot` with the ordinary decision
     /// messages (this replica learns it through its own broadcast).
     fn announce_decision(&mut self, slot: Slot, value: Option<Command>) -> Vec<Action<Message>> {
-        let n = self.config.n;
+        let all = self.everyone();
         match value {
-            Some(cmd) => vec![Action::broadcast(n, Message::MCommit { slot, cmd })],
-            None => vec![Action::broadcast(n, Message::MSkip { slots: vec![slot] })],
+            Some(cmd) => vec![Action::send(all, Message::MCommit { slot, cmd })],
+            None => vec![Action::send(all, Message::MSkip { slots: vec![slot] })],
         }
     }
 
@@ -403,7 +553,6 @@ impl Mencius {
             return Vec::new();
         }
         let frontier = self.max_seen.values().copied().max().unwrap_or(0);
-        let n = self.config.n as Slot;
         let mut fresh: Vec<Slot> = Vec::new();
         let mut owners: Vec<ProcessId> = self.suspected.iter().copied().collect();
         owners.sort_unstable();
@@ -417,29 +566,24 @@ impl Mencius {
             if owner == self.id {
                 continue;
             }
-            let first = owner as Slot;
             let base = floor.max(self.revoke_scan.get(&owner).copied().unwrap_or(0));
-            // First owned slot of `owner` strictly above `base`.
-            let mut slot = if base < first {
-                first
-            } else {
-                first + ((base - first) / n + 1) * n
-            };
-            while slot <= frontier {
+            // Walk the (few) slots revealed since the last scan; ownership
+            // must consult the per-slot ring, so the walk is per-slot
+            // rather than arithmetic.
+            for slot in (base + 1)..=frontier {
+                if self.owner(slot) != owner {
+                    continue;
+                }
                 if !self.decided.contains_key(&slot) && !self.revoking.contains_key(&slot) {
                     let promised = self.promised.get(&slot).copied().unwrap_or(0);
-                    let ballot = takeover_ballot(self.id, self.config.n, promised);
+                    let ballot = takeover_ballot_in(&self.view, self.id, promised);
                     self.revoking.insert(slot, RevState::new(ballot));
                     self.metrics.recoveries += 1;
                     fresh.push(slot);
                 }
-                slot += n;
             }
-            if frontier >= first {
-                let examined = first + ((frontier - first) / n) * n;
-                let high = self.revoke_scan.entry(owner).or_insert(0);
-                *high = (*high).max(examined);
-            }
+            let high = self.revoke_scan.entry(owner).or_insert(0);
+            *high = (*high).max(frontier);
         }
         // Batch one MRevoke per ballot (per revoker they only differ when
         // slots carry different promised ballots).
@@ -457,7 +601,7 @@ impl Mencius {
                 // our stale ballot would be refused forever. Mint above the
                 // promise; idempotence holds, since while our ballot *is*
                 // the current one we only ever re-send it.
-                let ballot = takeover_ballot(self.id, self.config.n, promised);
+                let ballot = takeover_ballot_in(&self.view, self.id, promised);
                 *rev = RevState::new(ballot);
                 self.metrics.recoveries += 1;
                 batches.entry(ballot).or_default().push(slot);
@@ -465,11 +609,10 @@ impl Mencius {
                 batches.entry(rev.ballot).or_default().push(slot);
             }
         }
+        let all = self.everyone();
         batches
             .into_iter()
-            .map(|(ballot, slots)| {
-                Action::broadcast(self.config.n, Message::MRevoke { slots, ballot })
-            })
+            .map(|(ballot, slots)| Action::send(all.clone(), Message::MRevoke { slots, ballot }))
             .collect()
     }
 
@@ -479,7 +622,11 @@ impl Mencius {
         slot: Slot,
         cmd: Command,
     ) -> Vec<Action<Message>> {
-        debug_assert_eq!(self.owner(slot), from, "slot proposed by a non-owner");
+        if self.owner(slot) != from {
+            // Minted under a different ring layout than ours (a straggler
+            // proposal from before a reconfiguration cut): refuse it.
+            return Vec::new();
+        }
         if slot <= self.gc_floor {
             // A straggling duplicate of a proposal that executed at every
             // replica before being garbage-collected here.
@@ -535,7 +682,7 @@ impl Mencius {
             };
             acks.insert(from);
             let acks = &self.proposals[&slot].1;
-            self.proposal_ready(acks)
+            self.proposal_ready(slot, acks)
         };
         if !ready {
             return Vec::new();
@@ -556,8 +703,8 @@ impl Mencius {
         self.slot_decided_cleanup(slot);
         self.metrics.commits += 1;
         self.commit_times.insert(slot, time);
-        vec![Action::broadcast(
-            self.config.n,
+        vec![Action::send(
+            self.everyone(),
             Message::MCommit { slot, cmd },
         )]
     }
@@ -579,7 +726,7 @@ impl Mencius {
                 // the command is provably not chosen at `slot` (the skip
                 // is), so re-propose it in a fresh slot — delayed, never
                 // lost or duplicated.
-                actions.extend(self.propose_in_next_slot(cmd));
+                actions.extend(self.enqueue_proposal(cmd));
             }
         }
         actions.extend(self.try_execute(time));
@@ -651,7 +798,6 @@ impl Mencius {
         ballot: Ballot,
         reports: Vec<(Slot, SlotReport)>,
     ) -> Vec<Action<Message>> {
-        let majority = self.config.majority();
         let mut accept_batch: Vec<(Slot, Option<Command>)> = Vec::new();
         let mut decided_now: Vec<(Slot, Option<Command>)> = Vec::new();
         for (slot, report) in reports {
@@ -663,6 +809,9 @@ impl Mencius {
                 decided_now.push((slot, value.clone()));
                 continue;
             }
+            // Quorums of the per-slot Paxos draw from the slot's ring —
+            // the same set the owner's commit majority draws from.
+            let ring = self.ring_of_slot(slot).members.clone();
             let Some(rev) = self.revoking.get_mut(&slot) else {
                 continue;
             };
@@ -675,7 +824,8 @@ impl Mencius {
                 accept_batch.push((slot, proposal.clone()));
                 continue;
             }
-            if rev.prepare_oks.len() < majority {
+            let in_ring = rev.prepare_oks.keys().filter(|p| ring.contains(p)).count();
+            if in_ring < ring.len() / 2 + 1 {
                 continue;
             }
             let chosen: Option<Command> = rev
@@ -699,8 +849,8 @@ impl Mencius {
             actions.extend(self.announce_decision(slot, value));
         }
         if !accept_batch.is_empty() {
-            actions.push(Action::broadcast(
-                self.config.n,
+            actions.push(Action::send(
+                self.everyone(),
                 Message::MRevokeAccept {
                     ballot,
                     slots: accept_batch,
@@ -753,12 +903,12 @@ impl Mencius {
         ballot: Ballot,
         slots: Vec<Slot>,
     ) -> Vec<Action<Message>> {
-        let majority = self.config.majority();
         let mut chosen: Vec<(Slot, Option<Command>)> = Vec::new();
         for slot in slots {
             if slot <= self.gc_floor {
                 continue;
             }
+            let ring = self.ring_of_slot(slot).members.clone();
             let Some(rev) = self.revoking.get_mut(&slot) else {
                 continue;
             };
@@ -769,7 +919,8 @@ impl Mencius {
                 continue;
             };
             rev.accept_oks.insert(from);
-            if rev.accept_oks.len() < majority {
+            let in_ring = rev.accept_oks.iter().filter(|p| ring.contains(p)).count();
+            if in_ring < ring.len() / 2 + 1 {
                 continue;
             }
             rev.done = true;
@@ -790,10 +941,23 @@ impl Protocol for Mencius {
         "mencius"
     }
 
-    fn new(id: ProcessId, config: Config, _topology: Topology) -> Self {
+    fn new(id: ProcessId, config: Config, topology: Topology) -> Self {
+        let members: Vec<ProcessId> = if topology.processes.is_empty() {
+            (1..=config.n as ProcessId).collect()
+        } else {
+            topology.processes.clone()
+        };
+        let view = ClusterView::at(0, members.clone(), config.f);
         let mut mencius = Self {
             id,
             config,
+            view,
+            rings: vec![RingSeg {
+                epoch: 0,
+                start: 1,
+                members,
+            }],
+            pending: Vec::new(),
             next_owned: 0,
             proposals: HashMap::new(),
             decided: BTreeMap::new(),
@@ -817,7 +981,7 @@ impl Protocol for Mencius {
     }
 
     fn submit(&mut self, cmd: Command, _time: Time) -> Vec<Action<Message>> {
-        let mut actions = self.propose_in_next_slot(cmd);
+        let mut actions = self.enqueue_proposal(cmd);
         // The new proposal extends the log past any unused slots of
         // suspected owners; revoke those holes right away so execution
         // does not wait for the next suspicion re-dispatch.
@@ -857,7 +1021,9 @@ impl Protocol for Mencius {
         state: &[u8],
     ) -> Option<Self> {
         let state: Mencius = bincode::deserialize(state).ok()?;
-        (state.id == id && state.config == config).then_some(state)
+        // After a reconfiguration the journaled view is authoritative; the
+        // caller-supplied boot config only gates epoch-0 state.
+        (state.id == id && (state.view.epoch > 0 || state.config == config)).then_some(state)
     }
 
     fn committed_log(&self) -> Vec<Message> {
@@ -902,7 +1068,7 @@ impl Protocol for Mencius {
         let mut ready: Vec<Slot> = self
             .proposals
             .iter()
-            .filter(|(_, (_, acks))| self.proposal_ready(acks))
+            .filter(|(slot, (_, acks))| self.proposal_ready(**slot, acks))
             .map(|(&slot, _)| slot)
             .collect();
         ready.sort_unstable();
@@ -915,6 +1081,67 @@ impl Protocol for Mencius {
         actions.extend(self.try_execute(time));
         // Revoke every undecided slot of the suspected owners up to the
         // observed frontier, re-driving in-flight revocations.
+        actions.extend(self.revoke_suspected_below(true));
+        actions
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    fn cluster_view(&self) -> Option<ClusterView> {
+        Some(self.view.clone())
+    }
+
+    /// Installs the epoch's ownership ring (see [`RECONFIG_ALPHA`] and the
+    /// crate docs) and re-evaluates in-flight proposals against the new
+    /// member set. Runs synchronously right after the `Reconfigure` barrier
+    /// executes — every replica executes the barrier at the same slot, so
+    /// the derived cut agrees everywhere. Idempotent (older or same epochs
+    /// are ignored, an already-known ring is not re-installed) and
+    /// deterministic, as the replay contract requires.
+    fn reconfigure(&mut self, view: &ClusterView, time: Time) -> Vec<Action<Message>> {
+        if view.epoch <= self.view.epoch {
+            return Vec::new();
+        }
+        self.view = view.clone();
+        self.config = view.config(self.config);
+        let members = view.all_members();
+        if !self.rings.iter().any(|seg| seg.epoch == view.epoch) {
+            let cut = (self.execute_next - 1) + RECONFIG_ALPHA;
+            self.rings.push(RingSeg {
+                epoch: view.epoch,
+                start: cut,
+                members: members.clone(),
+            });
+        }
+        // Our next owned slot may have moved: pre-cut slots keep their
+        // owners, but a joiner owns nothing before its cut and a removed
+        // replica nothing after it.
+        if self.next_owned == Slot::MAX || self.owner(self.next_owned) != self.id {
+            self.next_owned = self.next_owned_after(self.execute_next.saturating_sub(1));
+        }
+        if !view.contains(self.id) {
+            // On the way out: keep acknowledging until the runtime retires
+            // this replica, but never propose again.
+            return Vec::new();
+        }
+        // Members that left stop being waited for (`proposal_ready` draws
+        // from the new member set), which may make proposals commit now —
+        // the same unstick `suspect` performs.
+        let mut actions = Vec::new();
+        let mut ready: Vec<Slot> = self
+            .proposals
+            .iter()
+            .filter(|(slot, (_, acks))| self.proposal_ready(**slot, acks))
+            .map(|(&slot, _)| slot)
+            .collect();
+        ready.sort_unstable();
+        for slot in ready {
+            self.metrics.slow_paths += 1;
+            actions.extend(self.commit_own_proposal(slot, time));
+        }
+        actions.extend(self.try_execute(time));
         actions.extend(self.revoke_suspected_below(true));
         actions
     }
@@ -942,29 +1169,53 @@ impl Protocol for Mencius {
         self.accepted.retain(|&slot, _| slot > eff);
         let keep = self.revoking.split_off(&(eff + 1));
         self.revoking = keep;
+        // Rings whose every governed slot is below the floor are history.
+        while self.rings.len() > 1 && self.rings[1].start <= eff + 1 {
+            self.rings.remove(0);
+        }
         dropped
     }
 
     fn save_executed(&self) -> Option<Vec<u8>> {
-        Some(bincode::serialize(&(self.execute_next - 1)).expect("markers always encode"))
+        let marker = RingMarker {
+            watermark: self.execute_next - 1,
+            rings: self.rings.clone(),
+            view: self.view.clone(),
+        };
+        Some(bincode::serialize(&marker).expect("markers always encode"))
     }
 
     fn restore_executed(&mut self, marker: &[u8]) -> bool {
-        let Ok(watermark) = bincode::deserialize::<Slot>(marker) else {
+        let Ok(marker) = bincode::deserialize::<RingMarker>(marker) else {
             return false;
         };
         if self.execute_next != 1 {
             return false; // only a fresh replica may adopt a peer's base
         }
-        self.execute_next = watermark + 1;
-        self.gc_floor = watermark;
-        let n = self.config.n as Slot;
-        while self.next_owned <= watermark {
-            self.next_owned += n;
+        // Adopt the donor's rings and view wholesale: the base marker may
+        // cover log this replica never saw, and a ring cut inside it is a
+        // function of the barrier slot — which only replicas that executed
+        // the barrier know.
+        self.execute_next = marker.watermark + 1;
+        self.gc_floor = marker.watermark;
+        self.rings = marker.rings;
+        if marker.view.epoch > self.view.epoch {
+            self.view = marker.view;
+            self.config = self.view.config(self.config);
         }
+        self.next_owned = self.next_owned_after(marker.watermark);
         // Every slot up to the watermark was seen (it executed); record the
-        // last owned slot of each process so seen horizons stay truthful.
-        for slot in watermark.saturating_sub(n - 1).max(1)..=watermark {
+        // last ring's worth so seen horizons stay truthful.
+        let span = self
+            .rings
+            .last()
+            .map(|seg| seg.members.len())
+            .unwrap_or(self.config.n) as Slot;
+        let base = marker
+            .watermark
+            .saturating_sub(span.saturating_sub(1))
+            .max(1);
+        for slot in base..=marker.watermark {
             self.note_slot(slot);
         }
         true
@@ -979,9 +1230,8 @@ impl Protocol for Mencius {
     }
 
     fn advance_identifiers(&mut self, past: u64) {
-        let n = self.config.n as Slot;
-        while self.next_owned <= past {
-            self.next_owned += n;
+        if self.next_owned != Slot::MAX && self.next_owned <= past {
+            self.next_owned = self.next_owned_after(past);
         }
     }
 
@@ -1482,5 +1732,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reconfigure_installs_a_ring_at_the_cut() {
+        let config = Config::new(3, 1);
+        let mut m = Mencius::new(1, config, Topology::identity(1, 3));
+        let joint = ClusterView::initial(config).enter(&[1, 2, 4], 1).unwrap();
+        let actions = m.reconfigure(&joint, 0);
+        assert!(actions.is_empty());
+        assert_eq!(m.epoch(), 1);
+        // Pre-cut slots keep the old round-robin layout...
+        assert_eq!(m.owner(2), 2);
+        assert_eq!(m.owner(3), 3);
+        // ...post-cut slots follow the joint ring {1, 2, 3, 4}.
+        let cut = RECONFIG_ALPHA; // execute_next was 1 → barrier slot 0
+        assert_eq!(m.owner(cut), 1);
+        assert_eq!(m.owner(cut + 3), 4);
+        // Re-applying the same view is a no-op.
+        assert!(m.reconfigure(&joint, 0).is_empty());
+        assert_eq!(m.rings.len(), 2);
+    }
+
+    #[test]
+    fn joiner_owns_slots_only_after_its_cut() {
+        // A joiner boots knowing the incumbent members; it owns nothing
+        // until a reconfiguration ring includes it.
+        let config = Config::new(3, 1);
+        let mut m = Mencius::new(4, config, Topology::from_members(4, &[1, 2, 3]));
+        assert_eq!(m.next_owned, Slot::MAX);
+        let parked = m.submit(put(4, 1, 0), 0);
+        assert!(parked.is_empty(), "a joiner must not propose");
+        assert_eq!(m.pending.len(), 1);
+        let joint = ClusterView::initial(config)
+            .enter(&[1, 2, 3, 4], 1)
+            .unwrap();
+        let _ = m.reconfigure(&joint, 0);
+        // Its first owned slot is in the new ring, past the cut — still
+        // outside the proposal window while the frontier sits at slot 1.
+        let cut = RECONFIG_ALPHA;
+        assert_eq!(m.owner(cut + 3), 4);
+        assert!(!m.pending.is_empty());
+        // Incumbent traffic advances the executed frontier, re-opening the
+        // window: the parked command is proposed into the joiner's slot.
+        let skips: Vec<Slot> = (1..=10).collect();
+        let actions = m.handle(1, Message::MSkip { slots: skips }, 0);
+        assert!(m.pending.is_empty());
+        assert!(m.proposals.contains_key(&(cut + 3)));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::MPropose { slot, .. },
+                ..
+            } if *slot == cut + 3
+        )));
+    }
+
+    #[test]
+    fn proposal_window_gates_far_ahead_submissions() {
+        // With no acks flowing, the executed frontier stays put and the
+        // proposal window (RECONFIG_ALPHA slots past it) eventually closes.
+        let mut m = Mencius::new(1, Config::new(3, 1), Topology::identity(1, 3));
+        for seq in 1..=40u64 {
+            let _ = m.submit(put(1, seq, 0), 0);
+        }
+        assert!(
+            !m.pending.is_empty(),
+            "submissions past the window must park"
+        );
+        assert!(m.next_owned < 1 + RECONFIG_ALPHA + 3);
     }
 }

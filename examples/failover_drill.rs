@@ -1,7 +1,8 @@
 //! Failover drill over **real TCP** — the runtime counterpart of the
-//! simulator's `availability_drill` (§5.6): boot a 3-replica Atlas
-//! cluster, drive conflicting traffic from clients pinned to two replicas,
-//! then SIGKILL-equivalent the third replica *with a burst of its own
+//! simulator's `availability_drill` (§5.6): boot an Atlas cluster (3
+//! replicas by default; `ATLAS_EXAMPLE_N`/`ATLAS_EXAMPLE_F` resize it),
+//! drive conflicting traffic from a client pinned to the first member,
+//! then SIGKILL-equivalent the last member *with a burst of its own
 //! commands still in flight* and never restart it.
 //!
 //! Watch the timeline it prints: the workload stalls the moment the
@@ -26,23 +27,45 @@ const OPS_BEFORE: u64 = 200;
 const OPS_AFTER: u64 = 800;
 const SHARED_KEYS: u64 = 4;
 
+/// Cluster size from `ATLAS_EXAMPLE_N`/`ATLAS_EXAMPLE_F` (default 3/1):
+/// everything downstream derives member identifiers from the cluster, so
+/// resizing is one environment variable, not an edit in several places.
+fn drill_config() -> Config {
+    let read = |var: &str, default: usize| {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    Config::new(read("ATLAS_EXAMPLE_N", 3), read("ATLAS_EXAMPLE_F", 1))
+}
+
 fn main() {
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {
+        let config = drill_config();
         let options = ClusterOptions {
             tick_interval: Duration::from_millis(10),
             ..ClusterOptions::default()
         }
         .with_suspicion(SUSPECT_AFTER);
-        let mut cluster = Cluster::spawn_with::<Atlas>(Config::new(3, 1), options)
+        let mut cluster = Cluster::spawn_with::<Atlas>(config, options)
             .await
             .expect("cluster boots");
+        // The cast: the drill's roles come from the membership, not from
+        // literal identifiers — the first member serves the workload, the
+        // last is the victim.
+        let survivor = cluster.members()[0];
+        let victim = *cluster.members().last().expect("non-empty membership");
         println!(
-            "3-replica Atlas on 127.0.0.1, f = 1, suspicion after {SUSPECT_AFTER:?} of silence"
+            "{}-replica Atlas on 127.0.0.1, f = {}, suspicion after {SUSPECT_AFTER:?} of silence",
+            config.n, config.f
         );
 
         let t0 = Instant::now();
-        let mut c1 = Client::connect(cluster.addr(1), 1).await.expect("client 1");
+        let mut c1 = Client::connect(cluster.addr(survivor), 1)
+            .await
+            .expect("client 1");
         for i in 0..OPS_BEFORE {
             c1.put(i % SHARED_KEYS, i).await.expect("warm-up write");
         }
@@ -51,10 +74,10 @@ fn main() {
             t0.elapsed().as_secs_f64()
         );
 
-        // Fire a burst at replica 3 without waiting and kill it mid-burst:
+        // Fire a burst at the victim without waiting and kill it mid-burst:
         // some commands commit, some are stranded in their collect phase —
         // exactly the identifiers that poison later conflicting commands.
-        let mut burst = OpenLoopClient::connect(cluster.addr(3), 3)
+        let mut burst = OpenLoopClient::connect(cluster.addr(victim), u64::from(victim))
             .await
             .expect("burst client");
         let cmds: Vec<Command> = (0..2_000)
@@ -65,10 +88,10 @@ fn main() {
             .collect();
         burst.submit_batch(cmds).await.expect("burst fired");
         tokio::time::sleep(Duration::from_micros(500)).await;
-        cluster.kill(3);
+        cluster.kill(victim);
         let killed_at = t0.elapsed();
         println!(
-            "t={killed:>7.3}s  replica 3 killed with its burst in flight (never restarted)",
+            "t={killed:>7.3}s  replica {victim} killed with its burst in flight (never restarted)",
             killed = killed_at.as_secs_f64()
         );
 
@@ -85,7 +108,7 @@ fn main() {
         // The survivor's own account of the drill, from the stats plane:
         // the reply-latency tail *is* the detection + recovery window, and
         // the detector counters show the takeover actually happened.
-        let mut probe = Client::connect(cluster.addr(1), 901)
+        let mut probe = Client::connect(cluster.addr(survivor), 901)
             .await
             .expect("stats probe connects");
         let snapshot = probe.stats().await.expect("stats");
@@ -99,13 +122,13 @@ fn main() {
         );
         println!(
             "           detector: {} suspicion(s), {} recovery takeover(s); \
-             link to replica 3 connected: {}",
+             link to replica {victim} connected: {}",
             snapshot.detector.suspicions,
             snapshot.detector.takeovers,
             snapshot
                 .links
                 .iter()
-                .find(|l| l.peer == 3)
+                .find(|l| l.peer == victim)
                 .map(|l| l.connected)
                 .unwrap_or(false),
         );

@@ -1,7 +1,8 @@
-//! A replicated key–value store served by a **real TCP cluster**: three
-//! replicas of each protocol are booted on localhost, closed-loop clients
-//! drive conflicting and private writes through actual sockets, and
-//! per-command latency is measured at the client.
+//! A replicated key–value store served by a **real TCP cluster**: a
+//! cluster of each protocol (3 replicas by default;
+//! `ATLAS_EXAMPLE_N`/`ATLAS_EXAMPLE_F` resize it) is booted on localhost,
+//! closed-loop clients drive conflicting and private writes through actual
+//! sockets, and per-command latency is measured at the client.
 //!
 //! ```text
 //! cargo run --release --example planet_scale_kvs
@@ -13,7 +14,7 @@
 //! planet simulator (`examples/quickstart.rs`) for geo-latency questions and
 //! this runtime for real-deployment plumbing and throughput questions.
 
-use atlas::core::{Command, Config, ProcessId, Protocol, Rifl};
+use atlas::core::{Command, Config, Protocol, Rifl};
 use atlas::metrics::{BoundedHistogram, HistogramSummary};
 use atlas::protocol::Atlas;
 use atlas::runtime::{Client, Cluster};
@@ -23,6 +24,20 @@ use std::time::Instant;
 const CLIENTS: u64 = 4;
 const OPS_PER_CLIENT: u64 = 250;
 const CONFLICT_PCT: u64 = 10;
+
+/// Cluster size from `ATLAS_EXAMPLE_N`/`ATLAS_EXAMPLE_F` (default 3/1):
+/// every member-set reference below derives from this one configuration
+/// (client spreading and the stats sweep already iterate the cluster), so
+/// resizing is one environment variable, not an edit per protocol row.
+fn example_config() -> Config {
+    let read = |var: &str, default: usize| {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    Config::new(read("ATLAS_EXAMPLE_N", 3), read("ATLAS_EXAMPLE_F", 1))
+}
 
 async fn drive(addr: std::net::SocketAddr, client_id: u64) -> std::io::Result<Vec<u64>> {
     let mut client = Client::connect(addr, client_id).await?;
@@ -54,8 +69,9 @@ where
         let started = Instant::now();
         let mut tasks = Vec::new();
         for client_id in 1..=CLIENTS {
-            // Spread clients over the replicas.
-            let replica = ((client_id - 1) % cluster.n() as u64) as u32 + 1;
+            // Spread clients over the membership.
+            let members = cluster.members();
+            let replica = members[(client_id - 1) as usize % members.len()];
             tasks.push(tokio::spawn(drive(cluster.addr(replica), client_id)));
         }
         let mut hist = BoundedHistogram::new();
@@ -70,8 +86,8 @@ where
         // fast/slow path split over every replica (each command is
         // classified once, at its coordinator).
         let (mut fast, mut slow) = (0u64, 0u64);
-        for id in 1..=cluster.n() as ProcessId {
-            let mut probe = Client::connect(cluster.addr(id), 900 + id as u64)
+        for &id in cluster.members() {
+            let mut probe = Client::connect(cluster.addr(id), 900 + u64::from(id))
                 .await
                 .expect("stats probe connects");
             let snapshot = probe.stats().await.expect("stats");
@@ -98,16 +114,18 @@ where
 }
 
 fn main() {
+    let config = example_config();
     println!(
-        "3-replica clusters over 127.0.0.1 TCP — {CLIENTS} closed-loop clients, \
-         {OPS_PER_CLIENT} single-key PUTs each, {CONFLICT_PCT}% conflicts"
+        "{}-replica clusters (f = {}) over 127.0.0.1 TCP — {CLIENTS} closed-loop clients, \
+         {OPS_PER_CLIENT} single-key PUTs each, {CONFLICT_PCT}% conflicts",
+        config.n, config.f
     );
     println!();
-    run_cluster::<Atlas>("Atlas   f=1      ", Config::new(3, 1));
-    run_cluster::<Atlas>("Atlas   f=1 + NFR", Config::new(3, 1).with_nfr(true));
-    run_cluster::<epaxos::EPaxos>("EPaxos           ", Config::new(3, 1));
-    run_cluster::<fpaxos::FPaxos>("FPaxos  f=1      ", Config::new(3, 1));
-    run_cluster::<mencius::Mencius>("Mencius          ", Config::new(3, 1));
+    run_cluster::<Atlas>("Atlas            ", config);
+    run_cluster::<Atlas>("Atlas      + NFR ", config.with_nfr(true));
+    run_cluster::<epaxos::EPaxos>("EPaxos           ", config);
+    run_cluster::<fpaxos::FPaxos>("FPaxos           ", config);
+    run_cluster::<mencius::Mencius>("Mencius          ", config);
     println!();
     println!("On loopback every replica is equidistant, so the differences above are");
     println!("protocol overhead (quorum sizes, message counts, forwarding hops), not");
