@@ -33,7 +33,7 @@ pub mod protocol;
 pub mod util;
 pub mod view;
 
-pub use command::{Command, Key, KvOp, ReconfigOp, Value};
+pub use command::{shard_of, Command, Key, KvOp, ReconfigOp, Value};
 pub use config::Config;
 pub use id::{ClientId, Dot, DotGen, ProcessId, Rifl};
 pub use metrics::{Histogram, ProtocolMetrics, ProtocolStats};

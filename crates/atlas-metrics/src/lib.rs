@@ -31,6 +31,6 @@ mod snapshot;
 pub use histogram::{BoundedHistogram, BUCKETS, SUBBUCKETS};
 pub use registry::{AtomicHistogram, Counter, Gauge};
 pub use snapshot::{
-    DetectorStats, DurabilityStats, GcStats, HistogramSummary, LifecycleStats, LinkSnapshot,
-    MetricsSnapshot,
+    DetectorStats, DurabilityStats, ExecutorShardStats, ExecutorStats, GcStats, HistogramSummary,
+    LifecycleStats, LinkSnapshot, MetricsSnapshot,
 };

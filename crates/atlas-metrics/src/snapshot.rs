@@ -136,6 +136,39 @@ pub struct LinkSnapshot {
     pub resent: u64,
 }
 
+/// One executor shard's telemetry: dispatch/completion counters (their
+/// difference is the live queue depth) and the per-command execute latency
+/// observed on that shard's thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// Commands dispatched to this shard's queue (a multi-shard command
+    /// counts once per involved shard).
+    pub dispatched: u64,
+    /// Dispatched entries this shard has finished with.
+    pub completed: u64,
+    /// `dispatched - completed` at snapshot time: commands queued or in
+    /// flight on this shard.
+    pub queue_depth: u64,
+    /// Per-command execute latency on this shard's thread (µs). Multi-shard
+    /// commands are timed on the shard that ends up running them.
+    pub execute_us: BoundedHistogram,
+}
+
+/// The sharded executor pool's section of the snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorStats {
+    /// Configured shard count (1 = inline execution on the protocol
+    /// thread; the `shards` list is empty in that mode).
+    pub shards_configured: u64,
+    /// Commands that spanned more than one shard and took the
+    /// deterministic cross-shard barrier.
+    pub multi_shard_commands: u64,
+    /// Per-shard counters and latencies.
+    pub shards: Vec<ExecutorShardStats>,
+}
+
 /// Everything one replica reports about itself.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -165,6 +198,9 @@ pub struct MetricsSnapshot {
     /// reconfiguration; odd epochs are joint windows in the two-phase
     /// lifecycle).
     pub epoch: u64,
+    /// Sharded executor pool telemetry. Appended last: the snapshot's serde
+    /// encoding is positional, so new sections must extend the tail.
+    pub executor: ExecutorStats,
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -288,9 +324,27 @@ impl MetricsSnapshot {
         o.push(']');
 
         o.push_str(&format!(
-            ",\"tracked_entries\":{},\"store_executed\":{},\"epoch\":{}}}",
+            ",\"tracked_entries\":{},\"store_executed\":{},\"epoch\":{}",
             self.tracked_entries, self.store_executed, self.epoch
         ));
+
+        let e = &self.executor;
+        o.push_str(&format!(
+            ",\"executor\":{{\"shards_configured\":{},\"multi_shard_commands\":{},\"shards\":[",
+            e.shards_configured, e.multi_shard_commands
+        ));
+        for (i, shard) in e.shards.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!(
+                "{{\"shard\":{},\"dispatched\":{},\"completed\":{},\"queue_depth\":{},\"execute_us\":",
+                shard.shard, shard.dispatched, shard.completed, shard.queue_depth
+            ));
+            push_summary(&mut o, &shard.execute_us);
+            o.push('}');
+        }
+        o.push_str("]}}");
         o
     }
 }
@@ -320,6 +374,17 @@ mod tests {
             ..Default::default()
         });
         s.epoch = 2;
+        s.executor.shards_configured = 4;
+        s.executor.multi_shard_commands = 3;
+        let mut shard = ExecutorShardStats {
+            shard: 1,
+            dispatched: 20,
+            completed: 18,
+            queue_depth: 2,
+            ..Default::default()
+        };
+        shard.execute_us.record(55);
+        s.executor.shards.push(shard);
         s
     }
 
@@ -352,6 +417,8 @@ mod tests {
             "\"horizon\":[[1,5],[2,3]]",
             "\"peer\":2",
             "\"epoch\":2",
+            "\"executor\":{\"shards_configured\":4",
+            "\"queue_depth\":2,\"execute_us\":{\"count\":1",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

@@ -42,6 +42,13 @@
 //! directory on that cadence. The live stats plane — `atlas-top`, or any
 //! client sending a `Stats` request — works without this flag.
 //!
+//! `--shards <n>` (default 1) runs the sharded parallel executor pool:
+//! committed commands are routed by key hash onto `n` executor threads, so
+//! commands touching disjoint shards execute concurrently while per-key
+//! order, replies, digests and crash-replay stay byte-identical to the
+//! single-threaded run. `--shards 1` keeps execution inline on the event
+//! loop (no executor threads at all).
+//!
 //! `--net-profile <spec>` injects WAN conditions on this replica's
 //! **outbound** peer links — per-directed-link delay/jitter/bandwidth,
 //! scheduled cuts (symmetric when both sides carry the rule, asymmetric
@@ -70,7 +77,7 @@ fn usage() -> ! {
          [--snapshot-every <records>] [--catch-up] [--join] \
          [--suspect-after <ms>] [--trust-after <ms>] [--no-failure-detector] \
          [--gc-every <ticks>] [--catch-up-chunk-bytes <bytes>] \
-         [--metrics-every <ticks>] [--net-profile <spec>]"
+         [--metrics-every <ticks>] [--shards <n>] [--net-profile <spec>]"
     );
     exit(2);
 }
@@ -92,6 +99,7 @@ struct Args {
     gc_every: u64,
     catch_up_chunk_bytes: Option<usize>,
     metrics_every: u64,
+    shards: usize,
     net: Option<NetProfile>,
 }
 
@@ -113,6 +121,7 @@ fn parse_args() -> Args {
         gc_every: 0,
         catch_up_chunk_bytes: None,
         metrics_every: 0,
+        shards: 1,
         net: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -176,6 +185,13 @@ fn parse_args() -> Args {
             "--metrics-every" => {
                 args.metrics_every = value("--metrics-every").parse().unwrap_or_else(|_| usage())
             }
+            "--shards" => {
+                args.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+                if args.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    usage();
+                }
+            }
             "--net-profile" => {
                 args.net = Some(
                     NetProfile::parse(&value("--net-profile")).unwrap_or_else(|e| {
@@ -225,6 +241,7 @@ where
         cfg.catch_up_chunk_bytes = bytes;
     }
     cfg.metrics_every = args.metrics_every;
+    cfg.shards = args.shards;
     cfg.net = args.net.clone();
     let rt = tokio::runtime::Runtime::new().expect("runtime");
     rt.block_on(async {

@@ -60,6 +60,10 @@ pub struct ClusterOptions {
     /// ([`ReplicaConfig::fsync_stall`]): the WAN harness's slow-disk
     /// drill. Replicas absent from the map run unstalled.
     pub fsync_stall: HashMap<ProcessId, Duration>,
+    /// Executor shard count on every replica
+    /// ([`ReplicaConfig::shards`]): values above 1 run the sharded
+    /// parallel executor pool; 1 keeps execution inline on the event loop.
+    pub shards: usize,
 }
 
 impl Default for ClusterOptions {
@@ -76,6 +80,7 @@ impl Default for ClusterOptions {
             metrics_every: 0,
             net: None,
             fsync_stall: HashMap::new(),
+            shards: 1,
         }
     }
 }
@@ -96,6 +101,12 @@ impl ClusterOptions {
     /// replica's peer links (see [`NetProfile`]).
     pub fn with_net(mut self, net: NetProfile) -> Self {
         self.net = Some(net);
+        self
+    }
+
+    /// Returns a copy running `shards` executor shards on every replica.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -260,6 +271,7 @@ impl Cluster {
         cfg.gc_every = self.options.gc_every;
         cfg.catch_up_chunk_bytes = self.options.catch_up_chunk_bytes;
         cfg.metrics_every = self.options.metrics_every;
+        cfg.shards = self.options.shards;
         cfg.net = self.options.net.clone();
         cfg.fsync_stall = self
             .options

@@ -139,6 +139,7 @@
 pub mod client;
 pub mod cluster;
 pub mod detector;
+pub mod executor;
 pub mod journal;
 pub mod metrics;
 pub mod netem;
@@ -149,7 +150,8 @@ pub mod wire;
 pub use client::{Client, OpenLoopClient};
 pub use cluster::{Cluster, ClusterOptions};
 pub use detector::{DetectorEvent, FailureDetector};
-pub use metrics::ReplicaMetrics;
+pub use executor::{ExecCtx, ExecutorPool};
+pub use metrics::{ReplicaMetrics, ShardExecutorMetrics};
 pub use netem::{Cut, LinkRule, LinkShaper, NetProfile};
 pub use replica::{ReplicaConfig, ReplicaHandle};
 

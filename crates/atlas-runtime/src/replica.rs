@@ -1,7 +1,8 @@
 //! The networked replica: an event loop that owns a [`Protocol`] state
-//! machine plus the local [`KVStore`], and maps the protocol's
-//! [`Action`] output language onto sockets, timers, client sessions and the
-//! durable journal.
+//! machine plus the local store (behind the sharded
+//! [`ExecutorPool`]), and maps the
+//! protocol's [`Action`] output language onto sockets, timers, client
+//! sessions and the durable journal.
 //!
 //! One replica runs these tasks:
 //!
@@ -83,6 +84,7 @@
 //! requests, so it is never permanently suspected.
 
 use crate::detector::{DetectorEvent, FailureDetector};
+use crate::executor::{ExecCtx, ExecutorPool};
 use crate::journal::{Journal, JournalRecord, ReplicaSnapshot};
 use crate::metrics::ReplicaMetrics;
 use crate::netem::NetProfile;
@@ -97,7 +99,6 @@ use atlas_core::{
 };
 use atlas_log::FlushPolicy;
 use atlas_metrics::MetricsSnapshot;
-use kvstore::KVStore;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -239,6 +240,15 @@ pub struct ReplicaConfig {
     /// replicas against the failure detector — the stall happens on the
     /// event-loop thread, exactly like a real fsync that takes this long.
     pub fsync_stall: Duration,
+    /// Executor shards: partition the keyspace into this many hash shards
+    /// and execute protocol-ordered commands on one executor thread per
+    /// shard ([`crate::executor`]). Commands touching disjoint shards
+    /// execute concurrently; multi-shard commands take a deterministic
+    /// cross-shard barrier. `1` (the default) executes inline on the event
+    /// loop — the pre-pool behaviour, with zero handoff overhead. Execution
+    /// output is shard-count independent, so replicas of one cluster (and
+    /// successive incarnations of one replica) may use different values.
+    pub shards: usize,
 }
 
 impl ReplicaConfig {
@@ -264,6 +274,7 @@ impl ReplicaConfig {
             metrics_every: 0,
             net: None,
             fsync_stall: Duration::ZERO,
+            shards: 1,
         }
     }
 }
@@ -648,7 +659,11 @@ struct Core<P: Protocol> {
     id: ProcessId,
     protocol: P,
     links: HashMap<ProcessId, PeerLink>,
-    store: KVStore,
+    /// The execute stage: owns the (sharded) store. Every observer of
+    /// execution state below goes through it and drains first; the
+    /// protocol-order artifacts (`log`, journal, `pending`/`commit_times`)
+    /// stay on this thread.
+    exec: ExecutorPool,
     log: Vec<(Dot, Rifl)>,
     sessions: HashMap<ClientId, UnboundedSender<ClientReply>>,
     journal: Option<Journal>,
@@ -773,23 +788,29 @@ where
                 Instant::now(),
             )
         });
+        // The metric registry and the clock base are shared with the
+        // executor pool, so executor-side lifecycle stamps land in the same
+        // cells on the same timeline as the event loop's.
+        let start = Instant::now();
+        let metrics = Arc::new(ReplicaMetrics::with_shards(cfg.shards));
+        let exec = ExecutorPool::new(cfg.shards, Arc::clone(&metrics), start);
         let mut core = Self {
             id: cfg.id,
             protocol: P::new(cfg.id, config, topology.clone()),
             links,
-            store: KVStore::new(),
+            exec,
             log: Vec::new(),
             sessions: HashMap::new(),
             journal: None,
             acks: HashMap::new(),
             detector,
-            start: Instant::now(),
+            start,
             gc_every: cfg.gc_every,
             catch_up_chunk_bytes: cfg.catch_up_chunk_bytes.clamp(1024, MAX_FRAME_BYTES / 2),
             ticks: 0,
             peer_watermarks: HashMap::new(),
             last_gc_horizon: HashMap::new(),
-            metrics: Arc::new(ReplicaMetrics::new()),
+            metrics,
             pending: HashMap::new(),
             commit_times: HashMap::new(),
             metrics_every: cfg.metrics_every,
@@ -819,7 +840,7 @@ where
                 .ok_or_else(|| {
                     corrupt(format!("replica {}: snapshot failed to restore", cfg.id))
                 })?;
-            core.store = snapshot.store;
+            core.exec.install_flat(snapshot.store);
             core.log = snapshot.log;
             // The snapshot's view may name members the boot address book
             // does not (a restart after an expand): install it before
@@ -832,6 +853,10 @@ where
         for record in records {
             core.replay(record)?;
         }
+        // Replay dispatched executes through the pool like a live run;
+        // quiesce before serving so recovery is externally indistinguishable
+        // from the single-threaded path.
+        core.exec.drain();
         core.journal = Some(journal);
         Ok(core)
     }
@@ -1074,6 +1099,12 @@ where
         let actions = self.protocol.tick(now);
         self.perform(actions, now);
         self.ticks += 1;
+        // Sessions whose reply channel an executor thread found closed are
+        // reported back here and dropped on the protocol thread, which owns
+        // the session map.
+        for client in self.exec.take_dead_clients() {
+            self.sessions.remove(&client);
+        }
         if self.gc_every > 0 && self.ticks.is_multiple_of(self.gc_every) {
             self.gc_round()?;
         }
@@ -1250,6 +1281,10 @@ where
         }
 
         self.heard(from);
+        // Serve a quiesced store: everything protocol-ordered so far must
+        // be applied before its records are streamed out.
+        self.exec.drain();
+        let store = self.exec.flat_store();
         let budget = self.catch_up_chunk_bytes;
         let executed = self.protocol.save_executed();
         let base = executed.is_some();
@@ -1260,7 +1295,7 @@ where
         stream.push(CatchUpPayload::Start {
             horizon: self.protocol.seen_horizon(from),
             executed,
-            store_executed: if base { self.store.executed() } else { 0 },
+            store_executed: if base { store.executed() } else { 0 },
             view: self.view.clone(),
             addrs: self.addrs_wire(),
         });
@@ -1270,7 +1305,7 @@ where
             // copy of the store).
             let per_store = (budget / 24).max(1);
             let mut batch: Vec<(Key, Value)> = Vec::with_capacity(per_store);
-            for record in self.store.records() {
+            for record in store.records() {
                 batch.push(record);
                 if batch.len() == per_store {
                     stream.push(CatchUpPayload::Store(std::mem::take(&mut batch)));
@@ -1334,11 +1369,14 @@ where
         Ok(())
     }
 
-    /// Answers an execution-record query.
+    /// Answers an execution-record query. The digest drains the executor
+    /// pool, so the reply reflects everything protocol-ordered so far —
+    /// a client that observed a reply can never see a digest that predates
+    /// the replied command.
     fn query(&self, session: UnboundedSender<ClientReply>) {
         let _ = session.send(ClientReply::ExecutionLog {
             entries: self.log.clone(),
-            digest: self.store.digest(),
+            digest: self.exec.digest(),
         });
     }
 
@@ -1353,6 +1391,10 @@ where
     /// the hosted protocol's own digest, and the event-loop state that is
     /// not a metric cell (GC horizon, link health, bookkeeping sizes).
     fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // Quiesce the executor pool first so lifecycle counters satisfy the
+        // stage invariants (`executed == replied` for locally owned
+        // commands) and `store_executed` matches what the pool has applied.
+        self.exec.drain();
         let mut horizon: Vec<(ProcessId, u64)> = self
             .last_gc_horizon
             .iter()
@@ -1378,8 +1420,9 @@ where
             gc: self.metrics.gc_stats(horizon),
             links,
             tracked_entries: self.protocol.tracked_entries() as u64,
-            store_executed: self.store.executed(),
+            store_executed: self.exec.executed(),
             epoch: self.view.epoch,
+            executor: self.metrics.executor_stats(self.exec.shards()),
         }
     }
 
@@ -1398,9 +1441,12 @@ where
         let Some(protocol) = self.protocol.save_state() else {
             return Ok(());
         };
+        // Snapshots always store the *flat* (merged) KVS, never per-shard
+        // parts: the on-disk format stays shard-count independent, so a
+        // replica may restart with a different `--shards` and re-split.
         let snapshot = ReplicaSnapshot {
             protocol,
-            store: self.store.clone(),
+            store: self.exec.flat_store(),
             log: self.log.clone(),
             view: self.view.clone(),
             addrs: self.addrs_wire(),
@@ -1759,48 +1805,38 @@ where
                     }
                 }
                 Action::Execute { dot, cmd } => {
-                    let reconfig = cmd.reconfig_op().cloned();
                     let rifl = cmd.rifl;
-                    let mut outputs: Vec<_> = self.store.execute(&cmd).into_iter().collect();
-                    outputs.sort_by_key(|(key, _)| *key);
+                    // Protocol-order artifacts stay on this thread: the
+                    // execution record advances at *dispatch* (protocol
+                    // order), never at completion (execution interleaving).
                     self.log.push((dot, rifl));
                     // Lifecycle: a commit time was remembered for every
-                    // dot; the sample only counts when this replica owns
+                    // dot; the samples only count when this replica owns
                     // the command's lifecycle (it was submitted here). A
                     // protocol that skips `Action::Commit` still yields a
-                    // committed sample — execution implies commit, so "now"
-                    // is a sound upper bound.
-                    let commit_t = self.commit_times.remove(&dot);
-                    let submit_t = self.pending.remove(&rifl);
-                    if let Some(t0) = submit_t {
-                        let now = self.now();
-                        self.metrics.committed.inc();
-                        self.metrics
-                            .submit_to_committed
-                            .record(stage_us(t0, commit_t.unwrap_or(now)));
-                        self.metrics.executed.inc();
-                        self.metrics.submit_to_executed.record(stage_us(t0, now));
-                    }
-                    if let Some(session) = self.sessions.get(&rifl.client) {
-                        // A dead session (client gone) is fine; the command
-                        // still executed, only the notification is dropped.
-                        // Evict the route so the session's reply-writer task
-                        // (and its socket half) are freed instead of leaking
-                        // per disconnected client.
-                        if session
-                            .send(ClientReply::Executed { rifl, outputs })
-                            .is_err()
-                        {
-                            self.sessions.remove(&rifl.client);
-                        } else if let Some(t0) = submit_t {
-                            self.metrics.replied.inc();
-                            self.metrics
-                                .submit_to_replied
-                                .record(stage_us(t0, self.now()));
+                    // committed sample — execution implies commit, so the
+                    // execute stamp is a sound upper bound. The
+                    // commit/execute/reply stamps themselves are taken by
+                    // the executor in stage order, so the percentile series
+                    // stays monotone under concurrent executors.
+                    let ctx = ExecCtx {
+                        rifl,
+                        submit_t: self.pending.remove(&rifl),
+                        commit_t: self.commit_times.remove(&dot),
+                        session: self.sessions.get(&rifl.client).cloned(),
+                    };
+                    if cmd.is_noop() || cmd.is_reconfig() {
+                        // Total-order barriers execute inline on this
+                        // thread (after a pool drain): a `Reconfigure`
+                        // mutates the protocol, which only this thread may
+                        // touch.
+                        let reconfig = cmd.reconfig_op().cloned();
+                        self.exec.execute_barrier(&cmd, ctx);
+                        if let Some(op) = reconfig {
+                            self.apply_reconfig_barrier(&op, local, now);
                         }
-                    }
-                    if let Some(op) = reconfig {
-                        self.apply_reconfig_barrier(&op, local, now);
+                    } else {
+                        self.exec.dispatch(cmd, ctx);
                     }
                 }
                 Action::Commit { dot } => {
@@ -1847,14 +1883,14 @@ impl PendingBase {
         }
         if core.protocol.restore_executed(&self.marker) {
             for (key, value) in self.records {
-                core.store.restore_record(key, value);
+                core.exec.restore_record(key, value);
             }
-            core.store.restore_executed_count(self.store_executed);
+            core.exec.restore_executed_count(self.store_executed);
             core.log = self.log;
             *base_installed = true;
             return Ok(());
         }
-        if core.log.is_empty() && core.store.is_empty() {
+        if core.log.is_empty() && core.exec.is_empty() {
             return Err(corrupt(format!(
                 "replica {}: peer's executed-state marker did not decode",
                 core.id

@@ -1,0 +1,142 @@
+//! The shard-scaling gate for the parallel executor pool: a multi-client
+//! Zipf workload, protocol-ordered exactly as a replica's event loop would
+//! dispatch it, is pushed through [`ExecutorPool`]s of 1, 2, 4 and 8 shards
+//! and the executed-commands/sec throughput is compared.
+//!
+//! Execution uses the pool's bench-only per-command apply stall (100 µs,
+//! [`ExecutorPool::new_with_stall`]) as a stand-in for a heavier,
+//! latency-bound state machine. That choice is what makes the measurement a
+//! *pipeline-overlap* gate rather than a core-count lottery: with a
+//! latency-bound apply, N disjoint shards overlap their stalls and
+//! throughput scales with the shard count on any runner — single-core CI
+//! machines included — while a serial executor pays every stall back to
+//! back. (The raw in-memory apply is ~100 ns, far below the dispatch
+//! overhead; no executor pool makes *that* faster, and a wall-clock gate on
+//! it would only measure runner noise.)
+//!
+//! Emits `BENCH_shard_scaling.json` next to the WAN figure artifacts
+//! (`$ATLAS_WAN_BENCH_DIR`, default `target/wan-figures/`) in the
+//! figure-check format `ci/bench_guard.py --fig` re-validates, with the
+//! scaling floor `speedup_4v1 >= 2.5` asserted in-process as well. The
+//! digest of every run is cross-checked against the shards=1 run — the
+//! throughput gate doubles as one more determinism oracle.
+
+use atlas_core::{Command, Rifl};
+use atlas_runtime::{ExecCtx, ExecutorPool, ReplicaMetrics};
+use kvstore::zipf::Zipfian;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Simulated closed-loop clients interleaved round-robin: the protocol
+/// order a real multi-client run produces.
+const CLIENTS: u64 = 8;
+/// Commands per measured run.
+const OPS: u64 = 1_500;
+/// Zipf-distributed keyspace; scrambled ranks spread the hot keys across
+/// shards. theta 0.5 keeps conflicts low (the paper's low-conflict end).
+const KEYSPACE: u64 = 8_192;
+/// The bench-only per-command apply latency (see module docs).
+const STALL: Duration = Duration::from_micros(100);
+/// The scaling floor CI enforces at 4 shards.
+const MIN_SPEEDUP_4V1: f64 = 2.5;
+
+/// The seeded multi-client Zipf command stream, identical for every shard
+/// count.
+fn workload() -> Vec<Command> {
+    let zipf = Zipfian::with_theta(KEYSPACE, 0.5);
+    let mut rng = SmallRng::seed_from_u64(0x5CA1_AB1E);
+    (0..OPS)
+        .map(|i| {
+            let client = 1 + i % CLIENTS;
+            let rifl = Rifl::new(client, 1 + i / CLIENTS);
+            let key = zipf.next_key(&mut rng);
+            Command::put(rifl, key, i, 100)
+        })
+        .collect()
+}
+
+/// Dispatches the whole stream through a fresh `shards`-pool and returns
+/// `(executed_cmds_per_sec, digest)`. Timed from first dispatch to drained.
+fn run(shards: usize, cmds: &[Command]) -> (f64, u64) {
+    let metrics = Arc::new(ReplicaMetrics::with_shards(shards));
+    let mut pool = ExecutorPool::new_with_stall(shards, metrics, Instant::now(), STALL);
+    let t0 = Instant::now();
+    for cmd in cmds {
+        pool.dispatch(cmd.clone(), ExecCtx::detached(cmd.rifl));
+    }
+    pool.drain();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(pool.executed(), cmds.len() as u64, "lost executions");
+    (cmds.len() as f64 / elapsed, pool.digest())
+}
+
+/// Best-of-3 throughput (the gate should compare the pools, not the
+/// runner's scheduling jitter).
+fn best_of_3(shards: usize, cmds: &[Command]) -> (f64, u64) {
+    (0..3)
+        .map(|_| run(shards, cmds))
+        .reduce(|best, next| if next.0 > best.0 { next } else { best })
+        .expect("three runs")
+}
+
+fn main() {
+    let cmds = workload();
+    let mut results = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (throughput, digest) = best_of_3(shards, &cmds);
+        println!("shards={shards}: {throughput:.0} executed cmds/sec (digest {digest:#x})");
+        results.push((shards, throughput, digest));
+    }
+    let digest1 = results[0].2;
+    for &(shards, _, digest) in &results {
+        assert_eq!(
+            digest, digest1,
+            "shards={shards} digest diverged from the flat run"
+        );
+    }
+    let thr = |want: usize| {
+        results
+            .iter()
+            .find(|(s, _, _)| *s == want)
+            .expect("measured")
+            .1
+    };
+    let speedup_2v1 = thr(2) / thr(1);
+    let speedup_4v1 = thr(4) / thr(1);
+    let speedup_8v1 = thr(8) / thr(1);
+    println!("speedup vs shards=1: 2x {speedup_2v1:.2}, 4x {speedup_4v1:.2}, 8x {speedup_8v1:.2}");
+    assert!(
+        speedup_4v1 >= MIN_SPEEDUP_4V1,
+        "shards=4 speedup {speedup_4v1:.2} below the {MIN_SPEEDUP_4V1} floor"
+    );
+
+    // Emit the figure-check artifact `ci/bench_guard.py --fig` re-validates
+    // (same directory and format as the WAN scenario figures).
+    let dir = std::env::var_os("ATLAS_WAN_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/wan-figures"));
+    std::fs::create_dir_all(&dir).expect("create figure dir");
+    let json = format!(
+        concat!(
+            "{{\"figure\":\"shard_scaling\",\"checks\":[",
+            "{{\"name\":\"speedup_4v1\",\"value\":{:.6},\"min\":{:.6}}},",
+            "{{\"name\":\"speedup_2v1\",\"value\":{:.6},\"min\":1.200000}},",
+            "{{\"name\":\"speedup_8v1\",\"value\":{:.6},\"min\":{:.6}}},",
+            "{{\"name\":\"throughput_1shard_cmds_per_sec\",\"value\":{:.6}}},",
+            "{{\"name\":\"throughput_4shard_cmds_per_sec\",\"value\":{:.6}}}",
+            "]}}\n"
+        ),
+        speedup_4v1,
+        MIN_SPEEDUP_4V1,
+        speedup_2v1,
+        speedup_8v1,
+        MIN_SPEEDUP_4V1,
+        thr(1),
+        thr(4),
+    );
+    let path = dir.join("BENCH_shard_scaling.json");
+    std::fs::write(&path, json).expect("write figure report");
+    println!("wrote {}", path.display());
+}

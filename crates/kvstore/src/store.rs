@@ -1,6 +1,6 @@
 //! The key–value store state machine.
 
-use atlas_core::{Command, Key, KvOp, Rifl, Value};
+use atlas_core::{shard_of, Command, Key, KvOp, Rifl, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -77,6 +77,61 @@ impl KVStore {
             outputs.insert(*key, output);
         }
         outputs
+    }
+
+    /// Applies **one** keyed operation without touching the
+    /// executed-command counter — the building block of sharded execution,
+    /// where a multi-shard command's operations are applied by key owner
+    /// and the *command* is counted exactly once by whoever sequences it
+    /// (the executor pool's global counter). Equivalent to the matching
+    /// slice of [`KVStore::execute`]: per-key state transitions and outputs
+    /// are identical.
+    pub fn apply_op(&mut self, key: Key, op: &KvOp) -> Output {
+        match op {
+            KvOp::Get => Output::Value(self.data.get(&key).copied()),
+            KvOp::Put(value) => {
+                self.data.insert(key, *value);
+                Output::Done
+            }
+            KvOp::Delete => {
+                self.data.remove(&key);
+                Output::Done
+            }
+        }
+    }
+
+    /// Executes a protocol-ordered batch of commands, returning each
+    /// command's outputs in order — the execute-batch hook a shard executor
+    /// drains its queue through. Same semantics as calling
+    /// [`KVStore::execute`] in a loop (it is exactly that); batching exists
+    /// so the per-batch dispatch overhead amortizes over its commands.
+    pub fn execute_batch(&mut self, cmds: &[Command]) -> Vec<HashMap<Key, Output>> {
+        cmds.iter().map(|cmd| self.execute(cmd)).collect()
+    }
+
+    /// Partitions the records into `shards` stores by [`shard_of`] — the
+    /// flat→sharded direction when an executor pool boots from a snapshot.
+    /// The executed-command counter is a whole-store property, not a
+    /// per-shard one: it stays with the caller (the pool's global counter),
+    /// and every returned part reports 0.
+    pub fn split_by_shard(&self, shards: usize) -> Vec<KVStore> {
+        let mut parts = vec![KVStore::new(); shards.max(1)];
+        for (&key, &value) in &self.data {
+            parts[shard_of(key, shards)].data.insert(key, value);
+        }
+        parts
+    }
+
+    /// Merges another store's records into this one (sharded→flat
+    /// direction: folding per-shard stores back into the snapshot/catch-up
+    /// view). Key sets must be disjoint for the merge to be order
+    /// independent — true by construction for [`KVStore::split_by_shard`]
+    /// parts. The executed counter is untouched; pair with
+    /// [`KVStore::restore_executed_count`].
+    pub fn absorb(&mut self, part: &KVStore) {
+        for (&key, &value) in &part.data {
+            self.data.insert(key, value);
+        }
     }
 
     /// Reads a key directly (test/inspection helper, not a replicated read).
@@ -216,6 +271,73 @@ mod tests {
         b.execute(&w2);
         b.execute(&w1);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn split_execute_merge_matches_flat_execution() {
+        // The sharded-execution identity: executing each command's ops on
+        // the key-owning shard stores, then merging, must equal executing
+        // the same sequence on one flat store — digest included.
+        let cmds: Vec<Command> = (0..200)
+            .map(|i| {
+                Command::new(
+                    Rifl::new(i, 1),
+                    [(i % 13, KvOp::Put(i)), (i % 7 + 100, KvOp::Put(i * 2))],
+                    8,
+                )
+            })
+            .collect();
+        let mut flat = KVStore::new();
+        for cmd in &cmds {
+            flat.execute(cmd);
+        }
+
+        let shards = 4;
+        let mut parts = KVStore::new().split_by_shard(shards);
+        let mut executed = 0u64;
+        for cmd in &cmds {
+            executed += 1;
+            for (&key, op) in cmd.ops() {
+                parts[atlas_core::shard_of(key, shards)].apply_op(key, op);
+            }
+        }
+        let mut merged = KVStore::new();
+        for part in &parts {
+            merged.absorb(part);
+        }
+        merged.restore_executed_count(executed);
+        assert_eq!(merged.digest(), flat.digest());
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn apply_op_matches_execute_outputs() {
+        let mut a = KVStore::new();
+        let mut b = KVStore::new();
+        let cmd = Command::new(
+            rifl(1),
+            [(1, KvOp::Put(10)), (2, KvOp::Get), (3, KvOp::Delete)],
+            8,
+        );
+        let out = a.execute(&cmd);
+        for (&key, op) in cmd.ops() {
+            assert_eq!(b.apply_op(key, op), out[&key]);
+        }
+    }
+
+    #[test]
+    fn execute_batch_equals_sequential_execute() {
+        let cmds: Vec<Command> = (0..50)
+            .map(|i| Command::put(Rifl::new(i, 1), i % 5, i, 8))
+            .collect();
+        let mut batched = KVStore::new();
+        let mut sequential = KVStore::new();
+        let outs = batched.execute_batch(&cmds);
+        for (cmd, out) in cmds.iter().zip(&outs) {
+            assert_eq!(&sequential.execute(cmd), out);
+        }
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.executed(), 50);
     }
 
     #[test]
