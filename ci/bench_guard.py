@@ -26,6 +26,15 @@ fails when the fast-path share drops below ``--min-fast-path-ratio`` — a
 cheap canary for protocol changes that keep the bench fast on the runner
 but silently push the conflict-free workload onto the slow path.
 
+``--max-allocs-per-cmd`` adds an allocator-pressure gate on the same
+``--metrics`` file: each snapshot carries ``alloc_count`` (heap allocations
+in the serving process since the replica booted, counted by the bench's
+``atlas_metrics::CountingAllocator``) and the derived ``allocs_per_cmd``
+gauge. The job fails when any snapshot's gauge exceeds the ceiling — the
+canary for a pooled wire path silently regressing to per-frame allocation —
+or when no snapshot carries the gauge at all (an uninstalled counting
+allocator must not pass as "zero allocations").
+
 ``--fig`` ingests the ``BENCH_fig*.json`` artifacts the WAN scenario
 harness (``crates/atlas-runtime/tests/wan_scenarios.rs``) emits: each file
 is ``{"figure": "...", "checks": [{"name", "value", "min"?, "max"?}]}``
@@ -76,6 +85,37 @@ def check_fast_path(path: str, floor: float, failures: list) -> None:
         failures.append(f"fast-path ratio {ratio:.3f} below floor {floor:.2f}")
 
 
+def check_allocs(path: str, ceiling: float, failures: list) -> None:
+    """Gates the allocations-per-command gauge of every snapshot in
+    ``path``; fails when the gauge is absent everywhere (counting allocator
+    not installed) or exceeds ``ceiling`` anywhere."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    snapshots = doc.get("snapshots")
+    if not isinstance(snapshots, list) or not snapshots:
+        failures.append(f"{path}: no snapshots captured")
+        return
+    gauged = 0
+    for s in snapshots:
+        per_cmd = s.get("allocs_per_cmd")
+        if not isinstance(per_cmd, (int, float)):
+            continue
+        gauged += 1
+        verdict = "FAIL" if per_cmd > ceiling else "ok"
+        print(
+            f"{verdict:4} allocs/cmd: {per_cmd:.1f} "
+            f"({s.get('alloc_count')} allocs / {s.get('store_executed')} cmds, "
+            f"ceiling {ceiling:.0f})"
+        )
+        if per_cmd > ceiling:
+            failures.append(f"allocs/cmd {per_cmd:.1f} over ceiling {ceiling:.0f}")
+    if gauged == 0:
+        failures.append(
+            f"{path}: no snapshot carries the allocs_per_cmd gauge "
+            "(is the counting allocator installed in the bench?)"
+        )
+
+
 def check_figure(path: str, failures: list) -> None:
     """Validates one WAN-figure artifact and re-enforces its bounds."""
     with open(path) as fh:
@@ -119,6 +159,7 @@ def main() -> int:
     parser.add_argument("--max-ratio", type=float, default=3.0)
     parser.add_argument("--metrics", default=None)
     parser.add_argument("--min-fast-path-ratio", type=float, default=0.9)
+    parser.add_argument("--max-allocs-per-cmd", type=float, default=None)
     parser.add_argument("--fig", nargs="+", default=None)
     args = parser.parse_args()
 
@@ -149,6 +190,10 @@ def main() -> int:
 
     if args.metrics is not None:
         check_fast_path(args.metrics, args.min_fast_path_ratio, failures)
+        if args.max_allocs_per_cmd is not None:
+            check_allocs(args.metrics, args.max_allocs_per_cmd, failures)
+    elif args.max_allocs_per_cmd is not None:
+        parser.error("--max-allocs-per-cmd needs --metrics")
 
     if args.fig is not None:
         for path in expand_figs(args.fig):

@@ -21,13 +21,17 @@
 //! 3. the `atlas-top` binary, which polls every replica and renders a
 //!    one-screen cluster summary.
 
-#![forbid(unsafe_code)]
+// deny (not forbid): `alloc` carries the workspace's one scoped
+// `#[allow(unsafe_code)]` — the GlobalAlloc forwarding shim.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod histogram;
 mod registry;
 mod snapshot;
 
+pub use alloc::{allocations, CountingAllocator};
 pub use histogram::{BoundedHistogram, BUCKETS, SUBBUCKETS};
 pub use registry::{AtomicHistogram, Counter, Gauge};
 pub use snapshot::{

@@ -198,9 +198,16 @@ pub struct MetricsSnapshot {
     /// reconfiguration; odd epochs are joint windows in the two-phase
     /// lifecycle).
     pub epoch: u64,
-    /// Sharded executor pool telemetry. Appended last: the snapshot's serde
-    /// encoding is positional, so new sections must extend the tail.
+    /// Sharded executor pool telemetry. The snapshot's serde encoding is
+    /// positional, so new sections must extend the tail.
     pub executor: ExecutorStats,
+    /// Heap allocator calls in this replica's process since the replica
+    /// started, counted by [`crate::CountingAllocator`] — zero when that
+    /// allocator is not installed as the process's `#[global_allocator]`.
+    /// Divided by [`store_executed`](Self::store_executed) this is the
+    /// allocations-per-command gauge the bench gate watches. Appended last
+    /// (positional serde).
+    pub alloc_count: u64,
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -235,6 +242,16 @@ fn push_summary(out: &mut String, h: &BoundedHistogram) {
 }
 
 impl MetricsSnapshot {
+    /// Mean allocator calls per executed command — the wire-path pressure
+    /// gauge. `None` when it cannot be read: no commands executed yet, or
+    /// the process runs without the counting allocator (`alloc_count` 0).
+    pub fn allocs_per_cmd(&self) -> Option<f64> {
+        if self.alloc_count == 0 || self.store_executed == 0 {
+            return None;
+        }
+        Some(self.alloc_count as f64 / self.store_executed as f64)
+    }
+
     /// Renders the snapshot as one line of JSON (no trailing newline).
     /// Histograms appear as percentile summary objects, not raw buckets.
     pub fn to_json(&self) -> String {
@@ -344,7 +361,17 @@ impl MetricsSnapshot {
             push_summary(&mut o, &shard.execute_us);
             o.push('}');
         }
-        o.push_str("]}}");
+        o.push_str("]}");
+
+        o.push_str(&format!(
+            ",\"alloc_count\":{},\"allocs_per_cmd\":",
+            self.alloc_count
+        ));
+        match self.allocs_per_cmd() {
+            Some(r) => push_f64(&mut o, r),
+            None => o.push_str("null"),
+        }
+        o.push('}');
         o
     }
 }
@@ -385,6 +412,8 @@ mod tests {
         };
         shard.execute_us.record(55);
         s.executor.shards.push(shard);
+        s.store_executed = 10;
+        s.alloc_count = 1234;
         s
     }
 
@@ -419,10 +448,22 @@ mod tests {
             "\"epoch\":2",
             "\"executor\":{\"shards_configured\":4",
             "\"queue_depth\":2,\"execute_us\":{\"count\":1",
+            "\"alloc_count\":1234,\"allocs_per_cmd\":123.400",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
         // JSONL consumers split on newlines — the rendering must be one line.
         assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn allocs_gauge_reads_absent_without_counter_or_commands() {
+        let mut s = sample_snapshot();
+        s.alloc_count = 0; // counting allocator not installed
+        assert_eq!(s.allocs_per_cmd(), None);
+        assert!(s.to_json().contains("\"allocs_per_cmd\":null"));
+        s.alloc_count = 5;
+        s.store_executed = 0; // nothing executed yet
+        assert_eq!(s.allocs_per_cmd(), None);
     }
 }

@@ -76,6 +76,13 @@ fn parse_args() -> Args {
     args
 }
 
+/// Ceiling on one replica's dial + stats round trip. A down replica whose
+/// address blackholes (dropped SYNs, a mid-handshake crash, a replica that
+/// accepts but never replies) must cost one bounded beat, not stall the
+/// whole screen until the kernel gives up — `atlas-top` keeps rendering
+/// the live replicas while the dead one shows as `down`.
+const POLL_TIMEOUT: Duration = Duration::from_millis(750);
+
 /// Fetches one replica's snapshot, reconnecting when needed. `None` means
 /// the replica is unreachable this round (the connection slot is cleared so
 /// the next round redials).
@@ -85,12 +92,17 @@ async fn poll(
     client_id: u64,
 ) -> Option<MetricsSnapshot> {
     if slot.is_none() {
-        *slot = Client::connect(addr, client_id).await.ok();
+        *slot = match tokio::time::timeout(POLL_TIMEOUT, Client::connect(addr, client_id)).await {
+            Ok(conn) => conn.ok(),
+            Err(_elapsed) => None,
+        };
     }
     let client = slot.as_mut()?;
-    match client.stats().await {
-        Ok(snapshot) => Some(snapshot),
-        Err(_) => {
+    match tokio::time::timeout(POLL_TIMEOUT, client.stats()).await {
+        Ok(Ok(snapshot)) => Some(snapshot),
+        // Error or timeout: drop the connection (a timed-out stats reply
+        // could still arrive and desync the request/reply stream).
+        Ok(Err(_)) | Err(_) => {
             *slot = None;
             None
         }

@@ -12,7 +12,9 @@
 //! identify with a [`Hello::Client`] frame. Commands must carry `Rifl`s of
 //! this client so the proxy can route executions back.
 
-use crate::wire::{read_frame, write_frame, ClientReply, ClientRequest, Hello};
+use crate::wire::{
+    decode_payload, encode_frame_into, read_frame, write_frame, ClientReply, ClientRequest, Hello,
+};
 use atlas_core::{ClientId, Command, Dot, Key, ReconfigOp, Rifl, Value};
 use atlas_metrics::MetricsSnapshot;
 use kvstore::Output;
@@ -20,6 +22,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::time::Instant;
+use tokio::io::AsyncWriteExt;
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
 use tokio::net::TcpStream;
 use tokio::sync::mpsc::{self, UnboundedSender};
@@ -50,6 +53,12 @@ pub struct Client {
     next_seq: u64,
     reader: OwnedReadHalf,
     writer: OwnedWriteHalf,
+    /// Reusable encode/decode scratch: a closed-loop client round-trips
+    /// thousands of frames over one connection, so request encoding and
+    /// reply payloads share two long-lived buffers instead of allocating
+    /// per frame.
+    scratch: Vec<u8>,
+    read_buf: Vec<u8>,
 }
 
 impl Client {
@@ -73,6 +82,8 @@ impl Client {
             next_seq: first_seq,
             reader,
             writer,
+            scratch: Vec::new(),
+            read_buf: Vec::new(),
         })
     }
 
@@ -88,13 +99,26 @@ impl Client {
         rifl
     }
 
+    /// Encodes `req` into the reusable scratch buffer and writes the frame.
+    async fn send_request(&mut self, req: &ClientRequest) -> io::Result<()> {
+        encode_frame_into(&mut self.scratch, req)?;
+        self.writer.write_all(&self.scratch).await
+    }
+
+    /// Reads the next reply through the reusable read buffer.
+    async fn read_reply(&mut self) -> io::Result<ClientReply> {
+        crate::wire::read_frame_into(&mut self.reader, &mut self.read_buf).await?;
+        decode_payload(&self.read_buf)
+    }
+
     /// Submits one command and waits for its execution, returning the
     /// per-key outputs.
     pub async fn submit(&mut self, cmd: Command) -> io::Result<Vec<(Key, Output)>> {
         let rifl = cmd.rifl;
-        write_frame(&mut self.writer, &ClientRequest::Submit { cmds: vec![cmd] }).await?;
+        self.send_request(&ClientRequest::Submit { cmds: vec![cmd] })
+            .await?;
         loop {
-            match read_frame::<_, ClientReply>(&mut self.reader).await? {
+            match self.read_reply().await? {
                 ClientReply::Executed {
                     rifl: got, outputs, ..
                 } if got == rifl => return Ok(outputs),
@@ -114,10 +138,10 @@ impl Client {
     ) -> io::Result<Vec<(Rifl, Vec<(Key, Output)>)>> {
         let mut waiting: std::collections::HashSet<Rifl> = cmds.iter().map(|c| c.rifl).collect();
         let expected = waiting.len();
-        write_frame(&mut self.writer, &ClientRequest::Submit { cmds }).await?;
+        self.send_request(&ClientRequest::Submit { cmds }).await?;
         let mut done = Vec::with_capacity(expected);
         while !waiting.is_empty() {
-            match read_frame::<_, ClientReply>(&mut self.reader).await? {
+            match self.read_reply().await? {
                 ClientReply::Executed { rifl, outputs } => {
                     if waiting.remove(&rifl) {
                         done.push((rifl, outputs));
@@ -163,9 +187,9 @@ impl Client {
     /// Fetches the replica's execution record: `(dot, rifl)` pairs in local
     /// execution order, plus a digest of its store state.
     pub async fn execution_log(&mut self) -> io::Result<(Vec<(Dot, Rifl)>, u64)> {
-        write_frame(&mut self.writer, &ClientRequest::ExecutionLog).await?;
+        self.send_request(&ClientRequest::ExecutionLog).await?;
         loop {
-            match read_frame::<_, ClientReply>(&mut self.reader).await? {
+            match self.read_reply().await? {
                 ClientReply::ExecutionLog { entries, digest } => return Ok((entries, digest)),
                 // Executions of older submissions (or other queries) may
                 // interleave.
@@ -180,9 +204,9 @@ impl Client {
     /// collection keeps bounded ([`MetricsSnapshot::tracked_entries`],
     /// [`MetricsSnapshot::store_executed`]).
     pub async fn stats(&mut self) -> io::Result<MetricsSnapshot> {
-        write_frame(&mut self.writer, &ClientRequest::Stats).await?;
+        self.send_request(&ClientRequest::Stats).await?;
         loop {
-            match read_frame::<_, ClientReply>(&mut self.reader).await? {
+            match self.read_reply().await? {
                 ClientReply::Stats { snapshot } => return Ok(*snapshot),
                 _ => continue,
             }
@@ -202,6 +226,8 @@ pub struct OpenLoopClient {
     writer: OwnedWriteHalf,
     sent_tx: UnboundedSender<(Rifl, Instant)>,
     collector: JoinHandle<Vec<u64>>,
+    /// Reusable request-encode buffer (see [`Client::scratch`]).
+    scratch: Vec<u8>,
 }
 
 impl OpenLoopClient {
@@ -255,6 +281,7 @@ impl OpenLoopClient {
             writer,
             sent_tx,
             collector,
+            scratch: Vec::new(),
         })
     }
 
@@ -271,7 +298,8 @@ impl OpenLoopClient {
         for cmd in &cmds {
             let _ = self.sent_tx.send((cmd.rifl, now));
         }
-        write_frame(&mut self.writer, &ClientRequest::Submit { cmds }).await
+        encode_frame_into(&mut self.scratch, &ClientRequest::Submit { cmds })?;
+        self.writer.write_all(&self.scratch).await
     }
 
     /// Stops submitting, waits for all in-flight commands and returns their
@@ -281,7 +309,8 @@ impl OpenLoopClient {
         // The collector may be parked in `read_frame` with nothing in
         // flight; an ExecutionLog probe forces one reply so it wakes up and
         // observes the done marker.
-        write_frame(&mut self.writer, &ClientRequest::ExecutionLog).await?;
+        encode_frame_into(&mut self.scratch, &ClientRequest::ExecutionLog)?;
+        self.writer.write_all(&self.scratch).await?;
         self.collector
             .await
             .map_err(|_| io::Error::other("open-loop collector task panicked"))

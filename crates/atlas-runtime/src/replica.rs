@@ -12,7 +12,7 @@
 //!   identifies itself with a [`Hello`] frame and becomes a peer reader, a
 //!   client session, or a one-shot catch-up exchange;
 //! * one **peer reader** per inbound peer connection, decoding
-//!   [`PeerFrame`]s into peer events;
+//!   [`PeerFrame`](crate::wire::PeerFrame)s into peer events;
 //! * one **client session** per connected client: a reader turning
 //!   `Submit` batches into submit events and a writer draining that
 //!   session's replies;
@@ -90,8 +90,9 @@ use crate::metrics::ReplicaMetrics;
 use crate::netem::NetProfile;
 use crate::transport::{PeerLink, DEFAULT_RESEND_BUFFER_CAP};
 use crate::wire::{
-    read_frame, write_frame, write_raw_frame, CatchUpChunk, CatchUpPayload, ClientReply,
-    ClientRequest, EpochUpdate, Hello, PeerBody, PeerFrame, MAX_FRAME_BYTES,
+    decode_peer_frame, encode_frame_into, frame_payload_into, read_frame, read_frame_into,
+    write_frame, CatchUpChunk, CatchUpPayload, ClientReply, ClientRequest, EpochUpdate, Hello,
+    PeerBodyView, MAX_FRAME_BYTES,
 };
 use atlas_core::{
     Action, ClientId, ClusterView, Command, Config, Dot, Key, ProcessId, Protocol, ReconfigOp,
@@ -107,6 +108,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tokio::io::AsyncWriteExt;
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc::{self, UnboundedReceiver, UnboundedSender};
@@ -522,8 +524,11 @@ async fn acceptor<M>(
                     if event_tx.send(event).is_err() {
                         return;
                     }
+                    // One reusable frame buffer for the whole stream.
+                    let mut frame = Vec::new();
                     while let Some(bytes) = reply_rx.recv().await {
-                        if write_raw_frame(&mut writer, &bytes).await.is_err() {
+                        frame_payload_into(&mut frame, &bytes);
+                        if writer.write_all(&frame).await.is_err() {
                             return; // requester gone; it will retry
                         }
                     }
@@ -544,32 +549,43 @@ async fn peer_reader<M>(
 ) where
     M: Deserialize,
 {
-    while let Ok(frame) = read_frame::<_, PeerFrame>(&mut reader).await {
+    // One scratch buffer reused for every frame on this connection; the
+    // borrowed decode means the only per-message allocation left here is
+    // the owned payload copy the event loop keeps (it can outlive the
+    // buffer in the journal and the protocol's committed log).
+    let mut buf = Vec::new();
+    loop {
+        if read_frame_into(&mut reader, &mut buf).await.is_err() {
+            return; // EOF or broken connection; the peer will redial
+        }
+        let Ok(frame) = decode_peer_frame(&buf) else {
+            return; // corrupt stream; drop the connection
+        };
         debug_assert_eq!(frame.from, from, "peer hello/frame sender mismatch");
         let event = match frame.body {
-            PeerBody::Msg(payload) => match bincode::deserialize::<M>(&payload) {
+            PeerBodyView::Msg(payload) => match bincode::deserialize::<M>(payload) {
                 Ok(msg) => Event::Peer {
                     from,
                     seq: frame.seq,
                     epoch: frame.epoch,
-                    payload,
+                    payload: payload.to_vec(),
                     msg,
                 },
                 // A partner speaking another protocol version; drop the
                 // frame rather than poisoning the event loop.
                 Err(_) => continue,
             },
-            PeerBody::Ack(upto) => Event::PeerAck {
+            PeerBodyView::Ack(upto) => Event::PeerAck {
                 from,
                 epoch: frame.epoch,
                 upto,
             },
-            PeerBody::Watermarks(watermarks) => Event::PeerWatermarks {
+            PeerBodyView::Watermarks(watermarks) => Event::PeerWatermarks {
                 from,
                 epoch: frame.epoch,
                 watermarks,
             },
-            PeerBody::Epoch(update) => Event::PeerEpoch { from, update },
+            PeerBodyView::Epoch(update) => Event::PeerEpoch { from, update },
         };
         if event_tx.send(event).is_err() {
             return; // event loop gone: replica is shutting down
@@ -588,8 +604,11 @@ async fn client_session<M>(
     let (reply_tx, mut reply_rx) = mpsc::unbounded_channel::<ClientReply>();
     // Writer side: one task per session so a slow client only stalls itself.
     tokio::spawn(async move {
+        // Replies encode into one reusable buffer for the session's life.
+        let mut buf = Vec::new();
         while let Some(reply) = reply_rx.recv().await {
-            if write_frame(&mut writer, &reply).await.is_err() {
+            if encode_frame_into(&mut buf, &reply).is_err() || writer.write_all(&buf).await.is_err()
+            {
                 return;
             }
         }
@@ -735,6 +754,12 @@ struct Core<P: Protocol> {
     resend_buffer_cap: usize,
     net: Option<NetProfile>,
     boot: Instant,
+    /// Process-wide allocation count at replica construction
+    /// ([`atlas_metrics::allocations`]), so snapshots report allocations
+    /// *since this replica started* — meaningful even when several
+    /// short-lived clusters share one (bench) process. Zero unless the
+    /// process installed [`atlas_metrics::CountingAllocator`].
+    alloc_baseline: u64,
 }
 
 use crate::journal::corrupt;
@@ -829,6 +854,7 @@ where
             resend_buffer_cap: cfg.resend_buffer_cap,
             net: cfg.net.clone(),
             boot,
+            alloc_baseline: atlas_metrics::allocations(),
         };
         let Some(dir) = &cfg.data_dir else {
             return Ok(core);
@@ -1423,6 +1449,7 @@ where
             store_executed: self.exec.executed(),
             epoch: self.view.epoch,
             executor: self.metrics.executor_stats(self.exec.shards()),
+            alloc_count: atlas_metrics::allocations().saturating_sub(self.alloc_baseline),
         }
     }
 
@@ -1786,7 +1813,11 @@ where
         for action in actions {
             match action {
                 Action::Send { targets, msg } => {
-                    let mut payload: Option<Vec<u8>> = None;
+                    // Encoded once, shared by every target link behind an
+                    // `Arc`: the fan-out clones a pointer, not the bytes
+                    // (each link writer borrows the payload while framing
+                    // it into its own pooled buffer).
+                    let mut payload: Option<Arc<Vec<u8>>> = None;
                     for target in targets {
                         if target == self.id {
                             local.push_back((self.id, msg.clone()));
@@ -1799,9 +1830,11 @@ where
                             continue;
                         };
                         let payload = payload.get_or_insert_with(|| {
-                            bincode::serialize(&msg).expect("protocol messages always encode")
+                            Arc::new(
+                                bincode::serialize(&msg).expect("protocol messages always encode"),
+                            )
                         });
-                        link.send(payload.clone());
+                        link.send(Arc::clone(payload));
                     }
                 }
                 Action::Execute { dot, cmd } => {

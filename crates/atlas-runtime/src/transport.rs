@@ -4,7 +4,7 @@
 //! A replica owns one [`PeerLink`] per remote peer. The link is a handle to a
 //! dedicated **writer task** that dials the peer, identifies itself with
 //! [`Hello::Peer`](crate::wire::Hello), and then drains an outbound queue of
-//! [`PeerFrame`]s into the socket. Peer connections
+//! [`PeerFrame`](crate::wire::PeerFrame)s into the socket. Peer connections
 //! are unidirectional (see [`crate::wire`]): replica `i`'s messages to `j`
 //! always travel over the connection `i` dialed to `j`, while messages from
 //! `j` arrive on the connection `j` dialed.
@@ -72,12 +72,13 @@
 //! model.
 
 use crate::netem::LinkShaper;
-use crate::wire::{write_frame, write_raw_frame, EpochUpdate, Hello, PeerBody, PeerFrame};
+use crate::wire::{encode_peer_frame_into, write_frame, EpochUpdate, Hello, PeerBodyRef};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tokio::io::AsyncWriteExt;
 use tokio::net::tcp::OwnedWriteHalf;
 use tokio::net::TcpStream;
 use tokio::sync::mpsc::{self, UnboundedSender};
@@ -87,6 +88,10 @@ use atlas_metrics::LinkSnapshot;
 
 /// Initial reconnect backoff; doubles up to [`MAX_BACKOFF`].
 const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+/// Most retired frame buffers a link writer keeps for reuse; beyond this,
+/// acked buffers are simply freed (bounds idle memory per link while still
+/// making the steady-state encode path allocation-free).
+const FRAME_POOL_CAP: usize = 64;
 /// Backoff ceiling while a peer is unreachable.
 const MAX_BACKOFF: Duration = Duration::from_millis(1_000);
 
@@ -189,9 +194,10 @@ impl LinkStatus {
 /// when the writer gets to it — is what makes injected delays pipeline
 /// like real propagation delay instead of serializing per frame.
 enum LinkCmd {
-    /// Deliver a protocol message payload (pre-encoded `Message` bytes);
+    /// Deliver a protocol message payload (pre-encoded `Message` bytes,
+    /// shared by every link the replica fans the message out to);
     /// sequenced, buffered and resent until acknowledged.
-    Msg(Vec<u8>, Option<Instant>),
+    Msg(Arc<Vec<u8>>, Option<Instant>),
     /// Send a cumulative delivery ack for the reverse link; best-effort.
     SendAck(u64, Option<Instant>),
     /// Send an executed-watermark report (GC cadence); best-effort like an
@@ -314,8 +320,10 @@ impl PeerLink {
     }
 
     /// Queues one pre-encoded protocol message payload for (at-least-once,
-    /// up to the resend-buffer cap) delivery.
-    pub fn send(&self, payload: Vec<u8>) {
+    /// up to the resend-buffer cap) delivery. The payload rides behind an
+    /// `Arc` so a fan-out to `n` peers shares one encoding instead of
+    /// cloning the bytes per link.
+    pub fn send(&self, payload: Arc<Vec<u8>>) {
         // The cap check races nothing: the replica event loop is the only
         // caller, and the writer task only ever *decreases* `buffered`.
         if self.status.buffered() >= self.cap {
@@ -440,10 +448,19 @@ async fn writer_task(
     let mut conn: Option<OwnedWriteHalf> = None;
     let mut backoff = INITIAL_BACKOFF;
     let mut next_seq: u64 = 1;
-    // Frames not yet acknowledged: `(seq, encoded PeerFrame, release
-    // deadline)`. Deadlines were stamped at enqueue; a replay after a
-    // reconnect finds them long past and bursts.
+    // Frames not yet acknowledged: `(seq, wire-ready frame — length prefix
+    // included — , release deadline)`. Deadlines were stamped at enqueue; a
+    // replay after a reconnect finds them long past and bursts.
     let mut unacked: VecDeque<(u64, Vec<u8>, Option<Instant>)> = VecDeque::new();
+    // Frame-buffer pool: encode scratch recycled from acked resend-buffer
+    // entries, so a steady-state link encodes every message frame into a
+    // reused allocation. Bounded — a burst can still allocate, but the
+    // retained set stays small.
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    // Reused encode buffer for unsequenced control frames (acks, watermark
+    // reports, epoch announcements, heartbeats), which are written
+    // immediately and never enter the resend buffer.
+    let mut scratch: Vec<u8> = Vec::new();
     // How many frames at the front of `unacked` were already written on the
     // *current* connection; reset on reconnect so the whole buffer replays.
     let mut written: usize = 0;
@@ -456,7 +473,11 @@ async fn writer_task(
             LinkCmd::Acked(upto) => {
                 let mut trimmed: u64 = 0;
                 while unacked.front().is_some_and(|(seq, _, _)| *seq <= upto) {
-                    unacked.pop_front();
+                    if let Some((_, buf, _)) = unacked.pop_front() {
+                        if pool.len() < FRAME_POOL_CAP {
+                            pool.push(buf);
+                        }
+                    }
                     written = written.saturating_sub(1);
                     trimmed += 1;
                 }
@@ -469,12 +490,14 @@ async fn writer_task(
             // ack, watermark report or heartbeat alone is not worth
             // stalling the queue with a backoff loop.
             LinkCmd::SendAck(upto, deadline) => {
-                let frame = encode_frame(
+                encode_peer_frame_into(
+                    &mut scratch,
                     self_id,
                     0,
                     epoch.load(Ordering::Relaxed),
-                    PeerBody::Ack(upto),
-                );
+                    PeerBodyRef::Ack(upto),
+                )
+                .expect("peer frames always encode");
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -485,17 +508,19 @@ async fn writer_task(
                     &mut written,
                     &mut backoff,
                     deadline,
-                    &frame,
+                    &scratch,
                 )
                 .await;
             }
             LinkCmd::SendWatermarks(watermarks, deadline) => {
-                let frame = encode_frame(
+                encode_peer_frame_into(
+                    &mut scratch,
                     self_id,
                     0,
                     epoch.load(Ordering::Relaxed),
-                    PeerBody::Watermarks(watermarks),
-                );
+                    PeerBodyRef::Watermarks(&watermarks),
+                )
+                .expect("peer frames always encode");
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -506,17 +531,19 @@ async fn writer_task(
                     &mut written,
                     &mut backoff,
                     deadline,
-                    &frame,
+                    &scratch,
                 )
                 .await;
             }
             LinkCmd::SendEpoch(update, deadline) => {
-                let frame = encode_frame(
+                encode_peer_frame_into(
+                    &mut scratch,
                     self_id,
                     0,
                     epoch.load(Ordering::Relaxed),
-                    PeerBody::Epoch(*update),
-                );
+                    PeerBodyRef::Epoch(&update),
+                )
+                .expect("peer frames always encode");
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -527,7 +554,7 @@ async fn writer_task(
                     &mut written,
                     &mut backoff,
                     deadline,
-                    &frame,
+                    &scratch,
                 )
                 .await;
             }
@@ -535,8 +562,14 @@ async fn writer_task(
                 // Heartbeat: `Ack(0)` acknowledges nothing, so the frame is
                 // pure signal — it forces a write (surfacing a silently
                 // dead connection) and tells the peer's detector we live.
-                let frame =
-                    encode_frame(self_id, 0, epoch.load(Ordering::Relaxed), PeerBody::Ack(0));
+                encode_peer_frame_into(
+                    &mut scratch,
+                    self_id,
+                    0,
+                    epoch.load(Ordering::Relaxed),
+                    PeerBodyRef::Ack(0),
+                )
+                .expect("peer frames always encode");
                 dial_once_and_write(
                     self_id,
                     addr,
@@ -547,23 +580,26 @@ async fn writer_task(
                     &mut written,
                     &mut backoff,
                     deadline,
-                    &frame,
+                    &scratch,
                 )
                 .await;
             }
             LinkCmd::Msg(payload, deadline) => {
                 let seq = next_seq;
                 next_seq += 1;
-                unacked.push_back((
+                // Encode into a pooled buffer: the shared payload is only
+                // borrowed, so fanning one message out to `n` peers costs
+                // one encoding plus `n` framed copies in reused buffers.
+                let mut frame = pool.pop().unwrap_or_default();
+                encode_peer_frame_into(
+                    &mut frame,
+                    self_id,
                     seq,
-                    encode_frame(
-                        self_id,
-                        seq,
-                        epoch.load(Ordering::Relaxed),
-                        PeerBody::Msg(payload),
-                    ),
-                    deadline,
-                ));
+                    epoch.load(Ordering::Relaxed),
+                    PeerBodyRef::Msg(&payload),
+                )
+                .expect("peer frames always encode");
+                unacked.push_back((seq, frame, deadline));
             }
         }
 
@@ -616,7 +652,9 @@ async fn writer_task(
                 conn = None;
                 continue;
             }
-            match write_raw_frame(writer, &unacked[written].1).await {
+            // The buffered frame is already wire-ready (prefix included):
+            // one `write_all`, no framing copy.
+            match writer.write_all(&unacked[written].1).await {
                 Ok(()) => {
                     let seq = unacked[written].0;
                     if seq <= max_written_seq {
@@ -690,20 +728,10 @@ async fn dial_once_and_write(
         }
     }
     if let Some(writer) = conn {
-        if write_raw_frame(writer, frame).await.is_err() {
+        if writer.write_all(frame).await.is_err() {
             *conn = None;
         }
     }
-}
-
-fn encode_frame(from: ProcessId, seq: u64, epoch: u64, body: PeerBody) -> Vec<u8> {
-    bincode::serialize(&PeerFrame {
-        from,
-        seq,
-        epoch,
-        body,
-    })
-    .expect("peer frames always encode")
 }
 
 #[cfg(test)]
@@ -728,12 +756,12 @@ mod tests {
             let cap = 32;
             let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), cap, None, Arc::default());
             for i in 0..(cap as u64 + 50) {
-                link.send(vec![i as u8; 16]);
+                link.send(Arc::new(vec![i as u8; 16]));
             }
             assert_eq!(link.status().buffered(), cap as u64, "buffer at the cap");
             assert_eq!(link.status().dropped(), 50, "overflow counted");
             // More sends while saturated only grow the drop counter.
-            link.send(vec![0; 16]);
+            link.send(Arc::new(vec![0; 16]));
             assert_eq!(link.status().buffered(), cap as u64);
             assert_eq!(link.status().dropped(), 51);
             stop.store(true, Ordering::Relaxed);
@@ -753,7 +781,7 @@ mod tests {
             let stop = Arc::new(AtomicBool::new(false));
             let link = PeerLink::spawn(1, 2, dead, Arc::clone(&stop), 8, None, Arc::default());
             // A message forces the writer into its dial/backoff loop.
-            link.send(vec![1, 2, 3]);
+            link.send(Arc::new(vec![1, 2, 3]));
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
             while !link.status().is_reconnecting() {
                 assert!(
@@ -770,7 +798,7 @@ mod tests {
     }
 
     use crate::netem::{Cut, LinkRule, NetProfile};
-    use crate::wire::read_frame;
+    use crate::wire::{read_frame, PeerBody, PeerFrame};
     use std::time::Instant;
 
     /// Accepts one peer connection and returns the instants at which the
@@ -809,7 +837,7 @@ mod tests {
 
             let sent_at = Instant::now();
             for i in 0..8u8 {
-                link.send(vec![i; 8]);
+                link.send(Arc::new(vec![i; 8]));
             }
             let (hello, frames) = reader.await.unwrap();
             assert_eq!(hello, Hello::Peer { from: 1 });
@@ -850,7 +878,7 @@ mod tests {
             // Probes during the cut are dropped without dialing; a message
             // parks in the resend buffer behind the cut.
             link.probe();
-            link.send(vec![7; 8]);
+            link.send(Arc::new(vec![7; 8]));
             tokio::time::sleep(CUT / 4).await;
             link.probe();
             assert!(

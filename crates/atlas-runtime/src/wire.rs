@@ -235,15 +235,190 @@ fn encode_err(e: bincode::Error) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
+fn oversize_err(len: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap"),
+    )
+}
+
+/// Encodes `value` as one length-prefixed frame *into* `buf`, clearing it
+/// first: the 4-byte prefix and the payload share the allocation, so a
+/// caller that keeps `buf` across frames produces wire-ready bytes
+/// (`writer.write_all(&buf)`) with zero steady-state allocations.
+pub fn encode_frame_into<T>(buf: &mut Vec<u8>, value: &T) -> io::Result<()>
+where
+    T: Serialize,
+{
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+    bincode::serialize_into(buf, value).map_err(encode_err)?;
+    let len = buf.len() - 4;
+    if len > MAX_FRAME_BYTES {
+        return Err(oversize_err(len));
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Frames pre-encoded `payload` bytes into `buf` (clearing it first) —
+/// the reusable-buffer counterpart of [`write_raw_frame`].
+pub fn frame_payload_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    buf.clear();
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Borrowed view of a [`PeerBody`] for allocation-free encoding. The manual
+/// [`Serialize`] impl mirrors the derived one on the owned enum — same
+/// variant tags, same field order — so the two encode byte-identically
+/// (pinned by the `borrowed_peer_frames_encode_like_owned` test).
+#[derive(Debug, Clone, Copy)]
+pub enum PeerBodyRef<'a> {
+    /// See [`PeerBody::Msg`].
+    Msg(&'a [u8]),
+    /// See [`PeerBody::Ack`].
+    Ack(u64),
+    /// See [`PeerBody::Watermarks`].
+    Watermarks(&'a [(ProcessId, u64)]),
+    /// See [`PeerBody::Epoch`].
+    Epoch(&'a EpochUpdate),
+}
+
+impl Serialize for PeerBodyRef<'_> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            PeerBodyRef::Msg(bytes) => {
+                0u32.serialize(out);
+                (**bytes).serialize(out);
+            }
+            PeerBodyRef::Ack(upto) => {
+                1u32.serialize(out);
+                upto.serialize(out);
+            }
+            PeerBodyRef::Watermarks(watermarks) => {
+                2u32.serialize(out);
+                (**watermarks).serialize(out);
+            }
+            PeerBodyRef::Epoch(update) => {
+                3u32.serialize(out);
+                update.serialize(out);
+            }
+        }
+    }
+}
+
+/// Encodes one length-prefixed [`PeerFrame`] into `buf` (clearing it first)
+/// without owning the body: a link writer encodes a message payload it only
+/// borrows — e.g. behind an `Arc` shared across fan-out targets — straight
+/// into a pooled buffer.
+pub fn encode_peer_frame_into(
+    buf: &mut Vec<u8>,
+    from: ProcessId,
+    seq: u64,
+    epoch: u64,
+    body: PeerBodyRef<'_>,
+) -> io::Result<()> {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+    // Field order must match the derived encoding of `PeerFrame`.
+    from.serialize(buf);
+    seq.serialize(buf);
+    epoch.serialize(buf);
+    body.serialize(buf);
+    let len = buf.len() - 4;
+    if len > MAX_FRAME_BYTES {
+        return Err(oversize_err(len));
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Decoded [`PeerFrame`] whose `Msg` payload borrows from the input buffer
+/// (control bodies are small and decode owned). Pairs with
+/// [`read_frame_into`]: the receive path reuses one scratch buffer per
+/// connection and copies only the protocol payload out of it.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PeerFrameView<'a> {
+    /// See [`PeerFrame::from`].
+    pub from: ProcessId,
+    /// See [`PeerFrame::seq`].
+    pub seq: u64,
+    /// See [`PeerFrame::epoch`].
+    pub epoch: u64,
+    /// See [`PeerFrame::body`].
+    pub body: PeerBodyView<'a>,
+}
+
+/// Body of a [`PeerFrameView`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PeerBodyView<'a> {
+    /// Protocol message payload, borrowed from the frame buffer.
+    Msg(&'a [u8]),
+    /// See [`PeerBody::Ack`].
+    Ack(u64),
+    /// See [`PeerBody::Watermarks`].
+    Watermarks(Vec<(ProcessId, u64)>),
+    /// See [`PeerBody::Epoch`].
+    Epoch(EpochUpdate),
+}
+
+fn decode_err(e: serde::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Decodes a [`PeerFrame`] from its (unprefixed) payload bytes, borrowing
+/// the `Msg` body instead of copying it into a fresh `Vec`. Rejects
+/// trailing garbage like `bincode::deserialize`.
+pub fn decode_peer_frame(payload: &[u8]) -> io::Result<PeerFrameView<'_>> {
+    let mut reader = serde::Reader::new(payload);
+    let from = ProcessId::deserialize(&mut reader).map_err(decode_err)?;
+    let seq = u64::deserialize(&mut reader).map_err(decode_err)?;
+    let epoch = u64::deserialize(&mut reader).map_err(decode_err)?;
+    let tag = u32::deserialize(&mut reader).map_err(decode_err)?;
+    let body = match tag {
+        0 => {
+            let len = reader.take_len().map_err(decode_err)?;
+            PeerBodyView::Msg(reader.take(len).map_err(decode_err)?)
+        }
+        1 => PeerBodyView::Ack(u64::deserialize(&mut reader).map_err(decode_err)?),
+        2 => PeerBodyView::Watermarks(
+            Vec::<(ProcessId, u64)>::deserialize(&mut reader).map_err(decode_err)?,
+        ),
+        3 => PeerBodyView::Epoch(EpochUpdate::deserialize(&mut reader).map_err(decode_err)?),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown PeerBody variant tag {other}"),
+            ))
+        }
+    };
+    if reader.remaining() != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} trailing bytes after peer frame", reader.remaining()),
+        ));
+    }
+    Ok(PeerFrameView {
+        from,
+        seq,
+        epoch,
+        body,
+    })
+}
+
 /// Writes one length-prefixed frame containing the bincode encoding of
-/// `value`.
+/// `value`. One-shot convenience over [`encode_frame_into`]; hot paths keep
+/// a scratch buffer and call the latter directly.
 pub async fn write_frame<W, T>(writer: &mut W, value: &T) -> io::Result<()>
 where
     W: AsyncWriteExt,
     T: Serialize,
 {
-    let payload = bincode::serialize(value).map_err(encode_err)?;
-    write_raw_frame(writer, &payload).await
+    let mut buf = Vec::new();
+    encode_frame_into(&mut buf, value)?;
+    writer.write_all(&buf).await
 }
 
 /// Writes one length-prefixed frame around pre-encoded `payload` bytes.
@@ -258,25 +433,40 @@ pub async fn write_raw_frame<W: AsyncWriteExt>(writer: &mut W, payload: &[u8]) -
     writer.write_all(&buf).await
 }
 
+/// Reads one length-prefixed frame's payload into `buf` (replacing its
+/// contents, reusing its allocation), for receive loops that decode
+/// borrowed views out of one per-connection scratch buffer.
+pub async fn read_frame_into<R>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<()>
+where
+    R: AsyncReadExt,
+{
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf).await?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(oversize_err(len));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    reader.read_exact(buf).await?;
+    Ok(())
+}
+
+/// Decodes a frame payload (as filled by [`read_frame_into`]) as a `T`.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> io::Result<T> {
+    bincode::deserialize(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
 /// Reads one length-prefixed frame and decodes it as a `T`.
 pub async fn read_frame<R, T>(reader: &mut R) -> io::Result<T>
 where
     R: AsyncReadExt,
     T: Deserialize,
 {
-    let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf).await?;
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload).await?;
-    bincode::deserialize(&payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let mut payload = Vec::new();
+    read_frame_into(reader, &mut payload).await?;
+    decode_payload(&payload)
 }
 
 #[cfg(test)]
@@ -445,6 +635,75 @@ mod tests {
             let bytes = bincode::serialize(&chunk).unwrap();
             assert_eq!(bincode::deserialize::<CatchUpChunk>(&bytes).unwrap(), chunk);
         }
+    }
+
+    /// The borrowed encode path ([`encode_peer_frame_into`]) must produce
+    /// byte-identical frames to the derived encoding of the owned types —
+    /// this is what lets link writers and readers mix pooled and one-shot
+    /// paths freely. Checked for every `PeerBody` variant, along with the
+    /// borrowed decode round-trip.
+    #[test]
+    fn borrowed_peer_frames_encode_like_owned() {
+        let update = EpochUpdate {
+            view: atlas_core::ClusterView::initial(Config::new(3, 1)),
+            addrs: vec![(1, "127.0.0.1:7001".to_string())],
+        };
+        let watermarks = vec![(1u32, 10u64), (2, 7)];
+        let msg = vec![0xABu8; 48];
+        let cases: Vec<(PeerBody, PeerBodyRef<'_>)> = vec![
+            (PeerBody::Msg(msg.clone()), PeerBodyRef::Msg(&msg)),
+            (PeerBody::Ack(41), PeerBodyRef::Ack(41)),
+            (
+                PeerBody::Watermarks(watermarks.clone()),
+                PeerBodyRef::Watermarks(&watermarks),
+            ),
+            (PeerBody::Epoch(update.clone()), PeerBodyRef::Epoch(&update)),
+        ];
+        for (seq, (owned, borrowed)) in cases.into_iter().enumerate() {
+            let seq = seq as u64;
+            let frame = PeerFrame {
+                from: 3,
+                seq,
+                epoch: 2,
+                body: owned,
+            };
+            let payload = bincode::serialize(&frame).unwrap();
+            let mut expected = (payload.len() as u32).to_le_bytes().to_vec();
+            expected.extend_from_slice(&payload);
+
+            let mut buf = vec![0xFF; 7]; // stale contents must be discarded
+            encode_peer_frame_into(&mut buf, 3, seq, 2, borrowed).unwrap();
+            assert_eq!(buf, expected, "borrowed encoding diverged from owned");
+
+            // And the borrowed decode agrees with the owned frame.
+            let view = decode_peer_frame(&payload).unwrap();
+            assert_eq!((view.from, view.seq, view.epoch), (3, seq, 2));
+            match (&frame.body, &view.body) {
+                (PeerBody::Msg(a), PeerBodyView::Msg(b)) => assert_eq!(&a[..], *b),
+                (PeerBody::Ack(a), PeerBodyView::Ack(b)) => assert_eq!(a, b),
+                (PeerBody::Watermarks(a), PeerBodyView::Watermarks(b)) => assert_eq!(a, b),
+                (PeerBody::Epoch(a), PeerBodyView::Epoch(b)) => assert_eq!(a, b),
+                (owned, view) => panic!("variant mismatch: {owned:?} decoded as {view:?}"),
+            }
+        }
+    }
+
+    /// A truncated or trailing-garbage peer frame is a decode error on the
+    /// borrowed path, same as the owned one.
+    #[test]
+    fn borrowed_peer_frame_decode_rejects_corruption() {
+        let frame = PeerFrame {
+            from: 1,
+            seq: 9,
+            epoch: 0,
+            body: PeerBody::Msg(vec![1, 2, 3]),
+        };
+        let payload = bincode::serialize(&frame).unwrap();
+        assert!(decode_peer_frame(&payload[..payload.len() / 2]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_peer_frame(&trailing).is_err());
+        assert!(decode_peer_frame(&payload).is_ok());
     }
 
     #[test]

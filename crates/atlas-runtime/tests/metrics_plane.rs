@@ -10,7 +10,7 @@
 use atlas_core::{ClientId, Config, Key, ProcessId, Protocol};
 use atlas_metrics::MetricsSnapshot;
 use atlas_protocol::Atlas;
-use atlas_runtime::{Client, Cluster, ClusterOptions, OpenLoopClient};
+use atlas_runtime::{Client, Cluster, ClusterOptions, LinkRule, NetProfile, OpenLoopClient};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -96,10 +96,16 @@ where
         c1.await.expect("client 1 task").expect("client 1 run");
         c2.await.expect("client 2 task").expect("client 2 run");
 
+        // GC is tick-cadenced (reports at every `gc_every`-th tick, the
+        // first horizon advance one round later), so a fast workload can
+        // finish before the first round — wait for it rather than racing it.
         let snapshots = snapshots_when(
             &cluster,
-            |all| all.iter().all(|s| s.store_executed == TOTAL),
-            "every replica to execute the workload",
+            |all| {
+                all.iter()
+                    .all(|s| s.store_executed == TOTAL && s.gc.rounds > 0)
+            },
+            "every replica to execute the workload and run a GC round",
         )
         .await;
 
@@ -261,6 +267,13 @@ fn lifecycle_invariants_epaxos_sharded() {
 /// burst of conflicting commands and dies mid-burst; the survivors must not
 /// only finish the workload (tests/recovery.rs proves that end) but *show*
 /// what happened on the stats plane — suspicions and recovery takeovers.
+///
+/// The survivor→victim links carry a 150 ms injected delay so the victim's
+/// collect acks provably cannot arrive before the kill: the burst is
+/// guaranteed to die *collected but uncommitted* on the survivors, which
+/// is the state only a recovery takeover can resolve. (On an unshaped
+/// loopback the whole burst commits inside the pre-kill window and the
+/// drill degenerates into a clean shutdown with nothing to take over.)
 #[test]
 fn detector_counters_record_the_takeover() {
     const BURST: u64 = 100;
@@ -269,7 +282,12 @@ fn detector_counters_record_the_takeover() {
         tick_interval: Duration::from_millis(10),
         ..ClusterOptions::default()
     }
-    .with_suspicion(Duration::from_millis(300));
+    .with_suspicion(Duration::from_millis(300))
+    .with_net(
+        NetProfile::new(0xD7)
+            .rule(LinkRule::link(1, 3).delay(Duration::from_millis(150)))
+            .rule(LinkRule::link(2, 3).delay(Duration::from_millis(150))),
+    );
     let rt = tokio::runtime::Runtime::new().unwrap();
     rt.block_on(async {
         let mut cluster = Cluster::spawn_with::<Atlas>(Config::new(REPLICAS, 1), options)

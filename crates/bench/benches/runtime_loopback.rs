@@ -16,6 +16,15 @@ use atlas_runtime::{Client, Cluster};
 use criterion::{criterion_group, Criterion};
 use std::sync::Mutex;
 
+/// Count every heap allocation in the bench process so the captured
+/// replica snapshots carry the allocations-per-command gauge
+/// (`alloc_count` / `store_executed`), gated by `ci/bench_guard.py
+/// --max-allocs-per-cmd`. The counter spans the whole process — three
+/// replicas plus this client — which inflates the constant but still
+/// catches a wire path that regresses to per-frame allocation.
+#[global_allocator]
+static ALLOC: atlas_metrics::CountingAllocator = atlas_metrics::CountingAllocator;
+
 /// Replica snapshots captured at the end of each benchmark, in run order.
 static SNAPSHOTS: Mutex<Vec<MetricsSnapshot>> = Mutex::new(Vec::new());
 

@@ -6,22 +6,26 @@
 //!
 //! # How it differs from real tokio
 //!
-//! There is no reactor and no cooperative scheduler: **every task is an OS
-//! thread**, and every async operation simply performs the corresponding
-//! *blocking* `std` call inside its first `poll`. Futures produced by this
-//! crate therefore resolve on first poll (or block the calling task-thread
-//! until they can). This gives the same observable semantics for code that is
-//! structured task-per-connection — which is exactly how `atlas-runtime` is
-//! written — at the cost of one thread per task, which is fine at the scale
-//! of the test clusters and localhost benches this workspace runs offline.
+//! The execution model matches real tokio's shape: an **epoll reactor**
+//! (`reactor`) with non-blocking sockets, a hashed timer wheel, and a
+//! small fixed worker pool (`TOKIO_WORKER_THREADS`, default 4) polling
+//! spawned tasks. A task that waits on I/O or a timer parks its waker and
+//! occupies no thread, so thousands of connections run on single-digit
+//! threads. What is *not* provided: work stealing (one shared injector
+//! queue instead), `tokio::select!`, `#[tokio::main]`, and the
+//! io-uring/multi-driver machinery. Code written against this stub sticks
+//! to the real tokio API shape, so pointing the workspace manifest at real
+//! tokio is a no-source-change swap.
 //!
-//! Code written against this stub sticks to the real tokio API shape, so
-//! pointing the workspace manifest at real tokio is a no-source-change swap
-//! (`tokio::select!` and `#[tokio::main]` are intentionally *not* provided;
-//! the runtime avoids them).
+//! Because pool workers are shared, code running on the runtime must not
+//! park a worker indefinitely (no blocking channel receives or unbounded
+//! `std` sleeps inside tasks); short blocking sections (a journal fsync)
+//! are tolerable, long-running blocking work belongs on
+//! [`task::spawn_blocking`].
 
-// `deny` rather than `forbid`: `net::reuse` needs one scoped `allow` for the
-// raw-socket FFI that sets `SO_REUSEADDR` (real tokio does this through mio).
+// `deny` rather than `forbid`: the epoll reactor and the raw-socket helpers
+// in `net` need scoped `allow`s for hand-declared FFI (real tokio gets the
+// same syscalls through mio/libc).
 #![deny(unsafe_code)]
 #![allow(async_fn_in_trait)]
 
@@ -32,6 +36,7 @@ use std::task::{Context, Poll, Wake, Waker};
 
 pub mod io;
 pub mod net;
+pub(crate) mod reactor;
 pub mod runtime;
 pub mod sync;
 pub mod task;
@@ -48,7 +53,9 @@ impl Wake for ThreadWaker {
 }
 
 /// Drives a future to completion on the current thread, parking between
-/// polls. The crate's only executor: `spawn` runs this on a fresh thread.
+/// polls — the entry point (`Runtime::block_on`) that hands control to the
+/// reactor-scheduled world. The driving thread is *not* a pool worker, so
+/// it may block freely.
 pub(crate) fn block_on_current<F: Future>(fut: F) -> F::Output {
     let mut fut = pin!(fut);
     let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));

@@ -1,15 +1,88 @@
-//! Async-shaped TCP types backed by blocking `std::net` sockets. Each async
-//! method performs the blocking call inside its first poll, which is safe
-//! under the crate's thread-per-task execution model.
+//! Async TCP types backed by non-blocking `std::net` sockets registered
+//! with the epoll reactor in `crate::reactor`. Every socket is switched
+//! to non-blocking mode at creation; an operation that would block parks
+//! the task's waker in the fd's `reactor::ScheduledIo` slot and resumes
+//! when epoll reports readiness — no thread is occupied while waiting, so
+//! thousands of connections share the reactor's single-digit thread pool.
 
-use std::io;
+use crate::reactor::{Direction, Registration};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::Arc;
+
+/// One registered socket: the `std` stream plus its reactor registration.
+/// Shared by split halves; dropping the last owner deregisters the fd and
+/// closes the socket.
+#[derive(Debug)]
+pub(crate) struct Io {
+    stream: std::net::TcpStream,
+    reg: Registration,
+}
+
+impl Io {
+    /// Registers an already-nonblocking stream with the reactor.
+    fn register(stream: std::net::TcpStream) -> io::Result<Self> {
+        let reg = Registration::new(stream.as_raw_fd())?;
+        Ok(Self { stream, reg })
+    }
+
+    async fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&self.stream).read(buf) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reg.io().readiness(Direction::Read).await;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    async fn read_exact(&self, buf: &mut [u8]) -> io::Result<usize> {
+        // `std`'s `read_exact` cannot be used on a non-blocking socket: it
+        // would abort mid-buffer on `WouldBlock` and lose the partial read.
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.read(&mut buf[filled..]).await? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+                n => filled += n,
+            }
+        }
+        Ok(filled)
+    }
+
+    async fn write_all(&self, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match (&self.stream).write(buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reg.io().readiness(Direction::Write).await;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A TCP listener accepting connections.
 #[derive(Debug)]
 pub struct TcpListener {
     inner: std::net::TcpListener,
+    reg: Registration,
 }
 
 impl TcpListener {
@@ -24,8 +97,12 @@ impl TcpListener {
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         let mut last_err = None;
         for addr in addr.to_socket_addrs()? {
-            match reuse::bind_reuseaddr(&addr) {
-                Ok(inner) => return Ok(Self { inner }),
+            match sys::bind_reuseaddr(&addr) {
+                Ok(inner) => {
+                    inner.set_nonblocking(true)?;
+                    let reg = Registration::new(inner.as_raw_fd())?;
+                    return Ok(Self { inner, reg });
+                }
                 Err(e) => last_err = Some(e),
             }
         }
@@ -33,10 +110,23 @@ impl TcpListener {
             .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to bind")))
     }
 
-    /// Accepts one inbound connection (blocks the calling task).
+    /// Accepts one inbound connection without blocking a thread.
     pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
-        let (stream, addr) = self.inner.accept()?;
-        Ok((TcpStream::from_std_stream(stream), addr))
+        loop {
+            match self.inner.accept() {
+                Ok((stream, addr)) => {
+                    // Accepted sockets do not inherit the listener's
+                    // non-blocking flag on Linux.
+                    stream.set_nonblocking(true)?;
+                    return Ok((TcpStream::from_std_nonblocking(stream)?, addr));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reg.io().readiness(Direction::Read).await;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The bound local address (useful after binding port 0).
@@ -48,34 +138,66 @@ impl TcpListener {
 /// A TCP connection.
 #[derive(Debug)]
 pub struct TcpStream {
-    inner: Arc<std::net::TcpStream>,
+    io: Arc<Io>,
 }
 
 impl TcpStream {
-    fn from_std_stream(inner: std::net::TcpStream) -> Self {
-        Self {
-            inner: Arc::new(inner),
-        }
+    fn from_std_nonblocking(inner: std::net::TcpStream) -> io::Result<Self> {
+        Ok(Self {
+            io: Arc::new(Io::register(inner)?),
+        })
     }
 
-    /// Connects to `addr` (blocks the calling task).
+    /// Connects to `addr` using a non-blocking connect: the syscall is
+    /// issued immediately and the task parks until epoll reports the
+    /// socket writable (connect finished), then `SO_ERROR` is checked.
     pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        Ok(Self::from_std_stream(std::net::TcpStream::connect(addr)?))
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match Self::connect_one(addr).await {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect")
+        }))
+    }
+
+    async fn connect_one(addr: SocketAddr) -> io::Result<Self> {
+        let (inner, in_progress) = match sys::start_connect(&addr)? {
+            Some(started) => started,
+            // Address families the FFI shim does not cover fall back to a
+            // blocking std connect, then join the reactor.
+            None => {
+                let inner = std::net::TcpStream::connect(addr)?;
+                inner.set_nonblocking(true)?;
+                (inner, false)
+            }
+        };
+        let stream = Self::from_std_nonblocking(inner)?;
+        if in_progress {
+            stream.io.reg.io().readiness(Direction::Write).await;
+            if let Some(err) = sys::take_socket_error(&stream.io.stream)? {
+                return Err(err);
+            }
+        }
+        Ok(stream)
     }
 
     /// Disables/enables Nagle's algorithm.
     pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
-        self.inner.set_nodelay(nodelay)
+        self.io.stream.set_nodelay(nodelay)
     }
 
     /// Local address of the connection.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.local_addr()
+        self.io.stream.local_addr()
     }
 
     /// Remote address of the connection.
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
-        self.inner.peer_addr()
+        self.io.stream.peer_addr()
     }
 
     /// Splits into independently owned read/write halves (the shape
@@ -83,9 +205,9 @@ impl TcpStream {
     pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
         (
             tcp::OwnedReadHalf {
-                inner: Arc::clone(&self.inner),
+                io: Arc::clone(&self.io),
             },
-            tcp::OwnedWriteHalf { inner: self.inner },
+            tcp::OwnedWriteHalf { io: self.io },
         )
     }
 }
@@ -97,7 +219,7 @@ pub mod tcp {
     /// Read half of a connection.
     #[derive(Debug)]
     pub struct OwnedReadHalf {
-        pub(crate) inner: Arc<std::net::TcpStream>,
+        pub(crate) io: Arc<Io>,
     }
 
     /// Write half of a connection. Dropping it (and the read half) closes
@@ -105,51 +227,82 @@ pub mod tcp {
     /// eagerly.
     #[derive(Debug)]
     pub struct OwnedWriteHalf {
-        pub(crate) inner: Arc<std::net::TcpStream>,
-    }
-
-    impl OwnedReadHalf {
-        pub(crate) fn raw(&self) -> &std::net::TcpStream {
-            &self.inner
-        }
+        pub(crate) io: Arc<Io>,
     }
 
     impl OwnedWriteHalf {
-        pub(crate) fn raw(&self) -> &std::net::TcpStream {
-            &self.inner
-        }
-
         /// Half-closes the write direction.
         pub fn shutdown_now(&self) -> io::Result<()> {
-            self.inner.shutdown(Shutdown::Write)
+            self.io.stream.shutdown(Shutdown::Write)
         }
     }
 }
 
-/// `SO_REUSEADDR`-enabled listener creation.
-///
-/// `std` exposes no way to set socket options before `bind`, so on Linux the
-/// socket is created through a minimal hand-declared libc FFI surface
-/// (`socket`/`setsockopt`/`bind`/`listen`) and then handed to
-/// `std::net::TcpListener` via `FromRawFd`. Platforms or address families the
-/// shim does not cover fall back to plain `std` binding (losing only the
-/// fast-rebind behaviour, not correctness).
-mod reuse {
+mod sys {
     use std::io;
     use std::net::SocketAddr;
 
+    /// Creates a listening socket with `SO_REUSEADDR` set before `bind`
+    /// (std exposes no pre-bind option hook). Falls back to plain `std`
+    /// binding for address families the FFI shim does not cover.
+    pub(super) fn bind_reuseaddr(addr: &SocketAddr) -> io::Result<std::net::TcpListener> {
+        #[cfg(target_os = "linux")]
+        if let Some(bound) = ffi::bind_listener(addr) {
+            return bound;
+        }
+        std::net::TcpListener::bind(addr)
+    }
+
+    /// Starts a non-blocking connect. `Ok(Some((stream, in_progress)))`
+    /// hands back the socket with the connect either complete or pending
+    /// (`EINPROGRESS`); `Ok(None)` means the address family is not covered
+    /// and the caller must fall back to a blocking connect.
+    pub(super) fn start_connect(
+        addr: &SocketAddr,
+    ) -> io::Result<Option<(std::net::TcpStream, bool)>> {
+        #[cfg(target_os = "linux")]
+        {
+            ffi::start_connect(addr)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = addr;
+            Ok(None)
+        }
+    }
+
+    /// Reads and clears the socket's pending error (`SO_ERROR`), the
+    /// canonical way to learn a non-blocking connect's outcome.
+    pub(super) fn take_socket_error(stream: &std::net::TcpStream) -> io::Result<Option<io::Error>> {
+        #[cfg(target_os = "linux")]
+        {
+            ffi::take_socket_error(stream)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = stream;
+            Ok(None)
+        }
+    }
+
+    /// Minimal hand-declared libc surface (the build environment has no
+    /// `libc` crate); Linux-only, with `std` fallbacks above.
     #[cfg(target_os = "linux")]
     #[allow(unsafe_code)]
     mod ffi {
         use std::io;
         use std::net::SocketAddr;
-        use std::os::fd::FromRawFd;
+        use std::os::fd::{AsRawFd, FromRawFd};
 
         const AF_INET: i32 = 2;
         const SOCK_STREAM: i32 = 1;
         const SOCK_CLOEXEC: i32 = 0x80000;
+        const SOCK_NONBLOCK: i32 = 0x800;
         const SOL_SOCKET: i32 = 1;
         const SO_REUSEADDR: i32 = 2;
+        const SO_ERROR: i32 = 4;
+        const EINPROGRESS: i32 = 115;
+        const EINTR: i32 = 4;
         const BACKLOG: i32 = 1024;
 
         /// `struct sockaddr_in` (Linux layout). Port and address are
@@ -160,6 +313,17 @@ mod reuse {
             sin_port: u16,
             sin_addr: u32,
             sin_zero: [u8; 8],
+        }
+
+        impl SockAddrIn {
+            fn from_v4(v4: &std::net::SocketAddrV4) -> Self {
+                Self {
+                    sin_family: AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: u32::from(*v4.ip()).to_be(),
+                    sin_zero: [0; 8],
+                }
+            }
         }
 
         mod c {
@@ -174,7 +338,15 @@ mod reuse {
                     optval: *const c_void,
                     optlen: u32,
                 ) -> i32;
+                pub fn getsockopt(
+                    fd: i32,
+                    level: i32,
+                    optname: i32,
+                    optval: *mut c_void,
+                    optlen: *mut u32,
+                ) -> i32;
                 pub fn bind(fd: i32, addr: *const c_void, addrlen: u32) -> i32;
+                pub fn connect(fd: i32, addr: *const c_void, addrlen: u32) -> i32;
                 pub fn listen(fd: i32, backlog: i32) -> i32;
                 pub fn close(fd: i32) -> i32;
             }
@@ -183,18 +355,13 @@ mod reuse {
         /// Creates a listening IPv4 socket with `SO_REUSEADDR` set before
         /// `bind`. Returns `None` for address families the shim does not
         /// cover (the caller then falls back to `std`).
-        pub(super) fn bind_listener(
+        pub(in super::super) fn bind_listener(
             addr: &SocketAddr,
         ) -> Option<io::Result<std::net::TcpListener>> {
             let SocketAddr::V4(v4) = addr else {
                 return None;
             };
-            let sa = SockAddrIn {
-                sin_family: AF_INET as u16,
-                sin_port: v4.port().to_be(),
-                sin_addr: u32::from(*v4.ip()).to_be(),
-                sin_zero: [0; 8],
-            };
+            let sa = SockAddrIn::from_v4(v4);
             // SAFETY: plain libc socket-creation calls on owned fds; the fd
             // is either closed on every error path or moved into the
             // returned `TcpListener`, which owns it from then on.
@@ -230,97 +397,128 @@ mod reuse {
             };
             Some(Ok(listener))
         }
-    }
 
-    pub(super) fn bind_reuseaddr(addr: &SocketAddr) -> io::Result<std::net::TcpListener> {
-        #[cfg(target_os = "linux")]
-        if let Some(bound) = ffi::bind_listener(addr) {
-            return bound;
+        /// Issues a non-blocking IPv4 connect. The returned flag is `true`
+        /// while the connect is still in progress (`EINPROGRESS`): the
+        /// caller must wait for writability and then check `SO_ERROR`.
+        pub(in super::super) fn start_connect(
+            addr: &SocketAddr,
+        ) -> io::Result<Option<(std::net::TcpStream, bool)>> {
+            let SocketAddr::V4(v4) = addr else {
+                return Ok(None);
+            };
+            let sa = SockAddrIn::from_v4(v4);
+            // SAFETY: same fd-ownership discipline as `bind_listener`.
+            let started = unsafe {
+                let fd = c::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let rc = c::connect(
+                    fd,
+                    (&raw const sa).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                );
+                let in_progress = if rc == 0 {
+                    false
+                } else {
+                    let err = io::Error::last_os_error();
+                    match err.raw_os_error() {
+                        // EINTR: the connect proceeds asynchronously, same
+                        // as EINPROGRESS (POSIX).
+                        Some(EINPROGRESS) | Some(EINTR) => true,
+                        _ => {
+                            c::close(fd);
+                            return Err(err);
+                        }
+                    }
+                };
+                (std::net::TcpStream::from_raw_fd(fd), in_progress)
+            };
+            Ok(Some(started))
         }
-        std::net::TcpListener::bind(addr)
-    }
-}
 
-pub(crate) use inner_access::*;
-
-mod inner_access {
-    use super::*;
-    use std::io::{Read, Write};
-
-    pub(crate) fn read_stream(stream: &std::net::TcpStream, buf: &mut [u8]) -> io::Result<usize> {
-        // `Read` is implemented for `&TcpStream`, allowing shared halves.
-        (&*stream).read(buf)
-    }
-
-    pub(crate) fn read_exact_stream(
-        stream: &std::net::TcpStream,
-        buf: &mut [u8],
-    ) -> io::Result<usize> {
-        (&*stream).read_exact(buf)?;
-        Ok(buf.len())
-    }
-
-    pub(crate) fn write_all_stream(stream: &std::net::TcpStream, buf: &[u8]) -> io::Result<()> {
-        (&*stream).write_all(buf)
-    }
-
-    pub(crate) fn flush_stream(stream: &std::net::TcpStream) -> io::Result<()> {
-        (&*stream).flush()
+        /// Reads and clears `SO_ERROR`.
+        pub(in super::super) fn take_socket_error(
+            stream: &std::net::TcpStream,
+        ) -> io::Result<Option<io::Error>> {
+            let mut err: i32 = 0;
+            let mut len: u32 = std::mem::size_of::<i32>() as u32;
+            // SAFETY: `err`/`len` outlive the call and have the sizes the
+            // kernel expects for an `int` option.
+            let rc = unsafe {
+                c::getsockopt(
+                    stream.as_raw_fd(),
+                    SOL_SOCKET,
+                    SO_ERROR,
+                    (&raw mut err).cast(),
+                    &raw mut len,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if err == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(io::Error::from_raw_os_error(err)))
+            }
+        }
     }
 }
 
 impl crate::io::AsyncReadExt for TcpStream {
     async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        read_stream(&self.inner, buf)
+        self.io.read(buf).await
     }
 
     async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        read_exact_stream(&self.inner, buf)
+        self.io.read_exact(buf).await
     }
 }
 
 impl crate::io::AsyncWriteExt for TcpStream {
     async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        write_all_stream(&self.inner, buf)
+        self.io.write_all(buf).await
     }
 
     async fn flush(&mut self) -> io::Result<()> {
-        flush_stream(&self.inner)
+        (&self.io.stream).flush()
     }
 
     async fn shutdown(&mut self) -> io::Result<()> {
-        self.inner.shutdown(Shutdown::Write)
+        self.io.stream.shutdown(Shutdown::Write)
     }
 }
 
 impl crate::io::AsyncReadExt for tcp::OwnedReadHalf {
     async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        read_stream(self.raw(), buf)
+        self.io.read(buf).await
     }
 
     async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        read_exact_stream(self.raw(), buf)
+        self.io.read_exact(buf).await
     }
 }
 
 impl crate::io::AsyncWriteExt for tcp::OwnedWriteHalf {
     async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        write_all_stream(self.raw(), buf)
+        self.io.write_all(buf).await
     }
 
     async fn flush(&mut self) -> io::Result<()> {
-        flush_stream(self.raw())
+        (&self.io.stream).flush()
     }
 
     async fn shutdown(&mut self) -> io::Result<()> {
-        self.raw().shutdown(Shutdown::Write)
+        self.io.stream.shutdown(Shutdown::Write)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::io::AsyncWriteExt;
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
 
     /// A crashed replica must be able to rebind its listen address while
     /// connections accepted by the previous incarnation still linger — the
@@ -342,6 +540,93 @@ mod tests {
             let rebound = TcpListener::bind(addr).await.expect("rebind");
             assert_eq!(rebound.local_addr().unwrap(), addr);
             drop(client);
+        });
+    }
+
+    /// Registering a socket adds it to the reactor's fd registry; dropping
+    /// every owner removes it again. A leaked registration would pin dead
+    /// fds in the epoll set forever.
+    #[test]
+    fn sockets_register_and_deregister_with_the_reactor() {
+        crate::block_on_current(async {
+            let before = crate::reactor::registered_fds();
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).await.unwrap();
+            let (accepted, _) = listener.accept().await.unwrap();
+            assert_eq!(crate::reactor::registered_fds(), before + 3);
+            // Split halves share one registration: the count is unchanged.
+            let (read_half, write_half) = accepted.into_split();
+            assert_eq!(crate::reactor::registered_fds(), before + 3);
+            drop(read_half);
+            assert_eq!(crate::reactor::registered_fds(), before + 3);
+            drop(write_half);
+            assert_eq!(crate::reactor::registered_fds(), before + 2);
+            drop(client);
+            drop(listener);
+            assert_eq!(crate::reactor::registered_fds(), before);
+        });
+    }
+
+    /// A connect to a dead port must surface the error (through the
+    /// `SO_ERROR` check after the reactor reports the connect finished),
+    /// not hang or pretend to succeed.
+    #[test]
+    fn connect_to_a_dead_port_fails() {
+        crate::block_on_current(async {
+            // Bind-then-drop yields a port with no listener.
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            drop(listener);
+            let result =
+                crate::time::timeout(std::time::Duration::from_secs(10), TcpStream::connect(addr))
+                    .await;
+            match result {
+                Ok(Ok(_)) => panic!("connect to a dead port succeeded"),
+                Ok(Err(_)) => {}
+                Err(_) => panic!("connect to a dead port hung"),
+            }
+        });
+    }
+
+    /// Hundreds of concurrent echo connections over the single-digit
+    /// worker pool: the point of the reactor. Each client writes, the
+    /// per-connection server task echoes, every byte comes back — while
+    /// the process never grows a thread per connection.
+    #[test]
+    fn many_connections_echo_over_a_bounded_pool() {
+        const CONNS: usize = 200;
+        crate::block_on_current(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                for _ in 0..CONNS {
+                    let (stream, _) = listener.accept().await.unwrap();
+                    crate::spawn(async move {
+                        let (mut read, mut write) = stream.into_split();
+                        let mut buf = [0u8; 8];
+                        if read.read_exact(&mut buf).await.is_ok() {
+                            let _ = write.write_all(&buf).await;
+                        }
+                    });
+                }
+            });
+            let clients: Vec<_> = (0..CONNS)
+                .map(|i| {
+                    crate::spawn(async move {
+                        let mut stream = TcpStream::connect(addr).await.unwrap();
+                        let msg = (i as u64).to_le_bytes();
+                        stream.write_all(&msg).await.unwrap();
+                        let mut back = [0u8; 8];
+                        stream.read_exact(&mut back).await.unwrap();
+                        assert_eq!(back, msg);
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.await.unwrap();
+            }
+            server.await.unwrap();
         });
     }
 }

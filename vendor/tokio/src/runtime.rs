@@ -2,44 +2,49 @@
 
 use std::future::Future;
 
-/// Handle to the (trivial) runtime: tasks are plain OS threads, so the
-/// runtime itself holds no state and only provides `block_on`.
+/// Handle to the process-wide runtime: the reactor thread and worker pool
+/// boot lazily (and globally) on first use, so the `Runtime` value itself
+/// only provides `block_on`.
 #[derive(Debug, Default)]
 pub struct Runtime {
     _priv: (),
 }
 
 impl Runtime {
-    /// Creates a runtime.
+    /// Creates a runtime handle, booting the global reactor and worker
+    /// pool if this is the first use in the process.
     pub fn new() -> std::io::Result<Self> {
+        crate::reactor::handle();
         Ok(Self::default())
     }
 
-    /// Runs `fut` to completion on the calling thread.
+    /// Runs `fut` to completion on the calling thread; spawned tasks run
+    /// on the worker pool and I/O readiness comes from the reactor.
     pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
         crate::block_on_current(fut)
     }
 }
 
-/// Mirror of tokio's runtime builder; every knob is accepted and ignored
-/// because the stub has nothing to configure.
+/// Mirror of tokio's runtime builder. The reactor is global and boots on
+/// first use, so most knobs are accepted and ignored; worker count comes
+/// from `TOKIO_WORKER_THREADS` (process-wide, read once at boot).
 #[derive(Debug, Default)]
 pub struct Builder {
     _priv: (),
 }
 
 impl Builder {
-    /// Multi-threaded flavor (tasks are always threads here).
+    /// Multi-threaded flavor (the only flavor: a fixed worker pool).
     pub fn new_multi_thread() -> Self {
         Self::default()
     }
 
-    /// Current-thread flavor (identical in the stub).
+    /// Current-thread flavor (accepted; the pool is global either way).
     pub fn new_current_thread() -> Self {
         Self::default()
     }
 
-    /// Accepted for compatibility; the stub has no drivers to enable.
+    /// Accepted for compatibility; the reactor drivers are always on.
     pub fn enable_all(&mut self) -> &mut Self {
         self
     }
@@ -54,12 +59,13 @@ impl Builder {
         self
     }
 
-    /// Accepted for compatibility; thread count adapts to the task count.
+    /// Accepted for compatibility; the global pool's size is set by
+    /// `TOKIO_WORKER_THREADS` at first boot instead.
     pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
         self
     }
 
-    /// Builds the runtime.
+    /// Builds the runtime (booting the global reactor).
     pub fn build(&mut self) -> std::io::Result<Runtime> {
         Runtime::new()
     }

@@ -1,11 +1,14 @@
-//! Channels mirroring `tokio::sync::{mpsc, oneshot}`, backed by
-//! `std::sync::mpsc`. Receiving blocks the calling task-thread, which is the
-//! correct behavior under the crate's thread-per-task execution model.
+//! Channels mirroring `tokio::sync::{mpsc, oneshot}`, waker-based so a
+//! receiving task parks on the reactor's scheduler instead of blocking a
+//! pool worker. The blocking entry points (`blocking_recv`) wait on a
+//! condvar and are for threads *outside* the runtime.
 
 /// Multi-producer single-consumer channels.
 pub mod mpsc {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Poll, Waker};
 
     /// Error returned when sending on a channel whose receiver was dropped;
     /// gives the message back.
@@ -29,15 +32,54 @@ pub mod mpsc {
         Disconnected,
     }
 
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        waker: Option<Waker>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    impl<T> Chan<T> {
+        /// Wakes the parked receiver (and any blocking one) after a state
+        /// change. Called with the lock held; the waker fires after unlock.
+        fn take_waker(state: &mut ChanState<T>) -> Option<Waker> {
+            state.waker.take()
+        }
+    }
+
     /// Sending half of an unbounded channel.
     pub struct UnboundedSender<T> {
-        inner: mpsc::Sender<T>,
+        chan: Arc<Chan<T>>,
     }
 
     impl<T> Clone for UnboundedSender<T> {
         fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
             Self {
-                inner: self.inner.clone(),
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut state = self.chan.state.lock().unwrap();
+                state.senders -= 1;
+                if state.senders == 0 {
+                    Chan::take_waker(&mut state)
+                } else {
+                    None
+                }
+            };
+            self.chan.ready.notify_all();
+            if let Some(waker) = waker {
+                waker.wake();
             }
         }
     }
@@ -51,13 +93,25 @@ pub mod mpsc {
     impl<T> UnboundedSender<T> {
         /// Sends a message; fails only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            let waker = {
+                let mut state = self.chan.state.lock().unwrap();
+                if !state.receiver_alive {
+                    return Err(SendError(value));
+                }
+                state.queue.push_back(value);
+                Chan::take_waker(&mut state)
+            };
+            self.chan.ready.notify_one();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+            Ok(())
         }
     }
 
     /// Receiving half of an unbounded channel.
     pub struct UnboundedReceiver<T> {
-        inner: mpsc::Receiver<T>,
+        chan: Arc<Chan<T>>,
     }
 
     impl<T> fmt::Debug for UnboundedReceiver<T> {
@@ -66,33 +120,77 @@ pub mod mpsc {
         }
     }
 
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+
     impl<T> UnboundedReceiver<T> {
         /// Awaits the next message; `None` once all senders are dropped and
         /// the queue is drained.
         pub async fn recv(&mut self) -> Option<T> {
-            self.inner.recv().ok()
+            std::future::poll_fn(|cx| {
+                let mut state = self.chan.state.lock().unwrap();
+                if let Some(value) = state.queue.pop_front() {
+                    return Poll::Ready(Some(value));
+                }
+                if state.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                match &state.waker {
+                    Some(w) if w.will_wake(cx.waker()) => {}
+                    _ => state.waker = Some(cx.waker().clone()),
+                }
+                Poll::Pending
+            })
+            .await
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut state = self.chan.state.lock().unwrap();
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
-        /// Blocking receive, for use outside async contexts.
+        /// Blocking receive, for threads outside the runtime.
         pub fn blocking_recv(&mut self) -> Option<T> {
-            self.inner.recv().ok()
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Some(value);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.ready.wait(state).unwrap();
+            }
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
-        let (tx, rx) = mpsc::channel();
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                waker: None,
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
         (
-            UnboundedSender { inner: tx },
-            UnboundedReceiver { inner: rx },
+            UnboundedSender {
+                chan: Arc::clone(&chan),
+            },
+            UnboundedReceiver { chan },
         )
     }
 }
@@ -100,7 +198,8 @@ pub mod mpsc {
 /// One-shot channels.
 pub mod oneshot {
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Poll, Waker};
 
     /// Error returned when the sender was dropped without sending.
     #[derive(Debug, PartialEq, Eq)]
@@ -114,23 +213,77 @@ pub mod oneshot {
 
     impl std::error::Error for RecvError {}
 
+    struct Slot<T> {
+        state: Mutex<SlotState<T>>,
+        ready: Condvar,
+    }
+
+    struct SlotState<T> {
+        value: Option<T>,
+        waker: Option<Waker>,
+        sender_alive: bool,
+        receiver_alive: bool,
+    }
+
     /// Sending half: consumes itself on send.
-    #[derive(Debug)]
     pub struct Sender<T> {
-        inner: mpsc::SyncSender<T>,
+        slot: Arc<Slot<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Sender")
+        }
     }
 
     impl<T> Sender<T> {
         /// Sends the value, giving it back if the receiver was dropped.
         pub fn send(self, value: T) -> Result<(), T> {
-            self.inner.send(value).map_err(|e| e.0)
+            let waker = {
+                let mut state = self.slot.state.lock().unwrap();
+                if !state.receiver_alive {
+                    return Err(value);
+                }
+                state.value = Some(value);
+                state.waker.take()
+            };
+            self.slot.ready.notify_all();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut state = self.slot.state.lock().unwrap();
+                state.sender_alive = false;
+                state.waker.take()
+            };
+            self.slot.ready.notify_all();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
         }
     }
 
     /// Receiving half: a future resolving to the sent value.
-    #[derive(Debug)]
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        slot: Arc<Slot<T>>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Receiver")
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.slot.state.lock().unwrap().receiver_alive = false;
+        }
     }
 
     impl<T> std::future::Future for Receiver<T> {
@@ -138,23 +291,116 @@ pub mod oneshot {
 
         fn poll(
             self: std::pin::Pin<&mut Self>,
-            _cx: &mut std::task::Context<'_>,
-        ) -> std::task::Poll<Self::Output> {
-            // Thread-per-task executor: blocking blocks only this task.
-            std::task::Poll::Ready(self.inner.recv().map_err(|_| RecvError))
+            cx: &mut std::task::Context<'_>,
+        ) -> Poll<Self::Output> {
+            let mut state = self.slot.state.lock().unwrap();
+            if let Some(value) = state.value.take() {
+                return Poll::Ready(Ok(value));
+            }
+            // A dropped `Sender` wakes the parked receiver, but the value
+            // may have been sent just before the drop — checked above.
+            if !state.sender_alive {
+                return Poll::Ready(Err(RecvError));
+            }
+            match &state.waker {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => state.waker = Some(cx.waker().clone()),
+            }
+            Poll::Pending
         }
     }
 
     impl<T> Receiver<T> {
-        /// Blocking receive, for use outside async contexts.
+        /// Blocking receive, for threads outside the runtime.
         pub fn blocking_recv(self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let mut state = self.slot.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.value.take() {
+                    return Ok(value);
+                }
+                if !state.sender_alive {
+                    return Err(RecvError);
+                }
+                state = self.slot.ready.wait(state).unwrap();
+            }
         }
     }
 
     /// Creates a one-shot channel.
     pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(1);
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                value: None,
+                waker: None,
+                sender_alive: true,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                slot: Arc::clone(&slot),
+            },
+            Receiver { slot },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpsc_delivers_across_tasks_and_closes_on_sender_drop() {
+        crate::block_on_current(async {
+            let (tx, mut rx) = mpsc::unbounded_channel::<u32>();
+            let producer = crate::spawn(async move {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                    if i % 10 == 0 {
+                        crate::task::yield_now().await;
+                    }
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            producer.await.unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn mpsc_send_fails_after_receiver_drop() {
+        let (tx, rx) = mpsc::unbounded_channel::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn mpsc_try_recv_reports_empty_then_disconnected() {
+        let (tx, mut rx) = mpsc::unbounded_channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn oneshot_resolves_and_reports_dropped_sender() {
+        crate::block_on_current(async {
+            let (tx, rx) = oneshot::channel::<u8>();
+            crate::spawn(async move {
+                crate::time::sleep(std::time::Duration::from_millis(5)).await;
+                tx.send(9).unwrap();
+            });
+            assert_eq!(rx.await, Ok(9));
+
+            let (tx, rx) = oneshot::channel::<u8>();
+            drop(tx);
+            assert_eq!(rx.await, Err(oneshot::RecvError));
+        });
     }
 }

@@ -1,16 +1,29 @@
-//! Task spawning: every task is an OS thread driven by a parking executor.
+//! Task spawning onto the reactor's worker pool.
+//!
+//! `spawn` hands the future to the fixed pool in `crate::reactor`; the
+//! returned [`JoinHandle`] shares a result slot with the task and is a
+//! proper waker-based future, so joining never blocks a pool worker.
+//! `spawn_blocking` still gets a dedicated short-lived thread — that is
+//! the entire point of the API: code that *will* block must not occupy
+//! one of the single-digit pool workers.
 
 use std::fmt;
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::mpsc;
-use std::task::{Context, Poll};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 
-/// Error returned when a task's thread terminated without producing a value
-/// (it panicked).
+/// Error returned when a joined task panicked.
 #[derive(Debug)]
 pub struct JoinError {
     _priv: (),
+}
+
+impl JoinError {
+    pub(crate) fn panicked() -> Self {
+        Self { _priv: () }
+    }
 }
 
 impl fmt::Display for JoinError {
@@ -21,63 +34,199 @@ impl fmt::Display for JoinError {
 
 impl std::error::Error for JoinError {}
 
-/// Owned handle awaiting a spawned task's output.
+/// Result slot shared between a running task and its [`JoinHandle`]. The
+/// condvar is kept for any synchronous joiner; awaiting goes through the
+/// waker path.
 #[derive(Debug)]
-pub struct JoinHandle<T> {
-    rx: mpsc::Receiver<T>,
+pub(crate) struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
     finished: bool,
 }
 
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+                finished: false,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn complete(&self, result: Result<T, JoinError>) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.result = Some(result);
+            inner.finished = true;
+            inner.waker.take()
+        };
+        self.done.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Handle for awaiting a spawned task's output.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
 impl<T> JoinHandle<T> {
-    /// Whether the task already sent its result.
+    /// Whether the task has completed (successfully or by panicking).
     pub fn is_finished(&self) -> bool {
-        self.finished
+        self.state.inner.lock().unwrap().finished
     }
 }
 
 impl<T> Future for JoinHandle<T> {
     type Output = Result<T, JoinError>;
 
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Thread-per-task executor: blocking here blocks only this task.
-        let out = self.rx.recv().map_err(|_| JoinError { _priv: () });
-        self.finished = true;
-        Poll::Ready(out)
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.state.inner.lock().unwrap();
+        if inner.finished {
+            let result = inner
+                .result
+                .take()
+                .expect("JoinHandle polled after completion");
+            return Poll::Ready(result);
+        }
+        match &inner.waker {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            _ => inner.waker = Some(cx.waker().clone()),
+        }
+        Poll::Pending
     }
 }
 
-/// Spawns `fut` on a dedicated thread, returning a handle to await its
+/// Wrapper that runs the spawned future and routes its output (or panic)
+/// into the shared [`JoinState`]. Owning the inner future through a
+/// `Pin<Box<_>>` keeps this type `Unpin` without any unsafe projection.
+struct Harness<F: Future> {
+    inner: Option<Pin<Box<F>>>,
+    state: Arc<JoinState<F::Output>>,
+}
+
+impl<F: Future> Future for Harness<F> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let Some(fut) = self.inner.as_mut() else {
+            return Poll::Ready(());
+        };
+        match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(value)) => {
+                self.inner = None;
+                self.state.complete(Ok(value));
+                Poll::Ready(())
+            }
+            Err(_panic) => {
+                self.inner = None;
+                self.state.complete(Err(JoinError::panicked()));
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// Spawns `future` onto the worker pool, returning a handle to await its
 /// output.
-pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
 where
     F: Future + Send + 'static,
     F::Output: Send + 'static,
 {
-    let (tx, rx) = mpsc::channel();
-    std::thread::Builder::new()
-        .name("tokio-shim-task".into())
-        .spawn(move || {
-            let out = crate::block_on_current(fut);
-            let _ = tx.send(out);
-        })
-        .expect("failed to spawn task thread");
-    JoinHandle {
-        rx,
-        finished: false,
-    }
+    let state = Arc::new(JoinState::new());
+    crate::reactor::spawn_task(Box::pin(Harness {
+        inner: Some(Box::pin(future)),
+        state: Arc::clone(&state),
+    }));
+    JoinHandle { state }
 }
 
-/// Runs a blocking closure on a dedicated thread (all threads block freely
-/// here, but the entry point is kept for API compatibility).
+/// Runs a blocking closure on a dedicated thread (never on a pool worker).
 pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
 where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    spawn(async move { f() })
+    let state = Arc::new(JoinState::new());
+    let task_state = Arc::clone(&state);
+    std::thread::Builder::new()
+        .name("tokio-blocking".into())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            task_state.complete(result.map_err(|_| JoinError::panicked()));
+        })
+        .expect("spawn blocking thread");
+    JoinHandle { state }
 }
 
-/// Yields once; a no-op under thread-per-task scheduling.
+/// Yields once back to the scheduler, letting other queued tasks run.
 pub async fn yield_now() {
-    std::thread::yield_now();
+    let mut yielded = false;
+    std::future::poll_fn(move |cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawned_tasks_run_on_the_pool_and_join() {
+        crate::block_on_current(async {
+            let handles: Vec<_> = (0..64).map(|i| spawn(async move { i * 2 })).collect();
+            let mut total = 0;
+            for handle in handles {
+                total += handle.await.unwrap();
+            }
+            assert_eq!(total, (0..64).map(|i| i * 2).sum::<i32>());
+        });
+    }
+
+    #[test]
+    fn a_panicking_task_reports_join_error_and_spares_the_worker() {
+        crate::block_on_current(async {
+            let panicked = spawn(async { panic!("boom") });
+            assert!(panicked.await.is_err());
+            // The pool must have survived the panic.
+            let alive = spawn(async { 7 });
+            assert_eq!(alive.await.unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn is_finished_flips_after_completion() {
+        crate::block_on_current(async {
+            let handle = spawn(async { 1u8 });
+            let _ = crate::time::timeout(std::time::Duration::from_secs(5), async {
+                while !handle.is_finished() {
+                    yield_now().await;
+                }
+            })
+            .await;
+            assert!(handle.is_finished());
+            assert_eq!(handle.await.unwrap(), 1);
+        });
+    }
 }

@@ -1,7 +1,13 @@
-//! Timers mirroring `tokio::time`, implemented with thread sleeps (each task
-//! is its own thread, so sleeping blocks only the sleeping task).
+//! Timers mirroring `tokio::time`, backed by the reactor's hashed timer
+//! wheel: a sleeping task parks its waker in the wheel and occupies no
+//! thread; the reactor fires it when the deadline passes (never early —
+//! the wheel checks the exact deadline at fire time).
 
+use crate::reactor::{self, TimerEntry};
 use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::Poll;
 use std::time::{Duration, Instant};
 
 /// Timer errors.
@@ -23,9 +29,52 @@ pub mod error {
     impl std::error::Error for Elapsed {}
 }
 
-/// Sleeps for `duration`.
+/// Future resolving once `deadline` has passed. Registration with the
+/// wheel is lazy (first poll), so constructing one is free; dropping it
+/// before completion cancels the wheel entry.
+#[derive(Debug)]
+struct Sleep {
+    deadline: Instant,
+    entry: Option<Arc<TimerEntry>>,
+}
+
+impl Sleep {
+    fn until(deadline: Instant) -> Self {
+        Self {
+            deadline,
+            entry: None,
+        }
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<()> {
+        if let Some(entry) = &self.entry {
+            return entry.poll_elapsed(cx);
+        }
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        let entry = reactor::register_timer(self.deadline);
+        let poll = entry.poll_elapsed(cx);
+        self.entry = Some(entry);
+        poll
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(entry) = &self.entry {
+            entry.cancel();
+        }
+    }
+}
+
+/// Sleeps for `duration` without occupying a thread.
 pub async fn sleep(duration: Duration) {
-    std::thread::sleep(duration);
+    Sleep::until(Instant::now() + duration).await
 }
 
 /// A repeating timer with a fixed period.
@@ -40,9 +89,8 @@ impl Interval {
     /// tokio's default `MissedTickBehavior::Burst`, missed ticks fire
     /// immediately.
     pub async fn tick(&mut self) -> Instant {
-        let now = Instant::now();
-        if self.next > now {
-            std::thread::sleep(self.next - now);
+        if self.next > Instant::now() {
+            Sleep::until(self.next).await;
         }
         let fired = self.next;
         self.next += self.period;
@@ -59,23 +107,104 @@ pub fn interval(period: Duration) -> Interval {
     }
 }
 
-/// Awaits `fut` for at most `duration`.
+/// Awaits `fut` for at most `duration`; on timeout the future is dropped.
 ///
-/// The stub runs `fut` on a helper thread; on timeout that thread is left to
-/// finish in the background (its result is discarded), hence the additional
-/// `Send + 'static` bounds compared to real tokio.
+/// Unlike the earlier thread-per-timeout shim this no longer requires
+/// `Send + 'static`: both the future and the timer are polled in place.
 pub async fn timeout<F>(duration: Duration, fut: F) -> Result<F::Output, error::Elapsed>
 where
-    F: Future + Send + 'static,
-    F::Output: Send + 'static,
+    F: Future,
 {
-    let (tx, rx) = std::sync::mpsc::sync_channel(1);
-    std::thread::Builder::new()
-        .name("tokio-shim-timeout".into())
-        .spawn(move || {
-            let _ = tx.send(crate::block_on_current(fut));
-        })
-        .expect("failed to spawn timeout thread");
-    rx.recv_timeout(duration)
-        .map_err(|_| error::Elapsed { _priv: () })
+    let mut fut = pin!(fut);
+    let mut sleep = pin!(Sleep::until(Instant::now() + duration));
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(out) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        match sleep.as_mut().poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(error::Elapsed { _priv: () })),
+            Poll::Pending => Poll::Pending,
+        }
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_waits_at_least_the_requested_duration() {
+        crate::block_on_current(async {
+            let start = Instant::now();
+            sleep(Duration::from_millis(30)).await;
+            assert!(start.elapsed() >= Duration::from_millis(30));
+        });
+    }
+
+    #[test]
+    fn concurrent_sleeps_share_the_wheel_not_threads() {
+        crate::block_on_current(async {
+            let start = Instant::now();
+            let handles: Vec<_> = (0..32)
+                .map(|i| crate::spawn(async move { sleep(Duration::from_millis(20 + i)).await }))
+                .collect();
+            for handle in handles {
+                handle.await.unwrap();
+            }
+            let elapsed = start.elapsed();
+            assert!(elapsed >= Duration::from_millis(51));
+            // 32 serialized sleeps would take >700 ms; concurrent ones on
+            // the wheel finish with the longest.
+            assert!(
+                elapsed < Duration::from_millis(700),
+                "sleeps serialized: {elapsed:?}"
+            );
+        });
+    }
+
+    /// Short sleeps whose deadlines straddle millisecond boundaries must
+    /// fire at their deadline, not a full wheel rotation (~512 ms) later.
+    /// The wheel scans a slot the instant its tick begins, which is almost
+    /// always *before* a deadline falling later in that same millisecond;
+    /// a not-yet-due entry left in the passed slot would be orphaned until
+    /// the cursor wraps. Twenty back-to-back 3 ms sleeps make that failure
+    /// mode unmissable: correct ≈ 60 ms, orphaned ≈ 10 s.
+    #[test]
+    fn repeated_short_sleeps_fire_on_time_not_on_wheel_rotation() {
+        crate::block_on_current(async {
+            let start = Instant::now();
+            for _ in 0..20 {
+                sleep(Duration::from_millis(3)).await;
+            }
+            let elapsed = start.elapsed();
+            assert!(elapsed >= Duration::from_millis(60));
+            assert!(
+                elapsed < Duration::from_millis(2_000),
+                "sub-millisecond deadlines orphaned until wheel rotation: {elapsed:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn timeout_returns_elapsed_and_drops_the_future() {
+        crate::block_on_current(async {
+            let slow = async {
+                sleep(Duration::from_secs(30)).await;
+                1u8
+            };
+            let start = Instant::now();
+            let out = timeout(Duration::from_millis(25), slow).await;
+            assert_eq!(out, Err(error::Elapsed { _priv: () }));
+            assert!(start.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn timeout_passes_through_a_fast_future() {
+        crate::block_on_current(async {
+            let out = timeout(Duration::from_secs(5), async { 42u8 }).await;
+            assert_eq!(out, Ok(42));
+        });
+    }
 }
