@@ -527,9 +527,15 @@ async fn acceptor<M>(
                     // One reusable frame buffer for the whole stream.
                     let mut frame = Vec::new();
                     while let Some(bytes) = reply_rx.recv().await {
-                        frame_payload_into(&mut frame, &bytes);
-                        if writer.write_all(&frame).await.is_err() {
-                            return; // requester gone; it will retry
+                        // Framing only fails on an oversize chunk (an
+                        // encode-side bug: the event loop caps chunks well
+                        // below the frame limit); hanging up lets the
+                        // requester retry rather than feeding it a frame
+                        // its reader would reject anyway.
+                        if frame_payload_into(&mut frame, &bytes).is_err()
+                            || writer.write_all(&frame).await.is_err()
+                        {
+                            return;
                         }
                     }
                 }

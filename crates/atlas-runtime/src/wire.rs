@@ -262,12 +262,19 @@ where
 }
 
 /// Frames pre-encoded `payload` bytes into `buf` (clearing it first) —
-/// the reusable-buffer counterpart of [`write_raw_frame`].
-pub fn frame_payload_into(buf: &mut Vec<u8>, payload: &[u8]) {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+/// the reusable-buffer counterpart of [`write_raw_frame`]. Rejects
+/// oversize payloads like [`encode_frame_into`] does: sending one would
+/// only move the failure to the receiver, which drops the connection on
+/// the oversized length prefix — an encode-side bug disguised as a remote
+/// disconnect.
+pub fn frame_payload_into(buf: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(oversize_err(payload.len()));
+    }
     buf.clear();
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Borrowed view of a [`PeerBody`] for allocation-free encoding. The manual
@@ -422,14 +429,14 @@ where
 }
 
 /// Writes one length-prefixed frame around pre-encoded `payload` bytes.
+/// Oversize payloads are rejected before any bytes hit the socket (see
+/// [`frame_payload_into`]).
 pub async fn write_raw_frame<W: AsyncWriteExt>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
     // One write_all for the whole frame: a frame is either fully queued on
     // the socket or the connection is considered broken (and the link layer
     // resends the frame on a fresh connection).
     let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(payload);
+    frame_payload_into(&mut buf, payload)?;
     writer.write_all(&buf).await
 }
 
@@ -717,6 +724,23 @@ mod tests {
         let mut bytes = bincode::serialize(&msg).unwrap();
         bytes.truncate(bytes.len() / 2);
         assert!(bincode::deserialize::<AtlasMessage>(&bytes).is_err());
+    }
+
+    /// An oversize payload must be rejected on the *encode* side — in
+    /// release builds too, not just under `debug_assert!` — because a sent
+    /// oversize frame only fails later at the receiver, which drops the
+    /// connection on the length prefix and turns an encode-side bug into a
+    /// mystery remote disconnect.
+    #[test]
+    fn oversize_payloads_are_rejected_at_encode_time() {
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut buf = Vec::new();
+        let err = frame_payload_into(&mut buf, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "no partial frame left behind");
+        // At the cap exactly the frame is legal.
+        frame_payload_into(&mut buf, &payload[..MAX_FRAME_BYTES]).unwrap();
+        assert_eq!(buf.len(), 4 + MAX_FRAME_BYTES);
     }
 
     /// `Protocol::new` only sees `Config` and `Topology`; make sure both the

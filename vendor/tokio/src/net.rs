@@ -16,8 +16,14 @@ use std::sync::Arc;
 /// closes the socket.
 #[derive(Debug)]
 pub(crate) struct Io {
-    stream: std::net::TcpStream,
+    // Field order is load-bearing: fields drop in declaration order, and
+    // `reg` must deregister the fd from the shared epoll set *before*
+    // `stream` closes it. The other way round, the kernel could recycle
+    // the fd number for a socket registered by another thread between the
+    // two drops, and the DEL would silently strip that socket's
+    // registration — its tasks would then never see another wakeup.
     reg: Registration,
+    stream: std::net::TcpStream,
 }
 
 impl Io {
@@ -81,8 +87,10 @@ impl Io {
 /// A TCP listener accepting connections.
 #[derive(Debug)]
 pub struct TcpListener {
-    inner: std::net::TcpListener,
+    // `reg` before `inner` for the same drop-order reason as [`Io`]:
+    // deregister from epoll before the fd closes and can be recycled.
     reg: Registration,
+    inner: std::net::TcpListener,
 }
 
 impl TcpListener {

@@ -21,7 +21,8 @@
 //! rest of the process (matching the global-runtime usage pattern of this
 //! workspace: one runtime per process, torn down at exit).
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,9 +59,15 @@ mod ffi {
     pub const EFD_NONBLOCK: i32 = 0x800;
     pub const EINTR: i32 = 4;
 
-    /// `struct epoll_event`. Packed on x86-64, exactly as the kernel ABI
-    /// demands (12 bytes, unaligned `data`).
-    #[repr(C, packed)]
+    /// `struct epoll_event`. The kernel packs it *only* on x86-64
+    /// (`EPOLL_PACKED` in `<uapi/linux/eventpoll.h>`): 12 bytes with an
+    /// unaligned `data`. Every other Linux arch (aarch64, riscv64, …) uses
+    /// natural `repr(C)` alignment (16 bytes on 64-bit targets), so the
+    /// attribute is gated per-arch — a single unconditional `packed` would
+    /// compile everywhere but make `epoll_wait` scribble mismatched
+    /// events/tokens on non-x86-64 machines.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
@@ -381,8 +388,14 @@ pub(crate) struct TimerWheel {
     /// Pending-entry count (cancelled entries are counted until scanned
     /// out, which only ever makes the reactor wake a little too often).
     len: usize,
-    /// Lower bound on the earliest pending deadline.
-    nearest: Option<Instant>,
+    /// Min-heap of pending deadlines: its peek is a lower bound on the
+    /// earliest pending deadline, maintained incrementally so `fire_due`
+    /// never has to rescan all 512 slots (O(n) over every pending timer —
+    /// with per-connection timeouts at 10k connections that scan would run
+    /// on every reactor wakeup). Deadlines of cancelled entries linger
+    /// until they pass, costing at worst a spurious early wakeup — the
+    /// same tolerance `len` already has for cancelled entries.
+    deadlines: BinaryHeap<Reverse<Instant>>,
 }
 
 impl TimerWheel {
@@ -392,7 +405,7 @@ impl TimerWheel {
             start,
             next_tick: 0,
             len: 0,
-            nearest: None,
+            deadlines: BinaryHeap::new(),
         }
     }
 
@@ -411,13 +424,12 @@ impl TimerWheel {
         let deadline = entry.deadline;
         self.slots[slot].push(entry);
         self.len += 1;
-        match self.nearest {
-            Some(n) if n <= deadline => false,
-            _ => {
-                self.nearest = Some(deadline);
-                true
-            }
-        }
+        let wake = match self.deadlines.peek() {
+            Some(&Reverse(nearest)) => deadline < nearest,
+            None => true,
+        };
+        self.deadlines.push(Reverse(deadline));
+        wake
     }
 
     /// Fires every entry whose deadline has passed, collecting their wakers
@@ -426,7 +438,7 @@ impl TimerWheel {
     fn fire_due(&mut self, now: Instant, woken: &mut Vec<Waker>) {
         if self.len == 0 {
             self.next_tick = self.tick_of(now) + 1;
-            self.nearest = None;
+            self.deadlines.clear();
             return;
         }
         let now_tick = self.tick_of(now);
@@ -473,24 +485,23 @@ impl TimerWheel {
             let slot = (tick % WHEEL_SLOTS as u64) as usize;
             self.slots[slot].push(entry);
         }
-        self.nearest = self.scan_nearest();
-    }
-
-    fn scan_nearest(&self) -> Option<Instant> {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|e| !e.state.lock().unwrap().cancelled)
-            .map(|e| e.deadline)
-            .min()
+        // Every entry this scan fired (or scanned out as cancelled) had
+        // `deadline <= now`, and every entry still pending has
+        // `deadline > now` — the scan covered all ticks up to `now_tick`
+        // and the insert clamp keeps nothing due hiding in later slots. So
+        // popping the passed deadlines leaves the peek a tight lower bound
+        // on the earliest pending timer, with no per-entry rescan.
+        while matches!(self.deadlines.peek(), Some(&Reverse(d)) if d <= now) {
+            self.deadlines.pop();
+        }
     }
 
     /// The `epoll_wait` timeout: time until the nearest deadline, at least
     /// one tick, or `-1` (block) with nothing pending.
     fn poll_timeout_ms(&self, now: Instant) -> i32 {
-        match self.nearest {
+        match self.deadlines.peek() {
             None => -1,
-            Some(deadline) => {
+            Some(&Reverse(deadline)) => {
                 let until = deadline.saturating_duration_since(now);
                 (until.as_millis() as i64).clamp(1, i32::MAX as i64) as i32
             }
@@ -788,6 +799,46 @@ mod tests {
         let mut sorted = fired_deadlines.clone();
         sorted.sort_unstable();
         assert_eq!(fired_deadlines, sorted, "fired out of deadline order");
+    }
+
+    /// `poll_timeout_ms` must track the nearest *pending* deadline as
+    /// timers fire and cancel — the heap lower bound replaced a full-wheel
+    /// rescan, so pin down that it stays tight: after the nearest entry
+    /// fires the timeout stretches to the next one, and once nothing is
+    /// pending the reactor blocks (`-1`).
+    #[test]
+    fn poll_timeout_tracks_nearest_deadline_across_fires_and_cancels() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        let entry = |ms: u64| {
+            Arc::new(TimerEntry {
+                deadline: start + Duration::from_millis(ms),
+                state: Mutex::new(TimerState::default()),
+            })
+        };
+        let cancelled = entry(10);
+        wheel.insert(Arc::clone(&cancelled));
+        wheel.insert(entry(300));
+        wheel.insert(entry(700));
+        cancelled.cancel();
+        let mut woken = Vec::new();
+        // The cancelled 10 ms entry is scanned out without firing; the
+        // timeout must then aim at the 300 ms entry, not linger near 10.
+        wheel.fire_due(start + Duration::from_millis(20), &mut woken);
+        assert!(woken.is_empty());
+        let t = wheel.poll_timeout_ms(start + Duration::from_millis(20));
+        assert!((200..=280).contains(&t), "timeout {t} not aimed at 300 ms");
+        // The 300 ms entry fires; next stop is 700 ms.
+        wheel.fire_due(start + Duration::from_millis(350), &mut woken);
+        let t = wheel.poll_timeout_ms(start + Duration::from_millis(350));
+        assert!((300..=350).contains(&t), "timeout {t} not aimed at 700 ms");
+        // Everything fired: nothing pending, the reactor may block.
+        wheel.fire_due(start + Duration::from_millis(800), &mut woken);
+        assert_eq!(wheel.len, 0);
+        assert_eq!(
+            wheel.poll_timeout_ms(start + Duration::from_millis(800)),
+            -1
+        );
     }
 
     /// A cancelled timer must never fire, even when its slot comes due.
